@@ -1,0 +1,139 @@
+"""COMP — comparison of the paper's algorithms against related-work baselines.
+
+The paper positions Algorithms A/B/C against (i) the homogeneous LCP line of
+work of Lin et al., (ii) fractional convex-chasing algorithms such as Online
+Balanced Descent, and (iii) the trivial always-on / purely reactive policies
+its introduction argues against.  This benchmark runs them all on a shared
+workload suite and regenerates the qualitative picture:
+
+* right-sizing (A/B) clearly beats keeping the whole fleet on,
+* the heterogeneous algorithms match LCP on homogeneous inputs,
+* naive rounding of the fractional OBD trajectory inflates the switching cost.
+"""
+
+import numpy as np
+
+from repro import (
+    AlgorithmA,
+    AlgorithmB,
+    AllOn,
+    FollowDemand,
+    LazyCapacityProvisioning,
+    Reactive,
+    run_online,
+    solve_optimal,
+    total_cost,
+)
+from repro.dispatch import DispatchSolver
+from repro.online import optimal_static_schedule, receding_horizon_schedule, round_up, run_obd
+
+from bench_utils import (
+    diurnal_cpu_gpu_instance,
+    homogeneous_instance,
+    once,
+    result_section,
+    write_result,
+)
+
+
+def _compare_on(instance, include_lcp=False):
+    dispatcher = DispatchSolver(instance)
+    opt = solve_optimal(instance, dispatcher=dispatcher, return_schedule=False).cost
+    rows = []
+
+    algorithms = [AlgorithmA(), AlgorithmB(), Reactive(), FollowDemand(), AllOn()]
+    if include_lcp:
+        algorithms.insert(2, LazyCapacityProvisioning())
+    for algo in algorithms:
+        result = run_online(instance, algo, dispatcher=dispatcher)
+        rows.append(
+            {
+                "algorithm": result.algorithm,
+                "cost": round(result.cost, 2),
+                "ratio_vs_opt": round(result.cost / opt, 3),
+                "switching_share": round(result.breakdown.total_switching / result.cost, 3),
+            }
+        )
+
+    static = optimal_static_schedule(instance, dispatcher=dispatcher)
+    rows.append(
+        {
+            "algorithm": "optimal-static (offline)",
+            "cost": round(total_cost(instance, static, dispatcher), 2),
+            "ratio_vs_opt": round(total_cost(instance, static, dispatcher) / opt, 3),
+            "switching_share": 0.0,
+        }
+    )
+    horizon = receding_horizon_schedule(instance, lookahead=4, dispatcher=dispatcher)
+    rows.append(
+        {
+            "algorithm": "receding-horizon(4) (semi-online)",
+            "cost": round(total_cost(instance, horizon, dispatcher), 2),
+            "ratio_vs_opt": round(total_cost(instance, horizon, dispatcher) / opt, 3),
+            "switching_share": round(
+                horizon.switching_cost(instance) / total_cost(instance, horizon, dispatcher), 3
+            ),
+        }
+    )
+    rows.append({"algorithm": "offline optimum", "cost": round(opt, 2), "ratio_vs_opt": 1.0, "switching_share": "-"})
+    return opt, rows
+
+
+def _obd_rows(instance):
+    dispatcher = DispatchSolver(instance)
+    opt = solve_optimal(instance, dispatcher=dispatcher, return_schedule=False).cost
+    fractional = run_obd(instance, dispatcher=dispatcher)
+    rounded = round_up(fractional, instance)
+    rounded_cost = total_cost(instance, rounded, dispatcher)
+    return [
+        {
+            "algorithm": "OBD (fractional relaxation)",
+            "cost": round(fractional.cost, 2),
+            "ratio_vs_opt": round(fractional.cost / opt, 3),
+            "switching_share": round(fractional.total_switching / fractional.cost, 3),
+        },
+        {
+            "algorithm": "OBD rounded up (integral)",
+            "cost": round(rounded_cost, 2),
+            "ratio_vs_opt": round(rounded_cost / opt, 3),
+            "switching_share": round(rounded.switching_cost(instance) / rounded_cost, 3),
+        },
+    ]
+
+
+def _run():
+    hetero = diurnal_cpu_gpu_instance(T=36)
+    homog = homogeneous_instance(T=36)
+    opt_hetero, hetero_rows = _compare_on(hetero)
+    opt_homog, homog_rows = _compare_on(homog, include_lcp=True)
+    obd_instance = diurnal_cpu_gpu_instance(T=20, seed=4)
+    obd_rows = _obd_rows(obd_instance)
+    return (hetero, hetero_rows), (homog, homog_rows), (obd_instance, obd_rows)
+
+
+def test_comparison_against_baselines(benchmark):
+    (hetero, hetero_rows), (homog, homog_rows), (obd_instance, obd_rows) = once(benchmark, _run)
+
+    by_name = {row["algorithm"]: row for row in hetero_rows}
+    assert by_name["algorithm-A"]["ratio_vs_opt"] < by_name["all-on"]["ratio_vs_opt"]
+    assert by_name["algorithm-A"]["ratio_vs_opt"] <= 2 * hetero.d + 1
+
+    homog_by_name = {row["algorithm"]: row for row in homog_rows}
+    assert homog_by_name["LCP"]["ratio_vs_opt"] <= 3.0 + 1e-6
+    assert homog_by_name["algorithm-A"]["ratio_vs_opt"] <= 3.0 + 1e-6
+
+    text = "\n\n".join(
+        [
+            "Experiment COMP — comparison with baselines",
+            result_section(
+                f"heterogeneous CPU+GPU fleet, diurnal workload (T={hetero.T}, d={hetero.d})", hetero_rows
+            ),
+            result_section(
+                f"homogeneous fleet (T={homog.T}, d=1) — LCP line of work applies here", homog_rows
+            ),
+            result_section(
+                f"fractional OBD vs. naive rounding (T={obd_instance.T})", obd_rows
+            ),
+        ]
+    )
+    write_result("COMP_baselines", text)

@@ -1,0 +1,50 @@
+"""FIG2 — Figure 2: blocks ``A_{j,i}`` and special time slots ``tau_{j,k}``.
+
+Figure 2 shows seven blocks of one server type and the three special time
+slots constructed in reverse; the resulting index sets are
+``B_{j,1} = {1,2}``, ``B_{j,2} = {3,4}``, ``B_{j,3} = {5,6,7}`` and consecutive
+special slots are at least ``\\bar t_j`` apart.  This benchmark rebuilds that
+decomposition and verifies the partition property the competitive analysis
+relies on (each block contains exactly one special slot).
+"""
+
+from repro.online.blocks import block_index_sets, blocks_from_power_ups, special_slots, verify_partition
+
+from bench_utils import once, result_section, write_result
+
+# Power-up slots chosen so that the reverse construction yields exactly the
+# figure's grouping {1,2}, {3,4}, {5,6,7} (0-based slots below, bar_t = 4).
+FIG2_POWER_UPS = [0, 1, 5, 6, 10, 11, 12]
+FIG2_RUNTIME = 4
+
+
+def _run():
+    blocks = blocks_from_power_ups(FIG2_POWER_UPS, [FIG2_RUNTIME] * len(FIG2_POWER_UPS))
+    taus = special_slots(blocks)
+    sets = block_index_sets(blocks)
+    return blocks, taus, sets
+
+
+def test_fig2_block_decomposition(benchmark):
+    blocks, taus, sets = once(benchmark, _run)
+
+    assert verify_partition(blocks)
+    assert len(taus) == 3
+    assert [sorted(i + 1 for i in s) for s in sets] == [[1, 2], [3, 4], [5, 6, 7]]
+    assert all(b - a >= FIG2_RUNTIME for a, b in zip(taus, taus[1:]))
+
+    rows = [
+        {"block": i + 1, "start": b.start + 1, "end": b.end + 1, "length": b.length,
+         "contains_tau": next(k + 1 for k, tau in enumerate(taus) if tau in b)}
+        for i, b in enumerate(blocks)
+    ]
+    text = "\n\n".join(
+        [
+            "Experiment FIG2 — Figure 2 (blocks and special time slots, bar_t_j = 4)",
+            result_section("blocks A_(j,i)", rows),
+            f"special slots tau_(j,k) (1-based): {[t + 1 for t in taus]}",
+            f"index sets B_(j,k): {[[i + 1 for i in s] for s in sets]}   (paper: [1,2], [3,4], [5,6,7])",
+            f"partition property (each block contains exactly one tau): {verify_partition(blocks)}",
+        ]
+    )
+    write_result("FIG2_blocks", text)

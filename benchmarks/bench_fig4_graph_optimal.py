@@ -1,0 +1,73 @@
+"""FIG4 — Figure 4: the layered graph ``G(I)`` and the optimal schedule as a shortest path.
+
+Figure 4 draws the graph for ``d = 2`` server types, ``T = 2`` slots and
+``m = (2, 1)`` servers (24 vertices) and highlights a shortest path that
+corresponds to the optimal schedule ``x_1 = (2, 0)``, ``x_2 = (1, 1)``.
+
+This benchmark constructs an instance with those dimensions whose optimum
+matches the figure's highlighted path, builds the explicit graph, runs both
+the networkx shortest-path query and the vectorised DP, and checks that they
+agree (and reproduce the figure's schedule).
+"""
+
+import numpy as np
+
+from repro import ConstantCost, ProblemInstance, ServerType, solve_optimal
+from repro.offline import build_graph, shortest_path_schedule
+
+from bench_utils import once, result_section, write_result
+
+
+def _instance():
+    """d=2, T=2, m=(2,1): chosen so the optimum is x_1=(2,0), x_2=(1,1) as in Figure 4.
+
+    With load-independent costs the path comparison is transparent:
+    ``(2,0) -> (1,1)`` costs ``2*beta_1 + beta_2 + 3*c_1 + c_2 = 10.5``,
+    ``(0,1) -> (1,1)`` costs ``beta_1 + beta_2 + c_1 + 2*c_2 = 11`` and
+    ``(1,1) -> (1,1)`` costs ``beta_1 + beta_2 + 2*(c_1 + c_2) = 12``,
+    so the figure's highlighted path is the unique optimum.
+    """
+    types = (
+        ServerType("type-1", count=2, switching_cost=1.0, capacity=1.0,
+                   cost_function=ConstantCost(level=1.0)),
+        ServerType("type-2", count=1, switching_cost=2.0, capacity=2.0,
+                   cost_function=ConstantCost(level=3.5)),
+    )
+    demand = np.array([2.0, 3.0])
+    return ProblemInstance(types, demand, name="figure-4")
+
+
+def _run():
+    instance = _instance()
+    graph = build_graph(instance)
+    nx_schedule, nx_cost = shortest_path_schedule(instance)
+    dp = solve_optimal(instance)
+    return instance, graph, nx_schedule, nx_cost, dp
+
+
+def test_fig4_graph_and_shortest_path(benchmark):
+    instance, graph, nx_schedule, nx_cost, dp = once(benchmark, _run)
+
+    # 2 * T * prod_j (m_j + 1) vertices, as in the figure
+    assert graph.number_of_nodes() == 2 * 2 * 3 * 2
+    assert abs(nx_cost - dp.cost) <= 1e-6 * max(1.0, dp.cost)
+    assert nx_schedule.same_as(dp.schedule)
+    # the figure's highlighted optimal schedule
+    assert tuple(dp.schedule.x[0]) == (2, 0)
+    assert tuple(dp.schedule.x[1]) == (1, 1)
+
+    rows = [
+        {"slot": t + 1, "x_type1": int(dp.schedule.x[t, 0]), "x_type2": int(dp.schedule.x[t, 1])}
+        for t in range(instance.T)
+    ]
+    text = "\n\n".join(
+        [
+            "Experiment FIG4 — Figure 4 (graph G(I), d=2, T=2, m=(2,1))",
+            f"vertices: {graph.number_of_nodes()} (paper: 2*T*prod(m_j+1) = 24), "
+            f"edges: {graph.number_of_edges()}",
+            result_section("optimal schedule (paper: x_1=(2,0), x_2=(1,1))", rows),
+            f"shortest-path cost (networkx): {nx_cost:.6f}",
+            f"dynamic-program cost          : {dp.cost:.6f}",
+        ]
+    )
+    write_result("FIG4_graph_optimal", text)

@@ -1,0 +1,75 @@
+"""FIG5 — Figure 5: the X' rounding construction of Theorem 16.
+
+Figure 5 shows, for ``gamma = 2`` and ``m_j = 10`` (allowed states
+``M^gamma_j = {0, 1, 2, 4, 8, 10}``), how the schedule ``X'`` tracks an optimal
+schedule ``X*`` while staying between ``x*`` and ``(2 gamma - 1) x* = 3 x*``
+and only changing its value when the invariant would break.
+
+This benchmark re-creates the trajectory for the optimal schedule drawn in the
+figure, verifies the invariant slot by slot, and confirms the cost bound
+``C(X') <= (2 gamma - 1) C(X*)`` on an instance realising that reference
+schedule.
+"""
+
+import numpy as np
+
+from repro import ProblemInstance, QuadraticCost, Schedule, ServerType, total_cost
+from repro.analysis import step_plot
+from repro.offline import StateGrid, round_schedule_to_grid, rounding_invariant_holds
+
+from bench_utils import once, result_section, write_result
+
+GAMMA = 2.0
+# The red X* trajectory of Figure 5 (17 slots, values up to m_j = 10).
+FIG5_XSTAR = np.array([3, 3, 5, 9, 9, 6, 3, 1, 1, 2, 5, 2, 1, 0, 0, 1, 3])
+
+
+def _instance():
+    types = (
+        ServerType("fig5", count=10, switching_cost=4.0, capacity=1.0,
+                   cost_function=QuadraticCost(idle=0.5, a=0.2, b=0.5)),
+    )
+    demand = FIG5_XSTAR.astype(float)  # x* exactly covers the demand
+    return ProblemInstance(types, demand, name="figure-5")
+
+
+def _run():
+    grid = StateGrid.geometric([10], GAMMA)
+    reference = Schedule(FIG5_XSTAR[:, None])
+    rounded = round_schedule_to_grid(reference, grid, GAMMA)
+    return grid, reference, rounded
+
+
+def test_fig5_rounding_construction(benchmark):
+    grid, reference, rounded = once(benchmark, _run)
+
+    assert list(grid.values[0]) == [0, 1, 2, 4, 8, 10]
+    assert rounding_invariant_holds(reference, rounded, GAMMA)
+
+    instance = _instance()
+    ref_cost = total_cost(instance, reference)
+    rounded_cost = total_cost(instance, rounded)
+    assert rounded_cost <= (2 * GAMMA - 1) * ref_cost + 1e-6
+
+    rows = [
+        {
+            "t": t + 1,
+            "x_star": int(reference.x[t, 0]),
+            "upper_(2g-1)x*": int((2 * GAMMA - 1) * reference.x[t, 0]),
+            "x_prime": int(rounded.x[t, 0]),
+            "on_grid": bool(grid.contains(rounded.x[t])),
+        }
+        for t in range(reference.T)
+    ]
+    text = "\n\n".join(
+        [
+            "Experiment FIG5 — Figure 5 (X' construction, gamma = 2, m_j = 10)",
+            f"allowed states M^gamma_j = {list(grid.values[0])} (paper: 0,1,2,4,8,10)",
+            result_section("trajectory (invariant x* <= x' <= 3 x*)", rows),
+            step_plot(reference.x[:, 0], title="optimal schedule X* (red line in Figure 5)"),
+            step_plot(rounded.x[:, 0], title="rounded schedule X' (green line in Figure 5)"),
+            f"C(X*) = {ref_cost:.3f},  C(X') = {rounded_cost:.3f},  "
+            f"ratio = {rounded_cost / ref_cost:.3f}  <=  2*gamma - 1 = {2 * GAMMA - 1:.1f}",
+        ]
+    )
+    write_result("FIG5_rounding", text)

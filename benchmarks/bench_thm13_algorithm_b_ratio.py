@@ -1,0 +1,57 @@
+"""THM13 — Theorem 13: empirical competitive ratio of Algorithm B.
+
+Theorem 13 proves that Algorithm B is ``(2d + 1 + c(I))``-competitive for
+time-dependent operating costs, where ``c(I) = sum_j max_t l_{t,j} / beta_j``.
+This benchmark measures the ratio on workloads with time-of-day electricity
+prices (several price amplitudes, which change ``c(I)``) and checks the bound.
+"""
+
+import numpy as np
+
+from repro import AlgorithmB, run_online, solve_optimal, theoretical_bound
+from repro.dispatch import DispatchSolver
+
+from bench_utils import diurnal_cpu_gpu_instance, once, result_section, write_result
+
+
+def _scenarios():
+    base = diurnal_cpu_gpu_instance(T=36)
+    scenarios = []
+    for amplitude in (0.0, 0.3, 0.6, 0.9):
+        prices = 1.0 + amplitude * np.sin(np.arange(base.T) / base.T * 4 * np.pi + 0.5)
+        inst = base.with_price_profile(prices) if amplitude > 0 else base
+        scenarios.append((f"price amplitude {amplitude:.1f}", inst))
+    return scenarios
+
+
+def _run():
+    rows = []
+    for label, instance in _scenarios():
+        dispatcher = DispatchSolver(instance)
+        opt = solve_optimal(instance, dispatcher=dispatcher, return_schedule=False).cost
+        result = run_online(instance, AlgorithmB(), dispatcher=dispatcher)
+        bound = theoretical_bound(instance, "B")
+        rows.append(
+            {
+                "scenario": label,
+                "c(I)": round(instance.c_constant(), 3),
+                "optimal": round(opt, 2),
+                "algorithm_B": round(result.cost, 2),
+                "ratio": round(result.cost / opt, 4),
+                "bound_2d+1+c": round(bound, 3),
+                "within_bound": result.cost <= bound * opt + 1e-6,
+            }
+        )
+    return rows
+
+
+def test_thm13_algorithm_b_competitive_ratio(benchmark):
+    rows = once(benchmark, _run)
+    assert all(row["within_bound"] for row in rows)
+    text = "\n\n".join(
+        [
+            "Experiment THM13 — Theorem 13 (Algorithm B, time-dependent operating costs)",
+            result_section("measured ratio vs. bound 2d + 1 + c(I)", rows),
+        ]
+    )
+    write_result("THM13_algorithm_b_ratio", text)

@@ -1,0 +1,69 @@
+"""THM16 — Theorem 16: quality of the reduced-grid (2*gamma - 1)-approximation.
+
+Theorem 16 proves ``C(X^gamma) <= (2*gamma - 1) * C(X*)``.  This benchmark
+measures the actual ratio for several ``gamma`` (equivalently ``eps``) on
+fleets large enough that the grid reduction matters, together with the size of
+the reduced state space, and checks every measurement against the bound.
+"""
+
+import numpy as np
+
+from repro import ProblemInstance, QuadraticCost, ServerType, solve_approx, solve_optimal
+from repro.dispatch import DispatchSolver
+from repro.offline import approximation_guarantee
+from repro.workloads import diurnal_trace
+
+from bench_utils import once, result_section, write_result
+
+
+def _instance():
+    types = (
+        ServerType("web", count=48, switching_cost=5.0, capacity=1.0,
+                   cost_function=QuadraticCost(idle=0.5, a=0.2, b=0.8)),
+        ServerType("batch", count=12, switching_cost=12.0, capacity=3.0,
+                   cost_function=QuadraticCost(idle=1.2, a=0.3, b=0.2)),
+    )
+    demand = diurnal_trace(30, period=15, base=3.0, peak=70.0, noise=0.05, rng=13)
+    return ProblemInstance(types, demand, name="approx-quality")
+
+
+def _run():
+    instance = _instance()
+    dispatcher = DispatchSolver(instance)
+    exact = solve_optimal(instance, dispatcher=dispatcher, return_schedule=False)
+    rows = []
+    for gamma in (1.125, 1.25, 1.5, 2.0, 3.0):
+        approx = solve_approx(instance, gamma=gamma, dispatcher=dispatcher, return_schedule=False)
+        rows.append(
+            {
+                "gamma": gamma,
+                "eps_equivalent": round(2 * gamma - 2, 3),
+                "grid_states_per_slot": approx.grids[0].size,
+                "exact_states_per_slot": exact.grids[0].size,
+                "optimal": round(exact.cost, 2),
+                "approx_cost": round(approx.cost, 2),
+                "measured_ratio": round(approx.cost / exact.cost, 4),
+                "proven_bound": round(approximation_guarantee(gamma), 3),
+                "within_bound": approx.cost <= approximation_guarantee(gamma) * exact.cost + 1e-6,
+            }
+        )
+    return instance, rows
+
+
+def test_thm16_approximation_quality(benchmark):
+    instance, rows = once(benchmark, _run)
+    assert all(row["within_bound"] for row in rows)
+    assert all(row["measured_ratio"] >= 1.0 - 1e-9 for row in rows)
+    # the measured ratio is monotone-ish in gamma: the coarsest grid is the worst
+    assert rows[-1]["measured_ratio"] >= rows[0]["measured_ratio"] - 1e-6
+    text = "\n\n".join(
+        [
+            "Experiment THM16 — Theorem 16 (reduced-grid approximation quality)",
+            f"instance: {instance.name}, T={instance.T}, d={instance.d}, m={list(instance.m)}",
+            result_section("measured approximation ratio vs. proven bound (2*gamma - 1)", rows),
+            "Typical workloads stay well below the worst-case factor; the state-space "
+            "reduction (column grid_states_per_slot) is what Theorem 21 turns into the "
+            "polynomial runtime.",
+        ]
+    )
+    write_result("THM16_approx_quality", text)

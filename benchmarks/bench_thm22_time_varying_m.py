@@ -1,0 +1,73 @@
+"""THM22 — Theorem 22 / Section 4.3: time-dependent data-center sizes.
+
+Section 4.3 extends both the optimal algorithm and the (1+eps)-approximation to
+fleets whose size changes over time (expansion with new servers, maintenance
+windows).  This benchmark builds a scenario with a maintenance window and a
+fleet expansion, solves it exactly and approximately, verifies feasibility
+against the per-slot limits and the approximation bound, and reports the
+regenerated schedule summary.
+"""
+
+import numpy as np
+
+from repro import ProblemInstance, solve_approx, solve_optimal
+from repro.dispatch import DispatchSolver
+from repro.workloads import diurnal_trace, old_new_fleet
+
+from bench_utils import once, result_section, write_result
+
+
+def _instance():
+    fleet = old_new_fleet(old_count=6, new_count=4)
+    T = 30
+    demand = diurnal_trace(T, period=10, base=2.0, peak=10.0, noise=0.05, rng=21)
+    counts = np.tile([6, 4], (T, 1))
+    counts[10:15, 0] = 2   # maintenance: most old-generation servers offline
+    counts[20:, 1] = 6     # expansion: two extra new-generation servers delivered
+    inst = ProblemInstance(tuple(fleet), demand, counts=counts, name="time-varying-m")
+    # clip demand to the per-slot capacity so the instance stays feasible
+    cap = np.array([inst.total_capacity(t) for t in range(T)])
+    return ProblemInstance(tuple(fleet), np.minimum(demand, 0.95 * cap), counts=counts,
+                           name="time-varying-m")
+
+
+def _run():
+    instance = _instance()
+    dispatcher = DispatchSolver(instance)
+    exact = solve_optimal(instance, dispatcher=dispatcher)
+    approx = solve_approx(instance, epsilon=0.5, dispatcher=dispatcher)
+    return instance, exact, approx
+
+
+def test_thm22_time_varying_fleet(benchmark):
+    instance, exact, approx = once(benchmark, _run)
+
+    assert exact.schedule.is_feasible(instance)
+    assert approx.schedule.is_feasible(instance)
+    assert exact.cost - 1e-6 <= approx.cost <= 1.5 * exact.cost + 1e-6
+    # the maintenance window is respected
+    assert np.all(exact.schedule.x[10:15, 0] <= 2)
+    assert np.all(approx.schedule.x[10:15, 0] <= 2)
+
+    rows = [
+        {
+            "slot": t,
+            "available_old": int(instance.counts_at(t)[0]),
+            "available_new": int(instance.counts_at(t)[1]),
+            "demand": round(float(instance.demand[t]), 2),
+            "opt_old": int(exact.schedule.x[t, 0]),
+            "opt_new": int(exact.schedule.x[t, 1]),
+            "approx_old": int(approx.schedule.x[t, 0]),
+            "approx_new": int(approx.schedule.x[t, 1]),
+        }
+        for t in range(instance.T)
+    ]
+    text = "\n\n".join(
+        [
+            "Experiment THM22 — Theorem 22 / Section 4.3 (time-dependent fleet sizes)",
+            f"optimal cost: {exact.cost:.2f}, (1+eps)-approx cost (eps=0.5): {approx.cost:.2f}, "
+            f"ratio {approx.cost / exact.cost:.4f} <= 1.5",
+            result_section("schedule under a maintenance window (slots 10-14) and an expansion (slot 20+)", rows),
+        ]
+    )
+    write_result("THM22_time_varying_m", text)

@@ -1,0 +1,72 @@
+"""Accuracy/runtime trade-off of the (1+eps)-approximation (Theorems 16 and 21).
+
+For fleets with many servers the exact shortest-path algorithm explores
+``prod_j (m_j + 1)`` configurations per slot; the approximation only explores
+``prod_j |M^gamma_j| = O(prod_j log m_j)`` of them while guaranteeing a cost
+within ``1 + eps`` of optimal.  This example sweeps ``eps`` on a mid-sized
+fleet and prints, per setting, the number of explored states, the measured
+runtime and the realised approximation ratio — the practical picture behind
+Theorem 21's asymptotic statement.
+
+Run with:  python examples/approximation_tradeoff.py
+"""
+
+import time
+
+from repro import ProblemInstance, QuadraticCost, ServerType, solve_approx, solve_optimal
+from repro.analysis import format_table
+from repro.dispatch import DispatchSolver
+from repro.workloads import diurnal_trace
+
+
+def main() -> None:
+    types = (
+        ServerType("web", count=60, switching_cost=5.0, capacity=1.0,
+                   cost_function=QuadraticCost(idle=0.5, a=0.2, b=0.8)),
+        ServerType("batch", count=15, switching_cost=12.0, capacity=3.0,
+                   cost_function=QuadraticCost(idle=1.2, a=0.3, b=0.2)),
+    )
+    demand = diurnal_trace(24, period=12, base=4.0, peak=90.0, noise=0.05, rng=17)
+    instance = ProblemInstance(types, demand, name="approximation-tradeoff")
+    print(instance.describe())
+    print()
+
+    dispatcher = DispatchSolver(instance)
+    start = time.perf_counter()
+    exact = solve_optimal(instance, dispatcher=dispatcher, return_schedule=False)
+    exact_seconds = time.perf_counter() - start
+
+    rows = [
+        {
+            "solver": "exact DP",
+            "eps": "-",
+            "states/slot": exact.grids[0].size,
+            "seconds": round(exact_seconds, 3),
+            "cost": round(exact.cost, 2),
+            "ratio": 1.0,
+            "guarantee": 1.0,
+        }
+    ]
+    for eps in (2.0, 1.0, 0.5, 0.25, 0.1):
+        start = time.perf_counter()
+        approx = solve_approx(instance, epsilon=eps, dispatcher=dispatcher, return_schedule=False)
+        seconds = time.perf_counter() - start
+        rows.append(
+            {
+                "solver": "reduced-grid DP",
+                "eps": eps,
+                "states/slot": approx.grids[0].size,
+                "seconds": round(seconds, 3),
+                "cost": round(approx.cost, 2),
+                "ratio": round(approx.cost / exact.cost, 4),
+                "guarantee": round(1.0 + eps, 2),
+            }
+        )
+    print(format_table(rows, title="exact vs. (1+eps)-approximate offline solver"))
+    print()
+    print("The measured ratio is typically far below the 1+eps guarantee; the state count "
+          "is what shrinks from Theta(prod m_j) to O(prod log m_j) (Theorem 21).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Time-varying fleet sizes: maintenance windows and hardware roll-outs (Section 4.3).
+
+Real data centers change size: racks go offline for maintenance, and new
+hardware generations are added while old ones stay in service.  Section 4.3 of
+the paper extends the offline algorithms to per-slot server counts ``m_{t,j}``;
+this example builds such a scenario —
+
+* slots 10-14: most old-generation servers are down for maintenance,
+* from slot 20: two additional new-generation servers come online —
+
+solves it exactly and with the (1+eps)-approximation, and prints the resulting
+schedules next to the per-slot availability.
+
+Run with:  python examples/datacenter_maintenance.py
+"""
+
+import numpy as np
+
+from repro import ProblemInstance, solve_approx, solve_optimal
+from repro.analysis import format_table, step_plot
+from repro.workloads import diurnal_trace, old_new_fleet
+
+
+def main(T: int = 30) -> None:
+    fleet = tuple(old_new_fleet(old_count=6, new_count=4))
+    demand = diurnal_trace(T, period=10, base=2.0, peak=10.0, noise=0.05, rng=99)
+
+    counts = np.tile([6, 4], (T, 1))
+    counts[10:15, 0] = 2   # maintenance window for the old generation
+    counts[20:, 1] = 6     # expansion: new servers delivered
+    instance = ProblemInstance(fleet, demand, counts=counts, name="maintenance")
+    capacity = np.array([instance.total_capacity(t) for t in range(T)])
+    instance = ProblemInstance(fleet, np.minimum(demand, 0.95 * capacity), counts=counts,
+                               name="maintenance")
+
+    print(instance.describe())
+    print()
+    print(step_plot(instance.demand, title="demand"))
+    print(step_plot(counts[:, 0], title="available old-generation servers m_{t,1}"))
+    print(step_plot(counts[:, 1], title="available new-generation servers m_{t,2}"))
+
+    exact = solve_optimal(instance)
+    approx = solve_approx(instance, epsilon=0.5)
+
+    rows = [
+        {
+            "slot": t,
+            "demand": round(float(instance.demand[t]), 1),
+            "avail old/new": f"{counts[t, 0]}/{counts[t, 1]}",
+            "optimal old/new": f"{exact.schedule.x[t, 0]}/{exact.schedule.x[t, 1]}",
+            "approx old/new": f"{approx.schedule.x[t, 0]}/{approx.schedule.x[t, 1]}",
+        }
+        for t in range(T)
+    ]
+    print(format_table(rows, title="schedules under time-varying availability"))
+    print()
+    print(f"optimal cost: {exact.cost:.2f}")
+    print(f"(1+eps)-approximation (eps=0.5): {approx.cost:.2f} "
+          f"(ratio {approx.cost / exact.cost:.3f} <= 1.5)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Heterogeneous cloud scenario: CPU + GPU fleet under a diurnal workload.
+
+The paper's motivating scenario (Section 1): a data center mixes architectures
+— CPU nodes for branchy work and GPU nodes that process four times the volume,
+but cost much more to power-cycle.  Over a day/night demand curve the right
+decision changes: at night most of the fleet should sleep, during the peak the
+GPUs carry the bulk of the load.
+
+This example runs the whole algorithm zoo on one such scenario and prints
+
+* the cost/ratio table (online Algorithms A and B, the greedy baselines, the
+  offline optimum and the best static configuration), and
+* an ASCII rendering of how the optimal and the online schedules track demand.
+
+Run with:  python examples/heterogeneous_cloud.py [T]
+"""
+
+import sys
+
+from repro import (
+    AlgorithmA,
+    AlgorithmB,
+    AllOn,
+    FollowDemand,
+    Reactive,
+    run_online,
+    solve_optimal,
+    theoretical_bound,
+    total_cost,
+)
+from repro.analysis import compare_plot, compute_metrics, format_table
+from repro.dispatch import DispatchSolver
+from repro.online import optimal_static_schedule
+from repro.workloads import cpu_gpu_fleet, diurnal_trace, fleet_instance
+
+
+def main(T: int = 48) -> None:
+    demand = diurnal_trace(T, period=T // 2, base=1.0, peak=11.0, noise=0.08, rng=2024)
+    instance = fleet_instance(cpu_gpu_fleet(cpu_count=6, gpu_count=2), demand, name="cpu-gpu-cloud")
+    print(instance.describe())
+    print()
+
+    dispatcher = DispatchSolver(instance)
+    optimal = solve_optimal(instance, dispatcher=dispatcher)
+
+    rows = []
+
+    def add_row(name, schedule, bound=None):
+        metrics = compute_metrics(instance, schedule, name=name, dispatcher=dispatcher)
+        row = metrics.as_row()
+        row["ratio"] = round(metrics.total_cost / optimal.cost, 3)
+        if bound is not None:
+            row["proven_bound"] = bound
+        rows.append(row)
+        return metrics
+
+    add_row("offline optimum", optimal.schedule)
+    add_row("optimal static", optimal_static_schedule(instance, dispatcher=dispatcher))
+
+    schedules = {}
+    for algo, bound_key in ((AlgorithmA(), "A"), (AlgorithmB(), "B")):
+        result = run_online(instance, algo, dispatcher=dispatcher)
+        bound = round(theoretical_bound(instance, bound_key), 2)
+        add_row(result.algorithm, result.schedule, bound=bound)
+        schedules[result.algorithm] = result.schedule.x
+    for algo in (Reactive(), FollowDemand(), AllOn()):
+        result = run_online(instance, algo, dispatcher=dispatcher)
+        add_row(result.algorithm, result.schedule)
+
+    print(format_table(rows, title=f"algorithm comparison (T={T}, d={instance.d})"))
+    print()
+    print(
+        compare_plot(
+            demand,
+            {"optimal": optimal.schedule.x, **{k: v for k, v in list(schedules.items())[:1]}},
+            type_index=0,
+            title="demand vs. active CPU servers",
+        )
+    )
+    print(
+        compare_plot(
+            demand,
+            {"optimal": optimal.schedule.x},
+            type_index=1,
+            title="demand vs. active GPU servers (offline optimum)",
+        )
+    )
+    savings = 1.0 - optimal.cost / total_cost(instance, optimal_static_schedule(instance, dispatcher=dispatcher), dispatcher)
+    print(f"right-sizing saves {100 * savings:.1f}% compared with the best static provisioning.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 48)

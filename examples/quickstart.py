@@ -1,0 +1,88 @@
+"""Quickstart: define a heterogeneous data center, solve it offline, run it online.
+
+This walks through the core API:
+
+1. describe the server types (counts, switching costs, capacities, power curves),
+2. bundle them with a demand trace into a :class:`ProblemInstance`,
+3. compute the optimal offline schedule (Section 4.1 of the paper),
+4. run the online Algorithm A (Section 2) and compare against the optimum and
+   its proven ``(2d+1)`` competitive bound.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    AlgorithmA,
+    LinearCost,
+    ProblemInstance,
+    QuadraticCost,
+    ServerType,
+    evaluate_schedule,
+    run_online,
+    solve_optimal,
+    theoretical_bound,
+)
+from repro.analysis import compare_plot, format_table
+
+
+def main() -> None:
+    # 1. The fleet: a few CPU nodes (cheap to cycle, superlinear power curve)
+    #    and two big GPU nodes (high switching cost, large capacity).
+    cpu = ServerType(
+        name="cpu",
+        count=4,
+        switching_cost=4.0,
+        capacity=1.0,
+        cost_function=QuadraticCost(idle=1.0, a=0.4, b=0.8),
+    )
+    gpu = ServerType(
+        name="gpu",
+        count=2,
+        switching_cost=15.0,
+        capacity=4.0,
+        cost_function=LinearCost(idle=2.5, slope=0.5),
+    )
+
+    # 2. A tiny day/night demand trace (12 slots).
+    demand = np.array([1.0, 2.0, 4.0, 7.0, 9.0, 8.0, 5.0, 3.0, 1.0, 0.0, 0.0, 2.0])
+    instance = ProblemInstance((cpu, gpu), demand, name="quickstart")
+    print(instance.describe())
+    print()
+
+    # 3. Optimal offline schedule (shortest path / dynamic program).
+    optimal = solve_optimal(instance)
+    optimal_breakdown = evaluate_schedule(instance, optimal.schedule)
+    print(f"optimal offline cost: {optimal.cost:.2f}")
+
+    # 4. Online Algorithm A, fed one slot at a time by the driver.
+    online = run_online(instance, AlgorithmA())
+    bound = theoretical_bound(instance, "A")
+    print(
+        f"Algorithm A online cost: {online.cost:.2f} "
+        f"(ratio {online.cost / optimal.cost:.3f}, proven bound {bound:.0f})"
+    )
+    print()
+
+    def as_row(name, summary):
+        return {"schedule": name, **{k: (round(v, 2) if isinstance(v, float) else v) for k, v in summary.items()}}
+
+    rows = [
+        as_row("offline optimum", optimal_breakdown.summary()),
+        as_row("Algorithm A", online.breakdown.summary()),
+    ]
+    print(format_table(rows, title="cost breakdown"))
+    print()
+    print(
+        compare_plot(
+            demand,
+            {"optimal": optimal.schedule.x, "Algorithm A": online.schedule.x},
+            type_index=0,
+            title="demand and active CPU servers",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

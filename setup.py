@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on environments whose setuptools/pip lack the
+PEP 660 editable-wheel machinery (legacy editable installs go through
+``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

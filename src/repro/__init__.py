@@ -1,0 +1,122 @@
+"""repro — reproduction of "Algorithms for Right-Sizing Heterogeneous Data Centers".
+
+Albers & Quedenfeld, SPAA 2021 (arXiv:2107.14692).
+
+The package implements the paper's discrete data-center right-sizing model, the
+optimal offline shortest-path algorithm and its (1+eps)-approximation
+(Section 4), and the online Algorithms A, B and C with competitive ratios
+2d+1, 2d+1+c(I) and 2d+1+eps (Sections 2 and 3), together with baselines,
+workload generators and an experiment harness.
+"""
+
+from .core import (
+    CallableCost,
+    ConstantCost,
+    CostBreakdown,
+    CostFunction,
+    LinearCost,
+    PiecewiseLinearCost,
+    PowerCost,
+    ProblemInstance,
+    QuadraticCost,
+    ScaledCost,
+    Schedule,
+    ServerType,
+    ShiftedCost,
+    evaluate_schedule,
+    operating_cost,
+    switching_cost,
+    total_cost,
+)
+from .dispatch import DispatchResult, DispatchSolver
+from .offline import (
+    OfflineResult,
+    StateGrid,
+    approximation_guarantee,
+    optimal_cost,
+    solve_approx,
+    solve_milp,
+    solve_optimal,
+)
+from .online import (
+    AlgorithmA,
+    AlgorithmB,
+    AlgorithmC,
+    AllOn,
+    DPPrefixTracker,
+    FollowDemand,
+    LazyCapacityProvisioning,
+    OnlineAlgorithm,
+    OnlineRunResult,
+    Reactive,
+    run_online,
+)
+from .analysis import (
+    compute_metrics,
+    empirical_ratio,
+    format_table,
+    ratio_table,
+    theoretical_bound,
+)
+from .workloads import (
+    bursty_trace,
+    cpu_gpu_fleet,
+    diurnal_trace,
+    fleet_instance,
+    single_type_fleet,
+    three_tier_fleet,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlgorithmA",
+    "AlgorithmB",
+    "AlgorithmC",
+    "AllOn",
+    "CallableCost",
+    "ConstantCost",
+    "CostBreakdown",
+    "CostFunction",
+    "DPPrefixTracker",
+    "DispatchResult",
+    "DispatchSolver",
+    "FollowDemand",
+    "LazyCapacityProvisioning",
+    "LinearCost",
+    "OfflineResult",
+    "OnlineAlgorithm",
+    "OnlineRunResult",
+    "PiecewiseLinearCost",
+    "PowerCost",
+    "ProblemInstance",
+    "QuadraticCost",
+    "Reactive",
+    "ScaledCost",
+    "Schedule",
+    "ServerType",
+    "ShiftedCost",
+    "StateGrid",
+    "approximation_guarantee",
+    "bursty_trace",
+    "compute_metrics",
+    "cpu_gpu_fleet",
+    "diurnal_trace",
+    "empirical_ratio",
+    "evaluate_schedule",
+    "fleet_instance",
+    "format_table",
+    "operating_cost",
+    "optimal_cost",
+    "ratio_table",
+    "run_online",
+    "single_type_fleet",
+    "solve_approx",
+    "solve_milp",
+    "solve_optimal",
+    "switching_cost",
+    "theoretical_bound",
+    "three_tier_fleet",
+    "total_cost",
+    "__version__",
+]

@@ -1,0 +1,92 @@
+"""Text-based rendering of schedules and traces.
+
+Matplotlib is not available in the offline build environment, so the figures of
+the paper are regenerated as ASCII step plots plus CSV series (the information
+content — which configuration is active when, where power-ups happen, how the
+online schedule tracks the prefix optima — is fully preserved).  The renderers
+are deliberately simple and deterministic so their output can be asserted on in
+tests and embedded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["step_plot", "series_plot", "schedule_plot", "compare_plot"]
+
+
+def step_plot(
+    values: Sequence[float],
+    height: int = 10,
+    title: Optional[str] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """Render a single non-negative series as an ASCII step/bar chart.
+
+    Each column is one time slot; a column of ``#`` characters reaches up to
+    the (scaled) value of the slot.  Integer-valued series with a small range
+    are rendered exactly (one row per unit), which is how the figure
+    reproductions show server counts.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError("step_plot expects a 1-D series")
+    if len(arr) == 0:
+        return "(empty series)"
+    top = float(y_max) if y_max is not None else float(np.max(arr))
+    top = max(top, 1e-9)
+    integral = np.allclose(arr, np.rint(arr)) and top <= 40
+    levels = int(top) if integral else height
+    levels = max(levels, 1)
+    scaled = arr if integral else arr / top * levels
+    lines = []
+    if title:
+        lines.append(title)
+    for level in range(levels, 0, -1):
+        row_val = level if integral else level * top / levels
+        cells = ["#" if v >= level - 1e-9 else " " for v in scaled]
+        label = f"{row_val:6.2f} |" if not integral else f"{int(row_val):6d} |"
+        lines.append(label + "".join(cells))
+    lines.append("       +" + "-" * len(arr))
+    axis = "        "
+    for t in range(len(arr)):
+        axis += str(t % 10)
+    lines.append(axis)
+    return "\n".join(lines)
+
+
+def series_plot(series: dict, height: int = 10, title: Optional[str] = None) -> str:
+    """Render several named series stacked above each other."""
+    blocks = []
+    if title:
+        blocks.append("=" * len(title))
+        blocks.append(title)
+        blocks.append("=" * len(title))
+    for name, values in series.items():
+        blocks.append(step_plot(values, height=height, title=name))
+        blocks.append("")
+    return "\n".join(blocks)
+
+
+def schedule_plot(schedule_x: np.ndarray, type_names: Optional[Sequence[str]] = None, title: Optional[str] = None) -> str:
+    """Render a schedule (one sub-plot per server type)."""
+    arr = np.asarray(schedule_x)
+    names = type_names or [f"type {j}" for j in range(arr.shape[1])]
+    series = {f"active servers of {names[j]}": arr[:, j] for j in range(arr.shape[1])}
+    return series_plot(series, title=title)
+
+
+def compare_plot(
+    demand: np.ndarray,
+    schedules: dict,
+    type_index: int = 0,
+    title: Optional[str] = None,
+) -> str:
+    """Demand plus, per named schedule, the active servers of one type."""
+    series = {"demand": demand}
+    for name, x in schedules.items():
+        arr = np.asarray(x)
+        series[f"{name} (type {type_index})"] = arr[:, type_index]
+    return series_plot(series, title=title)

@@ -1,0 +1,74 @@
+"""Schedule metrics: the quantities reported by the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.costs import CostBreakdown, evaluate_schedule
+from ..core.instance import ProblemInstance
+from ..core.schedule import Schedule
+from ..dispatch.allocation import DispatchSolver
+
+__all__ = ["ScheduleMetrics", "compute_metrics"]
+
+
+@dataclass(frozen=True, eq=False)
+class ScheduleMetrics:
+    """Aggregated figures of merit of one schedule on one instance."""
+
+    name: str
+    total_cost: float
+    operating_cost: float
+    switching_cost: float
+    idle_cost: float
+    load_dependent_cost: float
+    power_ups: np.ndarray
+    mean_active: np.ndarray
+    peak_active: np.ndarray
+    mean_utilisation: float
+    feasible: bool
+
+    def as_row(self) -> dict:
+        """Flat dictionary used by the table/CSV reporters."""
+        return {
+            "name": self.name,
+            "total": round(self.total_cost, 4),
+            "operating": round(self.operating_cost, 4),
+            "switching": round(self.switching_cost, 4),
+            "idle": round(self.idle_cost, 4),
+            "load_dependent": round(self.load_dependent_cost, 4),
+            "power_ups": int(np.sum(self.power_ups)),
+            "peak_active": int(np.sum(self.peak_active)),
+            "mean_utilisation": round(self.mean_utilisation, 4),
+            "feasible": self.feasible,
+        }
+
+
+def compute_metrics(
+    instance: ProblemInstance,
+    schedule: Schedule,
+    name: str = "schedule",
+    dispatcher: Optional[DispatchSolver] = None,
+    breakdown: Optional[CostBreakdown] = None,
+) -> ScheduleMetrics:
+    """Evaluate a schedule and aggregate the quantities used in reports."""
+    breakdown = breakdown or evaluate_schedule(instance, schedule, dispatcher)
+    util = schedule.utilisation(instance)
+    active_any = np.any(schedule.x > 0, axis=1)
+    mean_util = float(np.mean(util[active_any])) if np.any(active_any) else 0.0
+    return ScheduleMetrics(
+        name=name,
+        total_cost=breakdown.total,
+        operating_cost=breakdown.total_operating,
+        switching_cost=breakdown.total_switching,
+        idle_cost=breakdown.total_idle,
+        load_dependent_cost=breakdown.total_load_dependent,
+        power_ups=schedule.num_power_ups(),
+        mean_active=schedule.x.mean(axis=0) if schedule.T else np.zeros(schedule.d),
+        peak_active=schedule.max_active(),
+        mean_utilisation=mean_util,
+        feasible=breakdown.feasible,
+    )

@@ -1,0 +1,71 @@
+"""Parameter-sweep runner used by the benchmark harness and the examples.
+
+A sweep is a cartesian product of named parameter lists; for every combination
+a user-supplied experiment function produces a result row (a flat ``dict``).
+Timing is recorded per combination so that the runtime-scaling experiments
+(Theorems 21 and 22) can report measured wall-clock growth alongside the
+predicted complexity.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Sequence
+
+__all__ = ["SweepResult", "run_sweep"]
+
+
+@dataclass(frozen=True, eq=False)
+class SweepResult:
+    """All rows produced by one sweep, with helpers for grouping and reporting."""
+
+    rows: tuple
+
+    def filter(self, **conditions) -> "SweepResult":
+        """Rows matching all ``column == value`` conditions."""
+        selected = [r for r in self.rows if all(r.get(k) == v for k, v in conditions.items())]
+        return SweepResult(rows=tuple(selected))
+
+    def column(self, name: str) -> List:
+        return [r.get(name) for r in self.rows]
+
+    def as_rows(self) -> List[dict]:
+        return [dict(r) for r in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def run_sweep(
+    experiment: Callable[..., Dict],
+    parameters: Dict[str, Sequence],
+    repeat: int = 1,
+    include_timing: bool = True,
+) -> SweepResult:
+    """Run ``experiment(**combination)`` for every parameter combination.
+
+    The experiment function returns a flat dictionary; the sweep adds the
+    parameter values themselves plus ``elapsed_seconds`` (median over
+    ``repeat`` runs) to every row.
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be at least 1")
+    names = list(parameters)
+    rows = []
+    for combination in itertools.product(*(parameters[n] for n in names)):
+        kwargs = dict(zip(names, combination))
+        durations = []
+        result_row: Dict = {}
+        for _ in range(repeat):
+            start = time.perf_counter()
+            result_row = experiment(**kwargs)
+            durations.append(time.perf_counter() - start)
+        row = dict(kwargs)
+        row.update(result_row)
+        if include_timing:
+            durations.sort()
+            row["elapsed_seconds"] = durations[len(durations) // 2]
+        rows.append(row)
+    return SweepResult(rows=tuple(rows))

@@ -1,0 +1,292 @@
+"""Command-line interface.
+
+The CLI wraps the most common workflows so the library can be exercised
+without writing Python:
+
+``python -m repro trace``
+    Generate a synthetic demand trace (CSV on stdout or to a file).
+
+``python -m repro solve``
+    Solve a scenario offline — exactly or with the (1+eps)-approximation — and
+    print the schedule summary (optionally the full schedule as CSV).
+
+``python -m repro online``
+    Run one of the online algorithms over a scenario and report its cost and
+    empirical competitive ratio against the offline optimum.
+
+``python -m repro compare``
+    Run the whole algorithm suite on one scenario and print the comparison
+    table (the same table the COMP benchmark regenerates).
+
+Scenarios are described by a fleet preset (``--fleet``) and a trace generator
+(``--trace``) with ``--slots`` and ``--seed``; a custom demand trace can be
+supplied from a CSV file with ``--demand-file`` (one value per line).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .analysis import compute_metrics, format_table, rows_to_csv
+from .core import ProblemInstance
+from .dispatch import DispatchSolver
+from .offline import approximation_guarantee, solve_approx, solve_optimal
+from .online import (
+    AlgorithmA,
+    AlgorithmB,
+    AlgorithmC,
+    AllOn,
+    FollowDemand,
+    LazyCapacityProvisioning,
+    Reactive,
+    optimal_static_schedule,
+    run_online,
+)
+from .analysis.competitive import theoretical_bound
+from .workloads import (
+    bursty_trace,
+    constant_trace,
+    cpu_gpu_fleet,
+    diurnal_trace,
+    fleet_instance,
+    load_independent_fleet,
+    mmpp_trace,
+    old_new_fleet,
+    random_walk_trace,
+    single_type_fleet,
+    spike_trace,
+    three_tier_fleet,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+FLEETS: Dict[str, Callable[[], list]] = {
+    "single": lambda: single_type_fleet(),
+    "cpu-gpu": lambda: cpu_gpu_fleet(),
+    "old-new": lambda: old_new_fleet(),
+    "three-tier": lambda: three_tier_fleet(),
+    "load-independent": lambda: load_independent_fleet(),
+}
+
+TRACES: Dict[str, Callable[[int, Optional[int]], np.ndarray]] = {
+    "diurnal": lambda T, seed: diurnal_trace(T, period=max(4, T // 2), base=1.0, peak=10.0, rng=seed),
+    "bursty": lambda T, seed: bursty_trace(T, rng=seed),
+    "mmpp": lambda T, seed: mmpp_trace(T, rng=seed),
+    "spikes": lambda T, seed: spike_trace(T, spike_height=6.0, spike_every=max(2, T // 6), rng=seed),
+    "constant": lambda T, seed: constant_trace(T, level=4.0),
+    "random-walk": lambda T, seed: random_walk_trace(T, rng=seed),
+}
+
+ONLINE_ALGORITHMS: Dict[str, Callable[[argparse.Namespace], object]] = {
+    "A": lambda args: AlgorithmA(),
+    "B": lambda args: AlgorithmB(),
+    "C": lambda args: AlgorithmC(epsilon=args.epsilon or 0.25),
+    "reactive": lambda args: Reactive(),
+    "follow-demand": lambda args: FollowDemand(),
+    "all-on": lambda args: AllOn(),
+    "lcp": lambda args: LazyCapacityProvisioning(allow_heterogeneous=True),
+}
+
+
+# --------------------------------------------------------------------------- #
+# Scenario construction
+# --------------------------------------------------------------------------- #
+
+
+def _load_demand_file(path: str) -> np.ndarray:
+    values = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip().split(",")[0]
+            if line:
+                values.append(float(line))
+    if not values:
+        raise SystemExit(f"demand file {path!r} contains no values")
+    return np.asarray(values, dtype=float)
+
+
+def _build_instance(args: argparse.Namespace) -> ProblemInstance:
+    fleet = FLEETS[args.fleet]()
+    if getattr(args, "demand_file", None):
+        demand = _load_demand_file(args.demand_file)
+    else:
+        demand = TRACES[args.trace](args.slots, args.seed)
+    instance = fleet_instance(fleet, demand, name=f"{args.fleet}/{args.trace}")
+    if getattr(args, "price_amplitude", 0.0):
+        T = instance.T
+        prices = 1.0 + args.price_amplitude * np.sin(np.arange(T) / max(T, 1) * 2 * np.pi)
+        instance = instance.with_price_profile(prices)
+    return instance
+
+
+def _schedule_csv(instance: ProblemInstance, schedule) -> str:
+    rows = []
+    for t in range(instance.T):
+        row = {"slot": t, "demand": float(instance.demand[t])}
+        for j, st in enumerate(instance.server_types):
+            row[f"x_{st.name}"] = int(schedule.x[t, j])
+        rows.append(row)
+    return rows_to_csv(rows)
+
+
+# --------------------------------------------------------------------------- #
+# Sub-commands
+# --------------------------------------------------------------------------- #
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    demand = TRACES[args.trace](args.slots, args.seed)
+    text = "\n".join(f"{value:.6g}" for value in demand)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {len(demand)} slots to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    instance = _build_instance(args)
+    print(instance.describe())
+    dispatcher = DispatchSolver(instance)
+    if args.epsilon is None:
+        result = solve_optimal(instance, dispatcher=dispatcher)
+        label = "exact optimum"
+        guarantee = 1.0
+    else:
+        result = solve_approx(instance, epsilon=args.epsilon, dispatcher=dispatcher)
+        label = f"(1+eps)-approximation, eps={args.epsilon}"
+        guarantee = approximation_guarantee(result.gamma)
+    metrics = compute_metrics(instance, result.schedule, name=label, dispatcher=dispatcher)
+    rows = [dict(metrics.as_row(), guarantee=round(guarantee, 3), states_explored=result.num_states_explored)]
+    print()
+    print(format_table(rows, title="offline solution"))
+    if args.schedule_csv:
+        print()
+        print(_schedule_csv(instance, result.schedule), end="")
+    return 0
+
+
+def _cmd_online(args: argparse.Namespace) -> int:
+    instance = _build_instance(args)
+    print(instance.describe())
+    dispatcher = DispatchSolver(instance)
+    algorithm = ONLINE_ALGORITHMS[args.algorithm](args)
+    result = run_online(instance, algorithm, dispatcher=dispatcher)
+    optimum = solve_optimal(instance, dispatcher=dispatcher, return_schedule=False).cost
+    row = {
+        "algorithm": result.algorithm,
+        "cost": round(result.cost, 3),
+        "optimal": round(optimum, 3),
+        "ratio": round(result.cost / optimum, 4) if optimum > 0 else float("inf"),
+    }
+    if args.algorithm in ("A", "B", "C"):
+        row["proven_bound"] = round(
+            theoretical_bound(instance, args.algorithm, epsilon=args.epsilon or 0.25), 3
+        )
+    print()
+    print(format_table([row], title="online run"))
+    if args.schedule_csv:
+        print()
+        print(_schedule_csv(instance, result.schedule), end="")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    instance = _build_instance(args)
+    print(instance.describe())
+    dispatcher = DispatchSolver(instance)
+    optimum = solve_optimal(instance, dispatcher=dispatcher)
+    rows = [
+        dict(compute_metrics(instance, optimum.schedule, name="offline optimum", dispatcher=dispatcher).as_row(),
+             ratio=1.0)
+    ]
+    try:
+        static = optimal_static_schedule(instance, dispatcher=dispatcher)
+        metrics = compute_metrics(instance, static, name="optimal static", dispatcher=dispatcher)
+        rows.append(dict(metrics.as_row(), ratio=round(metrics.total_cost / optimum.cost, 3)))
+    except ValueError:
+        pass
+    algorithms: List[str] = ["A", "B", "reactive", "follow-demand", "all-on"]
+    if instance.d == 1:
+        algorithms.insert(2, "lcp")
+    for key in algorithms:
+        result = run_online(instance, ONLINE_ALGORITHMS[key](args), dispatcher=dispatcher)
+        metrics = compute_metrics(instance, result.schedule, name=result.algorithm, dispatcher=dispatcher)
+        rows.append(dict(metrics.as_row(), ratio=round(metrics.total_cost / optimum.cost, 3)))
+    print()
+    print(format_table(rows, title=f"algorithm comparison on {instance.name} (T={instance.T}, d={instance.d})"))
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------------- #
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--fleet", choices=sorted(FLEETS), default="cpu-gpu",
+                        help="fleet preset (default: cpu-gpu)")
+    parser.add_argument("--trace", choices=sorted(TRACES), default="diurnal",
+                        help="synthetic demand trace (default: diurnal)")
+    parser.add_argument("--slots", type=int, default=48, help="number of time slots (default: 48)")
+    parser.add_argument("--seed", type=int, default=0, help="random seed for the trace generator")
+    parser.add_argument("--demand-file", help="CSV file with one demand value per line (overrides --trace)")
+    parser.add_argument("--price-amplitude", type=float, default=0.0,
+                        help="add a sinusoidal electricity-price profile with this amplitude "
+                             "(makes the operating costs time-dependent)")
+    parser.add_argument("--schedule-csv", action="store_true",
+                        help="also print the computed schedule as CSV")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Right-sizing heterogeneous data centers (Albers & Quedenfeld, SPAA 2021) — "
+                    "offline and online solvers on synthetic scenarios.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_trace = sub.add_parser("trace", help="generate a synthetic demand trace")
+    p_trace.add_argument("--trace", choices=sorted(TRACES), default="diurnal")
+    p_trace.add_argument("--slots", type=int, default=48)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--out", help="write the trace to this file instead of stdout")
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_solve = sub.add_parser("solve", help="solve a scenario offline (exact or approximate)")
+    _add_scenario_arguments(p_solve)
+    p_solve.add_argument("--epsilon", type=float, default=None,
+                         help="use the (1+eps)-approximation instead of the exact solver")
+    p_solve.set_defaults(func=_cmd_solve)
+
+    p_online = sub.add_parser("online", help="run an online algorithm on a scenario")
+    _add_scenario_arguments(p_online)
+    p_online.add_argument("--algorithm", choices=sorted(ONLINE_ALGORITHMS), default="A")
+    p_online.add_argument("--epsilon", type=float, default=None,
+                          help="eps parameter for Algorithm C (default 0.25)")
+    p_online.set_defaults(func=_cmd_online)
+
+    p_compare = sub.add_parser("compare", help="compare the algorithm suite on one scenario")
+    _add_scenario_arguments(p_compare)
+    p_compare.add_argument("--epsilon", type=float, default=None)
+    p_compare.set_defaults(func=_cmd_compare)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

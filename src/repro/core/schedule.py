@@ -1,0 +1,173 @@
+"""Schedules: sequences of server configurations.
+
+A schedule ``X = (x_0, ..., x_{T-1})`` assigns to every time slot the number of
+active servers of each type.  By convention the data center starts and ends
+empty (``x_{-1} = x_T = 0``), so power-down costs can be folded into power-up
+costs (Section 1 of the paper).
+
+The class is a thin, immutable wrapper around an integer ``(T, d)`` array with
+feasibility checks and switching-cost bookkeeping.  Operating costs require the
+load-dispatch solver and live in :mod:`repro.core.costs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from .instance import ProblemInstance
+
+__all__ = ["Schedule"]
+
+
+@dataclass(frozen=True, eq=False)
+class Schedule:
+    """An assignment of active-server counts ``x_{t,j}`` for every slot and type."""
+
+    x: np.ndarray
+
+    def __post_init__(self):
+        arr = np.asarray(self.x)
+        if arr.ndim != 2:
+            raise ValueError(f"schedule array must be 2-D (T, d), got shape {arr.shape}")
+        if arr.size and not np.issubdtype(arr.dtype, np.integer):
+            rounded = np.rint(arr)
+            if not np.allclose(arr, rounded, atol=1e-9):
+                raise ValueError("schedule entries must be integral (discrete setting)")
+            arr = rounded
+        arr = arr.astype(int, copy=True)
+        if np.any(arr < 0):
+            raise ValueError("schedule entries must be non-negative")
+        arr.setflags(write=False)
+        object.__setattr__(self, "x", arr)
+
+    # ------------------------------------------------------------- factories
+    @classmethod
+    def from_rows(cls, rows: Iterable[Sequence[int]]) -> "Schedule":
+        """Build a schedule from an iterable of per-slot configurations."""
+        return cls(np.asarray(list(rows), dtype=int))
+
+    @classmethod
+    def empty(cls, T: int, d: int) -> "Schedule":
+        """The all-off schedule (feasible only for zero demand)."""
+        return cls(np.zeros((T, d), dtype=int))
+
+    @classmethod
+    def constant(cls, T: int, config: Sequence[int]) -> "Schedule":
+        """A static schedule holding the same configuration for all ``T`` slots."""
+        row = np.asarray(config, dtype=int)
+        return cls(np.tile(row, (T, 1)))
+
+    # ------------------------------------------------------------ dimensions
+    @property
+    def T(self) -> int:
+        return int(self.x.shape[0])
+
+    @property
+    def d(self) -> int:
+        return int(self.x.shape[1])
+
+    def __len__(self) -> int:
+        return self.T
+
+    def __getitem__(self, t: int) -> np.ndarray:
+        """Configuration at slot ``t`` (the boundary slots return the zero vector)."""
+        if t == -1 or t == self.T:
+            return np.zeros(self.d, dtype=int)
+        return self.x[t]
+
+    def config(self, t: int) -> np.ndarray:
+        """Alias of ``schedule[t]`` with boundary handling."""
+        return self[t]
+
+    # --------------------------------------------------------------- algebra
+    def prefix(self, length: int) -> "Schedule":
+        """The first ``length`` slots of this schedule."""
+        return Schedule(self.x[:length])
+
+    def same_as(self, other: "Schedule") -> bool:
+        """Exact equality of the underlying configuration arrays."""
+        return self.x.shape == other.x.shape and bool(np.array_equal(self.x, other.x))
+
+    # --------------------------------------------------------- switching data
+    def power_ups(self) -> np.ndarray:
+        """``(T, d)`` array of power-up counts ``(x_{t,j} - x_{t-1,j})^+``."""
+        prev = np.vstack([np.zeros((1, self.d), dtype=int), self.x[:-1]])
+        return np.maximum(self.x - prev, 0)
+
+    def power_downs(self) -> np.ndarray:
+        """``(T+1, d)`` array of power-down counts, including the final shutdown.
+
+        Row ``t < T`` counts servers switched off when entering slot ``t``;
+        row ``T`` counts the servers still active in the last slot (they are
+        switched off after the horizon at zero cost).
+        """
+        prev = np.vstack([np.zeros((1, self.d), dtype=int), self.x])
+        nxt = np.vstack([self.x, np.zeros((1, self.d), dtype=int)])
+        return np.maximum(prev - nxt, 0)
+
+    def num_power_ups(self) -> np.ndarray:
+        """Total number of power-up operations per type."""
+        return self.power_ups().sum(axis=0)
+
+    def switching_cost(self, instance: ProblemInstance) -> float:
+        """Total switching cost ``sum_t sum_j beta_j (x_{t,j} - x_{t-1,j})^+``."""
+        self._check_shape(instance)
+        return float(np.sum(self.power_ups() * instance.beta[None, :]))
+
+    # ------------------------------------------------------------ feasibility
+    def violations(self, instance: ProblemInstance, tol: float = 1e-9) -> list:
+        """Return a list of human-readable feasibility violations (empty if feasible)."""
+        self._check_shape(instance)
+        problems = []
+        zmax = instance.zmax
+        for t in range(self.T):
+            counts = instance.counts_at(t)
+            over = self.x[t] - counts
+            if np.any(over > 0):
+                j = int(np.argmax(over))
+                problems.append(
+                    f"slot {t}: {self.x[t, j]} active servers of type {j} but only {counts[j]} exist"
+                )
+            capacity = float(np.sum(np.where(self.x[t] > 0, self.x[t] * zmax, 0.0)))
+            if capacity + tol < instance.demand[t]:
+                problems.append(
+                    f"slot {t}: capacity {capacity:g} cannot serve demand {instance.demand[t]:g}"
+                )
+        return problems
+
+    def is_feasible(self, instance: ProblemInstance, tol: float = 1e-9) -> bool:
+        """``True`` iff the schedule respects fleet sizes and covers all demand."""
+        return not self.violations(instance, tol=tol)
+
+    def check_feasible(self, instance: ProblemInstance, tol: float = 1e-9) -> None:
+        """Raise :class:`ValueError` when the schedule is infeasible."""
+        problems = self.violations(instance, tol=tol)
+        if problems:
+            raise ValueError("infeasible schedule: " + "; ".join(problems[:5]))
+
+    def _check_shape(self, instance: ProblemInstance) -> None:
+        if self.x.shape != (instance.T, instance.d):
+            raise ValueError(
+                f"schedule shape {self.x.shape} does not match instance (T={instance.T}, d={instance.d})"
+            )
+
+    # ----------------------------------------------------------------- stats
+    def utilisation(self, instance: ProblemInstance) -> np.ndarray:
+        """Per-slot fleet utilisation ``lambda_t / (sum_j x_{t,j} zmax_j)`` (0 when idle)."""
+        self._check_shape(instance)
+        cap = np.sum(np.where(self.x > 0, self.x * instance.zmax[None, :], 0.0), axis=1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            util = np.where(cap > 0, instance.demand / cap, 0.0)
+        return util
+
+    def max_active(self) -> np.ndarray:
+        """Per-type maximum number of simultaneously active servers."""
+        if self.T == 0:
+            return np.zeros(self.d, dtype=int)
+        return self.x.max(axis=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Schedule(T={self.T}, d={self.d})"

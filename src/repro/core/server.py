@@ -1,0 +1,92 @@
+"""Server-type description for heterogeneous data centers.
+
+A data center in the model of Albers & Quedenfeld (SPAA 2021) consists of ``d``
+server *types*.  Type ``j`` is described by
+
+* ``count`` — the number ``m_j`` of physical servers of this type,
+* ``switching_cost`` — the power-up cost ``beta_j`` (power-down is free; because
+  every schedule starts and ends with all servers off, the down cost can always
+  be folded into the up cost),
+* ``capacity`` — the maximum job volume ``zmax_j`` one server can process during
+  a single time slot, and
+* ``cost_function`` — the convex, increasing operating-cost function ``f_j``.
+
+Heterogeneity arises from different architectures (CPU vs. GPU nodes), from
+different hardware generations, or simply from different energy contracts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from .cost_functions import CostFunction, LinearCost
+
+__all__ = ["ServerType"]
+
+
+@dataclass(frozen=True)
+class ServerType:
+    """Description of one server type ``j`` of the heterogeneous data center."""
+
+    name: str
+    count: int
+    switching_cost: float
+    capacity: float
+    cost_function: CostFunction = field(default_factory=lambda: LinearCost(idle=1.0, slope=1.0))
+
+    def __post_init__(self):
+        if self.count < 0:
+            raise ValueError(f"server count must be non-negative, got {self.count}")
+        if int(self.count) != self.count:
+            raise ValueError(f"server count must be integral, got {self.count}")
+        object.__setattr__(self, "count", int(self.count))
+        if self.switching_cost < 0:
+            raise ValueError(f"switching cost must be non-negative, got {self.switching_cost}")
+        if not (self.capacity > 0):
+            raise ValueError(f"capacity (zmax) must be positive, got {self.capacity}")
+        if not isinstance(self.cost_function, CostFunction):
+            raise TypeError("cost_function must be a repro CostFunction instance")
+
+    # ------------------------------------------------------------------ info
+    @property
+    def idle_cost(self) -> float:
+        """Idle operating cost ``f_j(0)`` of one powered-up server per slot."""
+        return self.cost_function.idle_cost()
+
+    @property
+    def full_load_cost(self) -> float:
+        """Operating cost of one server running at full capacity for one slot."""
+        cap = self.capacity if np.isfinite(self.capacity) else 1.0
+        return float(self.cost_function.value(cap))
+
+    def break_even_slots(self) -> float:
+        """Number of idle slots after which keeping the server on costs more than
+        a fresh power-up, i.e. ``ceil(beta_j / f_j(0))`` — the runtime ``\\bar t_j``
+        used by online Algorithm A (the "ski-rental" horizon of this type).
+
+        Returns ``inf`` when the idle cost is zero (such a server is never
+        powered down by Algorithm A).
+        """
+        idle = self.idle_cost
+        if idle <= 0.0:
+            return float("inf")
+        return float(np.ceil(self.switching_cost / idle))
+
+    def with_count(self, count: int) -> "ServerType":
+        """Return a copy of this type with a different number of servers."""
+        return replace(self, count=int(count))
+
+    def with_cost_function(self, cost_function: CostFunction) -> "ServerType":
+        """Return a copy of this type with a different operating-cost function."""
+        return replace(self, cost_function=cost_function)
+
+    def describe(self) -> str:
+        """One-line human readable summary (used by the example scripts)."""
+        cap = "inf" if not np.isfinite(self.capacity) else f"{self.capacity:g}"
+        return (
+            f"{self.name}: m={self.count}, beta={self.switching_cost:g}, "
+            f"zmax={cap}, idle={self.idle_cost:g}, full-load={self.full_load_cost:g}"
+        )

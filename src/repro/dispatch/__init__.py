@@ -1,0 +1,5 @@
+"""Load-dispatch solver: evaluation of the operating cost ``g_t(x)``."""
+
+from .allocation import DispatchResult, DispatchSolver, reference_dispatch
+
+__all__ = ["DispatchResult", "DispatchSolver", "reference_dispatch"]

@@ -1,0 +1,300 @@
+"""Load dispatching: evaluating the operating cost ``g_t(x)``.
+
+For a server configuration ``x = (x_1, ..., x_d)`` and job volume ``lambda_t``,
+equation (1) of the paper defines the operating cost of a time slot as
+
+``g_t(x) = min_{z in Z} sum_j g_{t,j}(x_j, z_j)``,
+``g_{t,j}(x, z) = x * f_{t,j}(lambda_t * z / x)``  (``inf`` if ``x = 0`` and ``lambda_t z > 0``),
+
+where ``Z`` is the probability simplex over the ``d`` types.  By Lemma 2
+(Jensen), splitting the volume assigned to a type equally among its active
+servers is optimal, which is why the per-type cost only depends on the *total*
+volume ``w_j = lambda_t z_j`` routed to the type.
+
+Writing ``h_j(w) = x_j * f_{t,j}(w / x_j)``, evaluating ``g_t(x)`` is a separable
+convex resource-allocation problem
+
+``min sum_j h_j(w_j)   s.t.  sum_j w_j = lambda_t,  0 <= w_j <= x_j * zmax_j``.
+
+The KKT conditions equalise marginal costs: there is a multiplier ``mu`` with
+``w_j(mu) = x_j * clip((f_{t,j}')^{-1}(mu), 0, zmax_j)``.  The total allocation
+``sum_j w_j(mu)`` is non-decreasing in ``mu``, so ``mu`` is found by bisection.
+Because the per-family inverse marginals are available in closed form
+(:mod:`repro.core.cost_functions`), the whole computation vectorises over *many
+configurations at once*, which is what makes the dynamic program of Section 4
+practical in pure NumPy (it needs ``g_t(x)`` for every vertex of the state grid).
+
+A SciPy (SLSQP) reference solver is included for cross-validation in the test
+suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.cost_functions import CostFunction
+from ..core.instance import ProblemInstance
+
+__all__ = ["DispatchResult", "DispatchSolver", "reference_dispatch"]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class DispatchResult:
+    """Result of one dispatch computation.
+
+    Attributes
+    ----------
+    cost:
+        Operating cost ``g_t(x)`` (``inf`` when the configuration cannot serve
+        the demand).
+    loads:
+        Volume ``w_j`` routed to each server type (``w_j = lambda_t * z_j``).
+    feasible:
+        Whether the configuration has enough capacity for the demand.
+    """
+
+    cost: float
+    loads: np.ndarray
+    feasible: bool
+
+    @property
+    def fractions(self) -> np.ndarray:
+        """The job fractions ``z_j`` (zero vector when the demand is zero)."""
+        total = float(np.sum(self.loads))
+        if total <= 0:
+            return np.zeros_like(self.loads)
+        return self.loads / total
+
+
+class DispatchSolver:
+    """Evaluates ``g_t(x)`` for configurations of a fixed problem instance.
+
+    The solver memoises single-configuration queries (the online algorithms ask
+    for the same configurations repeatedly) and exposes a vectorised
+    :meth:`solve_grid` used by the offline dynamic programs.
+
+    Parameters
+    ----------
+    instance:
+        The problem instance providing demands, capacities and cost functions.
+    tol:
+        Relative tolerance of the dual bisection.
+    max_bisection_steps:
+        Number of bisection iterations (60 gives ~1e-18 interval width, far
+        below float precision of the cost).
+    """
+
+    def __init__(self, instance: ProblemInstance, tol: float = 1e-10, max_bisection_steps: int = 60):
+        self.instance = instance
+        self.tol = float(tol)
+        self.max_bisection_steps = int(max_bisection_steps)
+        self._cache: dict = {}
+
+    # ------------------------------------------------------------------ API
+    def solve(self, t: int, x: Sequence[int]) -> DispatchResult:
+        """Return the optimal dispatch for configuration ``x`` at slot ``t``."""
+        x_arr = np.asarray(x, dtype=int)
+        if x_arr.shape != (self.instance.d,):
+            raise ValueError(f"configuration must have shape ({self.instance.d},), got {x_arr.shape}")
+        key = (t, tuple(int(v) for v in x_arr))
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        costs, loads = self.solve_grid(t, x_arr[None, :])
+        result = DispatchResult(cost=float(costs[0]), loads=loads[0], feasible=bool(np.isfinite(costs[0])))
+        self._cache[key] = result
+        return result
+
+    def operating_cost(self, t: int, x: Sequence[int]) -> float:
+        """Shortcut for ``solve(t, x).cost``."""
+        return self.solve(t, x).cost
+
+    def clear_cache(self) -> None:
+        """Drop memoised dispatch results (e.g. after mutating workloads in tests)."""
+        self._cache.clear()
+
+    # ----------------------------------------------------------- vectorised
+    def solve_grid(self, t: int, configs: np.ndarray) -> tuple:
+        """Evaluate ``g_t(x)`` for a batch of configurations.
+
+        Parameters
+        ----------
+        t:
+            Slot index (0-based).
+        configs:
+            Integer array of shape ``(n, d)``; each row is a configuration.
+
+        Returns
+        -------
+        (costs, loads):
+            ``costs`` has shape ``(n,)`` with ``inf`` for infeasible rows;
+            ``loads`` has shape ``(n, d)`` with the optimal per-type volumes.
+        """
+        inst = self.instance
+        configs = np.asarray(configs, dtype=float)
+        if configs.ndim != 2 or configs.shape[1] != inst.d:
+            raise ValueError(f"configs must have shape (n, {inst.d})")
+        n, d = configs.shape
+        lam = float(inst.demand[t])
+        zmax = inst.zmax
+        functions = inst.cost_row(t)
+
+        caps = np.where(configs > 0, configs * zmax[None, :], 0.0)
+        caps = np.where(np.isnan(caps), 0.0, caps)
+        total_cap = caps.sum(axis=1)
+        feasible = total_cap >= lam - 1e-9
+
+        loads = np.zeros((n, d), dtype=float)
+        costs = np.full(n, np.inf, dtype=float)
+
+        # idle cost of every active server, independent of the allocation
+        idle = np.array([f.idle_cost() for f in functions], dtype=float)
+
+        if lam <= 0.0:
+            costs = configs @ idle
+            return costs, loads
+
+        active = feasible
+        if not np.any(active):
+            return costs, loads
+
+        sub_configs = configs[active]
+        sub_caps = caps[active]
+        w = self._allocate(lam, sub_configs, sub_caps, zmax, functions)
+        loads[active] = w
+
+        # cost = sum_j x_j f_j(w_j / x_j); idle servers of a type still pay f_j(0)
+        cost_active = np.zeros(sub_configs.shape[0], dtype=float)
+        for j, f in enumerate(functions):
+            xj = sub_configs[:, j]
+            wj = w[:, j]
+            per_server_load = np.where(xj > 0, wj / np.where(xj > 0, xj, 1.0), 0.0)
+            vals = np.asarray(f.value(per_server_load), dtype=float)
+            cost_active += np.where(xj > 0, xj * vals, 0.0)
+        costs[active] = cost_active
+        return costs, loads
+
+    # ------------------------------------------------------------- internals
+    def _allocate(
+        self,
+        lam: float,
+        configs: np.ndarray,
+        caps: np.ndarray,
+        zmax: np.ndarray,
+        functions: Sequence[CostFunction],
+    ) -> np.ndarray:
+        """Water-filling by dual bisection, vectorised over configurations.
+
+        Only called for feasible configurations and ``lam > 0``.
+        """
+        n, d = configs.shape
+        if d == 1:
+            return np.minimum(np.full((n, 1), lam), caps)
+
+        # effective caps never need to exceed the demand itself
+        eff_caps = np.minimum(caps, lam)
+
+        def allocation(mu: np.ndarray) -> np.ndarray:
+            w = np.zeros((n, d), dtype=float)
+            for j, f in enumerate(functions):
+                inv = np.asarray(f.inverse_derivative(mu), dtype=float)
+                zj = np.clip(inv, 0.0, zmax[j] if np.isfinite(zmax[j]) else np.inf)
+                wj = np.where(configs[:, j] > 0, configs[:, j] * np.minimum(zj, lam), 0.0)
+                w[:, j] = np.minimum(np.where(np.isnan(wj), eff_caps[:, j], wj), eff_caps[:, j])
+            return w
+
+        mu_lo = np.full(n, -1.0)
+        mu_hi = np.ones(n)
+        for _ in range(200):
+            tot = allocation(mu_hi).sum(axis=1)
+            need = tot < lam - 1e-12
+            if not np.any(need):
+                break
+            mu_hi = np.where(need, mu_hi * 2.0, mu_hi)
+        for _ in range(self.max_bisection_steps):
+            mid = 0.5 * (mu_lo + mu_hi)
+            tot = allocation(mid).sum(axis=1)
+            too_low = tot < lam
+            mu_lo = np.where(too_low, mid, mu_lo)
+            mu_hi = np.where(too_low, mu_hi, mid)
+
+        w_lo = allocation(mu_lo)
+        w_hi = allocation(mu_hi)
+        sum_lo = w_lo.sum(axis=1)
+        sum_hi = w_hi.sum(axis=1)
+        gap = sum_hi - sum_lo
+        theta = np.where(gap > _EPS, (lam - sum_lo) / np.where(gap > _EPS, gap, 1.0), 0.0)
+        theta = np.clip(theta, 0.0, 1.0)
+        w = w_lo + theta[:, None] * (w_hi - w_lo)
+
+        # remove any residual drift by scaling towards the demand (within caps)
+        total = w.sum(axis=1)
+        deficit = lam - total
+        room = eff_caps - w
+        room_total = room.sum(axis=1)
+        adjust = np.zeros_like(w)
+        positive = (deficit > _EPS) & (room_total > _EPS)
+        if np.any(positive):
+            share = np.where(room_total[:, None] > _EPS, room / np.where(room_total[:, None] > _EPS, room_total[:, None], 1.0), 0.0)
+            adjust = np.where(positive[:, None], share * deficit[:, None], 0.0)
+        w = w + adjust
+        overshoot = (w.sum(axis=1) - lam) > _EPS
+        if np.any(overshoot):
+            scale = lam / np.maximum(w.sum(axis=1), _EPS)
+            w = np.where(overshoot[:, None], w * scale[:, None], w)
+        return w
+
+
+def reference_dispatch(instance: ProblemInstance, t: int, x: Sequence[int]) -> DispatchResult:
+    """Solve the dispatch problem with SciPy's SLSQP (reference implementation).
+
+    Slow but independent of the dual-bisection logic; used by the test suite to
+    validate :class:`DispatchSolver` on randomly generated instances.
+    """
+    from scipy import optimize
+
+    x_arr = np.asarray(x, dtype=float)
+    d = instance.d
+    lam = float(instance.demand[t])
+    zmax = instance.zmax
+    functions = instance.cost_row(t)
+    caps = np.where(x_arr > 0, x_arr * zmax, 0.0)
+    caps = np.where(np.isnan(caps), 0.0, caps)
+    caps = np.minimum(caps, lam if lam > 0 else 0.0)
+
+    idle = np.array([f.idle_cost() for f in functions])
+    if lam <= 0:
+        return DispatchResult(cost=float(x_arr @ idle), loads=np.zeros(d), feasible=True)
+    if np.where(x_arr > 0, x_arr * zmax, 0.0).sum() < lam - 1e-9:
+        return DispatchResult(cost=math.inf, loads=np.zeros(d), feasible=False)
+
+    def objective(w):
+        total = 0.0
+        for j, f in enumerate(functions):
+            if x_arr[j] > 0:
+                total += x_arr[j] * float(f.value(w[j] / x_arr[j]))
+        return total
+
+    w0 = np.where(caps > 0, caps, 0.0)
+    if w0.sum() > 0:
+        w0 = w0 * (lam / w0.sum())
+    constraints = [{"type": "eq", "fun": lambda w: np.sum(w) - lam}]
+    bounds = [(0.0, float(c)) for c in caps]
+    res = optimize.minimize(
+        objective,
+        w0,
+        method="SLSQP",
+        bounds=bounds,
+        constraints=constraints,
+        options={"maxiter": 200, "ftol": 1e-12},
+    )
+    w = np.clip(res.x, 0.0, caps)
+    if w.sum() > 0:
+        w = w * (lam / w.sum())
+    return DispatchResult(cost=float(objective(w)), loads=w, feasible=True)

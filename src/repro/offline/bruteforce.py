@@ -1,0 +1,127 @@
+"""Brute-force reference solvers for tiny instances.
+
+These exist purely to validate the vectorised dynamic program and the
+approximation algorithm: they implement the problem definition as literally as
+possible, with no algorithmic shortcuts, so that agreement with the fast
+solvers on randomly generated micro-instances is strong evidence of
+correctness.
+
+Two levels of brutishness are provided:
+
+* :func:`pairwise_dp_optimal` — a dynamic program with an explicit
+  ``O(|M|^2)`` transition (no separable min-plus trick).  Feasible up to a few
+  thousand configurations.
+* :func:`exhaustive_optimal` — full enumeration of all ``|M|^T`` schedules.
+  Only for the tiniest instances, but it exercises even the DP recurrence
+  itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.costs import evaluate_schedule
+from ..core.instance import ProblemInstance
+from ..core.schedule import Schedule
+from ..dispatch.allocation import DispatchSolver
+from .state_grid import grid_for_slot
+from .transitions import switching_cost_between
+
+__all__ = ["pairwise_dp_optimal", "exhaustive_optimal"]
+
+
+def pairwise_dp_optimal(
+    instance: ProblemInstance,
+    dispatcher: Optional[DispatchSolver] = None,
+) -> Tuple[Schedule, float]:
+    """Optimal schedule via a DP with explicit pairwise transition costs.
+
+    Independent of :mod:`repro.offline.transitions`; quadratic in the number of
+    configurations per slot.
+    """
+    dispatcher = dispatcher or DispatchSolver(instance)
+    T, d = instance.T, instance.d
+    beta = instance.beta
+    if T == 0:
+        return Schedule.empty(0, d), 0.0
+
+    prev_configs = None
+    prev_value = None
+    parents = []
+    configs_per_slot = []
+
+    for t in range(T):
+        grid = grid_for_slot(instance, t)
+        configs = grid.configs()
+        costs, _ = dispatcher.solve_grid(t, configs)
+        configs_per_slot.append(configs)
+        n = len(configs)
+        value = np.full(n, np.inf)
+        parent = np.full(n, -1, dtype=int)
+        if t == 0:
+            for i, x in enumerate(configs):
+                value[i] = costs[i] + float(np.sum(beta * x))
+        else:
+            for i, x in enumerate(configs):
+                best = np.inf
+                best_k = -1
+                for k, x_prev in enumerate(prev_configs):
+                    cand = prev_value[k] + switching_cost_between(x_prev, x, beta)
+                    if cand < best:
+                        best = cand
+                        best_k = k
+                value[i] = best + costs[i]
+                parent[i] = best_k
+        parents.append(parent)
+        prev_configs, prev_value = configs, value
+
+    best_idx = int(np.argmin(prev_value))
+    best_cost = float(prev_value[best_idx])
+    xs = np.zeros((T, d), dtype=int)
+    idx = best_idx
+    for t in range(T - 1, -1, -1):
+        xs[t] = configs_per_slot[t][idx]
+        idx = parents[t][idx] if t > 0 else -1
+    schedule = Schedule(xs)
+    return schedule, best_cost
+
+
+def exhaustive_optimal(
+    instance: ProblemInstance,
+    dispatcher: Optional[DispatchSolver] = None,
+    max_schedules: int = 2_000_000,
+) -> Tuple[Schedule, float]:
+    """Optimal schedule by enumerating every feasible schedule.
+
+    Raises :class:`ValueError` when the search space exceeds ``max_schedules``.
+    """
+    dispatcher = dispatcher or DispatchSolver(instance)
+    T, d = instance.T, instance.d
+    if T == 0:
+        return Schedule.empty(0, d), 0.0
+
+    per_slot_configs = []
+    total = 1
+    for t in range(T):
+        configs = grid_for_slot(instance, t).configs()
+        per_slot_configs.append([tuple(int(v) for v in c) for c in configs])
+        total *= len(configs)
+        if total > max_schedules:
+            raise ValueError(
+                f"exhaustive search space too large ({total} > {max_schedules} schedules)"
+            )
+
+    best_cost = np.inf
+    best_schedule = None
+    for combo in itertools.product(*per_slot_configs):
+        schedule = Schedule(np.array(combo, dtype=int))
+        breakdown = evaluate_schedule(instance, schedule, dispatcher)
+        if breakdown.total < best_cost:
+            best_cost = breakdown.total
+            best_schedule = schedule
+    if best_schedule is None or not np.isfinite(best_cost):
+        raise ValueError("no feasible schedule exists")
+    return best_schedule, float(best_cost)

@@ -1,0 +1,203 @@
+"""The dynamic-programming engine behind the offline algorithms.
+
+Section 4.1 of the paper solves the offline right-sizing problem by a shortest
+path in a layered graph: one layer of vertices per time slot, one vertex per
+server configuration, power-up/-down edges inside a layer and operating-cost
+edges between the two half-layers of a slot.  Because the graph is layered, the
+shortest path is a straightforward forward dynamic program over *value tensors*
+
+``V_t[x] = (cheapest cost of serving slots 0..t and ending slot t in configuration x)``
+
+with the recurrence
+
+``V_t[x] = g_t(x) + min_{x'} ( V_{t-1}[x'] + sum_j beta_j (x_j - x'_j)^+ )``
+
+and ``V_{-1} = 0`` concentrated at the empty configuration.  The inner
+minimisation is the separable min-plus transition of
+:mod:`repro.offline.transitions`.  Since powering down at the end of the
+horizon is free, ``OPT = min_x V_{T-1}[x]``.
+
+The same engine serves
+
+* the exact algorithm (full grids, Section 4.1),
+* the (1+eps)-approximation (geometric grids ``M^gamma``, Section 4.2),
+* time-dependent data-center sizes (per-slot grids, Section 4.3), and
+* the incremental prefix-optimum tracker used by the online algorithms
+  (:mod:`repro.online.tracker`), which simply keeps the last value tensor and
+  feeds one more slot at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.costs import evaluate_schedule
+from ..core.instance import ProblemInstance
+from ..core.schedule import Schedule
+from ..dispatch.allocation import DispatchSolver
+from .state_grid import StateGrid, grid_for_slot
+from .transitions import startup_cost_tensor, switching_cost_tensor, transition
+
+__all__ = ["OfflineResult", "operating_cost_tensor", "solve_dp"]
+
+
+@dataclass(frozen=True, eq=False)
+class OfflineResult:
+    """Result of an offline optimisation run.
+
+    Attributes
+    ----------
+    schedule:
+        The computed schedule (optimal on the given grids).
+    cost:
+        Its total cost ``C(X)`` with respect to the *original* instance.
+    grids:
+        The per-slot state grids that were searched.
+    value_tables:
+        The per-slot DP value tensors (only kept when requested; useful for
+        diagnostics and for warm-starting analyses).
+    gamma:
+        The grid-reduction parameter (``None`` for the exact algorithm).
+    """
+
+    schedule: Schedule
+    cost: float
+    grids: tuple
+    value_tables: Optional[tuple] = None
+    gamma: Optional[float] = None
+
+    @property
+    def num_states_explored(self) -> int:
+        """Total number of (slot, configuration) pairs examined."""
+        return int(sum(g.size for g in self.grids))
+
+
+def operating_cost_tensor(
+    instance: ProblemInstance,
+    t: int,
+    grid: StateGrid,
+    dispatcher: DispatchSolver,
+) -> np.ndarray:
+    """Evaluate ``g_t(x)`` for every configuration of ``grid`` as a value tensor."""
+    configs = grid.configs()
+    costs, _ = dispatcher.solve_grid(t, configs)
+    return costs.reshape(grid.shape)
+
+
+def _check_some_feasible(tensor: np.ndarray, t: int) -> None:
+    if not np.any(np.isfinite(tensor)):
+        raise ValueError(
+            f"slot {t}: no configuration on the grid can serve the demand "
+            "(instance infeasible or grid too coarse)"
+        )
+
+
+def solve_dp(
+    instance: ProblemInstance,
+    gamma: Optional[float] = None,
+    grids: Optional[Sequence[StateGrid]] = None,
+    dispatcher: Optional[DispatchSolver] = None,
+    keep_tables: bool = False,
+    return_schedule: bool = True,
+) -> OfflineResult:
+    """Run the forward DP / shortest-path computation.
+
+    Parameters
+    ----------
+    instance:
+        The problem instance.
+    gamma:
+        When given, use the reduced grids ``M^gamma_{t,j}`` (approximation
+        algorithm); when ``None``, use the full grids (exact algorithm).
+        Ignored when explicit ``grids`` are supplied.
+    grids:
+        Optional explicit per-slot grids (advanced use; length must be ``T``).
+    dispatcher:
+        Shared dispatch solver (created on demand).
+    keep_tables:
+        Keep all per-slot value tensors in the result.
+    return_schedule:
+        When ``False``, only the optimal cost is computed (the backward pass
+        and the memory for all value tensors are skipped).
+
+    Returns
+    -------
+    OfflineResult
+        The schedule is optimal among all schedules whose configurations lie on
+        the per-slot grids; with full grids this is the global optimum.
+    """
+    T, d = instance.T, instance.d
+    beta = instance.beta
+    dispatcher = dispatcher or DispatchSolver(instance)
+
+    if grids is not None:
+        grids = tuple(grids)
+        if len(grids) != T:
+            raise ValueError(f"expected {T} grids, got {len(grids)}")
+    else:
+        grids = tuple(grid_for_slot(instance, t, gamma) for t in range(T))
+
+    if T == 0:
+        return OfflineResult(
+            schedule=Schedule.empty(0, d), cost=0.0, grids=grids, value_tables=() if keep_tables else None, gamma=gamma
+        )
+
+    need_history = return_schedule or keep_tables
+    tables: List[np.ndarray] = []
+    value: Optional[np.ndarray] = None
+
+    for t in range(T):
+        grid = grids[t]
+        g_tensor = operating_cost_tensor(instance, t, grid, dispatcher)
+        _check_some_feasible(g_tensor, t)
+        if t == 0:
+            arrival = startup_cost_tensor(grid.values, beta)
+        else:
+            arrival = transition(value, grids[t - 1].values, grid.values, beta)
+        value = arrival + g_tensor
+        if need_history:
+            tables.append(value)
+
+    assert value is not None
+    best_flat = int(np.argmin(value))
+    best_cost = float(value.reshape(-1)[best_flat])
+    if not np.isfinite(best_cost):
+        raise ValueError("no feasible schedule exists on the given grids")
+
+    if not return_schedule:
+        return OfflineResult(
+            schedule=Schedule.empty(0, d),
+            cost=best_cost,
+            grids=grids,
+            value_tables=tuple(tables) if keep_tables else None,
+            gamma=gamma,
+        )
+
+    # ------------------------------------------------------------ backward pass
+    configs = np.zeros((T, d), dtype=int)
+    idx = np.unravel_index(best_flat, grids[T - 1].shape)
+    configs[T - 1] = grids[T - 1].config_at(idx)
+    for t in range(T - 1, 0, -1):
+        prev_grid = grids[t - 1]
+        prev_value = tables[t - 1]
+        switch = switching_cost_tensor(prev_grid.values, configs[t], beta)
+        total = prev_value + switch
+        flat = int(np.argmin(total))
+        idx = np.unravel_index(flat, prev_grid.shape)
+        configs[t - 1] = prev_grid.config_at(idx)
+
+    schedule = Schedule(configs)
+    # Re-evaluate the schedule cost explicitly; for the exact algorithm this
+    # equals ``best_cost`` (up to dispatch tolerance) and serves as a sanity
+    # check, for reduced grids it is by definition identical as well.
+    breakdown = evaluate_schedule(instance, schedule, dispatcher)
+    return OfflineResult(
+        schedule=schedule,
+        cost=float(breakdown.total),
+        grids=grids,
+        value_tables=tuple(tables) if keep_tables else None,
+        gamma=gamma,
+    )

@@ -1,0 +1,153 @@
+"""Fractional relaxations and lower bounds for general convex operating costs.
+
+The discrete optimum is hard to certify for large instances (the exact DP is
+exponential in ``d`` over the fleet sizes).  This module computes *lower
+bounds* on the optimal cost via linear programming:
+
+1. every convex operating-cost function ``f_{t,j}`` is replaced by the maximum
+   of a small set of *tangent lines* (supporting hyperplanes).  Since tangents
+   under-estimate a convex function, the relaxed problem is a relaxation, and
+2. the integrality requirement on the server counts is dropped (fractional
+   setting of Lin et al. / Bansal et al.).
+
+The resulting LP value is therefore ``<= C(X*)`` for the discrete optimum
+``X*``; the gap shrinks as the number of tangents grows.  Benchmarks use this
+bound to compute conservative (i.e. over-estimated) empirical competitive
+ratios on instances that are too large for the exact DP.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy import optimize, sparse
+
+from ..core.instance import ProblemInstance
+
+__all__ = ["FractionalBound", "convex_lower_bound"]
+
+
+@dataclass(frozen=True, eq=False)
+class FractionalBound:
+    """Lower bound on the optimal total cost together with the fractional solution."""
+
+    value: float
+    servers: Optional[np.ndarray]
+    loads: Optional[np.ndarray]
+    status: str
+
+    @property
+    def is_valid(self) -> bool:
+        return math.isfinite(self.value)
+
+
+def convex_lower_bound(
+    instance: ProblemInstance,
+    n_tangents: int = 6,
+) -> FractionalBound:
+    """Tangent-based fractional LP lower bound on ``C(X*)``.
+
+    Variables per slot and type: fractional active servers ``x_{t,j}``, power-up
+    amounts ``u_{t,j}`` and dispatched volumes ``w_{t,j}``; an epigraph variable
+    ``e_{t,j}`` dominates the per-type operating cost via ``n_tangents`` tangent
+    cuts of ``phi(x, w) = x * f(w / x)``.  ``phi`` is jointly convex (it is the
+    perspective of ``f``), and each tangent is taken at a sample point
+    ``(x0, w0)`` with gradient ``(f(s) - s f'(s), f'(s))`` for ``s = w0/x0``,
+    which under-estimates ``phi`` everywhere — hence the LP optimum is a valid
+    lower bound.
+    """
+    T, d = instance.T, instance.d
+    if T == 0:
+        return FractionalBound(value=0.0, servers=np.zeros((0, d)), loads=np.zeros((0, d)), status="optimal")
+    beta = instance.beta
+    zmax = instance.zmax
+    n_vars = 4 * T * d  # x, u, w, e
+
+    def xi(t, j):
+        return t * 4 * d + j
+
+    def ui(t, j):
+        return t * 4 * d + d + j
+
+    def wi(t, j):
+        return t * 4 * d + 2 * d + j
+
+    def ei(t, j):
+        return t * 4 * d + 3 * d + j
+
+    c = np.zeros(n_vars)
+    lb = np.zeros(n_vars)
+    ub = np.full(n_vars, np.inf)
+
+    for t in range(T):
+        counts = instance.counts_at(t)
+        for j in range(d):
+            c[ui(t, j)] = beta[j]
+            c[ei(t, j)] = 1.0
+            ub[xi(t, j)] = counts[j]
+            ub[ui(t, j)] = counts[j]
+            ub[wi(t, j)] = instance.demand[t]
+
+    rows, cols, data = [], [], []
+    b_lower, b_upper = [], []
+    row = 0
+
+    def add_row(entries, lo, hi):
+        nonlocal row
+        for col, val in entries:
+            rows.append(row)
+            cols.append(col)
+            data.append(float(val))
+        b_lower.append(lo)
+        b_upper.append(hi)
+        row += 1
+
+    for t in range(T):
+        lam = float(instance.demand[t])
+        counts = instance.counts_at(t)
+        functions = instance.cost_row(t)
+        # power-up counters
+        for j in range(d):
+            entries = [(ui(t, j), 1.0), (xi(t, j), -1.0)]
+            if t > 0:
+                entries.append((xi(t - 1, j), 1.0))
+            add_row(entries, 0.0, np.inf)
+        # demand coverage
+        add_row([(wi(t, j), 1.0) for j in range(d)], lam, lam)
+        # capacity coupling
+        for j in range(d):
+            cap = zmax[j] if np.isfinite(zmax[j]) else max(lam, 1.0)
+            add_row([(wi(t, j), 1.0), (xi(t, j), -float(cap))], -np.inf, 0.0)
+        # tangent cuts for the perspective function e >= x*(f(s) - s f'(s)) + w*f'(s)
+        for j in range(d):
+            f = functions[j]
+            cap = zmax[j] if np.isfinite(zmax[j]) else max(lam, 1.0)
+            sample_loads = np.linspace(0.0, cap, max(2, n_tangents))
+            for s in sample_loads:
+                fs = float(f.value(s))
+                dfs = float(f.derivative(s))
+                # e_{t,j} - (fs - s*dfs) * x_{t,j} - dfs * w_{t,j} >= 0
+                add_row(
+                    [(ei(t, j), 1.0), (xi(t, j), -(fs - s * dfs)), (wi(t, j), -dfs)],
+                    0.0,
+                    np.inf,
+                )
+
+    A = sparse.csc_matrix((data, (rows, cols)), shape=(row, n_vars))
+    constraints = optimize.LinearConstraint(A, np.array(b_lower), np.array(b_upper))
+    bounds = optimize.Bounds(lb, ub)
+    res = optimize.milp(
+        c=c,
+        constraints=constraints,
+        bounds=bounds,
+        integrality=np.zeros(n_vars),
+        options={"presolve": True},
+    )
+    if not res.success:
+        return FractionalBound(value=-math.inf, servers=None, loads=None, status=str(res.message))
+    servers = np.array([[res.x[xi(t, j)] for j in range(d)] for t in range(T)])
+    loads = np.array([[res.x[wi(t, j)] for j in range(d)] for t in range(T)])
+    return FractionalBound(value=float(res.fun), servers=servers, loads=loads, status="optimal")

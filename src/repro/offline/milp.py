@@ -1,0 +1,237 @@
+"""Exact mixed-integer formulation for linear operating-cost functions.
+
+For operating-cost functions of the form ``f_{t,j}(z) = idle_{t,j} + slope_{t,j} * z``
+(which includes the load-independent costs ``f_{t,j}(z) = l_{t,j}`` studied in
+the companion paper [Albers & Quedenfeld, CIAC 2021]), the slot operating cost
+given an optimal dispatch is itself linear in the decision variables:
+
+``g_t(x_t) = sum_j idle_{t,j} * x_{t,j} + slope_{t,j} * w_{t,j}``
+
+with dispatch volumes ``w_{t,j}`` constrained by ``sum_j w_{t,j} = lambda_t`` and
+``0 <= w_{t,j} <= zmax_j * x_{t,j}``.  Together with power-up counters
+``u_{t,j} >= x_{t,j} - x_{t-1,j}`` the whole right-sizing problem becomes a
+mixed-integer linear program, which SciPy's HiGHS backend solves exactly.
+
+The paper cites a polynomial min-cost-flow algorithm [1, 2] for the
+load-independent special case; that construction does not generalise to
+load-dependent costs and its details are not part of this paper, so this MILP
+serves as the independent exact comparator in its place (see DESIGN.md,
+"Substitutions").  Dropping the integrality requirement yields the fractional
+relaxation, a lower bound on the discrete optimum used in the benchmark
+harness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import optimize, sparse
+
+from ..core.cost_functions import ConstantCost, LinearCost, QuadraticCost, PowerCost, ScaledCost, ShiftedCost, CostFunction
+from ..core.instance import ProblemInstance
+from ..core.schedule import Schedule
+
+__all__ = ["MilpResult", "linear_coefficients", "is_linear_instance", "solve_milp", "solve_lp_relaxation"]
+
+
+@dataclass(frozen=True, eq=False)
+class MilpResult:
+    """Result of the MILP / LP formulation."""
+
+    schedule: Optional[Schedule]
+    cost: float
+    loads: Optional[np.ndarray]
+    integral: bool
+    status: str
+
+
+def linear_coefficients(f: CostFunction) -> Optional[Tuple[float, float]]:
+    """Return ``(idle, slope)`` when ``f`` is (an affine transformation of) a linear cost.
+
+    Returns ``None`` for genuinely non-linear functions; the MILP formulation
+    then does not apply.
+    """
+    if isinstance(f, ConstantCost):
+        return float(f.level), 0.0
+    if isinstance(f, LinearCost):
+        return float(f.idle), float(f.slope)
+    if isinstance(f, QuadraticCost) and f.b == 0.0:
+        return float(f.idle), float(f.a)
+    if isinstance(f, PowerCost) and (f.coef == 0.0 or f.exponent == 1.0):
+        return float(f.idle), float(f.coef if f.exponent == 1.0 else 0.0)
+    if isinstance(f, ScaledCost):
+        base = linear_coefficients(f.base)
+        if base is None:
+            return None
+        return base[0] * f.factor, base[1] * f.factor
+    if isinstance(f, ShiftedCost):
+        base = linear_coefficients(f.base)
+        if base is None:
+            return None
+        return base[0] + f.offset, base[1]
+    return None
+
+
+def is_linear_instance(instance: ProblemInstance) -> bool:
+    """Whether every operating-cost function of the instance is (affine) linear."""
+    for t in range(instance.T):
+        for f in instance.cost_row(t):
+            if linear_coefficients(f) is None:
+                return False
+        if not instance.has_time_dependent_costs:
+            break
+    return True
+
+
+def _build_lp(instance: ProblemInstance):
+    """Assemble objective, constraints and bounds of the formulation.
+
+    Variable layout (per slot ``t``):  ``x_{t,0..d-1}``, ``u_{t,0..d-1}``,
+    ``w_{t,0..d-1}`` — i.e. ``3*T*d`` variables in total.
+    """
+    T, d = instance.T, instance.d
+    if T == 0:
+        raise ValueError("empty instance")
+    zmax = instance.zmax
+    beta = instance.beta
+    n_vars = 3 * T * d
+
+    def xi(t, j):
+        return t * 3 * d + j
+
+    def ui(t, j):
+        return t * 3 * d + d + j
+
+    def wi(t, j):
+        return t * 3 * d + 2 * d + j
+
+    c = np.zeros(n_vars)
+    integrality = np.zeros(n_vars)
+    lb = np.zeros(n_vars)
+    ub = np.full(n_vars, np.inf)
+
+    for t in range(T):
+        counts = instance.counts_at(t)
+        for j in range(d):
+            coeffs = linear_coefficients(instance.cost_function(t, j))
+            if coeffs is None:
+                raise ValueError(
+                    "MILP formulation requires linear operating-cost functions; "
+                    f"slot {t}, type {j} is non-linear"
+                )
+            idle, slope = coeffs
+            c[xi(t, j)] = idle
+            c[ui(t, j)] = beta[j]
+            c[wi(t, j)] = slope
+            ub[xi(t, j)] = counts[j]
+            ub[ui(t, j)] = counts[j]
+            ub[wi(t, j)] = instance.demand[t]
+            integrality[xi(t, j)] = 1
+            integrality[ui(t, j)] = 1
+
+    rows, cols, data = [], [], []
+    b_lower, b_upper = [], []
+    row = 0
+
+    # power-up counters: u_{t,j} >= x_{t,j} - x_{t-1,j}
+    for t in range(T):
+        for j in range(d):
+            rows.append(row); cols.append(ui(t, j)); data.append(1.0)
+            rows.append(row); cols.append(xi(t, j)); data.append(-1.0)
+            if t > 0:
+                rows.append(row); cols.append(xi(t - 1, j)); data.append(1.0)
+            b_lower.append(0.0)
+            b_upper.append(np.inf)
+            row += 1
+
+    # demand coverage: sum_j w_{t,j} = lambda_t
+    for t in range(T):
+        for j in range(d):
+            rows.append(row); cols.append(wi(t, j)); data.append(1.0)
+        b_lower.append(float(instance.demand[t]))
+        b_upper.append(float(instance.demand[t]))
+        row += 1
+
+    # capacity coupling: w_{t,j} <= zmax_j * x_{t,j}
+    for t in range(T):
+        for j in range(d):
+            if not np.isfinite(zmax[j]):
+                continue
+            rows.append(row); cols.append(wi(t, j)); data.append(1.0)
+            rows.append(row); cols.append(xi(t, j)); data.append(-float(zmax[j]))
+            b_lower.append(-np.inf)
+            b_upper.append(0.0)
+            row += 1
+
+    # with infinite capacity a server type can absorb any volume, but only if at
+    # least one server is active: w_{t,j} <= lambda_t * x_{t,j}
+    for t in range(T):
+        for j in range(d):
+            if np.isfinite(zmax[j]):
+                continue
+            rows.append(row); cols.append(wi(t, j)); data.append(1.0)
+            rows.append(row); cols.append(xi(t, j)); data.append(-float(instance.demand[t]))
+            b_lower.append(-np.inf)
+            b_upper.append(0.0)
+            row += 1
+
+    A = sparse.csc_matrix((data, (rows, cols)), shape=(row, n_vars))
+    constraints = optimize.LinearConstraint(A, np.array(b_lower), np.array(b_upper))
+    bounds = optimize.Bounds(lb, ub)
+    return c, constraints, bounds, integrality, (xi, ui, wi)
+
+
+def _extract(instance, res, indexers, integral):
+    T, d = instance.T, instance.d
+    xi, ui, wi = indexers
+    if not res.success:
+        return MilpResult(schedule=None, cost=math.inf, loads=None, integral=integral, status=str(res.message))
+    xs = np.zeros((T, d))
+    ws = np.zeros((T, d))
+    for t in range(T):
+        for j in range(d):
+            xs[t, j] = res.x[xi(t, j)]
+            ws[t, j] = res.x[wi(t, j)]
+    schedule = None
+    if integral:
+        schedule = Schedule(np.rint(xs).astype(int))
+    return MilpResult(
+        schedule=schedule,
+        cost=float(res.fun),
+        loads=ws,
+        integral=integral,
+        status="optimal",
+    )
+
+
+def solve_milp(instance: ProblemInstance) -> MilpResult:
+    """Solve the exact MILP (linear operating costs only) with HiGHS."""
+    c, constraints, bounds, integrality, indexers = _build_lp(instance)
+    res = optimize.milp(
+        c=c,
+        constraints=constraints,
+        bounds=bounds,
+        integrality=integrality,
+        options={"presolve": True},
+    )
+    return _extract(instance, res, indexers, integral=True)
+
+
+def solve_lp_relaxation(instance: ProblemInstance) -> MilpResult:
+    """Solve the LP relaxation (fractional number of active servers).
+
+    The optimal value is a lower bound on the discrete optimum; the paper's
+    related-work discussion calls this the *fractional setting*.
+    """
+    c, constraints, bounds, integrality, indexers = _build_lp(instance)
+    res = optimize.milp(
+        c=c,
+        constraints=constraints,
+        bounds=bounds,
+        integrality=np.zeros_like(integrality),
+        options={"presolve": True},
+    )
+    return _extract(instance, res, indexers, integral=False)

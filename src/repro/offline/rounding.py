@@ -1,0 +1,95 @@
+"""The X' rounding construction from the proof of Theorem 16 (and Figure 5).
+
+Given an arbitrary (typically optimal) schedule ``X*`` and the reduced grid
+``M^gamma``, equation (18) of the paper defines a schedule ``X'`` that only
+uses grid values, never violates feasibility, and satisfies the sandwich
+invariant
+
+``x*_{t,j}  <=  x'_{t,j}  <=  (2*gamma - 1) * x*_{t,j}``        (equation (19)).
+
+The construction is *lazy*: the number of active servers only changes when the
+invariant would otherwise be violated —
+
+* if ``x'_{t-1,j} <= x*_{t,j}``                         → jump up to the smallest grid value ``>= x*_{t,j}``,
+* if ``x*_{t,j} < x'_{t-1,j} <= (2*gamma-1) x*_{t,j}``  → keep the previous value,
+* if ``(2*gamma-1) x*_{t,j} < x'_{t-1,j}``              → drop to the largest grid value ``<= (2*gamma-1) x*_{t,j}``.
+
+Lemmas 19 and 20 then bound operating and switching cost of ``X'`` by
+``(2*gamma - 1)`` times those of ``X*``.  The construction is used to reproduce
+Figure 5 and as a constructive witness in the tests of the approximation
+guarantee (the shortest path on ``G^gamma`` can only be cheaper than ``X'``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..core.schedule import Schedule
+from .state_grid import StateGrid
+
+__all__ = ["round_schedule_to_grid", "rounding_invariant_holds"]
+
+
+def round_schedule_to_grid(
+    schedule: Schedule,
+    grid: StateGrid,
+    gamma: float,
+    grids_per_slot: Optional[Sequence[StateGrid]] = None,
+) -> Schedule:
+    """Apply the construction of equation (18) to ``schedule``.
+
+    Parameters
+    ----------
+    schedule:
+        The reference schedule ``X*`` (any feasible schedule works; the theorem
+        applies it to an optimal one).
+    grid:
+        The reduced grid ``M^gamma`` (used for every slot unless
+        ``grids_per_slot`` is given).
+    gamma:
+        The spacing parameter; must match the grid for the invariant to be
+        maintainable (``grid.max_ratio(j) <= gamma``).
+    grids_per_slot:
+        Optional per-slot grids for time-dependent fleet sizes (Section 4.3).
+
+    Returns
+    -------
+    Schedule
+        The rounded schedule ``X'`` whose values all lie on the grid(s).
+    """
+    if gamma <= 1.0:
+        raise ValueError("gamma must be > 1")
+    T, d = schedule.T, schedule.d
+    factor = 2.0 * gamma - 1.0
+    x_prime = np.zeros((T, d), dtype=int)
+    prev = np.zeros(d, dtype=int)
+    for t in range(T):
+        g = grids_per_slot[t] if grids_per_slot is not None else grid
+        for j in range(d):
+            star = int(schedule.x[t, j])
+            upper = factor * star
+            if prev[j] <= star:
+                new = g.ceil_value(j, star)
+            elif prev[j] <= upper:
+                new = int(prev[j])
+            else:
+                new = g.floor_value(j, upper)
+            x_prime[t, j] = new
+        prev = x_prime[t]
+    return Schedule(x_prime)
+
+
+def rounding_invariant_holds(
+    reference: Schedule,
+    rounded: Schedule,
+    gamma: float,
+    tol: float = 1e-9,
+) -> bool:
+    """Check the sandwich invariant ``x* <= x' <= (2*gamma - 1) * x*`` (equation (19))."""
+    factor = 2.0 * gamma - 1.0
+    lower_ok = np.all(rounded.x >= reference.x)
+    upper_ok = np.all(rounded.x <= factor * reference.x + tol)
+    return bool(lower_ok and upper_ok)

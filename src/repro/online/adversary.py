@@ -1,0 +1,243 @@
+"""Adversarial constructions and lower-bound experiments.
+
+Three constructions from the paper's discussion are reproduced:
+
+1. **Convex-function-chasing lower bound** (Section 1, "Related work"): for
+   *general* convex functions in the discrete setting no online algorithm can
+   be better than ``Omega(2^d / d)``-competitive.  The adversary works on the
+   hypercube ``{0,1}^d`` with unit switching costs and, at every step, makes
+   the cost of the online algorithm's current position infinite while all
+   other positions are free.  After ``2^d - 1`` steps the offline adversary
+   can sit on a never-penalised position for a total cost of at most ``d``.
+   :func:`convex_chasing_game` simulates this game against a pluggable online
+   strategy and computes the offline optimum exactly.  This motivates why the
+   paper restricts attention to operating costs of the load-dispatch form (1).
+
+2. **Ski-rental adversarial traces** (:func:`ski_rental_trace`): the classical
+   worst case for any break-even rule — demand bursts separated by idle gaps
+   just shy of the break-even horizon ``\\bar t_j`` force an algorithm that
+   keeps servers around to waste idle energy, and an algorithm that shuts them
+   down to pay the switching cost again.  These traces empirically push
+   Algorithm A towards its competitive ratio (the formal ``2d`` lower bound of
+   the companion paper [5] uses a more intricate interleaving across types,
+   which is not described in this paper; the trace generator is the spiritual
+   equivalent, see DESIGN.md).
+
+3. **Rounding pathology** (:func:`rounding_pathology`): a fractional schedule
+   oscillating between ``1`` and ``1 + delta`` whose ceiling has switching cost
+   proportional to ``T`` — the example the paper uses to argue that fractional
+   algorithms cannot simply be rounded.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..core.server import ServerType
+
+__all__ = [
+    "ChasingGameResult",
+    "convex_chasing_game",
+    "greedy_cube_strategy",
+    "ski_rental_trace",
+    "ski_rental_instance",
+    "rounding_pathology",
+]
+
+
+# --------------------------------------------------------------------------- #
+# 1. Convex-function-chasing lower bound on the hypercube
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True, eq=False)
+class ChasingGameResult:
+    """Outcome of the hypercube chasing game."""
+
+    d: int
+    online_positions: np.ndarray
+    online_cost: float
+    offline_cost: float
+    penalised_positions: np.ndarray
+
+    @property
+    def ratio(self) -> float:
+        return self.online_cost / self.offline_cost if self.offline_cost > 0 else float("inf")
+
+
+def greedy_cube_strategy(current: Tuple[int, ...], forbidden: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Default online strategy: flip the lowest coordinate that escapes the penalty.
+
+    Any strategy must leave the penalised position; this one prefers powering a
+    single server up or down, mimicking what a reasonable online algorithm
+    would do without knowledge of the adversary.
+    """
+    d = len(current)
+    # try power-downs first (free), then power-ups
+    for j in range(d):
+        if current[j] == 1:
+            candidate = tuple(0 if k == j else v for k, v in enumerate(current))
+            if candidate != forbidden:
+                return candidate
+    for j in range(d):
+        if current[j] == 0:
+            candidate = tuple(1 if k == j else v for k, v in enumerate(current))
+            if candidate != forbidden:
+                return candidate
+    raise RuntimeError("no escape move exists (d must be >= 1)")
+
+
+def convex_chasing_game(
+    d: int,
+    steps: Optional[int] = None,
+    strategy: Callable[[Tuple[int, ...], Tuple[int, ...]], Tuple[int, ...]] = greedy_cube_strategy,
+) -> ChasingGameResult:
+    """Play the lower-bound game of Section 1 on the hypercube ``{0,1}^d``.
+
+    Every server type has ``m_j = 1`` and ``beta_j = 1``.  At each step the
+    adversary penalises (makes infinitely expensive) the online algorithm's
+    current position; the online algorithm must move.  After
+    ``steps = 2^d - 1`` rounds the offline player can choose a position that
+    was never penalised and pay at most ``d`` in switching cost, so the ratio
+    grows like ``2^d / d``.
+
+    The offline optimum is computed exactly by dynamic programming over the
+    ``2^d`` positions (operating cost 0 away from the penalised position,
+    infinite on it, one-sided unit switching costs).
+    """
+    if d < 1:
+        raise ValueError("d must be at least 1")
+    if steps is None:
+        steps = 2**d - 1
+    positions = [tuple(0 for _ in range(d))]
+    online_cost = 0.0
+    penalised: List[Tuple[int, ...]] = []
+
+    current = positions[0]
+    for _ in range(steps):
+        forbidden = current
+        penalised.append(forbidden)
+        nxt = strategy(current, forbidden)
+        if nxt == forbidden:
+            raise ValueError("online strategy failed to leave the penalised position")
+        online_cost += sum(max(b - a, 0) for a, b in zip(current, nxt))
+        current = nxt
+        positions.append(current)
+
+    # exact offline optimum by DP over the hypercube
+    cube = list(itertools.product((0, 1), repeat=d))
+    index = {pos: i for i, pos in enumerate(cube)}
+    n = len(cube)
+    switch = np.zeros((n, n))
+    for a in cube:
+        for b in cube:
+            switch[index[a], index[b]] = sum(max(bb - aa, 0) for aa, bb in zip(a, b))
+    INF = float("inf")
+    value = np.full(n, INF)
+    start = index[tuple(0 for _ in range(d))]
+    for i, pos in enumerate(cube):
+        value[i] = switch[start, i] + (INF if pos == penalised[0] else 0.0)
+    for forbidden in penalised[1:]:
+        new_value = np.full(n, INF)
+        for i, pos in enumerate(cube):
+            if pos == forbidden:
+                continue
+            new_value[i] = float(np.min(value + switch[:, i]))
+        value = new_value
+    offline_cost = float(np.min(value))
+
+    return ChasingGameResult(
+        d=d,
+        online_positions=np.array(positions, dtype=int),
+        online_cost=float(online_cost),
+        offline_cost=offline_cost,
+        penalised_positions=np.array(penalised, dtype=int),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# 2. Ski-rental adversarial traces
+# --------------------------------------------------------------------------- #
+
+
+def ski_rental_trace(
+    break_even_slots: int,
+    n_cycles: int,
+    burst_height: float = 1.0,
+    gap_factor: float = 1.0,
+) -> np.ndarray:
+    """A bursty demand trace tuned to a break-even horizon.
+
+    Each cycle is one slot of demand ``burst_height`` followed by
+    ``round(gap_factor * break_even_slots)`` idle slots.  With
+    ``gap_factor ~ 1`` the gap matches the ski-rental horizon
+    ``\\bar t_j = ceil(beta_j / f_j(0))``: whatever an online algorithm does
+    (keep the server warm through the gap, or shut it down and power it up
+    again) costs about ``beta_j`` more than the offline schedule, which is the
+    mechanism behind the ``2d`` lower bound.
+    """
+    if break_even_slots < 1:
+        raise ValueError("break_even_slots must be at least 1")
+    if n_cycles < 1:
+        raise ValueError("n_cycles must be at least 1")
+    gap = max(1, int(round(gap_factor * break_even_slots)))
+    cycle = [burst_height] + [0.0] * gap
+    return np.array(cycle * n_cycles, dtype=float)
+
+
+def ski_rental_instance(
+    server_type: ServerType,
+    n_cycles: int = 20,
+    gap_factor: float = 1.0,
+    extra_types: Sequence[ServerType] = (),
+) -> ProblemInstance:
+    """Wrap :func:`ski_rental_trace` into an instance targeting one server type.
+
+    Additional (more expensive) types can be appended so that the instance is
+    heterogeneous while the adversarial pressure stays on the first type.
+    """
+    break_even = server_type.break_even_slots()
+    if not np.isfinite(break_even):
+        raise ValueError("the targeted server type must have a positive idle cost")
+    demand = ski_rental_trace(int(break_even), n_cycles, burst_height=min(1.0, server_type.capacity), gap_factor=gap_factor)
+    types = (server_type, *extra_types)
+    return ProblemInstance(types, demand, name=f"ski-rental[{server_type.name}]")
+
+
+# --------------------------------------------------------------------------- #
+# 3. Rounding pathology
+# --------------------------------------------------------------------------- #
+
+
+def rounding_pathology(T: int, delta: float = 0.01, beta: float = 1.0) -> dict:
+    """Quantify the switching-cost blow-up of naively rounding a fractional schedule.
+
+    The fractional schedule alternates between ``1`` and ``1 + delta`` servers
+    (total fractional switching cost ``~ beta * delta * T / 2``); its ceiling
+    alternates between 1 and 2 (switching cost ``~ beta * T / 2``).  The ratio
+    therefore grows like ``1/delta`` — unbounded as ``delta -> 0``, which is
+    the paper's argument that rounding fractional solutions is a genuinely hard
+    open problem.
+    """
+    if T < 2:
+        raise ValueError("T must be at least 2")
+    if not (0 < delta < 1):
+        raise ValueError("delta must lie in (0, 1)")
+    fractional = np.array([1.0 + delta * (t % 2) for t in range(T)])
+    rounded = np.ceil(fractional - 1e-12)
+    frac_switch = beta * float(np.sum(np.maximum(np.diff(np.concatenate([[0.0], fractional])), 0.0)))
+    int_switch = beta * float(np.sum(np.maximum(np.diff(np.concatenate([[0.0], rounded])), 0.0)))
+    return {
+        "T": T,
+        "delta": delta,
+        "fractional_schedule": fractional,
+        "rounded_schedule": rounded,
+        "fractional_switching_cost": frac_switch,
+        "rounded_switching_cost": int_switch,
+        "blowup": int_switch / frac_switch if frac_switch > 0 else float("inf"),
+    }

@@ -1,0 +1,155 @@
+"""Online Algorithm A for time-independent operating costs (Section 2).
+
+Algorithm A is ``(2d + 1)``-competitive (Theorem 8) and ``2d``-competitive for
+load-independent operating costs (Corollary 9), which matches the lower bound
+of ``2d`` known from the companion paper.
+
+The algorithm maintains two invariants:
+
+1. **Power-up rule** — after every slot, per server type at least as many
+   servers are active as in the last slot of an optimal schedule of the prefix
+   instance ``I_t``: ``x^A_{t,j} >= \\hat x^t_{t,j}``.
+2. **Ski-rental power-down rule** — a server powered up at slot ``s`` stays
+   active for exactly ``\\bar t_j = ceil(beta_j / f_j(0))`` slots (including
+   ``s``) and is then shut down regardless of whether it was used; at that
+   point its accumulated idle cost equals its power-up cost, exactly like the
+   break-even point of the classical ski-rental problem.
+
+The implementation separates the *tracker* (which produces ``\\hat x^t_t``,
+see :mod:`repro.online.tracker`) from the power-up/-down bookkeeping, so the
+bookkeeping can be tested against the exact series shown in Figure 1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .base import OnlineAlgorithm, OnlineContext, SlotInfo
+from .blocks import Block, blocks_from_power_ups
+from .tracker import DPPrefixTracker, PrefixOptimumTracker
+
+__all__ = ["AlgorithmA"]
+
+
+class AlgorithmA(OnlineAlgorithm):
+    """The deterministic ``(2d+1)``-competitive online algorithm of Section 2.
+
+    Parameters
+    ----------
+    tracker:
+        Source of the prefix optima ``\\hat x^t_t``.  Defaults to the exact
+        incremental DP tracker; a :class:`~repro.online.tracker.FixedSequenceTracker`
+        can be supplied for unit tests, and a grid-reduced tracker
+        (``DPPrefixTracker(gamma=...)``) for large fleets.
+    gamma:
+        Convenience shortcut for ``DPPrefixTracker(gamma=gamma)``.
+
+    Notes
+    -----
+    Algorithm A assumes *time-independent* operating-cost functions: the
+    server runtime ``\\bar t_j`` is computed from the cost functions of the
+    first slot.  For time-dependent costs use
+    :class:`~repro.online.algorithm_b.AlgorithmB` /
+    :class:`~repro.online.algorithm_c.AlgorithmC` instead (the driver does not
+    enforce this — running A on a time-dependent instance simply voids the
+    theoretical guarantee).
+    """
+
+    name = "algorithm-A"
+
+    def __init__(self, tracker: Optional[PrefixOptimumTracker] = None, gamma: Optional[float] = None):
+        if tracker is not None and gamma is not None:
+            raise ValueError("give either an explicit tracker or gamma, not both")
+        self._tracker = tracker if tracker is not None else DPPrefixTracker(gamma=gamma)
+        self._runtimes: Optional[np.ndarray] = None
+        self._current: Optional[np.ndarray] = None
+        self._power_ups: List[np.ndarray] = []
+        self._xhat_history: List[np.ndarray] = []
+        self._d = 0
+
+    # ---------------------------------------------------------------- life-cycle
+    def start(self, context: OnlineContext) -> None:
+        self._d = context.d
+        self._tracker.reset()
+        self._runtimes = None
+        self._current = np.zeros(self._d, dtype=int)
+        self._power_ups = []
+        self._xhat_history = []
+
+    def step(self, slot: SlotInfo) -> np.ndarray:
+        if self._current is None:
+            raise RuntimeError("start() must be called before step()")
+        t = slot.t
+        if self._runtimes is None:
+            self._runtimes = self._compute_runtimes(slot)
+
+        xhat = np.asarray(self._tracker.observe(slot), dtype=int)
+        self._xhat_history.append(xhat.copy())
+
+        # Power-down rule: servers powered up exactly \bar t_j slots ago expire now.
+        for j in range(self._d):
+            runtime = self._runtimes[j]
+            if math.isfinite(runtime):
+                expired_slot = t - int(runtime)
+                if 0 <= expired_slot < len(self._power_ups):
+                    self._current[j] -= int(self._power_ups[expired_slot][j])
+
+        # Power-up rule: match the prefix optimum.
+        w_t = np.maximum(xhat - self._current, 0)
+        self._current = np.maximum(self._current, xhat)
+        self._power_ups.append(w_t.astype(int))
+        return self._current.copy()
+
+    # ------------------------------------------------------------------ analysis
+    @property
+    def runtimes(self) -> Optional[np.ndarray]:
+        """The per-type runtimes ``\\bar t_j`` (``inf`` when the idle cost is zero)."""
+        return None if self._runtimes is None else self._runtimes.copy()
+
+    @property
+    def power_up_log(self) -> np.ndarray:
+        """``(T, d)`` array ``w_{t,j}`` of servers powered up in every slot."""
+        if not self._power_ups:
+            return np.zeros((0, self._d), dtype=int)
+        return np.stack(self._power_ups)
+
+    @property
+    def prefix_optima(self) -> np.ndarray:
+        """``(T, d)`` array of the observed prefix optima ``\\hat x^t_t``."""
+        if not self._xhat_history:
+            return np.zeros((0, self._d), dtype=int)
+        return np.stack(self._xhat_history)
+
+    def blocks(self, j: int, horizon: Optional[int] = None) -> List[Block]:
+        """The blocks ``A_{j,i}`` (activity intervals) of server type ``j``.
+
+        One block per powered-up server, of length exactly ``\\bar t_j``
+        (clipped to the horizon).  Used to reproduce Figures 1 and 2 and by the
+        tests of Lemma 6/7's premises.
+        """
+        log = self.power_up_log
+        if self._runtimes is None:
+            return []
+        runtime = self._runtimes[j]
+        if not math.isfinite(runtime):
+            runtime = len(log) if horizon is None else horizon
+        slots = []
+        for t in range(len(log)):
+            slots.extend([t] * int(log[t, j]))
+        return blocks_from_power_ups(slots, [int(runtime)] * len(slots), horizon=horizon)
+
+    # ------------------------------------------------------------------ internals
+    def _compute_runtimes(self, slot: SlotInfo) -> np.ndarray:
+        """``\\bar t_j = ceil(beta_j / f_j(0))`` (``inf`` for zero idle cost)."""
+        runtimes = np.zeros(self._d)
+        idle = slot.idle_costs()
+        for j in range(self._d):
+            if idle[j] <= 0.0:
+                runtimes[j] = math.inf
+            else:
+                runtimes[j] = math.ceil(slot.beta[j] / idle[j])
+                runtimes[j] = max(runtimes[j], 1.0)
+        return runtimes

@@ -1,0 +1,191 @@
+"""Online algorithm interface and driver.
+
+In the online version of the right-sizing problem the job volumes ``lambda_t``
+and operating-cost functions ``f_{t,j}`` arrive one by one; the configuration
+``x_t`` must be fixed before anything about slots ``t' > t`` is revealed.
+
+The driver :func:`run_online` enforces this information model: an algorithm
+only ever receives a :class:`SlotInfo` describing the *current* slot (demand,
+cost functions, available fleet, and an evaluator for the slot's operating
+cost ``g_t``), plus the static fleet description at start-up.  The total
+horizon ``T`` is *not* revealed.
+
+Algorithms return one integral configuration per step; the driver validates it
+against the fleet limits, assembles the schedule, and evaluates its exact cost.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..core.costs import CostBreakdown, evaluate_schedule
+from ..core.instance import ProblemInstance
+from ..core.schedule import Schedule
+from ..dispatch.allocation import DispatchSolver
+
+__all__ = ["OnlineContext", "SlotInfo", "OnlineAlgorithm", "OnlineRunResult", "run_online"]
+
+
+@dataclass(frozen=True, eq=False)
+class OnlineContext:
+    """Static information available to an online algorithm before the first slot."""
+
+    server_types: tuple
+    beta: np.ndarray
+    zmax: np.ndarray
+    base_counts: np.ndarray
+
+    @property
+    def d(self) -> int:
+        return len(self.server_types)
+
+
+@dataclass(frozen=True, eq=False)
+class SlotInfo:
+    """Everything an online algorithm may see about the current time slot ``t``.
+
+    ``operating_cost`` evaluates ``g_t(x)`` for one or many configurations of
+    the *current* slot; it is backed by the instance's dispatch solver but can
+    only be queried for this slot, so no future information leaks.
+    Configurations may be fractional (used by the fractional baselines).
+    """
+
+    t: int
+    demand: float
+    cost_functions: tuple
+    counts: np.ndarray
+    beta: np.ndarray
+    zmax: np.ndarray
+    _evaluator: Callable[[np.ndarray], np.ndarray]
+
+    def idle_costs(self) -> np.ndarray:
+        """Idle operating costs ``l_{t,j} = f_{t,j}(0)`` of the current slot."""
+        return np.array([f.idle_cost() for f in self.cost_functions], dtype=float)
+
+    def operating_cost(self, configs) -> np.ndarray:
+        """Evaluate ``g_t`` for a single configuration or a batch of configurations."""
+        arr = np.asarray(configs, dtype=float)
+        single = arr.ndim == 1
+        batch = arr[None, :] if single else arr
+        costs = self._evaluator(batch)
+        return float(costs[0]) if single else costs
+
+    def with_scaled_costs(self, factor: float) -> "SlotInfo":
+        """A copy of this slot whose operating costs are multiplied by ``factor``.
+
+        Used by Algorithm C, which splits a slot into ``n_t`` sub-slots each
+        carrying ``1/n_t`` of the operating cost (Section 3.2).
+        """
+        scaled_functions = tuple(f.scaled(factor) for f in self.cost_functions)
+        evaluator = self._evaluator
+
+        def scaled_evaluator(configs: np.ndarray) -> np.ndarray:
+            return factor * evaluator(configs)
+
+        return SlotInfo(
+            t=self.t,
+            demand=self.demand,
+            cost_functions=scaled_functions,
+            counts=self.counts,
+            beta=self.beta,
+            zmax=self.zmax,
+            _evaluator=scaled_evaluator,
+        )
+
+
+class OnlineAlgorithm(abc.ABC):
+    """Base class of integral online right-sizing algorithms."""
+
+    #: Human-readable identifier used in reports and benchmark tables.
+    name: str = "online"
+
+    def start(self, context: OnlineContext) -> None:
+        """Reset internal state for a new run (called once before the first slot)."""
+
+    @abc.abstractmethod
+    def step(self, slot: SlotInfo) -> np.ndarray:
+        """Choose the configuration ``x_t`` for the current slot."""
+
+    def finish(self) -> None:
+        """Hook called after the last slot (optional bookkeeping)."""
+
+
+@dataclass(frozen=True, eq=False)
+class OnlineRunResult:
+    """Outcome of running an online algorithm over a full instance."""
+
+    algorithm: str
+    schedule: Schedule
+    breakdown: CostBreakdown
+    prefix_optima: Optional[np.ndarray] = None
+
+    @property
+    def cost(self) -> float:
+        return self.breakdown.total
+
+    def summary(self) -> dict:
+        out = {"algorithm": self.algorithm}
+        out.update(self.breakdown.summary())
+        return out
+
+
+def run_online(
+    instance: ProblemInstance,
+    algorithm: OnlineAlgorithm,
+    dispatcher: Optional[DispatchSolver] = None,
+) -> OnlineRunResult:
+    """Feed an instance slot-by-slot to an online algorithm and evaluate the result.
+
+    The driver reveals each slot only when its configuration is requested; the
+    algorithm therefore operates under the paper's online information model.
+    The chosen configurations are validated against the per-slot fleet sizes;
+    choosing more servers than exist raises immediately (this would mean the
+    algorithm is not producing feasible schedules, cf. Lemmas 1 and 10).
+    """
+    dispatcher = dispatcher or DispatchSolver(instance)
+    context = OnlineContext(
+        server_types=instance.server_types,
+        beta=instance.beta,
+        zmax=instance.zmax,
+        base_counts=instance.m,
+    )
+    algorithm.start(context)
+
+    T, d = instance.T, instance.d
+    configs = np.zeros((T, d), dtype=int)
+    for t in range(T):
+        def evaluator(batch: np.ndarray, _t: int = t) -> np.ndarray:
+            costs, _ = dispatcher.solve_grid(_t, batch)
+            return costs
+
+        slot = SlotInfo(
+            t=t,
+            demand=float(instance.demand[t]),
+            cost_functions=instance.cost_row(t),
+            counts=instance.counts_at(t),
+            beta=instance.beta,
+            zmax=instance.zmax,
+            _evaluator=evaluator,
+        )
+        choice = np.asarray(algorithm.step(slot))
+        if choice.shape != (d,):
+            raise ValueError(
+                f"{algorithm.name}: step() must return a configuration of shape ({d},), got {choice.shape}"
+            )
+        rounded = np.rint(choice).astype(int)
+        if not np.allclose(choice, rounded, atol=1e-9):
+            raise ValueError(f"{algorithm.name}: returned a non-integral configuration {choice}")
+        if np.any(rounded < 0) or np.any(rounded > slot.counts):
+            raise ValueError(
+                f"{algorithm.name}: configuration {rounded} violates fleet limits {slot.counts} at slot {t}"
+            )
+        configs[t] = rounded
+    algorithm.finish()
+
+    schedule = Schedule(configs)
+    breakdown = evaluate_schedule(instance, schedule, dispatcher)
+    return OnlineRunResult(algorithm=algorithm.name, schedule=schedule, breakdown=breakdown)

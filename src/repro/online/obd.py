@@ -1,0 +1,223 @@
+"""Online Balanced Descent (OBD) — the fractional convex-chasing baseline.
+
+The paper relates heterogeneous right-sizing to *smoothed online convex
+optimisation / convex function chasing* (Section 1): in the fractional setting
+(real-valued server counts) the problem is a special case, and Online Balanced
+Descent (Goel & Wierman 2019; Chen, Goel & Wierman 2018) is the reference
+algorithm for that setting.  The paper also explains why such fractional
+algorithms do *not* solve the discrete problem — naive rounding can blow up the
+switching cost arbitrarily, and per-type randomised rounding can produce
+infeasible schedules.
+
+This module provides
+
+* :func:`run_obd` — a projection-based OBD implementation producing a
+  fractional schedule together with its operating and (one-sided) movement
+  cost, and
+* :func:`round_up` — the naive "round every coordinate up" conversion to an
+  integral schedule, used by the benchmarks to demonstrate the rounding
+  pathology the paper warns about.
+
+The movement metric is the symmetrised switching cost
+``||y - x|| = sum_j (beta_j / 2) |y_j - x_j|`` (over a closed trajectory the
+one-sided power-up cost equals half of the total variation, so this is the
+natural metric of the chasing formulation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy import optimize
+
+from ..core.instance import ProblemInstance
+from ..core.schedule import Schedule
+from ..dispatch.allocation import DispatchSolver
+
+__all__ = ["FractionalRunResult", "run_obd", "round_up"]
+
+
+@dataclass(frozen=True, eq=False)
+class FractionalRunResult:
+    """A fractional trajectory with its cost decomposition."""
+
+    xs: np.ndarray
+    operating: np.ndarray
+    switching: np.ndarray
+
+    @property
+    def cost(self) -> float:
+        """Total cost: operating plus one-sided (power-up) switching cost."""
+        return float(np.sum(self.operating) + np.sum(self.switching))
+
+    @property
+    def total_operating(self) -> float:
+        return float(np.sum(self.operating))
+
+    @property
+    def total_switching(self) -> float:
+        return float(np.sum(self.switching))
+
+
+def _slot_evaluator(dispatcher: DispatchSolver, t: int, penalty_slope: float = 1e6):
+    """Evaluator of ``g_t`` over fractional configurations.
+
+    Infeasible configurations (not enough capacity for the demand) are mapped to
+    a large *finite* penalty that grows with the capacity deficit instead of
+    ``inf``; SLSQP's finite-difference gradients would otherwise produce NaNs
+    and stall.  The penalty never affects reported costs because OBD only ever
+    commits to feasible points.
+    """
+    instance = dispatcher.instance
+    lam = float(instance.demand[t])
+    zmax = np.where(np.isfinite(instance.zmax), instance.zmax, max(lam, 1.0))
+
+    def evaluate(x: np.ndarray) -> float:
+        x = np.asarray(x, dtype=float)
+        capacity = float(np.sum(np.maximum(x, 0.0) * zmax))
+        if capacity < lam - 1e-9:
+            return penalty_slope * (1.0 + lam - capacity)
+        costs, _ = dispatcher.solve_grid(t, x[None, :])
+        value = float(costs[0])
+        if not math.isfinite(value):
+            return penalty_slope * (1.0 + lam)
+        return value
+
+    return evaluate
+
+
+def _feasible_minimiser(instance, t, evaluate, x_start):
+    """Minimise ``g_t`` over the fractional box intersected with the coverage constraint."""
+    d = instance.d
+    counts = instance.counts_at(t).astype(float)
+    lam = float(instance.demand[t])
+    zmax = np.where(np.isfinite(instance.zmax), instance.zmax, max(lam, 1.0))
+    bounds = [(0.0, float(c)) for c in counts]
+    constraints = [{"type": "ineq", "fun": lambda x: float(np.sum(x * zmax) - lam)}]
+    x0 = np.clip(x_start, 0.0, counts)
+    if np.sum(x0 * zmax) < lam:
+        x0 = np.minimum(counts, np.full(d, lam / max(np.sum(zmax), 1e-9) + 1.0))
+    res = optimize.minimize(
+        evaluate, x0, method="SLSQP", bounds=bounds, constraints=constraints,
+        options={"maxiter": 60, "ftol": 1e-8},
+    )
+    x = np.clip(res.x, 0.0, counts)
+    return x, float(evaluate(x))
+
+
+def _segment_balance_point(evaluate, x_prev, x_min, weights, min_step=0.0, iterations=12):
+    """Balanced point on the segment from ``x_prev`` towards the slot minimiser.
+
+    Full OBD projects onto level sets of ``g_t``; for the right-sizing cost
+    structure (jointly convex, monotone along the segment towards the
+    minimiser) restricting the projection to the segment ``x_prev -> x_min``
+    keeps the balancing idea — walk towards the minimiser until the movement
+    cost paid equals the operating cost still incurred — while avoiding a
+    nested constrained solve per bisection step.  This "segment OBD" is the
+    documented simplification used as the fractional baseline (see DESIGN.md).
+
+    ``min_step`` is the smallest admissible step along the segment (the point
+    must at least reach the capacity needed to serve the slot's demand, so the
+    committed configuration is always feasible).
+    """
+    direction = x_min - x_prev
+    seg_cost = float(np.sum(weights * np.abs(direction)))
+    if seg_cost <= 1e-12:
+        return x_min.copy()
+    min_step = float(np.clip(min_step, 0.0, 1.0))
+
+    def movement(s):
+        return s * seg_cost
+
+    def hitting(s):
+        return float(evaluate(x_prev + s * direction))
+
+    if movement(1.0) <= hitting(1.0):
+        # even walking all the way to the minimiser costs less than staying
+        return x_min.copy()
+    lo, hi = min_step, 1.0
+    for _ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        if movement(mid) <= hitting(mid):
+            lo = mid
+        else:
+            hi = mid
+    return x_prev + lo * direction
+
+
+def run_obd(
+    instance: ProblemInstance,
+    dispatcher: Optional[DispatchSolver] = None,
+    balance_iterations: int = 12,
+) -> FractionalRunResult:
+    """Run (segment-)Online Balanced Descent on the fractional relaxation.
+
+    At every slot the algorithm computes the feasible minimiser of ``g_t``,
+    then walks from its previous point towards it until the movement cost (in
+    the symmetrised metric ``sum_j beta_j/2 |dx_j|``) balances the operating
+    cost at the stopping point — the balancing rule that gives OBD its
+    competitive guarantees for strongly convex or locally polyhedral costs.
+    As the paper notes, those conditions fail for load-independent operating
+    costs, which is precisely what the comparison benchmarks illustrate.
+
+    The projection step is restricted to the segment towards the minimiser
+    (a documented simplification that avoids a nested constrained solve; see
+    :func:`_segment_balance_point`).
+    """
+    dispatcher = dispatcher or DispatchSolver(instance)
+    T, d = instance.T, instance.d
+    weights = instance.beta / 2.0
+    xs = np.zeros((T, d))
+    x_prev = np.zeros(d)
+
+    for t in range(T):
+        evaluate = _slot_evaluator(dispatcher, t)
+        x_min, g_min = _feasible_minimiser(instance, t, evaluate, x_prev)
+        move_to_min = float(np.sum(weights * np.abs(x_min - x_prev)))
+        if move_to_min <= g_min:
+            x_t = x_min
+        else:
+            # smallest step along the segment that already covers the demand,
+            # so the committed configuration is always feasible
+            lam = float(instance.demand[t])
+            zmax = np.where(np.isfinite(instance.zmax), instance.zmax, max(lam, 1.0))
+            cap_prev = float(np.sum(np.maximum(x_prev, 0.0) * zmax))
+            cap_min = float(np.sum(np.maximum(x_min, 0.0) * zmax))
+            if cap_prev >= lam - 1e-9 or cap_min <= cap_prev:
+                min_step = 0.0
+            else:
+                min_step = min(1.0, max(0.0, (lam - cap_prev) / (cap_min - cap_prev) + 1e-9))
+            x_t = _segment_balance_point(
+                evaluate, x_prev, x_min, weights, min_step=min_step, iterations=balance_iterations
+            )
+        counts = instance.counts_at(t).astype(float)
+        x_t = np.clip(x_t, 0.0, counts)
+        xs[t] = x_t
+        x_prev = x_t
+
+    operating = np.zeros(T)
+    switching = np.zeros(T)
+    prev = np.zeros(d)
+    for t in range(T):
+        evaluate = _slot_evaluator(dispatcher, t)
+        operating[t] = evaluate(xs[t])
+        switching[t] = float(np.sum(instance.beta * np.maximum(xs[t] - prev, 0.0)))
+        prev = xs[t]
+    return FractionalRunResult(xs=xs, operating=operating, switching=switching)
+
+
+def round_up(result: FractionalRunResult, instance: ProblemInstance) -> Schedule:
+    """Naive integral conversion: round every coordinate up (and clip to the fleet).
+
+    Rounding up preserves feasibility (more servers never hurt capacity), but —
+    as the paper's discussion of the rounding problem points out — it can
+    multiply the switching cost arbitrarily when the fractional trajectory
+    oscillates just above an integer.  The benchmarks quantify this effect.
+    """
+    xs = np.ceil(result.xs - 1e-9).astype(int)
+    counts = np.stack([instance.counts_at(t) for t in range(instance.T)])
+    xs = np.minimum(xs, counts)
+    return Schedule(xs)

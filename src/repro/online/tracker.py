@@ -1,0 +1,163 @@
+"""Prefix-optimum trackers: computing ``\\hat x^t_t`` online.
+
+Algorithms A, B and C all follow the same power-up rule: after every slot they
+make sure that, per server type, at least as many servers are active as in the
+last slot of an *optimal schedule of the prefix instance* ``I_t``
+(``x^A_{t,j} >= \\hat x^t_{t,j}``).  The pseudocode in the paper recomputes
+``\\hat X^t`` from scratch with the offline algorithm of Section 4.1, which
+costs ``O(t)`` DP layers per slot and ``O(T^2)`` overall.
+
+Because power-down is free and every schedule ends in the empty configuration,
+``OPT(I_t) = min_x V_t[x]`` where ``V_t`` is the forward DP tensor of
+:mod:`repro.offline.dp` — and ``V_t`` can be *maintained incrementally*: one
+separable min-plus transition plus one operating-cost accumulation per slot.
+:class:`DPPrefixTracker` implements exactly that, so the online algorithms run
+in the same asymptotic time as a single offline solve.  Ties among optimal last
+configurations are broken deterministically (lexicographically smallest or
+largest); the competitive analysis holds for any optimal schedule, so the
+choice only matters for reproducibility.
+
+:class:`FixedSequenceTracker` replays an explicitly given ``\\hat x`` series.
+It exists so that the behaviour of Algorithms A and B can be verified against
+the exact numbers printed in Figures 1 and 3 of the paper, independent of the
+offline solver.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..offline.state_grid import StateGrid
+from ..offline.transitions import startup_cost_tensor, transition
+from .base import SlotInfo
+
+__all__ = ["PrefixOptimumTracker", "DPPrefixTracker", "FixedSequenceTracker"]
+
+
+class PrefixOptimumTracker(abc.ABC):
+    """Produces the last configuration of an optimal prefix schedule, slot by slot."""
+
+    def reset(self) -> None:
+        """Forget all previously observed slots (called by the algorithms' ``start``)."""
+
+    @abc.abstractmethod
+    def observe(self, slot: SlotInfo) -> np.ndarray:
+        """Consume the next slot and return ``\\hat x^t_t`` (integer array of length ``d``)."""
+
+    def prefix_optimum_cost(self) -> float:
+        """Cost ``C(\\hat X^t)`` of the optimal schedule for the observed prefix.
+
+        Optional diagnostic; trackers that cannot provide it return ``nan``.
+        """
+        return float("nan")
+
+
+class DPPrefixTracker(PrefixOptimumTracker):
+    """Incremental dynamic-programming tracker (exact or grid-reduced).
+
+    Parameters
+    ----------
+    gamma:
+        ``None`` for the exact prefix optimum (full grids, as in the paper's
+        pseudocode).  A value ``> 1`` uses the reduced grids ``M^gamma`` of
+        Section 4.2 instead — the resulting online algorithm then compares
+        itself against a ``(2 gamma - 1)``-approximate prefix optimum, which
+        degrades the competitive guarantee by the same factor but makes the
+        per-slot work polynomial in ``log m_j`` (an engineering extension,
+        see DESIGN.md).
+    tie_break:
+        ``"smallest"`` (default) or ``"largest"``: which optimal last
+        configuration to report when several exist.  The LCP baseline uses one
+        tracker of each kind to obtain its lower/upper bounds.
+    """
+
+    def __init__(self, gamma: Optional[float] = None, tie_break: str = "smallest"):
+        if gamma is not None and gamma <= 1.0:
+            raise ValueError("gamma must be > 1 when given")
+        if tie_break not in ("smallest", "largest"):
+            raise ValueError("tie_break must be 'smallest' or 'largest'")
+        self.gamma = gamma
+        self.tie_break = tie_break
+        self._value: Optional[np.ndarray] = None
+        self._grid: Optional[StateGrid] = None
+        self._steps = 0
+
+    # -------------------------------------------------------------- interface
+    def reset(self) -> None:
+        self._value = None
+        self._grid = None
+        self._steps = 0
+
+    def observe(self, slot: SlotInfo) -> np.ndarray:
+        grid = self._build_grid(slot.counts)
+        g_tensor = slot.operating_cost(grid.configs()).reshape(grid.shape)
+        if not np.any(np.isfinite(g_tensor)):
+            raise ValueError(
+                f"slot {slot.t}: no grid configuration can serve demand {slot.demand:g}"
+            )
+        if self._value is None:
+            arrival = startup_cost_tensor(grid.values, slot.beta)
+        else:
+            arrival = transition(self._value, self._grid.values, grid.values, slot.beta)
+        self._value = arrival + g_tensor
+        self._grid = grid
+        self._steps += 1
+        return self._argmin_config()
+
+    def prefix_optimum_cost(self) -> float:
+        if self._value is None:
+            return 0.0
+        return float(np.min(self._value))
+
+    # -------------------------------------------------------------- internals
+    def _build_grid(self, counts: np.ndarray) -> StateGrid:
+        if self.gamma is None:
+            return StateGrid.full(counts)
+        return StateGrid.geometric(counts, self.gamma)
+
+    def _argmin_config(self) -> np.ndarray:
+        flat = self._value.reshape(-1)
+        if self.tie_break == "smallest":
+            idx = int(np.argmin(flat))
+        else:
+            # last occurrence of the minimum = lexicographically largest config
+            reversed_idx = int(np.argmin(flat[::-1]))
+            idx = flat.size - 1 - reversed_idx
+        multi = np.unravel_index(idx, self._grid.shape)
+        return self._grid.config_at(multi)
+
+
+class FixedSequenceTracker(PrefixOptimumTracker):
+    """Replay an explicitly given sequence of ``\\hat x^t_t`` values.
+
+    Primarily a test fixture: Figures 1 and 3 of the paper specify the
+    ``\\hat x`` series directly (not the underlying workload), so the exact
+    bookkeeping of Algorithms A and B can be validated against the figures by
+    feeding the printed series through this tracker.
+    """
+
+    def __init__(self, sequence: Sequence[Sequence[int]]):
+        arr = np.asarray(sequence, dtype=int)
+        if arr.ndim == 1:
+            arr = arr[:, None]
+        if np.any(arr < 0):
+            raise ValueError("reference sequence must be non-negative")
+        self._sequence = arr
+        self._cursor = 0
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def observe(self, slot: SlotInfo) -> np.ndarray:
+        if self._cursor >= len(self._sequence):
+            raise IndexError("FixedSequenceTracker ran out of reference values")
+        value = self._sequence[self._cursor]
+        self._cursor += 1
+        if len(value) != len(slot.counts):
+            raise ValueError(
+                f"reference value has {len(value)} types but the instance has {len(slot.counts)}"
+            )
+        return np.array(value, dtype=int)

@@ -1,0 +1,39 @@
+"""Synthetic workloads: demand-trace generators and heterogeneous fleet presets."""
+
+from .fleets import (
+    cpu_gpu_fleet,
+    fleet_instance,
+    load_independent_fleet,
+    old_new_fleet,
+    single_type_fleet,
+    three_tier_fleet,
+)
+from .traces import (
+    as_rng,
+    bursty_trace,
+    constant_trace,
+    diurnal_trace,
+    mmpp_trace,
+    poisson_trace,
+    ramp_trace,
+    random_walk_trace,
+    spike_trace,
+)
+
+__all__ = [
+    "as_rng",
+    "bursty_trace",
+    "constant_trace",
+    "cpu_gpu_fleet",
+    "diurnal_trace",
+    "fleet_instance",
+    "load_independent_fleet",
+    "mmpp_trace",
+    "old_new_fleet",
+    "poisson_trace",
+    "ramp_trace",
+    "random_walk_trace",
+    "single_type_fleet",
+    "spike_trace",
+    "three_tier_fleet",
+]

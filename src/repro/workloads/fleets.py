@@ -1,0 +1,157 @@
+"""Heterogeneous fleet presets.
+
+The paper motivates heterogeneity with two scenarios (Section 1): different
+architectures — e.g. GPU nodes that process embarrassingly parallel work much
+faster than CPU nodes but are a poor fit for branchy code — and different
+hardware generations coexisting in the same data center.  These presets encode
+such fleets with plausible relative magnitudes of switching cost, capacity and
+power draw; the absolute numbers are synthetic (the paper reports none), chosen
+so that the interesting regimes (power down at night vs. keep warm) actually
+occur on the bundled traces.
+
+All presets keep the per-type counts small enough that the *exact* offline DP
+is tractable, because the benchmarks compare every algorithm against the true
+optimum; the scaling benchmarks build larger fleets explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core.cost_functions import ConstantCost, LinearCost, PowerCost, QuadraticCost
+from ..core.instance import ProblemInstance
+from ..core.server import ServerType
+
+__all__ = [
+    "single_type_fleet",
+    "cpu_gpu_fleet",
+    "old_new_fleet",
+    "three_tier_fleet",
+    "load_independent_fleet",
+    "fleet_instance",
+]
+
+
+def single_type_fleet(count: int = 10, switching_cost: float = 6.0) -> List[ServerType]:
+    """A homogeneous fleet (``d = 1``) — the setting of Lin et al. and of the LCP baseline."""
+    return [
+        ServerType(
+            name="standard",
+            count=count,
+            switching_cost=switching_cost,
+            capacity=1.0,
+            cost_function=QuadraticCost(idle=1.0, a=0.5, b=1.0),
+        )
+    ]
+
+
+def cpu_gpu_fleet(cpu_count: int = 8, gpu_count: int = 3) -> List[ServerType]:
+    """CPU nodes plus a few large GPU nodes (different architectures).
+
+    GPU nodes process four times the volume per slot but cost more to keep
+    idle and much more to power up (long boot, job drain, wear and tear).
+    """
+    return [
+        ServerType(
+            name="cpu",
+            count=cpu_count,
+            switching_cost=4.0,
+            capacity=1.0,
+            cost_function=QuadraticCost(idle=1.0, a=0.4, b=0.8),
+        ),
+        ServerType(
+            name="gpu",
+            count=gpu_count,
+            switching_cost=20.0,
+            capacity=4.0,
+            cost_function=PowerCost(idle=3.0, coef=0.15, exponent=2.0),
+        ),
+    ]
+
+
+def old_new_fleet(old_count: int = 10, new_count: int = 6) -> List[ServerType]:
+    """Two hardware generations: old servers are cheap to cycle but power hungry."""
+    return [
+        ServerType(
+            name="old-gen",
+            count=old_count,
+            switching_cost=3.0,
+            capacity=1.0,
+            cost_function=LinearCost(idle=2.0, slope=1.5),
+        ),
+        ServerType(
+            name="new-gen",
+            count=new_count,
+            switching_cost=8.0,
+            capacity=2.0,
+            cost_function=QuadraticCost(idle=1.2, a=0.3, b=0.4),
+        ),
+    ]
+
+
+def three_tier_fleet() -> List[ServerType]:
+    """Three types (``d = 3``): efficient base-load, burst, and accelerator tiers."""
+    return [
+        ServerType(
+            name="baseload",
+            count=6,
+            switching_cost=10.0,
+            capacity=2.0,
+            cost_function=QuadraticCost(idle=1.0, a=0.2, b=0.3),
+        ),
+        ServerType(
+            name="burst",
+            count=6,
+            switching_cost=2.0,
+            capacity=1.0,
+            cost_function=LinearCost(idle=0.8, slope=1.2),
+        ),
+        ServerType(
+            name="accelerator",
+            count=2,
+            switching_cost=25.0,
+            capacity=6.0,
+            cost_function=PowerCost(idle=4.0, coef=0.1, exponent=2.5),
+        ),
+    ]
+
+
+def load_independent_fleet(d: int = 2, base_count: int = 6) -> List[ServerType]:
+    """Load-independent operating costs (``f_j(z) = l_j``) — the regime of Corollary 9.
+
+    Types are ordered from cheap-to-run/expensive-to-start to the opposite, the
+    structure studied in the companion paper (CIAC 2021).
+    """
+    if d < 1:
+        raise ValueError("d must be at least 1")
+    types = []
+    for j in range(d):
+        types.append(
+            ServerType(
+                name=f"type-{j}",
+                count=base_count,
+                switching_cost=2.0 * (2.0**j),
+                capacity=1.0 + j,
+                cost_function=ConstantCost(level=3.0 / (j + 1.0)),
+            )
+        )
+    return types
+
+
+def fleet_instance(
+    fleet: Sequence[ServerType],
+    demand: np.ndarray,
+    name: str = "fleet",
+) -> ProblemInstance:
+    """Convenience wrapper: bundle a fleet preset and a trace into an instance.
+
+    The demand is clipped to the fleet's total capacity so that presets and
+    traces can be combined freely without creating infeasible instances.
+    """
+    demand = np.asarray(demand, dtype=float)
+    capacity = float(sum(st.count * st.capacity for st in fleet if np.isfinite(st.capacity)))
+    if capacity > 0:
+        demand = np.minimum(demand, capacity)
+    return ProblemInstance(tuple(fleet), demand, name=name)

@@ -1,0 +1,191 @@
+"""Synthetic demand traces.
+
+The paper evaluates nothing empirically (it is a theory paper), so this module
+provides the synthetic workloads the benchmark harness runs the algorithms on.
+The generators cover the workload regimes the paper's introduction appeals to:
+
+* **diurnal** traffic with day/night swing and noise — the canonical case where
+  right-sizing saves energy at night,
+* **bursty** traffic — short spikes over a low base load, stressing the
+  switching-cost trade-off,
+* **Markov-modulated (MMPP-style)** load — alternating high/low regimes with
+  geometric sojourn times,
+* **random walks**, **ramps**, **constant** and **spike-train** traces as
+  structural corner cases,
+* the **ski-rental adversarial trace** lives in :mod:`repro.online.adversary`.
+
+All generators take an explicit ``numpy.random.Generator`` (or a seed) so that
+experiments are reproducible, and return plain non-negative ``float`` arrays
+that can be fed to :class:`repro.core.ProblemInstance`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "as_rng",
+    "constant_trace",
+    "diurnal_trace",
+    "bursty_trace",
+    "mmpp_trace",
+    "random_walk_trace",
+    "ramp_trace",
+    "spike_trace",
+    "poisson_trace",
+]
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def as_rng(rng: RngLike) -> np.random.Generator:
+    """Normalise a seed / generator / ``None`` into a :class:`numpy.random.Generator`."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def _clip_non_negative(trace: np.ndarray, peak: Optional[float] = None) -> np.ndarray:
+    trace = np.maximum(trace, 0.0)
+    if peak is not None:
+        trace = np.minimum(trace, peak)
+    return trace
+
+
+def constant_trace(T: int, level: float = 1.0) -> np.ndarray:
+    """A flat demand of ``level`` for ``T`` slots."""
+    if level < 0:
+        raise ValueError("level must be non-negative")
+    return np.full(int(T), float(level))
+
+
+def diurnal_trace(
+    T: int,
+    period: int = 24,
+    base: float = 2.0,
+    peak: float = 10.0,
+    noise: float = 0.05,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Day/night sinusoidal demand with multiplicative noise.
+
+    ``period`` slots per day, demand oscillating between ``base`` and ``peak``;
+    ``noise`` is the relative standard deviation of the multiplicative jitter.
+    """
+    if base < 0 or peak < base:
+        raise ValueError("need 0 <= base <= peak")
+    rng = as_rng(rng)
+    t = np.arange(int(T))
+    mid = 0.5 * (base + peak)
+    amp = 0.5 * (peak - base)
+    trace = mid - amp * np.cos(2.0 * np.pi * t / max(period, 1))
+    if noise > 0:
+        trace = trace * (1.0 + noise * rng.standard_normal(int(T)))
+    return _clip_non_negative(trace)
+
+
+def bursty_trace(
+    T: int,
+    base: float = 1.0,
+    burst_height: float = 8.0,
+    burst_probability: float = 0.1,
+    burst_length: int = 3,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """A low base load with randomly placed rectangular bursts."""
+    if burst_length < 1:
+        raise ValueError("burst_length must be at least 1")
+    rng = as_rng(rng)
+    trace = np.full(int(T), float(base))
+    t = 0
+    while t < T:
+        if rng.random() < burst_probability:
+            trace[t : t + burst_length] = burst_height
+            t += burst_length
+        else:
+            t += 1
+    return _clip_non_negative(trace)
+
+
+def mmpp_trace(
+    T: int,
+    low: float = 1.0,
+    high: float = 8.0,
+    p_up: float = 0.1,
+    p_down: float = 0.2,
+    noise: float = 0.1,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Markov-modulated demand: a two-state regime process with per-slot jitter."""
+    rng = as_rng(rng)
+    trace = np.zeros(int(T))
+    state_high = False
+    for t in range(int(T)):
+        if state_high:
+            if rng.random() < p_down:
+                state_high = False
+        else:
+            if rng.random() < p_up:
+                state_high = True
+        level = high if state_high else low
+        trace[t] = level * (1.0 + noise * rng.standard_normal()) if noise > 0 else level
+    return _clip_non_negative(trace)
+
+
+def random_walk_trace(
+    T: int,
+    start: float = 5.0,
+    step: float = 0.8,
+    minimum: float = 0.0,
+    maximum: Optional[float] = None,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """A reflected random walk — slowly drifting demand without periodic structure."""
+    rng = as_rng(rng)
+    trace = np.zeros(int(T))
+    level = float(start)
+    for t in range(int(T)):
+        level += step * rng.standard_normal()
+        level = max(level, minimum)
+        if maximum is not None:
+            level = min(level, maximum)
+        trace[t] = level
+    return trace
+
+
+def ramp_trace(T: int, start: float = 0.0, end: float = 10.0) -> np.ndarray:
+    """Linearly increasing (or decreasing) demand."""
+    return _clip_non_negative(np.linspace(float(start), float(end), int(T)))
+
+
+def spike_trace(
+    T: int,
+    base: float = 0.0,
+    spike_height: float = 5.0,
+    spike_every: int = 10,
+    rng: RngLike = None,
+    jitter: int = 0,
+) -> np.ndarray:
+    """Isolated spikes on an (almost) idle system — the regime where powering down pays off most."""
+    if spike_every < 1:
+        raise ValueError("spike_every must be at least 1")
+    rng = as_rng(rng)
+    trace = np.full(int(T), float(base))
+    t = 0
+    while t < T:
+        pos = t
+        if jitter > 0:
+            pos = min(int(T) - 1, max(0, t + int(rng.integers(-jitter, jitter + 1))))
+        trace[pos] = spike_height
+        t += spike_every
+    return _clip_non_negative(trace)
+
+
+def poisson_trace(T: int, mean: float = 4.0, rng: RngLike = None) -> np.ndarray:
+    """Independent Poisson-distributed per-slot job counts."""
+    if mean < 0:
+        raise ValueError("mean must be non-negative")
+    rng = as_rng(rng)
+    return rng.poisson(mean, int(T)).astype(float)

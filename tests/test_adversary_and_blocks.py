@@ -1,0 +1,171 @@
+"""Tests for the adversarial constructions and the block decomposition helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ConstantCost, ServerType, run_online, solve_optimal
+from repro.online import AlgorithmA
+from repro.online.adversary import (
+    convex_chasing_game,
+    greedy_cube_strategy,
+    rounding_pathology,
+    ski_rental_instance,
+    ski_rental_trace,
+)
+from repro.online.blocks import (
+    Block,
+    block_index_sets,
+    blocks_from_power_ups,
+    special_slots,
+    verify_partition,
+)
+
+
+class TestBlocks:
+    def test_block_basics(self):
+        b = Block(2, 5)
+        assert b.length == 4
+        assert 2 in b and 5 in b and 6 not in b
+        with pytest.raises(ValueError):
+            Block(3, 2)
+
+    def test_blocks_from_power_ups(self):
+        blocks = blocks_from_power_ups([0, 3, 3], [2, 4, 4], horizon=6)
+        assert blocks == [Block(0, 1), Block(3, 5), Block(3, 5)]
+
+    def test_horizon_clipping(self):
+        blocks = blocks_from_power_ups([4], [10], horizon=6)
+        assert blocks == [Block(4, 5)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            blocks_from_power_ups([0, 1], [2])
+        with pytest.raises(ValueError):
+            blocks_from_power_ups([0], [0])
+
+    def test_special_slots_figure2_structure(self):
+        """Figure 2: seven blocks whose index sets are {1,2}, {3,4}, {5,6,7} (1-based)."""
+        # Construct equal-length blocks (bar_t = 4) at power-up slots chosen so the
+        # reverse construction groups them as in the figure.
+        starts = [0, 1, 5, 6, 10, 11, 12]
+        blocks = blocks_from_power_ups(starts, [4] * len(starts))
+        taus = special_slots(blocks)
+        assert len(taus) == 3
+        sets = block_index_sets(blocks)
+        assert [sorted(s) for s in sets] == [[0, 1], [2, 3], [4, 5, 6]]
+        assert verify_partition(blocks)
+
+    def test_special_slots_spacing_for_equal_length_blocks(self):
+        blocks = blocks_from_power_ups([0, 2, 3, 9, 15, 16], [5] * 6)
+        taus = special_slots(blocks)
+        assert all(b - a >= 5 for a, b in zip(taus, taus[1:]))
+
+    def test_empty_blocks(self):
+        assert special_slots([]) == []
+        assert block_index_sets([]) == []
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_every_block_contains_at_least_one_special_slot(self, data):
+        """Every block contains >= 1 special slot; with monotone ends, exactly one."""
+        n = data.draw(st.integers(1, 10))
+        starts = sorted(data.draw(st.lists(st.integers(0, 30), min_size=n, max_size=n)))
+        length = data.draw(st.integers(1, 8))
+        blocks = blocks_from_power_ups(starts, [length] * n)
+        taus = special_slots(blocks)
+        for b in blocks:
+            assert any(tau in b for tau in taus)
+        assert verify_partition(blocks)  # equal lengths -> monotone ends -> exactly one
+
+
+class TestConvexChasingLowerBound:
+    def test_game_structure(self):
+        g = convex_chasing_game(3)
+        assert g.penalised_positions.shape == (7, 3)
+        assert g.online_positions.shape == (8, 3)
+        # the online algorithm never sits on the penalised position
+        for pos, forbidden in zip(g.online_positions[1:], g.penalised_positions):
+            assert not np.array_equal(pos, forbidden)
+
+    def test_offline_cost_at_most_d(self):
+        for d in (2, 3, 4, 5):
+            g = convex_chasing_game(d)
+            assert g.offline_cost <= d + 1e-9
+
+    def test_ratio_grows_with_dimension(self):
+        ratios = [convex_chasing_game(d).ratio for d in (2, 3, 4, 5)]
+        assert ratios == sorted(ratios)
+        assert ratios[-1] >= 2 ** 5 / (2 * 5)  # Omega(2^d / d)
+
+    def test_custom_steps(self):
+        g = convex_chasing_game(3, steps=3)
+        assert g.penalised_positions.shape == (3, 3)
+
+    def test_greedy_strategy_always_escapes(self):
+        current = (1, 0, 1)
+        nxt = greedy_cube_strategy(current, current)
+        assert nxt != current
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            convex_chasing_game(0)
+
+
+class TestSkiRental:
+    def test_trace_structure(self):
+        trace = ski_rental_trace(break_even_slots=4, n_cycles=3, burst_height=2.0)
+        assert len(trace) == 3 * 5
+        assert trace[0] == 2.0
+        assert np.all(trace[1:5] == 0.0)
+
+    def test_trace_validation(self):
+        with pytest.raises(ValueError):
+            ski_rental_trace(0, 3)
+        with pytest.raises(ValueError):
+            ski_rental_trace(3, 0)
+
+    def test_instance_targets_break_even(self):
+        st_ = ServerType("victim", count=2, switching_cost=6.0, capacity=1.0,
+                         cost_function=ConstantCost(level=2.0))
+        inst = ski_rental_instance(st_, n_cycles=5)
+        assert inst.T == 5 * (1 + 3)  # break-even = 3
+        assert inst.is_feasible()
+
+    def test_instance_requires_positive_idle_cost(self):
+        st_ = ServerType("never-off", count=1, switching_cost=6.0, capacity=1.0,
+                         cost_function=ConstantCost(level=0.0))
+        with pytest.raises(ValueError):
+            ski_rental_instance(st_)
+
+    def test_adversarial_trace_stresses_algorithm_a(self):
+        """On the ski-rental trace Algorithm A's ratio is noticeably above 1
+        (the adversarial gap forces it to waste either idle energy or switching cost),
+        while still respecting the 2d+1 guarantee."""
+        st_ = ServerType("victim", count=1, switching_cost=6.0, capacity=1.0,
+                         cost_function=ConstantCost(level=2.0))
+        inst = ski_rental_instance(st_, n_cycles=8)
+        opt = solve_optimal(inst, return_schedule=False).cost
+        result = run_online(inst, AlgorithmA())
+        ratio = result.cost / opt
+        assert 1.1 <= ratio <= 2 * inst.d + 1 + 1e-9
+
+
+class TestRoundingPathology:
+    def test_blowup_scales_inversely_with_delta(self):
+        mild = rounding_pathology(T=100, delta=0.5)
+        severe = rounding_pathology(T=100, delta=0.01)
+        assert severe["blowup"] > mild["blowup"]
+        assert severe["blowup"] > 10
+
+    def test_fractional_and_rounded_schedules(self):
+        out = rounding_pathology(T=10, delta=0.25)
+        assert np.all(out["rounded_schedule"] >= out["fractional_schedule"] - 1e-12)
+        assert out["rounded_switching_cost"] >= out["fractional_switching_cost"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rounding_pathology(T=1)
+        with pytest.raises(ValueError):
+            rounding_pathology(T=10, delta=1.5)

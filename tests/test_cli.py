@@ -1,0 +1,127 @@
+"""Tests for the command-line interface (``python -m repro ...``)."""
+
+import io
+from contextlib import redirect_stdout
+
+import numpy as np
+import pytest
+
+from repro.cli import FLEETS, ONLINE_ALGORITHMS, TRACES, build_parser, main
+
+
+def run_cli(*argv):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(list(argv))
+    return code, buffer.getvalue()
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_fleets_and_traces(self):
+        assert {"single", "cpu-gpu", "old-new", "three-tier", "load-independent"} == set(FLEETS)
+        assert {"diurnal", "bursty", "mmpp", "spikes", "constant", "random-walk"} == set(TRACES)
+        assert {"A", "B", "C", "reactive", "follow-demand", "all-on", "lcp"} == set(ONLINE_ALGORITHMS)
+
+    def test_invalid_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--fleet", "nonsense"])
+
+
+class TestTraceCommand:
+    def test_prints_requested_number_of_values(self):
+        code, out = run_cli("trace", "--trace", "diurnal", "--slots", "12", "--seed", "3")
+        assert code == 0
+        values = [float(v) for v in out.split()]
+        assert len(values) == 12
+        assert all(v >= 0 for v in values)
+
+    def test_writes_to_file(self, tmp_path):
+        target = tmp_path / "trace.csv"
+        code, out = run_cli("trace", "--trace", "constant", "--slots", "5", "--out", str(target))
+        assert code == 0
+        assert target.exists()
+        assert len(target.read_text().split()) == 5
+        assert "wrote 5 slots" in out
+
+
+class TestSolveCommand:
+    def test_exact_solve(self):
+        code, out = run_cli("solve", "--fleet", "cpu-gpu", "--trace", "diurnal", "--slots", "12")
+        assert code == 0
+        assert "offline solution" in out
+        assert "exact optimum" in out
+
+    def test_approximate_solve(self):
+        code, out = run_cli(
+            "solve", "--fleet", "cpu-gpu", "--trace", "diurnal", "--slots", "12", "--epsilon", "0.5"
+        )
+        assert code == 0
+        assert "approximation" in out
+        assert "1.5" in out  # the printed guarantee
+
+    def test_schedule_csv_output(self):
+        code, out = run_cli(
+            "solve", "--fleet", "single", "--trace", "constant", "--slots", "6", "--schedule-csv"
+        )
+        assert code == 0
+        assert "slot,demand" in out
+
+    def test_demand_file(self, tmp_path):
+        demand_file = tmp_path / "demand.csv"
+        demand_file.write_text("1.0\n2.0\n0.0\n3.0\n")
+        code, out = run_cli("solve", "--fleet", "single", "--demand-file", str(demand_file))
+        assert code == 0
+        assert "T=4" in out
+
+    def test_empty_demand_file_rejected(self, tmp_path):
+        demand_file = tmp_path / "demand.csv"
+        demand_file.write_text("\n")
+        with pytest.raises(SystemExit):
+            run_cli("solve", "--fleet", "single", "--demand-file", str(demand_file))
+
+
+class TestOnlineCommand:
+    @pytest.mark.parametrize("algorithm", ["A", "B", "reactive", "all-on"])
+    def test_algorithms_run(self, algorithm):
+        code, out = run_cli(
+            "online", "--fleet", "cpu-gpu", "--trace", "bursty", "--slots", "10",
+            "--algorithm", algorithm, "--seed", "1",
+        )
+        assert code == 0
+        assert "online run" in out
+        assert "ratio" in out
+
+    def test_algorithm_c_with_prices(self):
+        code, out = run_cli(
+            "online", "--fleet", "old-new", "--trace", "diurnal", "--slots", "10",
+            "--algorithm", "C", "--epsilon", "0.5", "--price-amplitude", "0.4",
+        )
+        assert code == 0
+        assert "algorithm-C" in out
+        assert "proven_bound" in out
+
+    def test_bound_column_only_for_paper_algorithms(self):
+        code, out = run_cli(
+            "online", "--fleet", "cpu-gpu", "--trace", "constant", "--slots", "6",
+            "--algorithm", "reactive",
+        )
+        assert code == 0
+        assert "proven_bound" not in out
+
+
+class TestCompareCommand:
+    def test_heterogeneous_comparison(self):
+        code, out = run_cli("compare", "--fleet", "cpu-gpu", "--trace", "diurnal", "--slots", "10")
+        assert code == 0
+        assert "algorithm comparison" in out
+        assert "algorithm-A" in out and "all-on" in out
+        assert "offline optimum" in out
+
+    def test_homogeneous_comparison_includes_lcp(self):
+        code, out = run_cli("compare", "--fleet", "single", "--trace", "diurnal", "--slots", "10")
+        assert code == 0
+        assert "LCP" in out

@@ -1,0 +1,77 @@
+"""Smoke tests: every bundled example script runs end to end.
+
+The examples double as integration tests of the public API; they are executed
+here with their default (small) parameters and their stdout is checked for the
+key facts each one promises to report.
+"""
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # type: ignore[union-attr]
+    return module
+
+
+def _run_main(name: str, *args):
+    module = _load(name)
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        module.main(*args)
+    return buffer.getvalue()
+
+
+def test_examples_directory_contents():
+    names = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+    assert {"quickstart", "heterogeneous_cloud", "time_varying_prices",
+            "datacenter_maintenance", "approximation_tradeoff", "adversarial_analysis"} <= names
+
+
+def test_quickstart_runs():
+    out = _run_main("quickstart")
+    assert "optimal offline cost" in out
+    assert "Algorithm A online cost" in out
+    assert "cost breakdown" in out
+
+
+def test_heterogeneous_cloud_runs():
+    out = _run_main("heterogeneous_cloud", 24)
+    assert "algorithm comparison" in out
+    assert "algorithm-A" in out
+    assert "right-sizing saves" in out
+
+
+def test_time_varying_prices_runs():
+    out = _run_main("time_varying_prices", 18)
+    assert "c(I)" in out
+    assert "time-dependent costs" in out
+
+
+def test_datacenter_maintenance_runs():
+    out = _run_main("datacenter_maintenance", 20)
+    assert "time-varying availability" in out
+    assert "approximation" in out
+
+
+def test_approximation_tradeoff_runs():
+    out = _run_main("approximation_tradeoff")
+    assert "exact vs. (1+eps)-approximate" in out
+    assert "reduced-grid DP" in out
+
+
+def test_adversarial_analysis_runs():
+    out = _run_main("adversarial_analysis")
+    assert "exponential lower bound" in out
+    assert "ski-rental adversarial traces" in out
+    assert "blow-up" in out

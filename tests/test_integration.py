@@ -1,0 +1,164 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise the realistic scenarios of the example scripts: a heterogeneous
+CPU/GPU data center under a diurnal workload, time-of-day electricity prices,
+maintenance windows (time-varying fleet sizes) and the full algorithm
+comparison, asserting the relationships the paper's theory predicts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AlgorithmA,
+    AlgorithmB,
+    AlgorithmC,
+    AllOn,
+    FollowDemand,
+    ProblemInstance,
+    Reactive,
+    run_online,
+    solve_approx,
+    solve_optimal,
+    theoretical_bound,
+    total_cost,
+)
+from repro.offline import convex_lower_bound, pairwise_dp_optimal
+from repro.workloads import (
+    bursty_trace,
+    cpu_gpu_fleet,
+    diurnal_trace,
+    fleet_instance,
+    load_independent_fleet,
+    old_new_fleet,
+    three_tier_fleet,
+)
+
+from conftest import random_instance
+
+
+class TestHeterogeneousCloudScenario:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        demand = diurnal_trace(36, period=12, base=1.0, peak=9.0, noise=0.1, rng=42)
+        inst = fleet_instance(cpu_gpu_fleet(cpu_count=5, gpu_count=2), demand, name="cloud")
+        opt = solve_optimal(inst, return_schedule=False).cost
+        return inst, opt
+
+    def test_all_online_algorithms_within_bounds(self, scenario):
+        inst, opt = scenario
+        for algo, key in ((AlgorithmA(), "A"), (AlgorithmB(), "B")):
+            result = run_online(inst, algo)
+            assert result.schedule.is_feasible(inst)
+            assert result.cost <= theoretical_bound(inst, key) * opt + 1e-6
+
+    def test_right_sizing_beats_all_on(self, scenario):
+        inst, opt = scenario
+        algorithm_a_cost = run_online(inst, AlgorithmA()).cost
+        all_on_cost = run_online(inst, AllOn()).cost
+        assert algorithm_a_cost < all_on_cost
+
+    def test_approximation_sandwich(self, scenario):
+        inst, opt = scenario
+        approx = solve_approx(inst, epsilon=0.5, return_schedule=False).cost
+        assert opt - 1e-6 <= approx <= 1.5 * opt + 1e-6
+
+    def test_lower_bound_chain(self, scenario):
+        """fractional LB <= OPT <= Algorithm A <= (2d+1) OPT."""
+        inst, opt = scenario
+        lb = convex_lower_bound(inst, n_tangents=6).value
+        online = run_online(inst, AlgorithmA()).cost
+        assert lb <= opt + 1e-6 <= online + 1e-6
+        assert online <= (2 * inst.d + 1) * opt + 1e-6
+
+
+class TestElectricityPriceScenario:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        demand = diurnal_trace(24, period=24, base=1.0, peak=7.0, noise=0.05, rng=3)
+        prices = 1.0 + 0.6 * np.sin(np.arange(24) / 24.0 * 2 * np.pi + 1.0)
+        inst = fleet_instance(old_new_fleet(old_count=4, new_count=3), demand, name="prices")
+        inst = inst.with_price_profile(prices)
+        opt = solve_optimal(inst, return_schedule=False).cost
+        return inst, opt
+
+    def test_b_and_c_respect_bounds(self, scenario):
+        inst, opt = scenario
+        b_result = run_online(inst, AlgorithmB())
+        c_result = run_online(inst, AlgorithmC(epsilon=0.5))
+        assert b_result.cost <= theoretical_bound(inst, "B") * opt + 1e-6
+        assert c_result.cost <= (2 * inst.d + 1 + 0.5) * opt + 1e-6
+
+    def test_c_constant_is_positive(self, scenario):
+        inst, _ = scenario
+        assert inst.c_constant() > 0
+
+
+class TestMaintenanceScenario:
+    def test_time_varying_fleet(self):
+        demand = bursty_trace(20, base=2.0, burst_height=6.0, rng=9)
+        fleet = old_new_fleet(old_count=4, new_count=3)
+        inst = fleet_instance(fleet, demand, name="maintenance")
+        counts = np.tile(inst.m, (inst.T, 1))
+        counts[8:12, 0] = 1  # old servers in maintenance
+        inst_tv = inst.with_counts(counts)
+        # demand may exceed the reduced capacity; clip it
+        cap = np.array([inst_tv.total_capacity(t) for t in range(inst_tv.T)])
+        inst_tv = ProblemInstance(inst_tv.server_types, np.minimum(demand, cap), counts=counts)
+        opt = solve_optimal(inst_tv)
+        assert opt.schedule.is_feasible(inst_tv)
+        approx = solve_approx(inst_tv, epsilon=1.0)
+        assert opt.cost - 1e-6 <= approx.cost <= 2.0 * opt.cost + 1e-6
+
+
+class TestThreeTypeScenario:
+    def test_three_types_end_to_end(self):
+        demand = diurnal_trace(16, period=8, base=2.0, peak=14.0, noise=0.0)
+        inst = fleet_instance(three_tier_fleet(), demand, name="three-tier")
+        opt = solve_optimal(inst, return_schedule=False).cost
+        result = run_online(inst, AlgorithmA())
+        assert result.schedule.is_feasible(inst)
+        assert result.cost <= (2 * 3 + 1) * opt + 1e-6
+
+    def test_load_independent_matches_corollary9(self):
+        demand = bursty_trace(20, base=1.0, burst_height=5.0, rng=4)
+        inst = fleet_instance(load_independent_fleet(d=2), demand, name="load-indep")
+        opt = solve_optimal(inst, return_schedule=False).cost
+        result = run_online(inst, AlgorithmA())
+        assert result.cost <= 2 * inst.d * opt + 1e-6
+
+
+class TestAlgorithmOrdering:
+    def test_online_algorithms_beat_naive_baselines_on_diurnal(self):
+        demand = diurnal_trace(30, period=10, base=0.5, peak=6.0, noise=0.0)
+        inst = fleet_instance(cpu_gpu_fleet(cpu_count=4, gpu_count=1), demand, name="order")
+        costs = {
+            "A": run_online(inst, AlgorithmA()).cost,
+            "all-on": run_online(inst, AllOn()).cost,
+            "follow": run_online(inst, FollowDemand()).cost,
+        }
+        opt = solve_optimal(inst, return_schedule=False).cost
+        assert opt <= costs["A"] <= costs["all-on"]
+        # A avoids follow-demand's thrashing on the night-time troughs
+        assert costs["A"] <= costs["follow"] * 1.5
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=12, deadline=None)
+def test_fuzz_full_stack_invariants(seed):
+    """Random small instances: DP = pairwise DP, bounds hold for A, approximation sandwich."""
+    rng = np.random.default_rng(seed)
+    inst = random_instance(rng, T=5, d=2, max_servers=3)
+    exact = solve_optimal(inst)
+    _, pairwise_cost = pairwise_dp_optimal(inst)
+    assert exact.cost == pytest.approx(pairwise_cost, rel=1e-5, abs=1e-7)
+
+    approx = solve_approx(inst, epsilon=1.0, return_schedule=False)
+    assert exact.cost - 1e-6 <= approx.cost <= 2.0 * exact.cost + 1e-6
+
+    result = run_online(inst, AlgorithmA())
+    assert result.schedule.is_feasible(inst)
+    if exact.cost > 1e-9:
+        assert result.cost <= (2 * inst.d + 1) * exact.cost + 1e-6

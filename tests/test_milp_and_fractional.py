@@ -1,0 +1,136 @@
+"""Tests for the MILP cross-check and the fractional/tangent lower bounds."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConstantCost,
+    LinearCost,
+    PowerCost,
+    ProblemInstance,
+    QuadraticCost,
+    ServerType,
+    solve_milp,
+    solve_optimal,
+)
+from repro.core.cost_functions import ScaledCost, ShiftedCost
+from repro.offline import convex_lower_bound, is_linear_instance, solve_lp_relaxation
+from repro.offline.milp import linear_coefficients
+
+from conftest import random_instance
+
+
+class TestLinearCoefficients:
+    def test_constant(self):
+        assert linear_coefficients(ConstantCost(2.0)) == (2.0, 0.0)
+
+    def test_linear(self):
+        assert linear_coefficients(LinearCost(idle=1.0, slope=3.0)) == (1.0, 3.0)
+
+    def test_degenerate_quadratic(self):
+        assert linear_coefficients(QuadraticCost(idle=1.0, a=2.0, b=0.0)) == (1.0, 2.0)
+
+    def test_genuine_quadratic_is_not_linear(self):
+        assert linear_coefficients(QuadraticCost(idle=1.0, a=2.0, b=1.0)) is None
+
+    def test_power_is_not_linear(self):
+        assert linear_coefficients(PowerCost(idle=1.0, coef=1.0, exponent=2.0)) is None
+
+    def test_scaled_and_shifted(self):
+        f = ShiftedCost(ScaledCost(LinearCost(idle=1.0, slope=2.0), 0.5), 3.0)
+        assert linear_coefficients(f) == (3.5, 1.0)
+
+    def test_is_linear_instance(self, linear_instance, small_instance):
+        assert is_linear_instance(linear_instance)
+        assert not is_linear_instance(small_instance)
+
+
+class TestMilp:
+    def test_matches_dp_on_linear_instance(self, linear_instance):
+        milp = solve_milp(linear_instance)
+        dp = solve_optimal(linear_instance)
+        assert milp.status == "optimal"
+        assert milp.cost == pytest.approx(dp.cost, rel=1e-6)
+        assert milp.schedule.is_feasible(linear_instance)
+
+    def test_matches_dp_on_load_independent_instance(self, load_independent_instance):
+        milp = solve_milp(load_independent_instance)
+        dp = solve_optimal(load_independent_instance)
+        assert milp.cost == pytest.approx(dp.cost, rel=1e-6)
+
+    def test_rejects_nonlinear_costs(self, small_instance):
+        with pytest.raises(ValueError):
+            solve_milp(small_instance)
+
+    def test_lp_relaxation_is_lower_bound(self, linear_instance):
+        lp = solve_lp_relaxation(linear_instance)
+        milp = solve_milp(linear_instance)
+        assert lp.cost <= milp.cost + 1e-6
+        assert lp.schedule is None  # fractional solution carries no integral schedule
+
+    def test_time_dependent_linear_costs(self, linear_instance):
+        prices = np.linspace(1.0, 2.0, linear_instance.T)
+        inst = linear_instance.with_price_profile(prices)
+        milp = solve_milp(inst)
+        dp = solve_optimal(inst)
+        assert milp.cost == pytest.approx(dp.cost, rel=1e-6)
+
+    def test_time_varying_counts(self, linear_instance):
+        counts = np.tile(linear_instance.m, (linear_instance.T, 1))
+        counts[2] = [3, 1]
+        inst = linear_instance.with_counts(counts)
+        milp = solve_milp(inst)
+        dp = solve_optimal(inst)
+        assert milp.cost == pytest.approx(dp.cost, rel=1e-6)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_linear_instances(self, seed):
+        rng = np.random.default_rng(5000 + seed)
+        types = tuple(
+            ServerType(
+                name=f"t{j}",
+                count=int(rng.integers(1, 4)),
+                switching_cost=float(rng.uniform(0.5, 8.0)),
+                capacity=float(rng.choice([1.0, 2.0])),
+                cost_function=LinearCost(idle=float(rng.uniform(0.1, 2.0)), slope=float(rng.uniform(0.0, 2.0))),
+            )
+            for j in range(2)
+        )
+        capacity = sum(st.count * st.capacity for st in types)
+        demand = rng.uniform(0.0, capacity, size=5)
+        inst = ProblemInstance(types, demand)
+        assert solve_milp(inst).cost == pytest.approx(solve_optimal(inst).cost, rel=1e-5, abs=1e-6)
+
+
+class TestConvexLowerBound:
+    def test_lower_bound_below_optimum(self, small_instance):
+        bound = convex_lower_bound(small_instance, n_tangents=8)
+        opt = solve_optimal(small_instance, return_schedule=False).cost
+        assert bound.is_valid
+        assert bound.value <= opt + 1e-6
+
+    def test_equals_lp_relaxation_for_linear_costs(self, linear_instance):
+        bound = convex_lower_bound(linear_instance, n_tangents=4)
+        lp = solve_lp_relaxation(linear_instance)
+        assert bound.value == pytest.approx(lp.cost, rel=1e-5)
+
+    def test_more_tangents_tighten_the_bound(self, small_instance):
+        loose = convex_lower_bound(small_instance, n_tangents=2).value
+        tight = convex_lower_bound(small_instance, n_tangents=12).value
+        assert tight >= loose - 1e-7
+
+    def test_empty_instance(self, two_type_fleet):
+        inst = ProblemInstance(two_type_fleet, np.zeros(0))
+        assert convex_lower_bound(inst).value == 0.0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_instances_lower_bound(self, seed):
+        rng = np.random.default_rng(6000 + seed)
+        inst = random_instance(rng, T=4, d=2, max_servers=3)
+        bound = convex_lower_bound(inst, n_tangents=6)
+        opt = solve_optimal(inst, return_schedule=False).cost
+        assert bound.value <= opt + 1e-5
+
+    def test_fractional_servers_cover_demand(self, small_instance):
+        bound = convex_lower_bound(small_instance, n_tangents=6)
+        np.testing.assert_allclose(bound.loads.sum(axis=1), small_instance.demand, atol=1e-5)

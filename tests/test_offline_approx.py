@@ -1,0 +1,178 @@
+"""Tests for the (1+eps)-approximation (Section 4.2) and the X' rounding construction."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ProblemInstance,
+    QuadraticCost,
+    Schedule,
+    ServerType,
+    solve_approx,
+    solve_optimal,
+    total_cost,
+)
+from repro.offline import (
+    approximation_guarantee,
+    gamma_for_epsilon,
+    round_schedule_to_grid,
+    rounding_invariant_holds,
+    StateGrid,
+)
+from repro.workloads import diurnal_trace
+
+from conftest import random_instance
+
+
+class TestParameterMapping:
+    def test_gamma_for_epsilon(self):
+        assert gamma_for_epsilon(1.0) == pytest.approx(1.5)
+        assert gamma_for_epsilon(0.5) == pytest.approx(1.25)
+        with pytest.raises(ValueError):
+            gamma_for_epsilon(0.0)
+
+    def test_guarantee(self):
+        assert approximation_guarantee(1.5) == pytest.approx(2.0)
+        assert approximation_guarantee(2.0) == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            approximation_guarantee(1.0)
+
+    def test_epsilon_maps_to_one_plus_eps_guarantee(self):
+        for eps in (0.25, 0.5, 1.0, 2.0):
+            assert approximation_guarantee(gamma_for_epsilon(eps)) == pytest.approx(1.0 + eps)
+
+    def test_either_epsilon_or_gamma(self, small_instance):
+        with pytest.raises(ValueError):
+            solve_approx(small_instance, epsilon=0.5, gamma=1.5)
+        with pytest.raises(ValueError):
+            solve_approx(small_instance, gamma=0.9)
+
+
+class TestApproximationQuality:
+    def test_guarantee_holds_on_small_instance(self, small_instance):
+        opt = solve_optimal(small_instance).cost
+        for eps in (0.25, 0.5, 1.0, 2.0):
+            res = solve_approx(small_instance, epsilon=eps)
+            assert res.schedule.is_feasible(small_instance)
+            assert res.cost <= (1.0 + eps) * opt + 1e-6
+            assert res.cost >= opt - 1e-6  # cannot beat the optimum
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_guarantee_holds_on_random_instances(self, seed):
+        rng = np.random.default_rng(3000 + seed)
+        inst = random_instance(rng, T=5, d=2, max_servers=6)
+        opt = solve_optimal(inst).cost
+        for gamma in (1.25, 2.0):
+            res = solve_approx(inst, gamma=gamma)
+            assert res.cost <= approximation_guarantee(gamma) * opt + 1e-6
+            assert res.cost >= opt - 1e-6
+
+    def test_larger_fleet_guarantee(self):
+        """Approximation on a fleet too large for exhaustive search but fine for the exact DP."""
+        types = (
+            ServerType("big", count=40, switching_cost=5.0, capacity=1.0,
+                       cost_function=QuadraticCost(idle=0.5, a=0.2, b=0.8)),
+            ServerType("small", count=10, switching_cost=10.0, capacity=3.0,
+                       cost_function=QuadraticCost(idle=1.0, a=0.3, b=0.2)),
+        )
+        demand = diurnal_trace(20, period=10, base=2.0, peak=45.0, noise=0.0)
+        inst = ProblemInstance(types, demand)
+        opt = solve_optimal(inst, return_schedule=False).cost
+        res = solve_approx(inst, epsilon=0.5)
+        assert res.cost <= 1.5 * opt + 1e-6
+        assert res.cost >= opt - 1e-6
+
+    def test_result_records_gamma(self, small_instance):
+        res = solve_approx(small_instance, epsilon=0.5)
+        assert res.gamma == pytest.approx(1.25)
+
+    def test_explores_fewer_states_than_exact(self):
+        types = (
+            ServerType("many", count=100, switching_cost=5.0, capacity=1.0,
+                       cost_function=QuadraticCost(idle=0.5, a=0.2, b=0.8)),
+        )
+        inst = ProblemInstance(types, diurnal_trace(10, base=5, peak=90, noise=0.0))
+        exact = solve_optimal(inst, return_schedule=False)
+        approx = solve_approx(inst, epsilon=1.0, return_schedule=False)
+        assert approx.num_states_explored < exact.num_states_explored / 3
+
+    def test_schedule_uses_only_grid_values(self, small_instance):
+        res = solve_approx(small_instance, gamma=2.0)
+        for t in range(small_instance.T):
+            grid = res.grids[t]
+            assert grid.contains(res.schedule.x[t])
+
+    def test_time_varying_counts(self, small_instance):
+        counts = np.tile(small_instance.m, (small_instance.T, 1))
+        counts[2] = [3, 1]
+        inst = small_instance.with_counts(counts)
+        opt = solve_optimal(inst).cost
+        res = solve_approx(inst, epsilon=0.5)
+        assert res.schedule.is_feasible(inst)
+        assert res.cost <= 1.5 * opt + 1e-6
+
+
+class TestRoundingConstruction:
+    """The X' schedule from the proof of Theorem 16 (equation (18), Figure 5)."""
+
+    def test_invariant_holds_for_optimal_schedule(self, small_instance):
+        opt = solve_optimal(small_instance).schedule
+        gamma = 2.0
+        grid = StateGrid.geometric(small_instance.m, gamma)
+        rounded = round_schedule_to_grid(opt, grid, gamma)
+        assert rounding_invariant_holds(opt, rounded, gamma)
+        assert rounded.is_feasible(small_instance)
+
+    def test_rounded_values_lie_on_grid(self, small_instance):
+        opt = solve_optimal(small_instance).schedule
+        gamma = 1.5
+        grid = StateGrid.geometric(small_instance.m, gamma)
+        rounded = round_schedule_to_grid(opt, grid, gamma)
+        for t in range(rounded.T):
+            assert grid.contains(rounded.x[t])
+
+    def test_rounded_cost_within_guarantee(self, small_instance):
+        """C(X') <= (2 gamma - 1) C(X*) — Lemmas 19 + 20 combined."""
+        opt_result = solve_optimal(small_instance)
+        for gamma in (1.25, 1.5, 2.0):
+            grid = StateGrid.geometric(small_instance.m, gamma)
+            rounded = round_schedule_to_grid(opt_result.schedule, grid, gamma)
+            assert total_cost(small_instance, rounded) <= (
+                (2 * gamma - 1) * opt_result.cost + 1e-6
+            )
+
+    def test_shortest_path_no_worse_than_rounding(self, small_instance):
+        """The schedule from the reduced-grid shortest path can only be cheaper than X'."""
+        gamma = 2.0
+        opt = solve_optimal(small_instance)
+        grid = StateGrid.geometric(small_instance.m, gamma)
+        rounded = round_schedule_to_grid(opt.schedule, grid, gamma)
+        approx = solve_approx(small_instance, gamma=gamma)
+        assert approx.cost <= total_cost(small_instance, rounded) + 1e-6
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_invariant_on_random_instances(self, seed):
+        rng = np.random.default_rng(4000 + seed)
+        inst = random_instance(rng, T=6, d=2, max_servers=8)
+        opt = solve_optimal(inst).schedule
+        gamma = 1.0 + float(rng.uniform(0.1, 1.5))
+        grid = StateGrid.geometric(inst.m, gamma)
+        rounded = round_schedule_to_grid(opt, grid, gamma)
+        assert rounding_invariant_holds(opt, rounded, gamma)
+
+    def test_figure5_trajectory(self):
+        """Reproduce the lazy behaviour of Figure 5: X' only moves to restore the invariant."""
+        gamma = 2.0
+        grid = StateGrid([np.array([0, 1, 2, 4, 8, 10])])
+        reference = Schedule(np.array([[3, 3, 5, 9, 9, 6, 3, 1, 1, 2, 5, 2, 1, 0, 0, 1, 3]]).T)
+        rounded = round_schedule_to_grid(reference, grid, gamma)
+        assert rounding_invariant_holds(reference, rounded, gamma)
+        # lazy: the number of value changes of X' is at most that of X* and typically lower
+        changes_ref = int(np.sum(np.abs(np.diff(reference.x[:, 0])) > 0))
+        changes_rounded = int(np.sum(np.abs(np.diff(rounded.x[:, 0])) > 0))
+        assert changes_rounded <= changes_ref
+
+    def test_gamma_validation(self, small_instance):
+        grid = StateGrid.geometric(small_instance.m, 2.0)
+        with pytest.raises(ValueError):
+            round_schedule_to_grid(Schedule.empty(3, 2), grid, gamma=1.0)

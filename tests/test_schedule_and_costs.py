@@ -1,0 +1,242 @@
+"""Tests for :class:`Schedule` and the exact cost evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    ConstantCost,
+    ProblemInstance,
+    Schedule,
+    ServerType,
+    evaluate_schedule,
+    operating_cost,
+    switching_cost,
+    total_cost,
+)
+from repro.dispatch import DispatchSolver
+
+
+# --------------------------------------------------------------------------- #
+# Schedule container
+# --------------------------------------------------------------------------- #
+
+
+class TestScheduleConstruction:
+    def test_from_rows(self):
+        s = Schedule.from_rows([[1, 0], [2, 1], [0, 0]])
+        assert s.T == 3 and s.d == 2
+        np.testing.assert_array_equal(s[1], [2, 1])
+
+    def test_empty_and_constant(self):
+        assert Schedule.empty(4, 3).x.shape == (4, 3)
+        s = Schedule.constant(3, [2, 1])
+        assert np.all(s.x == [[2, 1]] * 3)
+
+    def test_boundary_configurations_are_zero(self):
+        s = Schedule.from_rows([[1, 1]])
+        np.testing.assert_array_equal(s[-1], [0, 0])
+        np.testing.assert_array_equal(s[s.T], [0, 0])
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValueError):
+            Schedule(np.array([[1, -1]]))
+
+    def test_rejects_fractional_entries(self):
+        with pytest.raises(ValueError):
+            Schedule(np.array([[1.5, 0.0]]))
+
+    def test_accepts_float_integers(self):
+        s = Schedule(np.array([[1.0, 2.0]]))
+        assert s.x.dtype.kind == "i"
+
+    def test_rejects_wrong_dim(self):
+        with pytest.raises(ValueError):
+            Schedule(np.array([1, 2, 3]))
+
+    def test_array_is_read_only(self):
+        s = Schedule.from_rows([[1, 0]])
+        with pytest.raises(ValueError):
+            s.x[0, 0] = 5
+
+    def test_prefix_and_same_as(self):
+        s = Schedule.from_rows([[1, 0], [2, 1], [0, 0]])
+        assert s.prefix(2).same_as(Schedule.from_rows([[1, 0], [2, 1]]))
+        assert not s.same_as(s.prefix(2))
+
+
+class TestSwitchingBookkeeping:
+    def test_power_ups_include_initial_ramp(self):
+        s = Schedule.from_rows([[2, 1], [3, 0], [1, 2]])
+        ups = s.power_ups()
+        np.testing.assert_array_equal(ups, [[2, 1], [1, 0], [0, 2]])
+
+    def test_power_downs_include_final_shutdown(self):
+        s = Schedule.from_rows([[2, 1], [1, 0]])
+        downs = s.power_downs()
+        np.testing.assert_array_equal(downs, [[0, 0], [1, 1], [1, 0]])
+
+    def test_total_ups_equal_total_downs(self):
+        s = Schedule.from_rows([[2, 1], [3, 0], [1, 2], [0, 1]])
+        np.testing.assert_array_equal(s.power_ups().sum(axis=0), s.power_downs().sum(axis=0))
+
+    def test_switching_cost(self, small_instance):
+        s = Schedule.from_rows([[1, 0], [2, 1], [0, 1], [0, 0], [0, 0], [1, 1]])
+        expected = 4.0 * (1 + 1 + 0 + 0 + 0 + 1) + 9.0 * (0 + 1 + 0 + 0 + 0 + 1)
+        assert s.switching_cost(small_instance) == pytest.approx(expected)
+        assert switching_cost(small_instance, s) == pytest.approx(expected)
+
+    def test_switching_cost_shape_mismatch(self, small_instance):
+        with pytest.raises(ValueError):
+            Schedule.empty(3, 2).switching_cost(small_instance)
+
+
+class TestFeasibility:
+    def test_feasible_schedule(self, small_instance):
+        s = Schedule.from_rows([[1, 0], [2, 0], [1, 1], [1, 0], [0, 0], [3, 0]])
+        assert s.is_feasible(small_instance)
+        s.check_feasible(small_instance)
+
+    def test_capacity_violation_detected(self, small_instance):
+        s = Schedule.from_rows([[0, 0], [2, 0], [1, 0], [1, 0], [0, 0], [3, 0]])
+        # slot 2 has demand 5 but capacity 1
+        problems = s.violations(small_instance)
+        assert any("slot 2" in p for p in problems)
+        assert not s.is_feasible(small_instance)
+
+    def test_count_violation_detected(self, small_instance):
+        s = Schedule.from_rows([[4, 0], [2, 1], [1, 1], [1, 0], [0, 0], [3, 0]])
+        problems = s.violations(small_instance)
+        assert any("type 0" in p for p in problems)
+
+    def test_check_feasible_raises(self, small_instance):
+        s = Schedule.empty(6, 2)
+        with pytest.raises(ValueError):
+            s.check_feasible(small_instance)
+
+    def test_time_varying_counts_respected(self, small_instance):
+        counts = np.tile(small_instance.m, (small_instance.T, 1))
+        counts[1] = [1, 0]
+        inst = small_instance.with_counts(counts)
+        s = Schedule.from_rows([[1, 0], [2, 0], [1, 1], [1, 0], [0, 0], [3, 0]])
+        assert not s.is_feasible(inst)
+
+    def test_utilisation(self, small_instance):
+        s = Schedule.from_rows([[1, 0], [2, 0], [1, 1], [1, 0], [0, 0], [3, 0]])
+        util = s.utilisation(small_instance)
+        assert util[0] == pytest.approx(0.5)
+        assert util[4] == 0.0
+        assert np.all(util <= 1.0 + 1e-9)
+
+    def test_max_active(self):
+        s = Schedule.from_rows([[1, 0], [2, 1], [0, 2]])
+        np.testing.assert_array_equal(s.max_active(), [2, 2])
+
+
+# --------------------------------------------------------------------------- #
+# Cost evaluation
+# --------------------------------------------------------------------------- #
+
+
+class TestCostEvaluation:
+    def test_breakdown_identity(self, small_instance):
+        s = Schedule.from_rows([[1, 0], [2, 0], [1, 1], [1, 0], [0, 0], [3, 0]])
+        b = evaluate_schedule(small_instance, s)
+        assert b.total == pytest.approx(b.total_operating + b.total_switching)
+        assert b.total_operating == pytest.approx(b.total_idle + b.total_load_dependent)
+        assert b.feasible
+
+    def test_total_cost_matches_breakdown(self, small_instance):
+        s = Schedule.from_rows([[1, 0], [2, 0], [1, 1], [1, 0], [0, 0], [3, 0]])
+        b = evaluate_schedule(small_instance, s)
+        assert total_cost(small_instance, s) == pytest.approx(b.total)
+        assert operating_cost(small_instance, s) == pytest.approx(b.total_operating)
+
+    def test_infeasible_slot_gives_infinite_cost(self, small_instance):
+        s = Schedule.empty(6, 2)
+        b = evaluate_schedule(small_instance, s)
+        assert not b.feasible
+        assert np.isinf(b.total)
+
+    def test_loads_cover_demand(self, small_instance):
+        s = Schedule.from_rows([[1, 0], [2, 0], [1, 1], [1, 0], [0, 0], [3, 0]])
+        b = evaluate_schedule(small_instance, s)
+        np.testing.assert_allclose(b.loads.sum(axis=1), small_instance.demand, atol=1e-6)
+
+    def test_idle_cost_formula(self, small_instance):
+        s = Schedule.from_rows([[1, 0], [2, 0], [1, 1], [1, 0], [0, 0], [3, 0]])
+        b = evaluate_schedule(small_instance, s)
+        idle = small_instance.idle_costs(0)
+        np.testing.assert_allclose(b.idle[0], s.x[0] * idle)
+
+    def test_load_dependent_non_negative(self, small_instance):
+        s = Schedule.from_rows([[1, 0], [2, 0], [1, 1], [1, 0], [0, 0], [3, 0]])
+        b = evaluate_schedule(small_instance, s)
+        assert np.all(b.load_dependent >= -1e-9)
+
+    def test_shape_mismatch_rejected(self, small_instance):
+        with pytest.raises(ValueError):
+            evaluate_schedule(small_instance, Schedule.empty(3, 2))
+
+    def test_exceeding_counts_is_infeasible(self, small_instance):
+        s = Schedule.from_rows([[4, 2], [2, 0], [1, 1], [1, 0], [0, 0], [3, 0]])
+        b = evaluate_schedule(small_instance, s)
+        assert not b.feasible
+
+    def test_constant_cost_instance_cost_is_linear_in_servers(self, load_independent_instance):
+        inst = load_independent_instance
+        s = Schedule.constant(inst.T, [2, 1])
+        b = evaluate_schedule(inst, s)
+        levels = np.array([inst.cost_function(0, j).idle_cost() for j in range(inst.d)])
+        expected_operating = inst.T * float(np.sum(np.array([2, 1]) * levels))
+        assert b.total_operating == pytest.approx(expected_operating)
+        assert b.total_load_dependent == pytest.approx(0.0, abs=1e-9)
+
+    def test_summary_keys(self, small_instance):
+        s = Schedule.from_rows([[1, 0], [2, 0], [1, 1], [1, 0], [0, 0], [3, 0]])
+        summary = evaluate_schedule(small_instance, s).summary()
+        assert set(summary) == {"total", "operating", "switching", "idle", "load_dependent", "feasible"}
+
+
+# --------------------------------------------------------------------------- #
+# Property-based invariants
+# --------------------------------------------------------------------------- #
+
+
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_switching_cost_is_translation_bounded(data):
+    """Keeping one extra server on from slot t onwards adds at most beta_j switching cost,
+    and exactly beta_j when no power-down is absorbed at slot t."""
+    T = data.draw(st.integers(2, 6))
+    x = np.array(data.draw(st.lists(st.integers(0, 3), min_size=T, max_size=T)))
+    t = data.draw(st.integers(1, T - 1))
+    types = (ServerType("a", count=5, switching_cost=2.5, capacity=1.0, cost_function=ConstantCost(1.0)),)
+    inst = ProblemInstance(types, np.zeros(T))
+    base = Schedule(x[:, None]).switching_cost(inst)
+    bumped = x.copy()
+    bumped[t:] += 1
+    increase = Schedule(bumped[:, None]).switching_cost(inst) - base
+    assert 0.0 - 1e-9 <= increase <= 2.5 + 1e-9
+    if x[t] >= x[t - 1]:
+        assert increase == pytest.approx(2.5)
+
+
+@given(data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_more_servers_never_reduce_capacity_feasibility(data):
+    """If a schedule is feasible, any pointwise-larger schedule is feasible too."""
+    T = data.draw(st.integers(1, 5))
+    types = (
+        ServerType("a", count=3, switching_cost=1.0, capacity=1.0, cost_function=ConstantCost(1.0)),
+        ServerType("b", count=2, switching_cost=1.0, capacity=2.0, cost_function=ConstantCost(1.0)),
+    )
+    inst = ProblemInstance(types, np.array(data.draw(
+        st.lists(st.floats(0.0, 7.0), min_size=T, max_size=T))))
+    rows = data.draw(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 2)), min_size=T, max_size=T))
+    base = Schedule.from_rows(rows)
+    if not base.is_feasible(inst):
+        return
+    bigger = Schedule(np.minimum(base.x + 1, inst.m[None, :]))
+    assert bigger.is_feasible(inst)

@@ -1,0 +1,228 @@
+"""Tests for :class:`ServerType` and :class:`ProblemInstance`."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import ConstantCost, LinearCost, ProblemInstance, QuadraticCost, ServerType
+from repro.core.cost_functions import ScaledCost
+
+
+# --------------------------------------------------------------------------- #
+# ServerType
+# --------------------------------------------------------------------------- #
+
+
+class TestServerType:
+    def test_basic_properties(self):
+        st_ = ServerType("cpu", count=4, switching_cost=5.0, capacity=2.0,
+                         cost_function=LinearCost(idle=1.0, slope=0.5))
+        assert st_.count == 4
+        assert st_.idle_cost == 1.0
+        assert st_.full_load_cost == pytest.approx(2.0)
+
+    def test_break_even_slots(self):
+        st_ = ServerType("cpu", count=1, switching_cost=5.0, capacity=1.0,
+                         cost_function=ConstantCost(level=2.0))
+        assert st_.break_even_slots() == 3  # ceil(5/2)
+
+    def test_break_even_exact_division(self):
+        st_ = ServerType("cpu", count=1, switching_cost=6.0, capacity=1.0,
+                         cost_function=ConstantCost(level=2.0))
+        assert st_.break_even_slots() == 3
+
+    def test_break_even_with_zero_idle_cost(self):
+        st_ = ServerType("cpu", count=1, switching_cost=6.0, capacity=1.0,
+                         cost_function=QuadraticCost(idle=0.0, a=0.0, b=1.0))
+        assert st_.break_even_slots() == math.inf
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            ServerType("x", count=-1, switching_cost=1.0, capacity=1.0)
+
+    def test_negative_switching_cost_rejected(self):
+        with pytest.raises(ValueError):
+            ServerType("x", count=1, switching_cost=-1.0, capacity=1.0)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ServerType("x", count=1, switching_cost=1.0, capacity=0.0)
+
+    def test_non_cost_function_rejected(self):
+        with pytest.raises(TypeError):
+            ServerType("x", count=1, switching_cost=1.0, capacity=1.0, cost_function=lambda z: z)
+
+    def test_with_count(self):
+        st_ = ServerType("x", count=2, switching_cost=1.0, capacity=1.0)
+        assert st_.with_count(7).count == 7
+        assert st_.count == 2  # original untouched
+
+    def test_with_cost_function(self):
+        st_ = ServerType("x", count=2, switching_cost=1.0, capacity=1.0)
+        st2 = st_.with_cost_function(ConstantCost(3.0))
+        assert st2.idle_cost == 3.0
+
+    def test_describe_mentions_name_and_count(self):
+        st_ = ServerType("gpu", count=3, switching_cost=1.0, capacity=4.0)
+        text = st_.describe()
+        assert "gpu" in text and "m=3" in text
+
+    def test_infinite_capacity_allowed(self):
+        st_ = ServerType("big", count=1, switching_cost=1.0, capacity=float("inf"))
+        assert not np.isfinite(st_.capacity) or st_.capacity > 0
+
+
+# --------------------------------------------------------------------------- #
+# ProblemInstance
+# --------------------------------------------------------------------------- #
+
+
+class TestProblemInstanceBasics:
+    def test_dimensions(self, small_instance):
+        assert small_instance.T == 6
+        assert small_instance.d == 2
+        np.testing.assert_array_equal(small_instance.m, [3, 2])
+        np.testing.assert_allclose(small_instance.beta, [4.0, 9.0])
+        np.testing.assert_allclose(small_instance.zmax, [1.0, 4.0])
+
+    def test_needs_at_least_one_type(self):
+        with pytest.raises(ValueError):
+            ProblemInstance((), np.array([1.0]))
+
+    def test_demand_must_be_non_negative(self, two_type_fleet):
+        with pytest.raises(ValueError):
+            ProblemInstance(two_type_fleet, np.array([1.0, -0.5]))
+
+    def test_demand_must_be_finite(self, two_type_fleet):
+        with pytest.raises(ValueError):
+            ProblemInstance(two_type_fleet, np.array([1.0, np.inf]))
+
+    def test_demand_must_be_1d(self, two_type_fleet):
+        with pytest.raises(ValueError):
+            ProblemInstance(two_type_fleet, np.array([[1.0, 2.0]]))
+
+    def test_demand_is_read_only(self, small_instance):
+        with pytest.raises(ValueError):
+            small_instance.demand[0] = 99.0
+
+    def test_cost_function_defaults_to_server_type(self, small_instance, two_type_fleet):
+        assert small_instance.cost_function(0, 0) is two_type_fleet[0].cost_function
+        assert small_instance.cost_function(3, 1) is two_type_fleet[1].cost_function
+
+    def test_slot_index_bounds(self, small_instance):
+        with pytest.raises(IndexError):
+            small_instance.cost_function(6, 0)
+        with pytest.raises(IndexError):
+            small_instance.counts_at(-1)
+
+    def test_idle_costs(self, small_instance):
+        np.testing.assert_allclose(small_instance.idle_costs(0), [0.5, 1.5])
+
+    def test_total_capacity_and_feasibility(self, small_instance):
+        assert small_instance.total_capacity(0) == pytest.approx(3 * 1.0 + 2 * 4.0)
+        assert small_instance.is_feasible()
+        small_instance.validate()
+
+    def test_infeasible_instance_detected(self, two_type_fleet):
+        inst = ProblemInstance(two_type_fleet, np.array([100.0]))
+        assert not inst.is_feasible()
+        with pytest.raises(ValueError):
+            inst.validate()
+
+
+class TestPrefixAndVariants:
+    def test_prefix_shortens_demand(self, small_instance):
+        prefix = small_instance.prefix(3)
+        assert prefix.T == 3
+        np.testing.assert_allclose(prefix.demand, small_instance.demand[:3])
+
+    def test_prefix_bounds(self, small_instance):
+        with pytest.raises(ValueError):
+            small_instance.prefix(7)
+        assert small_instance.prefix(0).T == 0
+
+    def test_prefix_keeps_time_dependent_costs(self, time_dependent_instance):
+        prefix = time_dependent_instance.prefix(2)
+        assert prefix.has_time_dependent_costs
+        assert len(prefix.cost_functions) == 2
+
+    def test_with_demand(self, small_instance):
+        inst = small_instance.with_demand(np.array([1.0, 2.0]))
+        assert inst.T == 2
+
+    def test_with_demand_rejects_length_change_with_td_costs(self, time_dependent_instance):
+        with pytest.raises(ValueError):
+            time_dependent_instance.with_demand(np.array([1.0, 2.0]))
+
+    def test_price_profile_scales_costs(self, small_instance):
+        prices = np.linspace(1.0, 2.0, small_instance.T)
+        inst = small_instance.with_price_profile(prices)
+        assert inst.has_time_dependent_costs
+        f = inst.cost_function(small_instance.T - 1, 0)
+        base = small_instance.cost_function(small_instance.T - 1, 0)
+        assert float(f.value(0.5)) == pytest.approx(2.0 * float(base.value(0.5)))
+
+    def test_price_profile_validation(self, small_instance):
+        with pytest.raises(ValueError):
+            small_instance.with_price_profile(np.ones(small_instance.T - 1))
+        with pytest.raises(ValueError):
+            small_instance.with_price_profile(-np.ones(small_instance.T))
+
+    def test_with_counts(self, small_instance):
+        counts = np.tile(small_instance.m, (small_instance.T, 1))
+        counts[2] = [1, 1]
+        inst = small_instance.with_counts(counts)
+        assert inst.has_time_dependent_counts
+        np.testing.assert_array_equal(inst.counts_at(2), [1, 1])
+        np.testing.assert_array_equal(inst.counts_at(0), small_instance.m)
+
+    def test_with_counts_shape_validation(self, small_instance):
+        with pytest.raises(ValueError):
+            small_instance.with_counts(np.ones((2, 2), dtype=int))
+
+
+class TestInstanceStructure:
+    def test_homogeneous_flag(self, small_instance, homogeneous_instance):
+        assert not small_instance.is_homogeneous
+        assert homogeneous_instance.is_homogeneous
+
+    def test_load_independence_detection(self, load_independent_instance, small_instance):
+        assert load_independent_instance.is_load_independent()
+        assert not small_instance.is_load_independent()
+
+    def test_c_constant_time_independent(self, small_instance):
+        # c(I) = sum_j f_j(0) / beta_j for time-independent costs
+        expected = 0.5 / 4.0 + 1.5 / 9.0
+        assert small_instance.c_constant() == pytest.approx(expected)
+
+    def test_c_constant_with_prices(self, small_instance):
+        prices = np.full(small_instance.T, 2.0)
+        inst = small_instance.with_price_profile(prices)
+        assert inst.c_constant() == pytest.approx(2.0 * small_instance.c_constant())
+
+    def test_c_constant_infinite_for_zero_switching_cost(self):
+        types = (ServerType("free", count=1, switching_cost=0.0, capacity=1.0,
+                            cost_function=ConstantCost(1.0)),)
+        inst = ProblemInstance(types, np.array([0.5]))
+        assert inst.c_constant() == math.inf
+
+    def test_describe_contains_key_facts(self, small_instance):
+        text = small_instance.describe()
+        assert "T=6" in text and "d=2" in text and "cpu" in text
+
+    def test_cost_table_shape_validation(self, two_type_fleet):
+        demand = np.array([1.0, 2.0])
+        bad_rows = ((LinearCost(1, 1),),)  # only one row for T=2
+        with pytest.raises(ValueError):
+            ProblemInstance(two_type_fleet, demand, cost_functions=bad_rows)
+
+    def test_cost_table_entry_type_validation(self, two_type_fleet):
+        demand = np.array([1.0])
+        with pytest.raises(TypeError):
+            ProblemInstance(two_type_fleet, demand, cost_functions=(("not-a-cost", "x"),))
+
+    def test_counts_negative_rejected(self, two_type_fleet):
+        demand = np.array([1.0])
+        with pytest.raises(ValueError):
+            ProblemInstance(two_type_fleet, demand, counts=np.array([[-1, 2]]))

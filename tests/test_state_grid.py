@@ -1,0 +1,148 @@
+"""Tests for the state grids (full and geometrically reduced, Section 4.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.offline.state_grid import StateGrid, geometric_levels, grid_for_slot
+
+
+class TestGeometricLevels:
+    def test_paper_example_gamma_2_m_10(self):
+        """Figure 5 uses gamma=2 and m=10: the allowed states are {0,1,2,4,8,10}."""
+        np.testing.assert_array_equal(geometric_levels(10, 2.0), [0, 1, 2, 4, 8, 10])
+
+    def test_contains_zero_one_and_m(self):
+        levels = geometric_levels(37, 1.5)
+        assert levels[0] == 0
+        assert 1 in levels
+        assert levels[-1] == 37
+
+    def test_m_zero_and_one(self):
+        np.testing.assert_array_equal(geometric_levels(0, 2.0), [0])
+        np.testing.assert_array_equal(geometric_levels(1, 2.0), [0, 1])
+
+    def test_consecutive_values_close(self):
+        """Consecutive grid values are either adjacent integers or within a factor gamma.
+
+        (Adjacent integers cannot be refined any further in the discrete
+        setting; away from that regime the geometric spacing guarantees the
+        factor-gamma bound used in the proof of Theorem 16.)
+        """
+        for gamma in (1.25, 1.5, 2.0, 3.0):
+            levels = geometric_levels(200, gamma)
+            positive = levels[levels > 0]
+            for a, b in zip(positive[:-1], positive[1:]):
+                assert b == a + 1 or b <= gamma * a + 1e-9
+
+    def test_size_is_logarithmic(self):
+        # |M^gamma_j| = O(log_gamma m): for m = 10**6 and gamma=2 the set stays tiny
+        levels = geometric_levels(10**6, 2.0)
+        assert len(levels) <= 2 * np.log2(10**6) + 4
+
+    def test_gamma_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            geometric_levels(10, 1.0)
+
+    def test_negative_m_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_levels(-1, 2.0)
+
+    @given(m=st.integers(0, 500), gamma=st.floats(1.05, 4.0))
+    @settings(max_examples=80, deadline=None)
+    def test_levels_are_valid_subset(self, m, gamma):
+        levels = geometric_levels(m, gamma)
+        assert levels[0] == 0 and levels[-1] == m
+        assert np.all(np.diff(levels) > 0)
+        assert np.all((levels >= 0) & (levels <= m))
+        positive = levels[levels > 0]
+        for a, b in zip(positive[:-1], positive[1:]):
+            assert b == a + 1 or b <= gamma * a + 1e-9
+
+
+class TestStateGrid:
+    def test_full_grid(self):
+        grid = StateGrid.full([2, 1])
+        assert grid.shape == (3, 2)
+        assert grid.size == 6
+        configs = grid.configs()
+        assert configs.shape == (6, 2)
+        # row-major (C) order: last dimension varies fastest
+        np.testing.assert_array_equal(configs[:3], [[0, 0], [0, 1], [1, 0]])
+
+    def test_configs_match_value_tensor_flattening(self):
+        grid = StateGrid.full([2, 2])
+        tensor = np.arange(grid.size).reshape(grid.shape)
+        configs = grid.configs()
+        for flat_index in range(grid.size):
+            multi = np.unravel_index(flat_index, grid.shape)
+            np.testing.assert_array_equal(grid.config_at(multi), configs[flat_index])
+            assert tensor[multi] == flat_index
+
+    def test_index_of_roundtrip(self):
+        grid = StateGrid.geometric([10, 5], 2.0)
+        for config in grid.configs():
+            idx = grid.index_of(config)
+            np.testing.assert_array_equal(grid.config_at(idx), config)
+
+    def test_index_of_rejects_off_grid(self):
+        grid = StateGrid.geometric([10], 2.0)
+        with pytest.raises(ValueError):
+            grid.index_of([3])
+        assert not grid.contains([3])
+        assert grid.contains([4])
+
+    def test_ceil_floor_next(self):
+        grid = StateGrid.geometric([10], 2.0)  # {0,1,2,4,8,10}
+        assert grid.ceil_value(0, 3) == 4
+        assert grid.floor_value(0, 3) == 2
+        assert grid.ceil_value(0, 8) == 8
+        assert grid.next_value(0, 8) == 10
+        assert grid.next_value(0, 10) is None
+        with pytest.raises(ValueError):
+            grid.ceil_value(0, 11)
+
+    def test_max_ratio(self):
+        grid = StateGrid.geometric([10], 2.0)
+        assert grid.max_ratio(0) <= 2.0 + 1e-9
+        assert StateGrid.full([5]).max_ratio(0) <= 2.0  # 1->2 is the worst case
+
+    def test_requires_zero(self):
+        with pytest.raises(ValueError):
+            StateGrid([np.array([1, 2])])
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            StateGrid([np.array([-1, 0, 2])])
+
+    def test_from_epsilon_guarantee_mapping(self):
+        grid = StateGrid.from_epsilon([100], epsilon=1.0)
+        # gamma = 1.5: consecutive values are adjacent integers or within the factor 1.5
+        values = grid.values[0]
+        positive = values[values > 0]
+        for a, b in zip(positive[:-1], positive[1:]):
+            assert b == a + 1 or b <= 1.5 * a + 1e-9
+        with pytest.raises(ValueError):
+            StateGrid.from_epsilon([100], epsilon=0.0)
+
+    def test_max_values(self):
+        grid = StateGrid.geometric([10, 7], 1.5)
+        np.testing.assert_array_equal(grid.max_values(), [10, 7])
+
+
+class TestGridForSlot:
+    def test_full_grid_uses_slot_counts(self, small_instance):
+        counts = np.tile(small_instance.m, (small_instance.T, 1))
+        counts[3] = [1, 1]
+        inst = small_instance.with_counts(counts)
+        grid = grid_for_slot(inst, 3)
+        assert grid.shape == (2, 2)
+        grid0 = grid_for_slot(inst, 0)
+        assert grid0.shape == (4, 3)
+
+    def test_reduced_grid(self, small_instance):
+        grid = grid_for_slot(small_instance, 0, gamma=2.0)
+        assert grid.shape[0] <= 4 and grid.shape[1] <= 3
+        # reduced grid values are a subset of the full range
+        assert all(v <= m for vals, m in zip(grid.values, small_instance.m) for v in vals)

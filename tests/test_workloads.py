@@ -1,0 +1,138 @@
+"""Tests for the synthetic workload generators and fleet presets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ProblemInstance
+from repro.workloads import (
+    bursty_trace,
+    constant_trace,
+    cpu_gpu_fleet,
+    diurnal_trace,
+    fleet_instance,
+    load_independent_fleet,
+    mmpp_trace,
+    old_new_fleet,
+    poisson_trace,
+    ramp_trace,
+    random_walk_trace,
+    single_type_fleet,
+    spike_trace,
+    three_tier_fleet,
+)
+
+
+ALL_TRACES = [
+    lambda T, rng: constant_trace(T, 2.0),
+    lambda T, rng: diurnal_trace(T, rng=rng),
+    lambda T, rng: bursty_trace(T, rng=rng),
+    lambda T, rng: mmpp_trace(T, rng=rng),
+    lambda T, rng: random_walk_trace(T, rng=rng),
+    lambda T, rng: ramp_trace(T),
+    lambda T, rng: spike_trace(T, rng=rng),
+    lambda T, rng: poisson_trace(T, rng=rng),
+]
+
+
+class TestTraceGenerators:
+    @pytest.mark.parametrize("factory", ALL_TRACES)
+    def test_shape_and_non_negativity(self, factory):
+        trace = factory(50, np.random.default_rng(0))
+        assert trace.shape == (50,)
+        assert np.all(trace >= 0.0)
+        assert np.all(np.isfinite(trace))
+
+    @pytest.mark.parametrize("factory", ALL_TRACES)
+    def test_reproducibility_with_seed(self, factory):
+        a = factory(40, np.random.default_rng(7))
+        b = factory(40, np.random.default_rng(7))
+        np.testing.assert_allclose(a, b)
+
+    def test_diurnal_has_day_night_swing(self):
+        trace = diurnal_trace(48, period=24, base=2.0, peak=10.0, noise=0.0)
+        assert trace.min() == pytest.approx(2.0, abs=0.2)
+        assert trace.max() == pytest.approx(10.0, abs=0.2)
+        # one full period apart the values repeat
+        np.testing.assert_allclose(trace[:24], trace[24:48], atol=1e-9)
+
+    def test_diurnal_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_trace(10, base=5.0, peak=2.0)
+
+    def test_bursty_has_bursts_and_base(self):
+        trace = bursty_trace(300, base=1.0, burst_height=9.0, burst_probability=0.2, rng=3)
+        assert np.any(trace == 9.0)
+        assert np.any(trace == 1.0)
+
+    def test_spike_trace_spacing(self):
+        trace = spike_trace(30, base=0.0, spike_height=5.0, spike_every=10)
+        assert np.count_nonzero(trace) == 3
+
+    def test_ramp_trace_monotone(self):
+        trace = ramp_trace(20, start=1.0, end=5.0)
+        assert np.all(np.diff(trace) >= -1e-12)
+
+    def test_mmpp_switches_regimes(self):
+        trace = mmpp_trace(500, low=1.0, high=10.0, noise=0.0, rng=11)
+        assert np.any(trace == 1.0) and np.any(trace == 10.0)
+
+    def test_random_walk_respects_bounds(self):
+        trace = random_walk_trace(200, start=5.0, step=2.0, minimum=1.0, maximum=8.0, rng=5)
+        assert np.all(trace >= 1.0 - 1e-12) and np.all(trace <= 8.0 + 1e-12)
+
+    def test_poisson_trace_is_integral(self):
+        trace = poisson_trace(100, mean=3.0, rng=2)
+        np.testing.assert_allclose(trace, np.rint(trace))
+
+    def test_constant_trace_validation(self):
+        with pytest.raises(ValueError):
+            constant_trace(5, level=-1.0)
+
+    @given(T=st.integers(1, 200), seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_diurnal_property(self, T, seed):
+        trace = diurnal_trace(T, rng=seed)
+        assert trace.shape == (T,) and np.all(trace >= 0)
+
+
+class TestFleets:
+    @pytest.mark.parametrize(
+        "factory", [single_type_fleet, cpu_gpu_fleet, old_new_fleet, three_tier_fleet, load_independent_fleet]
+    )
+    def test_presets_are_valid(self, factory):
+        fleet = factory()
+        assert len(fleet) >= 1
+        for st_ in fleet:
+            assert st_.count >= 1
+            assert st_.switching_cost > 0
+            assert st_.capacity > 0
+            assert st_.idle_cost >= 0
+
+    def test_single_type_is_homogeneous(self):
+        assert len(single_type_fleet()) == 1
+
+    def test_three_tier_has_three_types(self):
+        assert len(three_tier_fleet()) == 3
+
+    def test_load_independent_fleet_is_constant_cost(self):
+        fleet = load_independent_fleet(d=3)
+        demand = np.zeros(4)
+        inst = ProblemInstance(tuple(fleet), demand)
+        assert inst.is_load_independent()
+
+    def test_gpu_has_higher_capacity_and_switching_cost(self):
+        cpu, gpu = cpu_gpu_fleet()
+        assert gpu.capacity > cpu.capacity
+        assert gpu.switching_cost > cpu.switching_cost
+
+    def test_fleet_instance_clips_to_capacity(self):
+        fleet = single_type_fleet(count=2)  # capacity 2
+        inst = fleet_instance(fleet, np.array([1.0, 50.0, 0.5]), name="clipped")
+        assert inst.is_feasible()
+        assert inst.demand[1] <= 2.0 + 1e-9
+
+    def test_fleet_instance_name(self):
+        inst = fleet_instance(single_type_fleet(), np.ones(3), name="hello")
+        assert inst.name == "hello"
