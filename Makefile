@@ -1,0 +1,17 @@
+PYTHON ?= python
+export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-smoke
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# <30s regression harness: solves three pinned instances and asserts the DP
+# still returns seed-identical optimal costs (guards the batched dispatch
+# engine against accuracy drift).
+bench-smoke:
+	$(PYTHON) -m repro bench --smoke
+
+# full benchmark harness (regenerates the paper artifacts + BENCH_*.json)
+bench:
+	cd benchmarks && $(PYTHON) -m pytest bench_*.py -q --benchmark-only

@@ -17,9 +17,10 @@ import time
 import numpy as np
 
 from repro import ProblemInstance, QuadraticCost, ServerType, solve_approx, solve_optimal
+from repro.dispatch import DispatchSolver
 from repro.workloads import diurnal_trace
 
-from bench_utils import once, result_section, write_result
+from bench_utils import once, result_section, write_bench_json, write_result
 
 
 def _instance(m: int, T: int) -> ProblemInstance:
@@ -42,10 +43,15 @@ def _timed(func):
 
 def _run():
     fleet_rows = []
+    dispatch_counters = []
     for m in (8, 16, 32, 64):
         instance = _instance(m, T=12)
-        exact, t_exact = _timed(lambda: solve_optimal(instance, return_schedule=False))
+        dispatcher = DispatchSolver(instance)
+        exact, t_exact = _timed(
+            lambda: solve_optimal(instance, dispatcher=dispatcher, return_schedule=False)
+        )
         approx, t_approx = _timed(lambda: solve_approx(instance, epsilon=0.5, return_schedule=False))
+        dispatch_counters.append({"m": m, **dispatcher.stats.snapshot()})
         fleet_rows.append(
             {
                 "m": m,
@@ -77,11 +83,11 @@ def _run():
                 "cost": round(approx.cost, 2),
             }
         )
-    return fleet_rows, horizon_rows, eps_rows
+    return fleet_rows, horizon_rows, eps_rows, dispatch_counters
 
 
 def test_thm21_runtime_scaling(benchmark):
-    fleet_rows, horizon_rows, eps_rows = once(benchmark, _run)
+    fleet_rows, horizon_rows, eps_rows, dispatch_counters = once(benchmark, _run)
 
     # the approximation explores asymptotically fewer states as m grows
     reductions = [row["state_reduction"] for row in fleet_rows]
@@ -102,3 +108,16 @@ def test_thm21_runtime_scaling(benchmark):
         ]
     )
     write_result("THM21_runtime_scaling", text)
+
+    # machine-readable perf-trajectory record for the DP hot path
+    write_bench_json(
+        "dp",
+        {
+            "wall_seconds_total": float(benchmark.stats.stats.mean)
+            if benchmark.stats is not None else None,
+            "fleet_sweep": fleet_rows,
+            "horizon_sweep": horizon_rows,
+            "eps_sweep": eps_rows,
+            "dispatch_engine": dispatch_counters,
+        },
+    )

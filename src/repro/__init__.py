@@ -7,6 +7,21 @@ optimal offline shortest-path algorithm and its (1+eps)-approximation
 (Section 4), and the online Algorithms A, B and C with competitive ratios
 2d+1, 2d+1+c(I) and 2d+1+eps (Sections 2 and 3), together with baselines,
 workload generators and an experiment harness.
+
+Performance architecture
+------------------------
+Every solver routes its operating-cost evaluations through the *batched
+dispatch engine* (:meth:`repro.dispatch.DispatchSolver.solve_block`), which
+solves ``g_t(x)`` for a whole ``(slots x configurations)`` block at once:
+slots are deduplicated by their ``(demand, cost-row)`` signature, the dual
+bisection is vectorised over a 2-D ``(unique slots, configs)`` array with
+derivative-bound initial brackets and monotone cross-demand bracket
+propagation, and results are memoised per ``(signature, configuration set)``.
+State grids are memoised per ``(counts, gamma)`` on the instance, so
+time-invariant instances build exactly one grid (with one cached ``configs()``
+enumeration) for the whole horizon.  See ``docs/PERFORMANCE.md`` for the
+design, the measured speedups and the benchmark harness
+(``make bench-smoke`` / ``python -m repro bench --smoke`` guards exactness).
 """
 
 from .core import (
@@ -28,7 +43,7 @@ from .core import (
     switching_cost,
     total_cost,
 )
-from .dispatch import DispatchResult, DispatchSolver
+from .dispatch import DispatchResult, DispatchSolver, DispatchStats
 from .offline import (
     OfflineResult,
     StateGrid,
@@ -81,6 +96,7 @@ __all__ = [
     "DPPrefixTracker",
     "DispatchResult",
     "DispatchSolver",
+    "DispatchStats",
     "FollowDemand",
     "LazyCapacityProvisioning",
     "LinearCost",

@@ -1,0 +1,111 @@
+"""Benchmark regression harness: pinned smoke instances and exactness checks.
+
+The batched dispatch engine (:mod:`repro.dispatch.allocation`) is a pure
+hot-path optimisation — it must not change any computed optimum.  This module
+pins three small instances together with their optimal costs as computed by
+the original (pre-engine) implementation; ``python -m repro bench --smoke``
+(or ``make bench-smoke``) re-solves them and fails loudly if any cost drifts
+by more than ``1e-6``.
+
+The three instances deliberately exercise the engine's three code paths:
+
+* ``smoke-diurnal`` — time-independent costs, so slot deduplication by
+  ``(demand, cost-row)`` signature applies,
+* ``smoke-priced`` — time-dependent operating costs (Section 3), one cost row
+  per slot, grouped-by-row vectorised bisection,
+* ``smoke-counts`` — time-dependent fleet sizes (Section 4.3), several grids
+  per horizon, per-grid dispatch blocks.
+
+The harness also reports wall times, states explored and the engine's
+cache-hit rate, and can emit the numbers as JSON for trend tracking.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .core.instance import ProblemInstance
+from .dispatch.allocation import DispatchSolver
+from .offline.graph_optimal import solve_optimal
+from .workloads import bursty_trace, cpu_gpu_fleet, diurnal_trace, fleet_instance, old_new_fleet
+
+__all__ = ["PINNED_OPTIMAL_COSTS", "smoke_instances", "run_smoke_bench"]
+
+#: Optimal costs of the pinned instances, computed with the seed (pre-engine)
+#: implementation.  The DP must keep reproducing these exactly (tol 1e-6).
+PINNED_OPTIMAL_COSTS: Dict[str, float] = {
+    "smoke-diurnal": 269.9391201523013,
+    "smoke-priced": 166.75819719190875,
+    "smoke-counts": 187.90000000000003,
+}
+
+
+def smoke_instances() -> List[ProblemInstance]:
+    """The three pinned regression instances (deterministic by construction)."""
+    diurnal = fleet_instance(
+        cpu_gpu_fleet(cpu_count=5, gpu_count=2),
+        diurnal_trace(24, period=12, base=1.0, peak=10.0, noise=0.05, rng=1),
+        name="smoke-diurnal",
+    )
+
+    priced_base = fleet_instance(
+        cpu_gpu_fleet(cpu_count=5, gpu_count=2),
+        diurnal_trace(16, period=8, base=1.0, peak=9.0, noise=0.0, rng=3),
+    )
+    prices = 1.0 + 0.5 * np.sin(np.arange(16) / 16 * 4 * np.pi + 0.7)
+    priced = priced_base.with_price_profile(prices, name="smoke-priced")
+
+    counts_base = fleet_instance(
+        old_new_fleet(old_count=4, new_count=2),
+        bursty_trace(16, base=1.0, burst_height=6.0, burst_probability=0.2, rng=2),
+    )
+    counts = np.tile([4, 2], (16, 1)).astype(int)
+    counts[4:8, 0] = 2
+    counts[10:13, 1] = 1
+    varying = counts_base.with_counts(counts, name="smoke-counts")
+
+    return [diurnal, priced, varying]
+
+
+def run_smoke_bench(tolerance: float = 1e-6, json_path: Optional[str] = None) -> List[dict]:
+    """Solve the pinned instances and assert seed-identical optimal costs.
+
+    Returns one row per instance with the measured wall time, explored states
+    and dispatch-engine counters.  Raises :class:`AssertionError` when a cost
+    deviates from its pinned value by more than ``tolerance``.
+    """
+    rows: List[dict] = []
+    for instance in smoke_instances():
+        dispatcher = DispatchSolver(instance)
+        start = time.perf_counter()
+        result = solve_optimal(instance, dispatcher=dispatcher, return_schedule=False)
+        elapsed = time.perf_counter() - start
+        expected = PINNED_OPTIMAL_COSTS[instance.name]
+        deviation = abs(result.cost - expected)
+        rows.append(
+            {
+                "instance": instance.name,
+                "T": instance.T,
+                "d": instance.d,
+                "optimal_cost": result.cost,
+                "pinned_cost": expected,
+                "deviation": deviation,
+                "seconds": round(elapsed, 6),
+                "states_explored": result.num_states_explored,
+                "dispatch": dispatcher.stats.snapshot(),
+            }
+        )
+        if deviation > tolerance:
+            raise AssertionError(
+                f"{instance.name}: optimal cost {result.cost!r} deviates from the "
+                f"pinned seed value {expected!r} by {deviation:g} (> {tolerance:g}) — "
+                "the dispatch/DP hot path is no longer exact"
+            )
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump({"smoke": rows}, handle, indent=2)
+    return rows

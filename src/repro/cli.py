@@ -18,6 +18,11 @@ without writing Python:
     Run the whole algorithm suite on one scenario and print the comparison
     table (the same table the COMP benchmark regenerates).
 
+``python -m repro bench --smoke``
+    Run the <30s benchmark regression harness: solve three pinned instances
+    and assert the DP still returns seed-identical optimal costs (guards the
+    batched dispatch engine against accuracy drift).
+
 Scenarios are described by a fleet preset (``--fleet``) and a trace generator
 (``--trace``) with ``--slots`` and ``--seed``; a custom demand trace can be
 supplied from a CSV file with ``--demand-file`` (one value per line).
@@ -225,6 +230,38 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import run_smoke_bench
+
+    if not args.smoke:
+        print("the full benchmark harness lives in benchmarks/ (run `make bench`); "
+              "use `repro bench --smoke` for the pinned exactness subset", file=sys.stderr)
+        return 2
+    try:
+        rows = run_smoke_bench(tolerance=args.tolerance, json_path=args.json)
+    except AssertionError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    table_rows = [
+        {
+            "instance": row["instance"],
+            "T": row["T"],
+            "d": row["d"],
+            "cost": round(row["optimal_cost"], 6),
+            "deviation": f"{row['deviation']:.2e}",
+            "seconds": row["seconds"],
+            "states": row["states_explored"],
+            "cache_hit_rate": row["dispatch"]["cache_hit_rate"],
+        }
+        for row in rows
+    ]
+    print(format_table(table_rows, title="bench smoke — pinned exactness regression"))
+    print(f"\nall {len(rows)} pinned optimal costs reproduced within {args.tolerance:g}")
+    if args.json:
+        print(f"wrote {args.json}")
+    return 0
+
+
 # --------------------------------------------------------------------------- #
 # Parser
 # --------------------------------------------------------------------------- #
@@ -277,6 +314,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_arguments(p_compare)
     p_compare.add_argument("--epsilon", type=float, default=None)
     p_compare.set_defaults(func=_cmd_compare)
+
+    p_bench = sub.add_parser("bench", help="run the benchmark regression harness")
+    p_bench.add_argument("--smoke", action="store_true",
+                         help="run the <30s pinned-instance exactness subset "
+                              "(required; the full harness lives in benchmarks/)")
+    p_bench.add_argument("--tolerance", type=float, default=1e-6,
+                         help="maximum allowed deviation from the pinned seed costs (default: 1e-6)")
+    p_bench.add_argument("--json", default=None, help="also write the measurements to this JSON file")
+    p_bench.set_defaults(func=_cmd_bench)
 
     return parser
 

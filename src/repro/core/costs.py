@@ -118,6 +118,20 @@ def evaluate_schedule(
     loads = np.zeros((T, d))
     feasible = True
 
+    # Batch all dispatch work through the block engine: evaluate the schedule's
+    # unique configurations against every slot in one call.  The engine
+    # deduplicates slots by (demand, cost-row) signature, so the number of
+    # actual dual-bisection solves is (unique signatures) x (unique configs)
+    # fused into a single vectorised pass — far cheaper than T sequential
+    # single-configuration solves.  Fall back to the per-slot path when the
+    # block would be degenerately large (many distinct configs on a long
+    # horizon).
+    unique_configs, inverse = np.unique(schedule.x, axis=0, return_inverse=True)
+    inverse = np.asarray(inverse).reshape(-1)
+    use_block = T > 0 and T * len(unique_configs) <= 500_000
+    if use_block:
+        block_costs, block_loads = dispatcher.solve_block(range(T), unique_configs)
+
     for t in range(T):
         x_t = schedule[t]
         counts = instance.counts_at(t)
@@ -125,10 +139,17 @@ def evaluate_schedule(
             operating[t] = np.inf
             feasible = False
             continue
-        result = dispatcher.solve(t, x_t)
-        operating[t] = result.cost
-        loads[t] = result.loads
-        if not result.feasible:
+        if use_block:
+            k = int(inverse[t])
+            cost_t = float(block_costs[t, k])
+            loads_t = block_loads[t, k]
+        else:
+            result = dispatcher.solve(t, x_t)
+            cost_t = result.cost
+            loads_t = result.loads
+        operating[t] = cost_t
+        loads[t] = loads_t
+        if not np.isfinite(cost_t):
             feasible = False
             continue
         functions = instance.cost_row(t)
@@ -137,7 +158,7 @@ def evaluate_schedule(
             idle_cost = f.idle_cost()
             idle[t, j] = x_t[j] * idle_cost
             if x_t[j] > 0:
-                per_server = result.loads[j] / x_t[j]
+                per_server = loads_t[j] / x_t[j]
                 load_dep[t, j] = x_t[j] * (float(f.value(per_server)) - idle_cost)
 
     switching = (schedule.power_ups() * instance.beta[None, :]).sum(axis=1)

@@ -146,11 +146,20 @@ class ProblemInstance:
         return self.server_types[j].cost_function
 
     def cost_row(self, t: int) -> tuple:
-        """All ``d`` operating-cost functions of slot ``t``."""
+        """All ``d`` operating-cost functions of slot ``t``.
+
+        For time-independent instances the same tuple object is returned for
+        every slot, so the dispatch engine can use it as a cheap identity key
+        when deduplicating slots.
+        """
         self._check_slot(t)
         if self.cost_functions is not None:
             return self.cost_functions[t]
-        return tuple(st.cost_function for st in self.server_types)
+        row = self.__dict__.get("_base_cost_row")
+        if row is None:
+            row = tuple(st.cost_function for st in self.server_types)
+            object.__setattr__(self, "_base_cost_row", row)
+        return row
 
     def counts_at(self, t: int) -> np.ndarray:
         """Available server counts ``m_{t,j}`` during slot ``t``."""

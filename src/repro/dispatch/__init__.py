@@ -1,5 +1,5 @@
-"""Load-dispatch solver: evaluation of the operating cost ``g_t(x)``."""
+"""Load-dispatch solver: batched evaluation of the operating cost ``g_t(x)``."""
 
-from .allocation import DispatchResult, DispatchSolver, reference_dispatch
+from .allocation import DispatchResult, DispatchSolver, DispatchStats, reference_dispatch
 
-__all__ = ["DispatchResult", "DispatchSolver", "reference_dispatch"]
+__all__ = ["DispatchResult", "DispatchSolver", "DispatchStats", "reference_dispatch"]

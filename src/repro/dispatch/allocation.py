@@ -19,10 +19,28 @@ convex resource-allocation problem
 The KKT conditions equalise marginal costs: there is a multiplier ``mu`` with
 ``w_j(mu) = x_j * clip((f_{t,j}')^{-1}(mu), 0, zmax_j)``.  The total allocation
 ``sum_j w_j(mu)`` is non-decreasing in ``mu``, so ``mu`` is found by bisection.
-Because the per-family inverse marginals are available in closed form
-(:mod:`repro.core.cost_functions`), the whole computation vectorises over *many
-configurations at once*, which is what makes the dynamic program of Section 4
-practical in pure NumPy (it needs ``g_t(x)`` for every vertex of the state grid).
+
+Batched engine
+--------------
+The offline DP needs ``g_t(x)`` for every vertex of the state grid at *every*
+slot, and the online algorithms re-evaluate the same grid slot after slot.
+:meth:`DispatchSolver.solve_block` therefore solves the whole
+``(slots x configurations)`` block at once:
+
+* slots are **deduplicated** by their dispatch signature ``(lambda_t, f_{t,*})``
+  — in the time-independent model of Section 2 this collapses ``T`` dispatch
+  solves to the number of *unique* demand levels,
+* unique slots sharing a cost row are solved by **one 2-D dual bisection** over
+  a ``(unique_slots, n_configs)`` array, so every ``(f_{t,j}')^{-1}`` is
+  evaluated once per mu-iteration for the entire block,
+* the initial mu bracket comes from the **derivative bound**
+  ``max_j f'_{t,j}(min(zmax_j, lambda_t))`` instead of an unconditional
+  doubling loop, and because ``mu^*(lambda)`` is non-decreasing in the demand,
+  sorting the unique demands lets each bisection iteration propagate bracket
+  information across rows (a vectorised warm start), and
+* results are **memoised** per ``(signature, configuration-set)``, which turns
+  the repeated whole-grid queries of the online trackers (and Algorithm C's
+  sub-slot refinement) into dictionary lookups.
 
 A SciPy (SLSQP) reference solver is included for cross-validation in the test
 suite.
@@ -31,7 +49,7 @@ suite.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 import numpy as np
@@ -39,7 +57,7 @@ import numpy as np
 from ..core.cost_functions import CostFunction
 from ..core.instance import ProblemInstance
 
-__all__ = ["DispatchResult", "DispatchSolver", "reference_dispatch"]
+__all__ = ["DispatchResult", "DispatchStats", "DispatchSolver", "reference_dispatch"]
 
 _EPS = 1e-12
 
@@ -72,11 +90,59 @@ class DispatchResult:
         return self.loads / total
 
 
+@dataclass
+class DispatchStats:
+    """Work counters of a :class:`DispatchSolver` (reset with :meth:`reset`).
+
+    ``slot_queries`` counts every (slot, configuration-set) row requested
+    through the block engine; ``unique_solves`` counts how many of those
+    actually ran a fresh dual bisection.  The difference is served from the
+    signature dedup / memo cache, so
+    ``cache_hit_rate = 1 - unique_solves / slot_queries``.
+    """
+
+    block_calls: int = 0
+    slot_queries: int = 0
+    unique_solves: int = 0
+    bisection_iterations: int = 0
+    bracket_expansions: int = 0
+
+    @property
+    def cache_hits(self) -> int:
+        return self.slot_queries - self.unique_solves
+
+    @property
+    def cache_hit_rate(self) -> float:
+        if self.slot_queries <= 0:
+            return 0.0
+        return 1.0 - self.unique_solves / self.slot_queries
+
+    def reset(self) -> None:
+        self.block_calls = 0
+        self.slot_queries = 0
+        self.unique_solves = 0
+        self.bisection_iterations = 0
+        self.bracket_expansions = 0
+
+    def snapshot(self) -> dict:
+        """Plain-dict summary for benchmark harnesses and reports."""
+        return {
+            "block_calls": self.block_calls,
+            "slot_queries": self.slot_queries,
+            "unique_solves": self.unique_solves,
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "bisection_iterations": self.bisection_iterations,
+            "bracket_expansions": self.bracket_expansions,
+        }
+
+
 class DispatchSolver:
     """Evaluates ``g_t(x)`` for configurations of a fixed problem instance.
 
     The solver memoises single-configuration queries (the online algorithms ask
-    for the same configurations repeatedly) and exposes a vectorised
+    for the same configurations repeatedly), deduplicates whole-grid queries by
+    dispatch signature, and exposes the batched :meth:`solve_block` /
     :meth:`solve_grid` used by the offline dynamic programs.
 
     Parameters
@@ -84,9 +150,10 @@ class DispatchSolver:
     instance:
         The problem instance providing demands, capacities and cost functions.
     tol:
-        Relative tolerance of the dual bisection.
+        Relative tolerance of the dual bisection (the bisection stops once the
+        bracket width falls below ``tol`` times the initial bracket scale).
     max_bisection_steps:
-        Number of bisection iterations (60 gives ~1e-18 interval width, far
+        Hard cap on bisection iterations (60 gives ~1e-18 interval width, far
         below float precision of the cost).
     """
 
@@ -94,7 +161,11 @@ class DispatchSolver:
         self.instance = instance
         self.tol = float(tol)
         self.max_bisection_steps = int(max_bisection_steps)
+        self.stats = DispatchStats()
         self._cache: dict = {}
+        self._block_cache: dict = {}
+        self._sig_cache: dict = {}
+        self._configs_id_cache: dict = {}
 
     # ------------------------------------------------------------------ API
     def solve(self, t: int, x: Sequence[int]) -> DispatchResult:
@@ -102,7 +173,7 @@ class DispatchSolver:
         x_arr = np.asarray(x, dtype=int)
         if x_arr.shape != (self.instance.d,):
             raise ValueError(f"configuration must have shape ({self.instance.d},), got {x_arr.shape}")
-        key = (t, tuple(int(v) for v in x_arr))
+        key = (self._slot_signature(t), tuple(int(v) for v in x_arr))
         hit = self._cache.get(key)
         if hit is not None:
             return hit
@@ -118,6 +189,9 @@ class DispatchSolver:
     def clear_cache(self) -> None:
         """Drop memoised dispatch results (e.g. after mutating workloads in tests)."""
         self._cache.clear()
+        self._block_cache.clear()
+        self._sig_cache.clear()
+        self._configs_id_cache.clear()
 
     # ----------------------------------------------------------- vectorised
     def solve_grid(self, t: int, configs: np.ndarray) -> tuple:
@@ -128,7 +202,8 @@ class DispatchSolver:
         t:
             Slot index (0-based).
         configs:
-            Integer array of shape ``(n, d)``; each row is a configuration.
+            Array of shape ``(n, d)``; each row is a configuration (fractional
+            rows are allowed — the fractional baselines use them).
 
         Returns
         -------
@@ -136,118 +211,286 @@ class DispatchSolver:
             ``costs`` has shape ``(n,)`` with ``inf`` for infeasible rows;
             ``loads`` has shape ``(n, d)`` with the optimal per-type volumes.
         """
+        costs, loads = self.solve_block([t], configs)
+        return costs[0], loads[0]
+
+    def solve_block(self, ts: Sequence[int], configs: np.ndarray) -> tuple:
+        """Evaluate ``g_t(x)`` for every slot in ``ts`` times every row of ``configs``.
+
+        This is the batched engine behind all solvers: slots are deduplicated
+        by dispatch signature, unique slots sharing a cost row are solved in
+        one vectorised 2-D dual bisection, and solutions are memoised per
+        ``(signature, configuration-set)``.
+
+        Parameters
+        ----------
+        ts:
+            Slot indices (0-based, repeats allowed).
+        configs:
+            Array of shape ``(n, d)`` shared by all slots.
+
+        Returns
+        -------
+        (costs, loads):
+            ``costs`` has shape ``(len(ts), n)``; ``loads`` has shape
+            ``(len(ts), n, d)``.  Infeasible entries carry ``inf`` cost and
+            zero loads.  The returned arrays are read-only (they may be shared
+            with the internal memo cache).
+        """
         inst = self.instance
-        configs = np.asarray(configs, dtype=float)
+        configs = np.asarray(configs)
         if configs.ndim != 2 or configs.shape[1] != inst.d:
             raise ValueError(f"configs must have shape (n, {inst.d})")
+        ts = [int(t) for t in ts]
         n, d = configs.shape
-        lam = float(inst.demand[t])
-        zmax = inst.zmax
-        functions = inst.cost_row(t)
+        S = len(ts)
+        self.stats.block_calls += 1
+        self.stats.slot_queries += S
+
+        out_costs = np.empty((S, n), dtype=float)
+        out_loads = np.zeros((S, n, d), dtype=float)
+        if S == 0:
+            return out_costs, out_loads
+        configs_key = self._configs_key(configs)
+        float_configs: Optional[np.ndarray] = None
+
+        # --- dedup: signature -> rows of the output block that share it
+        pending: dict = {}
+        for i, t in enumerate(ts):
+            sig = self._slot_signature(t)
+            cached = self._block_cache.get((sig, configs_key))
+            if cached is not None:
+                out_costs[i], out_loads[i] = cached
+                continue
+            entry = pending.get(sig)
+            if entry is None:
+                pending[sig] = (t, [i])
+            else:
+                entry[1].append(i)
+
+        # --- group unique signatures by cost row and solve each group at once
+        groups: dict = {}
+        for sig, (rep_t, rows) in pending.items():
+            groups.setdefault(sig[1], []).append((sig, rep_t, rows))
+        for entries in groups.values():
+            entries.sort(key=lambda e: e[0][0])  # ascending demand
+            lams = np.array([e[0][0] for e in entries], dtype=float)
+            functions = inst.cost_row(entries[0][1])
+            if float_configs is None:
+                float_configs = np.ascontiguousarray(configs, dtype=float)
+            costs_u, loads_u = self._solve_rows(lams, float_configs, functions)
+            costs_u.setflags(write=False)
+            loads_u.setflags(write=False)
+            self.stats.unique_solves += len(entries)
+            for k, (sig, _rep_t, rows) in enumerate(entries):
+                self._block_cache[(sig, configs_key)] = (costs_u[k], loads_u[k])
+                for i in rows:
+                    out_costs[i] = costs_u[k]
+                    out_loads[i] = loads_u[k]
+
+        out_costs.setflags(write=False)
+        out_loads.setflags(write=False)
+        return out_costs, out_loads
+
+    # ------------------------------------------------------------- internals
+    def _configs_key(self, configs: np.ndarray):
+        """Hashable content key of a configuration set.
+
+        Read-only arrays (the cached :meth:`StateGrid.configs` enumerations the
+        trackers re-query every slot) are keyed by identity after the first
+        serialisation, so warm lookups skip the ``tobytes`` copy.  The cached
+        entry keeps a strong reference to the array, which pins its ``id``.
+        """
+        if not configs.flags.writeable:
+            entry = self._configs_id_cache.get(id(configs))
+            if entry is not None and entry[0] is configs:
+                return entry[1]
+            key = (configs.shape, configs.dtype.str, configs.tobytes())
+            self._configs_id_cache[id(configs)] = (configs, key)
+            return key
+        return (configs.shape, configs.dtype.str, configs.tobytes())
+
+    def _slot_signature(self, t: int):
+        """Hashable dispatch identity of slot ``t``: ``(lambda_t, cost row)``.
+
+        Two slots with equal signatures have identical ``g_t`` — the engine
+        solves one of them and reuses the result.  Exotic unhashable cost
+        functions degrade gracefully to a per-slot signature (no cross-slot
+        sharing).
+        """
+        sig = self._sig_cache.get(t)
+        if sig is None:
+            lam = float(self.instance.demand[t])
+            row = self.instance.cost_row(t)
+            try:
+                hash(row)
+            except TypeError:
+                row = ("slot", t)
+            sig = (lam, row)
+            self._sig_cache[t] = sig
+        return sig
+
+    def _solve_rows(self, lams: np.ndarray, configs: np.ndarray, functions: Sequence[CostFunction]) -> tuple:
+        """Solve the dispatch problem for ``u`` demand levels x ``n`` configurations.
+
+        ``lams`` must be sorted ascending (the caller guarantees it); the sort
+        order is what makes the cross-row bracket propagation of
+        :meth:`_allocate_rows` valid.
+        """
+        u = len(lams)
+        n, d = configs.shape
+        zmax = self.instance.zmax
 
         caps = np.where(configs > 0, configs * zmax[None, :], 0.0)
         caps = np.where(np.isnan(caps), 0.0, caps)
         total_cap = caps.sum(axis=1)
-        feasible = total_cap >= lam - 1e-9
 
-        loads = np.zeros((n, d), dtype=float)
-        costs = np.full(n, np.inf, dtype=float)
-
-        # idle cost of every active server, independent of the allocation
         idle = np.array([f.idle_cost() for f in functions], dtype=float)
+        costs = np.full((u, n), np.inf, dtype=float)
+        loads = np.zeros((u, n, d), dtype=float)
 
-        if lam <= 0.0:
-            costs = configs @ idle
+        zero = lams <= 0.0
+        if np.any(zero):
+            costs[zero] = (configs @ idle)[None, :]
+        pos = ~zero
+        if not np.any(pos):
             return costs, loads
 
-        active = feasible
-        if not np.any(active):
+        lam_p = lams[pos]
+        feasible = total_cap[None, :] >= lam_p[:, None] - 1e-9  # (p, n)
+        # columns that no requested demand level can use are skipped entirely
+        active_cols = feasible.any(axis=0)
+        if not np.any(active_cols):
             return costs, loads
+        sub_configs = configs[active_cols]
+        sub_caps = caps[active_cols]
+        feas_sub = feasible[:, active_cols]
 
-        sub_configs = configs[active]
-        sub_caps = caps[active]
-        w = self._allocate(lam, sub_configs, sub_caps, zmax, functions)
-        loads[active] = w
+        w = self._allocate_rows(lam_p, sub_configs, sub_caps, zmax, functions, feas_sub)
 
         # cost = sum_j x_j f_j(w_j / x_j); idle servers of a type still pay f_j(0)
-        cost_active = np.zeros(sub_configs.shape[0], dtype=float)
+        cost_sub = np.zeros((len(lam_p), sub_configs.shape[0]), dtype=float)
         for j, f in enumerate(functions):
             xj = sub_configs[:, j]
-            wj = w[:, j]
-            per_server_load = np.where(xj > 0, wj / np.where(xj > 0, xj, 1.0), 0.0)
-            vals = np.asarray(f.value(per_server_load), dtype=float)
-            cost_active += np.where(xj > 0, xj * vals, 0.0)
-        costs[active] = cost_active
+            on = xj > 0
+            if not np.any(on):
+                continue
+            per_server = w[:, on, j] / xj[on][None, :]
+            vals = np.asarray(f.value(per_server), dtype=float)
+            cost_sub[:, on] += xj[on][None, :] * vals
+
+        pos_idx = np.flatnonzero(pos)
+        col_idx = np.flatnonzero(active_cols)
+        costs[np.ix_(pos_idx, col_idx)] = np.where(feas_sub, cost_sub, np.inf)
+        loads[np.ix_(pos_idx, col_idx)] = np.where(feas_sub[:, :, None], w, 0.0)
         return costs, loads
 
-    # ------------------------------------------------------------- internals
-    def _allocate(
+    def _allocate_rows(
         self,
-        lam: float,
+        lams: np.ndarray,
         configs: np.ndarray,
         caps: np.ndarray,
         zmax: np.ndarray,
         functions: Sequence[CostFunction],
+        feasible: np.ndarray,
     ) -> np.ndarray:
-        """Water-filling by dual bisection, vectorised over configurations.
+        """Water-filling by a 2-D dual bisection over (demand levels x configs).
 
-        Only called for feasible configurations and ``lam > 0``.
+        ``lams`` is sorted ascending.  Bracket initialisation uses the
+        derivative bound ``max_j f'_j(min(zmax_j, lambda))``: at that multiplier
+        every active type runs at its effective capacity, so the total
+        allocation covers any feasible demand and no doubling search is needed.
+        Because the optimal multiplier ``mu^*`` is non-decreasing in the
+        demand, every iteration additionally propagates lower brackets to
+        larger demands and upper brackets to smaller demands
+        (``np.maximum.accumulate`` / reversed ``np.minimum.accumulate``) — the
+        vectorised analogue of warm-starting each demand level's bracket from
+        its neighbour's solution.
         """
+        p = len(lams)
         n, d = configs.shape
         if d == 1:
-            return np.minimum(np.full((n, 1), lam), caps)
+            return np.minimum(lams[:, None, None], caps[None, :, :])
 
-        # effective caps never need to exceed the demand itself
-        eff_caps = np.minimum(caps, lam)
+        eff_caps = np.minimum(caps[None, :, :], lams[:, None, None])  # (p, n, d)
+        lam_col = lams[:, None]
 
-        def allocation(mu: np.ndarray) -> np.ndarray:
-            w = np.zeros((n, d), dtype=float)
+        def alloc(mu: np.ndarray, want_loads: bool):
+            """Allocation at multiplier ``mu`` — totals only unless ``want_loads``."""
+            tot = np.zeros_like(mu)
+            w = np.empty((p, n, d), dtype=float) if want_loads else None
             for j, f in enumerate(functions):
+                xj = configs[:, j]
                 inv = np.asarray(f.inverse_derivative(mu), dtype=float)
-                zj = np.clip(inv, 0.0, zmax[j] if np.isfinite(zmax[j]) else np.inf)
-                wj = np.where(configs[:, j] > 0, configs[:, j] * np.minimum(zj, lam), 0.0)
-                w[:, j] = np.minimum(np.where(np.isnan(wj), eff_caps[:, j], wj), eff_caps[:, j])
-            return w
+                hi_j = zmax[j] if np.isfinite(zmax[j]) else np.inf
+                zj = np.clip(inv, 0.0, hi_j)
+                wj = xj[None, :] * np.minimum(zj, lam_col)
+                cap_j = eff_caps[:, :, j]
+                wj = np.minimum(np.where(np.isnan(wj), cap_j, wj), cap_j)
+                tot += wj
+                if want_loads:
+                    w[:, :, j] = wj
+            return (tot, w) if want_loads else tot
 
-        mu_lo = np.full(n, -1.0)
-        mu_hi = np.ones(n)
-        for _ in range(200):
-            tot = allocation(mu_hi).sum(axis=1)
-            need = tot < lam - 1e-12
+        # ---- initial bracket from the derivative bound (no doubling search)
+        hi0 = np.zeros(p, dtype=float)
+        for j, f in enumerate(functions):
+            z_at = np.minimum(zmax[j], lams) if np.isfinite(zmax[j]) else lams
+            dj = np.asarray(f.derivative(z_at), dtype=float)
+            dj = np.where(np.isfinite(dj), dj, 0.0)
+            np.maximum(hi0, dj, out=hi0)
+        np.maximum.accumulate(hi0, out=hi0)  # monotone in the (sorted) demand
+        mu_lo = np.full((p, n), -1.0)
+        mu_hi = np.tile(hi0[:, None], (1, n))
+
+        # safety net for cost functions whose reported derivative is inexact
+        # (finite-difference CallableCost): expand until every feasible row is
+        # covered, breaking out immediately in the regular case.
+        for _ in range(64):
+            tot = alloc(mu_hi, want_loads=False)
+            need = (tot < lam_col - 1e-12) & feasible
             if not np.any(need):
                 break
-            mu_hi = np.where(need, mu_hi * 2.0, mu_hi)
+            self.stats.bracket_expansions += 1
+            mu_hi = np.where(need, np.maximum(mu_hi, 0.5) * 2.0, mu_hi)
+
+        width_tol = self.tol * max(1.0, float(hi0[-1]) if p else 1.0)
+        propagate = p > 1
         for _ in range(self.max_bisection_steps):
+            if propagate:
+                # cross-row warm start: valid because mu^* is monotone in lambda
+                np.maximum.accumulate(mu_lo, axis=0, out=mu_lo)
+                mu_hi = np.minimum.accumulate(mu_hi[::-1], axis=0)[::-1]
+            if float(np.max(mu_hi - mu_lo)) <= width_tol:
+                break
+            self.stats.bisection_iterations += 1
             mid = 0.5 * (mu_lo + mu_hi)
-            tot = allocation(mid).sum(axis=1)
-            too_low = tot < lam
+            tot = alloc(mid, want_loads=False)
+            too_low = tot < lam_col
             mu_lo = np.where(too_low, mid, mu_lo)
             mu_hi = np.where(too_low, mu_hi, mid)
 
-        w_lo = allocation(mu_lo)
-        w_hi = allocation(mu_hi)
-        sum_lo = w_lo.sum(axis=1)
-        sum_hi = w_hi.sum(axis=1)
+        sum_lo, w_lo = alloc(mu_lo, want_loads=True)
+        sum_hi, w_hi = alloc(mu_hi, want_loads=True)
         gap = sum_hi - sum_lo
-        theta = np.where(gap > _EPS, (lam - sum_lo) / np.where(gap > _EPS, gap, 1.0), 0.0)
+        theta = np.where(gap > _EPS, (lam_col - sum_lo) / np.where(gap > _EPS, gap, 1.0), 0.0)
         theta = np.clip(theta, 0.0, 1.0)
-        w = w_lo + theta[:, None] * (w_hi - w_lo)
+        w = w_lo + theta[:, :, None] * (w_hi - w_lo)
 
         # remove any residual drift by scaling towards the demand (within caps)
-        total = w.sum(axis=1)
-        deficit = lam - total
+        total = w.sum(axis=2)
+        deficit = lam_col - total
         room = eff_caps - w
-        room_total = room.sum(axis=1)
-        adjust = np.zeros_like(w)
+        room_total = room.sum(axis=2)
         positive = (deficit > _EPS) & (room_total > _EPS)
         if np.any(positive):
-            share = np.where(room_total[:, None] > _EPS, room / np.where(room_total[:, None] > _EPS, room_total[:, None], 1.0), 0.0)
-            adjust = np.where(positive[:, None], share * deficit[:, None], 0.0)
-        w = w + adjust
-        overshoot = (w.sum(axis=1) - lam) > _EPS
+            safe_room = np.where(room_total[:, :, None] > _EPS, room_total[:, :, None], 1.0)
+            share = np.where(room_total[:, :, None] > _EPS, room / safe_room, 0.0)
+            w = w + np.where(positive[:, :, None], share * deficit[:, :, None], 0.0)
+        overshoot = (w.sum(axis=2) - lam_col) > _EPS
         if np.any(overshoot):
-            scale = lam / np.maximum(w.sum(axis=1), _EPS)
-            w = np.where(overshoot[:, None], w * scale[:, None], w)
+            scale = lam_col / np.maximum(w.sum(axis=2), _EPS)
+            w = np.where(overshoot[:, :, None], w * scale[:, :, None], w)
         return w
 
 

@@ -41,7 +41,7 @@ from ..dispatch.allocation import DispatchSolver
 from .state_grid import StateGrid, grid_for_slot
 from .transitions import startup_cost_tensor, switching_cost_tensor, transition
 
-__all__ = ["OfflineResult", "operating_cost_tensor", "solve_dp"]
+__all__ = ["OfflineResult", "operating_cost_tensor", "operating_cost_tensors", "solve_dp"]
 
 
 @dataclass(frozen=True, eq=False)
@@ -85,6 +85,31 @@ def operating_cost_tensor(
     configs = grid.configs()
     costs, _ = dispatcher.solve_grid(t, configs)
     return costs.reshape(grid.shape)
+
+
+def operating_cost_tensors(
+    instance: ProblemInstance,
+    grids: Sequence[StateGrid],
+    dispatcher: DispatchSolver,
+) -> List[np.ndarray]:
+    """Evaluate ``g_t`` for *all* slots as one batched dispatch computation.
+
+    Slots sharing a grid (always the case for time-invariant fleets, where
+    :func:`~repro.offline.state_grid.grid_for_slot` memoisation hands every
+    slot the same object) are pushed through a single
+    :meth:`~repro.dispatch.DispatchSolver.solve_block` call, which additionally
+    deduplicates slots with equal demand/cost signatures and vectorises the
+    dual bisection across the remaining unique slots.
+    """
+    tensors: List[Optional[np.ndarray]] = [None] * len(grids)
+    by_grid: dict = {}
+    for t, grid in enumerate(grids):
+        by_grid.setdefault(grid.key, (grid, []))[1].append(t)
+    for grid, ts in by_grid.values():
+        costs, _ = dispatcher.solve_block(ts, grid.configs())
+        for i, t in enumerate(ts):
+            tensors[t] = costs[i].reshape(grid.shape)
+    return tensors  # type: ignore[return-value]
 
 
 def _check_some_feasible(tensor: np.ndarray, t: int) -> None:
@@ -149,15 +174,17 @@ def solve_dp(
     tables: List[np.ndarray] = []
     value: Optional[np.ndarray] = None
 
+    g_tensors = operating_cost_tensors(instance, grids, dispatcher)
     for t in range(T):
         grid = grids[t]
-        g_tensor = operating_cost_tensor(instance, t, grid, dispatcher)
+        g_tensor = g_tensors[t]
         _check_some_feasible(g_tensor, t)
         if t == 0:
             arrival = startup_cost_tensor(grid.values, beta)
         else:
             arrival = transition(value, grids[t - 1].values, grid.values, beta)
-        value = arrival + g_tensor
+        # arrival is a fresh tensor every slot, so accumulate in place
+        value = np.add(arrival, g_tensor, out=arrival)
         if need_history:
             tables.append(value)
 

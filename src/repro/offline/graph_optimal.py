@@ -25,7 +25,7 @@ import numpy as np
 from ..core.instance import ProblemInstance
 from ..core.schedule import Schedule
 from ..dispatch.allocation import DispatchSolver
-from .dp import OfflineResult, solve_dp
+from .dp import OfflineResult, operating_cost_tensors, solve_dp
 from .state_grid import StateGrid, grid_for_slot
 
 __all__ = ["solve_optimal", "optimal_cost", "build_graph", "shortest_path_schedule"]
@@ -82,10 +82,14 @@ def build_graph(instance: ProblemInstance, dispatcher: Optional[DispatchSolver] 
     dispatcher = dispatcher or DispatchSolver(instance)
     graph = nx.DiGraph()
     T = instance.T
+    grids = [grid_for_slot(instance, t) for t in range(T)]
+    # one batched dispatch per distinct grid instead of one per slot; the
+    # flattened tensor rows are in configs() order (C order, see StateGrid)
+    g_tensors = operating_cost_tensors(instance, grids, dispatcher)
     for t in range(T):
-        grid = grid_for_slot(instance, t)
+        grid = grids[t]
         configs = grid.configs()
-        costs, _ = dispatcher.solve_grid(t, configs)
+        costs = g_tensors[t].reshape(-1)
         counts = instance.counts_at(t)
         for config, cost in zip(configs, costs):
             x = tuple(int(v) for v in config)

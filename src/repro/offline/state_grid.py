@@ -77,6 +77,8 @@ class StateGrid:
                 raise ValueError(f"dimension {j}: values must be non-negative")
             vals.append(arr)
         self._values = tuple(vals)
+        self._configs: Optional[np.ndarray] = None
+        self._key = None
 
     # ------------------------------------------------------------- factories
     @classmethod
@@ -119,6 +121,18 @@ class StateGrid:
         """Largest admissible value per dimension."""
         return np.array([v[-1] for v in self._values], dtype=int)
 
+    @property
+    def key(self) -> tuple:
+        """Hashable fingerprint of the grid (equal grids share a key).
+
+        Used by the batched solvers to group slots whose grids are identical,
+        so one :meth:`~repro.dispatch.DispatchSolver.solve_block` call covers
+        them all.
+        """
+        if self._key is None:
+            self._key = tuple(v.tobytes() for v in self._values)
+        return self._key
+
     # -------------------------------------------------------------- elements
     def configs(self) -> np.ndarray:
         """All configurations as an ``(size, d)`` integer array in C (row-major) order.
@@ -126,9 +140,17 @@ class StateGrid:
         The ordering matches ``numpy.ndindex`` over :attr:`shape`, i.e. the last
         dimension varies fastest; index ``i`` of the flattened value tensor
         corresponds to row ``i`` of this array.
+
+        The array is built once and cached (it is read-only; callers that need
+        a mutable copy must copy explicitly) — the offline DP and the online
+        trackers ask for the same enumeration once per slot.
         """
-        mesh = np.meshgrid(*self._values, indexing="ij")
-        return np.stack([m.reshape(-1) for m in mesh], axis=-1).astype(int)
+        if self._configs is None:
+            mesh = np.meshgrid(*self._values, indexing="ij")
+            configs = np.stack([m.reshape(-1) for m in mesh], axis=-1).astype(int)
+            configs.setflags(write=False)
+            self._configs = configs
+        return self._configs
 
     def config_at(self, index: Sequence[int]) -> np.ndarray:
         """The configuration for a tuple of per-dimension indices."""
@@ -200,8 +222,21 @@ def grid_for_slot(
     Uses the slot's available counts ``m_{t,j}`` (which handles the
     time-dependent data-center sizes of Section 4.3 transparently) and, when
     ``gamma`` is given, the geometric reduction ``M^gamma_{t,j}``.
+
+    Grids are memoised on the instance keyed by ``(counts, gamma)``: a
+    time-invariant instance builds exactly one grid (and one cached
+    ``configs()`` enumeration) no matter how many slots ask for it, and the
+    batched solvers recognise the shared object to group slots into a single
+    dispatch block.
     """
     counts = instance.counts_at(t)
-    if gamma is None:
-        return StateGrid.full(counts)
-    return StateGrid.geometric(counts, gamma)
+    cache = instance.__dict__.get("_grid_cache")
+    if cache is None:
+        cache = {}
+        object.__setattr__(instance, "_grid_cache", cache)
+    key = (tuple(int(c) for c in counts), None if gamma is None else float(gamma))
+    grid = cache.get(key)
+    if grid is None:
+        grid = StateGrid.full(counts) if gamma is None else StateGrid.geometric(counts, gamma)
+        cache[key] = grid
+    return grid

@@ -65,28 +65,36 @@ def relax_dimension(
             f"axis {axis} has length {V.shape[-1]} but {len(src_values)} source values were given"
         )
 
-    # Power-up direction: target >= source.
+    # Power-up direction: target >= source.  The shifted tensor is a scratch
+    # buffer: the prefix minimum is accumulated into it in place, and the
+    # gathered `up` array doubles as the output buffer below.
     shifted = V - beta * src_values  # broadcast along the last axis
-    prefix_min = np.minimum.accumulate(shifted, axis=-1)
+    np.minimum.accumulate(shifted, axis=-1, out=shifted)
     # index of the last source value <= each destination value
     up_idx = np.searchsorted(src_values, dst_values, side="right") - 1
-    up = np.full(V.shape[:-1] + (len(dst_values),), np.inf)
     valid_up = up_idx >= 0
-    if np.any(valid_up):
-        up[..., valid_up] = (
-            prefix_min[..., up_idx[valid_up]] + beta * dst_values[valid_up]
+    if valid_up.all():
+        up = shifted[..., up_idx]
+        up += beta * dst_values
+    else:
+        up = np.full(V.shape[:-1] + (len(dst_values),), np.inf)
+        if np.any(valid_up):
+            up[..., valid_up] = shifted[..., up_idx[valid_up]] + beta * dst_values[valid_up]
+
+    # Power-down direction: target <= source, no cost.  Reuse the scratch
+    # buffer for the suffix minimum (V itself must stay intact for callers).
+    np.minimum.accumulate(V[..., ::-1], axis=-1, out=shifted[..., ::-1])
+    suffix_min = shifted
+    down_idx = np.searchsorted(src_values, dst_values, side="left")
+    valid_down = down_idx < len(src_values)
+    if valid_down.all():
+        np.minimum(up, suffix_min[..., down_idx], out=up)
+    elif np.any(valid_down):
+        up[..., valid_down] = np.minimum(
+            up[..., valid_down], suffix_min[..., down_idx[valid_down]]
         )
 
-    # Power-down direction: target <= source, no cost.
-    suffix_min = np.minimum.accumulate(V[..., ::-1], axis=-1)[..., ::-1]
-    down_idx = np.searchsorted(src_values, dst_values, side="left")
-    down = np.full(V.shape[:-1] + (len(dst_values),), np.inf)
-    valid_down = down_idx < len(src_values)
-    if np.any(valid_down):
-        down[..., valid_down] = suffix_min[..., down_idx[valid_down]]
-
-    out = np.minimum(up, down)
-    return np.moveaxis(out, -1, axis)
+    return np.moveaxis(up, -1, axis)
 
 
 def transition(

@@ -68,6 +68,7 @@ class AlgorithmA(OnlineAlgorithm):
         self._current: Optional[np.ndarray] = None
         self._power_ups: List[np.ndarray] = []
         self._xhat_history: List[np.ndarray] = []
+        self._expiry: Dict[int, np.ndarray] = {}
         self._d = 0
 
     # ---------------------------------------------------------------- life-cycle
@@ -78,6 +79,7 @@ class AlgorithmA(OnlineAlgorithm):
         self._current = np.zeros(self._d, dtype=int)
         self._power_ups = []
         self._xhat_history = []
+        self._expiry = {}
 
     def step(self, slot: SlotInfo) -> np.ndarray:
         if self._current is None:
@@ -89,18 +91,25 @@ class AlgorithmA(OnlineAlgorithm):
         xhat = np.asarray(self._tracker.observe(slot), dtype=int)
         self._xhat_history.append(xhat.copy())
 
-        # Power-down rule: servers powered up exactly \bar t_j slots ago expire now.
-        for j in range(self._d):
-            runtime = self._runtimes[j]
-            if math.isfinite(runtime):
-                expired_slot = t - int(runtime)
-                if 0 <= expired_slot < len(self._power_ups):
-                    self._current[j] -= int(self._power_ups[expired_slot][j])
+        # Power-down rule: servers powered up exactly \bar t_j slots ago expire
+        # now.  Expirations are scheduled at power-up time, so each step pops a
+        # single pre-aggregated vector instead of scanning the power-up log.
+        expired = self._expiry.pop(t, None)
+        if expired is not None:
+            self._current -= expired
 
         # Power-up rule: match the prefix optimum.
-        w_t = np.maximum(xhat - self._current, 0)
+        w_t = np.maximum(xhat - self._current, 0).astype(int)
         self._current = np.maximum(self._current, xhat)
-        self._power_ups.append(w_t.astype(int))
+        self._power_ups.append(w_t)
+        for j in range(self._d):
+            if w_t[j] > 0 and math.isfinite(self._runtimes[j]):
+                due = t + int(self._runtimes[j])
+                bucket = self._expiry.get(due)
+                if bucket is None:
+                    bucket = np.zeros(self._d, dtype=int)
+                    self._expiry[due] = bucket
+                bucket[j] += int(w_t[j])
         return self._current.copy()
 
     # ------------------------------------------------------------------ analysis

@@ -82,6 +82,11 @@ class AlgorithmB(OnlineAlgorithm):
         # power-up would exceed beta_j if they also stayed active during slot t.
         retired_now = {j: [] for j in range(self._d)}
         for j in range(self._d):
+            # a zero idle cost can never push the accumulated idle over beta_j
+            # (records only survive while accumulated <= beta_j), so the scan
+            # of the power-up records is skipped entirely
+            if idle[j] == 0.0 and self._records[j]:
+                continue
             surviving = []
             for record in self._records[j]:
                 if record.accumulated_idle + idle[j] > slot.beta[j] + 1e-12:

@@ -120,9 +120,15 @@ class AlgorithmC(OnlineAlgorithm):
         # Repair step (Lemma 14): pick the sub-slot configuration with the
         # cheapest operating cost for the original slot.  Since every sub-slot
         # cost is the original cost divided by n_t, minimising ~g_u(x) is the
-        # same as minimising g_t(x).
-        costs = slot.operating_cost(np.stack(sub_configs))
-        best = int(np.argmin(costs))
+        # same as minimising g_t(x).  Consecutive sub-slots mostly repeat the
+        # same configuration, so evaluate the distinct ones only (the dispatch
+        # engine memoises them anyway, but this keeps even the lookup count
+        # independent of n_t).
+        stacked = np.stack(sub_configs)
+        unique, inverse = np.unique(stacked, axis=0, return_inverse=True)
+        inverse = np.asarray(inverse).reshape(-1)
+        costs = slot.operating_cost(unique)
+        best = int(np.argmin(np.asarray(costs)[inverse]))
         return sub_configs[best]
 
     def finish(self) -> None:

@@ -116,12 +116,19 @@ class OnlineAlgorithm(abc.ABC):
 
 @dataclass(frozen=True, eq=False)
 class OnlineRunResult:
-    """Outcome of running an online algorithm over a full instance."""
+    """Outcome of running an online algorithm over a full instance.
+
+    ``dispatch_stats`` is a snapshot of the shared dispatch engine's work
+    counters for the run (block calls, unique solves, cache-hit rate) — the
+    benchmark harness uses it to track how much of the per-slot grid work the
+    batched engine deduplicates.
+    """
 
     algorithm: str
     schedule: Schedule
     breakdown: CostBreakdown
     prefix_optima: Optional[np.ndarray] = None
+    dispatch_stats: Optional[dict] = None
 
     @property
     def cost(self) -> float:
@@ -188,4 +195,9 @@ def run_online(
 
     schedule = Schedule(configs)
     breakdown = evaluate_schedule(instance, schedule, dispatcher)
-    return OnlineRunResult(algorithm=algorithm.name, schedule=schedule, breakdown=breakdown)
+    return OnlineRunResult(
+        algorithm=algorithm.name,
+        schedule=schedule,
+        breakdown=breakdown,
+        dispatch_stats=dispatcher.stats.snapshot(),
+    )

@@ -84,6 +84,11 @@ class DPPrefixTracker(PrefixOptimumTracker):
         self._value: Optional[np.ndarray] = None
         self._grid: Optional[StateGrid] = None
         self._steps = 0
+        # counts -> StateGrid; grids do not depend on the observed demands, so
+        # the cache survives reset() and is shared by consecutive runs.  The
+        # cached grid also carries its configs() enumeration, so the per-slot
+        # work reduces to one batched dispatch query plus one transition.
+        self._grid_cache: dict = {}
 
     # -------------------------------------------------------------- interface
     def reset(self) -> None:
@@ -102,7 +107,8 @@ class DPPrefixTracker(PrefixOptimumTracker):
             arrival = startup_cost_tensor(grid.values, slot.beta)
         else:
             arrival = transition(self._value, self._grid.values, grid.values, slot.beta)
-        self._value = arrival + g_tensor
+        # arrival is freshly allocated each step — accumulate in place
+        self._value = np.add(arrival, g_tensor, out=arrival)
         self._grid = grid
         self._steps += 1
         return self._argmin_config()
@@ -114,9 +120,15 @@ class DPPrefixTracker(PrefixOptimumTracker):
 
     # -------------------------------------------------------------- internals
     def _build_grid(self, counts: np.ndarray) -> StateGrid:
-        if self.gamma is None:
-            return StateGrid.full(counts)
-        return StateGrid.geometric(counts, self.gamma)
+        key = tuple(int(c) for c in counts)
+        grid = self._grid_cache.get(key)
+        if grid is None:
+            if self.gamma is None:
+                grid = StateGrid.full(counts)
+            else:
+                grid = StateGrid.geometric(counts, self.gamma)
+            self._grid_cache[key] = grid
+        return grid
 
     def _argmin_config(self) -> np.ndarray:
         flat = self._value.reshape(-1)
