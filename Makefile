@@ -1,16 +1,28 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke
+.PHONY: test bench bench-smoke bench-sweep perf-regress
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 # <30s regression harness: solves three pinned instances and asserts the DP
 # still returns seed-identical optimal costs (guards the batched dispatch
-# engine against accuracy drift).
-bench-smoke:
+# engine against accuracy drift), then runs the sweep-engine gate.
+bench-smoke: perf-regress
 	$(PYTHON) -m repro bench --smoke
+
+# Shared-context sweep engine over the combined THM8+13+15+22 workload;
+# writes benchmarks/output/BENCH_sweep.json (costs, ratios, wall times).
+bench-sweep:
+	$(PYTHON) -m repro bench --sweep --json benchmarks/output/BENCH_sweep.json
+
+# Performance-regression gate: re-runs the combined workload and compares
+# every cost field against the pinned PR-1 reference (exact to 1e-6).  Wall
+# times are advisory-only — machines differ — and the gate does not rewrite
+# the committed BENCH_sweep.json (use `make bench-sweep` to refresh it).
+perf-regress:
+	$(PYTHON) -m repro bench --sweep
 
 # full benchmark harness (regenerates the paper artifacts + BENCH_*.json)
 bench:

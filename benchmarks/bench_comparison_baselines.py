@@ -13,18 +13,8 @@ workload suite and regenerates the qualitative picture:
 
 import numpy as np
 
-from repro import (
-    AlgorithmA,
-    AlgorithmB,
-    AllOn,
-    FollowDemand,
-    LazyCapacityProvisioning,
-    Reactive,
-    run_online,
-    solve_optimal,
-    total_cost,
-)
-from repro.dispatch import DispatchSolver
+from repro import total_cost
+from repro.exp import SharedInstanceContext, run_instance, spec
 from repro.online import optimal_static_schedule, receding_horizon_schedule, round_up, run_obd
 
 from bench_utils import (
@@ -37,21 +27,24 @@ from bench_utils import (
 
 
 def _compare_on(instance, include_lcp=False):
-    dispatcher = DispatchSolver(instance)
-    opt = solve_optimal(instance, dispatcher=dispatcher, return_schedule=False).cost
-    rows = []
-
-    algorithms = [AlgorithmA(), AlgorithmB(), Reactive(), FollowDemand(), AllOn()]
+    # One shared context serves every online run (A/B and the LCP trackers
+    # read one prefix-DP value stream), the offline optimum *and* the
+    # static/receding-horizon baselines below, which reuse its dispatcher.
+    context = SharedInstanceContext(instance)
+    specs = [spec("A"), spec("B"), spec("reactive"), spec("follow-demand"), spec("all-on")]
     if include_lcp:
-        algorithms.insert(2, LazyCapacityProvisioning())
-    for algo in algorithms:
-        result = run_online(instance, algo, dispatcher=dispatcher)
+        specs.insert(2, spec("lcp"))
+    records = run_instance(instance, algorithms=specs, context=context)
+    opt = context.optimal_cost()
+    dispatcher = context.dispatcher
+    rows = []
+    for record in records:
         rows.append(
             {
-                "algorithm": result.algorithm,
-                "cost": round(result.cost, 2),
-                "ratio_vs_opt": round(result.cost / opt, 3),
-                "switching_share": round(result.breakdown.total_switching / result.cost, 3),
+                "algorithm": record.algorithm,
+                "cost": round(record.cost, 2),
+                "ratio_vs_opt": round(record.ratio, 3),
+                "switching_share": round(record.breakdown["switching"] / record.cost, 3),
             }
         )
 
@@ -80,8 +73,9 @@ def _compare_on(instance, include_lcp=False):
 
 
 def _obd_rows(instance):
-    dispatcher = DispatchSolver(instance)
-    opt = solve_optimal(instance, dispatcher=dispatcher, return_schedule=False).cost
+    context = SharedInstanceContext(instance)
+    dispatcher = context.dispatcher
+    opt = context.optimal_cost()
     fractional = run_obd(instance, dispatcher=dispatcher)
     rounded = round_up(fractional, instance)
     rounded_cost = total_cost(instance, rounded, dispatcher)

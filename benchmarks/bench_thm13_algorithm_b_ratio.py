@@ -4,42 +4,40 @@ Theorem 13 proves that Algorithm B is ``(2d + 1 + c(I))``-competitive for
 time-dependent operating costs, where ``c(I) = sum_j max_t l_{t,j} / beta_j``.
 This benchmark measures the ratio on workloads with time-of-day electricity
 prices (several price amplitudes, which change ``c(I)``) and checks the bound.
+
+The four priced instances run through the shared-context sweep engine; the
+dispatch layer recognises each priced slot as a scaled copy of the shared base
+cost row, so the whole horizon collapses into one vectorised dual bisection.
+The scenarios come from :func:`repro.bench.thm13_scenarios` — the single
+source also gated (against pinned PR-1 costs) by ``make perf-regress``.
 """
 
-import numpy as np
+from repro.bench import thm13_scenarios
+from repro.exp import SweepPlan, run_plan, spec
 
-from repro import AlgorithmB, run_online, solve_optimal, theoretical_bound
-from repro.dispatch import DispatchSolver
-
-from bench_utils import diurnal_cpu_gpu_instance, once, result_section, write_result
-
-
-def _scenarios():
-    base = diurnal_cpu_gpu_instance(T=36)
-    scenarios = []
-    for amplitude in (0.0, 0.3, 0.6, 0.9):
-        prices = 1.0 + amplitude * np.sin(np.arange(base.T) / base.T * 4 * np.pi + 0.5)
-        inst = base.with_price_profile(prices) if amplitude > 0 else base
-        scenarios.append((f"price amplitude {amplitude:.1f}", inst))
-    return scenarios
+from bench_utils import once, result_section, write_result
 
 
 def _run():
+    scenarios = thm13_scenarios()
+    report = run_plan(
+        SweepPlan(
+            instances=tuple(instance for _, instance in scenarios),
+            algorithms=(spec("B"),),
+        )
+    )
     rows = []
-    for label, instance in _scenarios():
-        dispatcher = DispatchSolver(instance)
-        opt = solve_optimal(instance, dispatcher=dispatcher, return_schedule=False).cost
-        result = run_online(instance, AlgorithmB(), dispatcher=dispatcher)
-        bound = theoretical_bound(instance, "B")
+    for (label, instance), record in zip(scenarios, report.records):
+        assert record.instance == instance.name
         rows.append(
             {
                 "scenario": label,
                 "c(I)": round(instance.c_constant(), 3),
-                "optimal": round(opt, 2),
-                "algorithm_B": round(result.cost, 2),
-                "ratio": round(result.cost / opt, 4),
-                "bound_2d+1+c": round(bound, 3),
-                "within_bound": result.cost <= bound * opt + 1e-6,
+                "optimal": round(record.optimal_cost, 2),
+                "algorithm_B": round(record.cost, 2),
+                "ratio": round(record.ratio, 4),
+                "bound_2d+1+c": round(record.bound, 3),
+                "within_bound": bool(record.within_bound),
             }
         )
     return rows

@@ -5,46 +5,45 @@ sub-slots, runs Algorithm B on the refined instance and repairs the schedule
 (Lemma 14).  This benchmark sweeps ``eps`` on a priced workload, reports the
 measured ratios, the refinement counts and the comparison with plain
 Algorithm B, and checks every run against its bound ``2d + 1 + eps``.
+
+All four runs share one engine context: B reads the shared prefix-DP value
+stream, and C's sub-slot trackers reuse the shared per-slot grid tensors
+(scaled by ``1/n_t``) instead of re-querying dispatch.
 """
 
-import numpy as np
+from repro.bench import thm15_instance
+from repro.exp import SweepPlan, run_plan, spec
 
-from repro import AlgorithmB, AlgorithmC, run_online, solve_optimal
-from repro.dispatch import DispatchSolver
-
-from bench_utils import once, priced_instance, result_section, write_result
+from bench_utils import once, result_section, write_result
 
 
 def _run():
-    instance = priced_instance(T=30)
-    dispatcher = DispatchSolver(instance)
-    opt = solve_optimal(instance, dispatcher=dispatcher, return_schedule=False).cost
-    b_result = run_online(instance, AlgorithmB(), dispatcher=dispatcher)
+    instance = thm15_instance()
+    report = run_plan(
+        SweepPlan(
+            instances=(instance,),
+            algorithms=(
+                spec("B"),
+                spec("C", epsilon=1.0),
+                spec("C", epsilon=0.5),
+                spec("C", epsilon=0.25),
+            ),
+        )
+    )
+    opt = report.records[0].optimal_cost
 
-    rows = [
-        {
-            "algorithm": "B (reference)",
-            "eps": "-",
-            "mean_sub_slots": 1.0,
-            "cost": round(b_result.cost, 2),
-            "ratio": round(b_result.cost / opt, 4),
-            "bound": round(2 * instance.d + 1 + instance.c_constant(), 3),
-            "within_bound": b_result.cost <= (2 * instance.d + 1 + instance.c_constant()) * opt + 1e-6,
-        }
-    ]
-    for eps in (1.0, 0.5, 0.25):
-        algo = AlgorithmC(epsilon=eps)
-        result = run_online(instance, algo, dispatcher=dispatcher)
-        bound = 2 * instance.d + 1 + eps
+    rows = []
+    for record in report.records:
+        is_b = record.algorithm == "algorithm-B"
         rows.append(
             {
-                "algorithm": "C",
-                "eps": eps,
-                "mean_sub_slots": round(float(np.mean(algo.sub_slot_counts)), 2),
-                "cost": round(result.cost, 2),
-                "ratio": round(result.cost / opt, 4),
-                "bound": round(bound, 3),
-                "within_bound": result.cost <= bound * opt + 1e-6,
+                "algorithm": "B (reference)" if is_b else "C",
+                "eps": "-" if is_b else record.extras["epsilon"],
+                "mean_sub_slots": 1.0 if is_b else round(record.extras["mean_sub_slots"], 2),
+                "cost": round(record.cost, 2),
+                "ratio": round(record.ratio, 4),
+                "bound": round(record.bound, 3),
+                "within_bound": bool(record.within_bound),
             }
         )
     return instance, opt, rows

@@ -10,32 +10,30 @@ regenerated schedule summary.
 
 import numpy as np
 
-from repro import ProblemInstance, solve_approx, solve_optimal
-from repro.dispatch import DispatchSolver
-from repro.workloads import diurnal_trace, old_new_fleet
+from repro.bench import thm22_instance
+from repro.exp import OfflineSpec, SweepPlan, run_plan
 
 from bench_utils import once, result_section, write_result
 
 
-def _instance():
-    fleet = old_new_fleet(old_count=6, new_count=4)
-    T = 30
-    demand = diurnal_trace(T, period=10, base=2.0, peak=10.0, noise=0.05, rng=21)
-    counts = np.tile([6, 4], (T, 1))
-    counts[10:15, 0] = 2   # maintenance: most old-generation servers offline
-    counts[20:, 1] = 6     # expansion: two extra new-generation servers delivered
-    inst = ProblemInstance(tuple(fleet), demand, counts=counts, name="time-varying-m")
-    # clip demand to the per-slot capacity so the instance stays feasible
-    cap = np.array([inst.total_capacity(t) for t in range(T)])
-    return ProblemInstance(tuple(fleet), np.minimum(demand, 0.95 * cap), counts=counts,
-                           name="time-varying-m")
-
-
 def _run():
-    instance = _instance()
-    dispatcher = DispatchSolver(instance)
-    exact = solve_optimal(instance, dispatcher=dispatcher)
-    approx = solve_approx(instance, epsilon=0.5, dispatcher=dispatcher)
+    # Both solves route through one shared engine context: the exact schedule
+    # is reconstructed from the context's memoised value stream, the
+    # approximation shares its dispatch solver and block caches.  The instance
+    # (maintenance window slots 10-14, expansion from slot 20) comes from
+    # repro.bench.thm22_instance — the single source also gated by perf-regress.
+    instance = thm22_instance()
+    report = run_plan(
+        SweepPlan(
+            instances=(instance,),
+            offline=(
+                OfflineSpec(solver="optimal"),
+                OfflineSpec(solver="approx", epsilon=0.5),
+            ),
+        )
+    )
+    exact = report.record(instance.name, "offline-optimal").result
+    approx = report.record(instance.name, "approx(eps=0.5)").result
     return instance, exact, approx
 
 

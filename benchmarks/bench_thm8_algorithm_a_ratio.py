@@ -7,50 +7,41 @@ measurements; this benchmark measures the ratio ``C(X^A) / C(X*)`` on the
 synthetic workload suite for ``d in {1, 2, 3}`` and checks that every measured
 ratio respects the proven bound (and reports how far below the bound typical
 workloads stay).
+
+The runs route through the shared-context sweep engine (:mod:`repro.exp`): per
+instance, the offline optimum is read off the same memoised prefix-DP value
+stream that drives Algorithm A's tracker, instead of a second DP.  The
+scenarios come from :func:`repro.bench.thm8_scenarios` — the single source
+also gated (against pinned PR-1 costs) by ``make perf-regress``.
 """
 
-from repro import AlgorithmA, run_online, solve_optimal, theoretical_bound
-from repro.dispatch import DispatchSolver
+from repro.bench import thm8_scenarios
+from repro.exp import SweepPlan, run_plan, spec
 
-from bench_utils import (
-    bursty_old_new_instance,
-    diurnal_cpu_gpu_instance,
-    homogeneous_instance,
-    load_independent_instance,
-    once,
-    result_section,
-    spiky_three_tier_instance,
-    write_result,
-)
-
-
-def _scenarios():
-    return [
-        ("homogeneous d=1 (diurnal)", homogeneous_instance(T=48)),
-        ("cpu+gpu d=2 (diurnal)", diurnal_cpu_gpu_instance(T=48)),
-        ("old+new d=2 (bursty)", bursty_old_new_instance(T=40)),
-        ("load-independent d=2 (Corollary 9)", load_independent_instance(T=40)),
-        ("three-tier d=3 (spiky)", spiky_three_tier_instance(T=32)),
-    ]
+from bench_utils import once, result_section, write_result
 
 
 def _run():
+    scenarios = thm8_scenarios()
+    report = run_plan(
+        SweepPlan(
+            instances=tuple(instance for _, instance in scenarios),
+            algorithms=(spec("A"),),
+        )
+    )
     rows = []
-    for label, instance in _scenarios():
-        dispatcher = DispatchSolver(instance)
-        opt = solve_optimal(instance, dispatcher=dispatcher, return_schedule=False).cost
-        result = run_online(instance, AlgorithmA(), dispatcher=dispatcher)
-        bound = theoretical_bound(instance, "A")
+    for (label, instance), record in zip(scenarios, report.records):
+        assert record.instance == instance.name
         rows.append(
             {
                 "scenario": label,
                 "d": instance.d,
                 "T": instance.T,
-                "optimal": round(opt, 2),
-                "algorithm_A": round(result.cost, 2),
-                "ratio": round(result.cost / opt, 4),
-                "bound": bound,
-                "within_bound": result.cost <= bound * opt + 1e-6,
+                "optimal": round(record.optimal_cost, 2),
+                "algorithm_A": round(record.cost, 2),
+                "ratio": round(record.ratio, 4),
+                "bound": record.bound,
+                "within_bound": bool(record.within_bound),
             }
         )
     return rows

@@ -19,9 +19,18 @@ derivative-bound initial brackets and monotone cross-demand bracket
 propagation, and results are memoised per ``(signature, configuration set)``.
 State grids are memoised per ``(counts, gamma)`` on the instance, so
 time-invariant instances build exactly one grid (with one cached ``configs()``
-enumeration) for the whole horizon.  See ``docs/PERFORMANCE.md`` for the
-design, the measured speedups and the benchmark harness
-(``make bench-smoke`` / ``python -m repro bench --smoke`` guards exactness).
+enumeration) for the whole horizon.
+
+On top of the dispatch engine sits the *shared-context sweep engine*
+(:mod:`repro.exp`): :func:`run_plan` batches N online algorithms × M instances
+through one shared context per instance — one dispatch solver, per-slot grid
+operating-cost tensors computed once, and a single memoised prefix-DP value
+stream shared by Algorithms A/B and both LCP tie-breaks (and reused again for
+the offline optimum) — with optional process sharding for large sweeps.  See
+``docs/PERFORMANCE.md`` for the design, the measured speedups and the
+benchmark harness (``make bench-smoke`` / ``python -m repro bench --smoke``
+guards the DP's exactness, ``make perf-regress`` / ``repro bench --sweep``
+guards the sweep engine's).
 """
 
 from .core import (
@@ -73,6 +82,14 @@ from .analysis import (
     ratio_table,
     theoretical_bound,
 )
+from .exp import (
+    AlgorithmSpec,
+    OfflineSpec,
+    SharedInstanceContext,
+    SweepPlan,
+    SweepReport,
+    run_plan,
+)
 from .workloads import (
     bursty_trace,
     cpu_gpu_fleet,
@@ -88,6 +105,7 @@ __all__ = [
     "AlgorithmA",
     "AlgorithmB",
     "AlgorithmC",
+    "AlgorithmSpec",
     "AllOn",
     "CallableCost",
     "ConstantCost",
@@ -101,6 +119,7 @@ __all__ = [
     "LazyCapacityProvisioning",
     "LinearCost",
     "OfflineResult",
+    "OfflineSpec",
     "OnlineAlgorithm",
     "OnlineRunResult",
     "PiecewiseLinearCost",
@@ -111,8 +130,11 @@ __all__ = [
     "ScaledCost",
     "Schedule",
     "ServerType",
+    "SharedInstanceContext",
     "ShiftedCost",
     "StateGrid",
+    "SweepPlan",
+    "SweepReport",
     "approximation_guarantee",
     "bursty_trace",
     "compute_metrics",
@@ -126,6 +148,7 @@ __all__ = [
     "optimal_cost",
     "ratio_table",
     "run_online",
+    "run_plan",
     "single_type_fleet",
     "solve_approx",
     "solve_milp",

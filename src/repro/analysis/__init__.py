@@ -4,7 +4,7 @@ from .ascii_plot import compare_plot, schedule_plot, series_plot, step_plot
 from .competitive import RatioResult, empirical_ratio, ratio_table, theoretical_bound
 from .metrics import ScheduleMetrics, compute_metrics
 from .report import format_markdown_table, format_table, print_table, rows_to_csv
-from .sweep import SweepResult, run_sweep
+from .sweep import SweepResult, run_algorithm_sweep, run_sweep
 
 __all__ = [
     "RatioResult",
@@ -18,6 +18,7 @@ __all__ = [
     "print_table",
     "ratio_table",
     "rows_to_csv",
+    "run_algorithm_sweep",
     "run_sweep",
     "schedule_plot",
     "series_plot",

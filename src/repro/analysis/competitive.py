@@ -113,16 +113,25 @@ def ratio_table(
 
     ``algorithm_factories`` is a sequence of zero-argument callables returning
     fresh :class:`OnlineAlgorithm` objects (fresh state per run).  Returns a
-    list of :class:`RatioResult`, one per (instance, algorithm) pair, reusing
-    one optimal solve per instance.
+    list of :class:`RatioResult`, one per (instance, algorithm) pair.
+
+    The comparison routes through the sweep engine
+    (:func:`repro.exp.run_plan`): every instance's runs share one dispatch
+    solver and its per-slot grid tensors, and the offline optimum is taken
+    from the engine's memoised prefix-DP value stream instead of a separate
+    solve.
     """
-    results = []
-    for instance in instances:
-        dispatcher = DispatchSolver(instance)
-        opt = solve_optimal(instance, dispatcher=dispatcher, return_schedule=False).cost
-        for k, factory in enumerate(algorithm_factories):
-            bound = bounds[k] if bounds is not None else None
-            results.append(
-                empirical_ratio(instance, factory(), optimal_cost=opt, bound=bound, dispatcher=dispatcher)
+    from ..exp.engine import AlgorithmSpec, SweepPlan, run_plan
+
+    specs = []
+    for k, factory in enumerate(algorithm_factories):
+        bound = bounds[k] if bounds is not None else None
+        specs.append(
+            AlgorithmSpec(
+                kind=f"custom-{k}",
+                bound=bound,
+                factory=lambda ctx, _factory=factory: _factory(),
             )
-    return results
+        )
+    report = run_plan(SweepPlan(instances=tuple(instances), algorithms=tuple(specs)))
+    return report.ratio_results()

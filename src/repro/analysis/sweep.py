@@ -5,6 +5,12 @@ a user-supplied experiment function produces a result row (a flat ``dict``).
 Timing is recorded per combination so that the runtime-scaling experiments
 (Theorems 21 and 22) can report measured wall-clock growth alongside the
 predicted complexity.
+
+:func:`run_algorithm_sweep` bridges into the shared-context sweep engine
+(:mod:`repro.exp`): it batches online algorithms × instances through one
+shared context per instance and returns the flat rows as a
+:class:`SweepResult`, so the grouping/reporting helpers here apply to engine
+output as well.
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Sequence
 
-__all__ = ["SweepResult", "run_sweep"]
+__all__ = ["SweepResult", "run_algorithm_sweep", "run_sweep"]
 
 
 @dataclass(frozen=True, eq=False)
@@ -69,3 +75,33 @@ def run_sweep(
             row["elapsed_seconds"] = durations[len(durations) // 2]
         rows.append(row)
     return SweepResult(rows=tuple(rows))
+
+
+def run_algorithm_sweep(
+    instances: Sequence,
+    algorithms: Sequence,
+    offline: Sequence = (),
+    jobs: int = 1,
+    compute_optimal: bool = True,
+) -> SweepResult:
+    """Batch online algorithms × instances through the shared-context engine.
+
+    ``algorithms`` entries are registry keys (``"A"``, ``"B"``, ...) or
+    :class:`repro.exp.AlgorithmSpec` objects; ``offline`` entries are
+    :class:`repro.exp.OfflineSpec` objects.  Each instance's runs share one
+    dispatch solver, grid tensors and prefix-DP value stream; ``jobs > 1``
+    shards instances across processes.  Returns the flat result rows (cost,
+    optimal, ratio, timing, dispatch counters) as a :class:`SweepResult`.
+    """
+    from ..exp.engine import SweepPlan, run_plan
+
+    report = run_plan(
+        SweepPlan(
+            instances=tuple(instances),
+            algorithms=tuple(algorithms),
+            offline=tuple(offline),
+            compute_optimal=compute_optimal,
+            jobs=jobs,
+        )
+    )
+    return SweepResult(rows=tuple(report.as_rows()))

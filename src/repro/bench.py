@@ -16,6 +16,14 @@ The three instances deliberately exercise the engine's three code paths:
 * ``smoke-counts`` — time-dependent fleet sizes (Section 4.3), several grids
   per horizon, per-grid dispatch blocks.
 
+``run_sweep_bench`` (``python -m repro bench --sweep`` / ``make perf-regress``)
+is the analogous gate for the shared-context *sweep engine*: it runs the
+combined THM8+13+15+22 competitive-ratio workload twice — once with the PR-1
+style sequential orchestration (private solver and trackers per run) and once
+through :func:`repro.exp.run_plan` — asserts both agree with each other
+(1e-9) and with the pinned PR-1 costs (1e-6), and records the wall times in
+``BENCH_sweep.json``.  Wall times are advisory; only cost fields gate.
+
 The harness also reports wall times, states explored and the engine's
 cache-hit rate, and can emit the numbers as JSON for trend tracking.
 """
@@ -23,6 +31,8 @@ cache-hit rate, and can emit the numbers as JSON for trend tracking.
 from __future__ import annotations
 
 import json
+import os
+import platform
 import time
 from typing import Dict, List, Optional
 
@@ -30,10 +40,37 @@ import numpy as np
 
 from .core.instance import ProblemInstance
 from .dispatch.allocation import DispatchSolver
+from .offline.graph_approx import solve_approx
 from .offline.graph_optimal import solve_optimal
-from .workloads import bursty_trace, cpu_gpu_fleet, diurnal_trace, fleet_instance, old_new_fleet
+from .online.algorithm_a import AlgorithmA
+from .online.algorithm_b import AlgorithmB
+from .online.algorithm_c import AlgorithmC
+from .online.base import run_online
+from .workloads import (
+    bursty_trace,
+    cpu_gpu_fleet,
+    diurnal_trace,
+    fleet_instance,
+    load_independent_fleet,
+    old_new_fleet,
+    single_type_fleet,
+    spike_trace,
+    three_tier_fleet,
+)
 
-__all__ = ["PINNED_OPTIMAL_COSTS", "smoke_instances", "run_smoke_bench"]
+__all__ = [
+    "PINNED_OPTIMAL_COSTS",
+    "PINNED_SWEEP_COSTS",
+    "PR1_BASELINE_WALL_SECONDS",
+    "run_smoke_bench",
+    "run_sweep_bench",
+    "smoke_instances",
+    "sweep_suite",
+    "thm8_scenarios",
+    "thm13_scenarios",
+    "thm15_instance",
+    "thm22_instance",
+]
 
 #: Optimal costs of the pinned instances, computed with the seed (pre-engine)
 #: implementation.  The DP must keep reproducing these exactly (tol 1e-6).
@@ -109,3 +146,311 @@ def run_smoke_bench(tolerance: float = 1e-6, json_path: Optional[str] = None) ->
         with open(json_path, "w", encoding="utf-8") as handle:
             json.dump({"smoke": rows}, handle, indent=2)
     return rows
+
+
+# --------------------------------------------------------------------------- #
+# Sweep regression suite: the combined THM8+13+15+22 ratio workload
+# --------------------------------------------------------------------------- #
+
+#: Wall time of the combined THM8+13+15+22 workload measured at the PR-1
+#: commit on the reference machine (best of 3).  Advisory only — recorded so
+#: that ``BENCH_sweep.json`` can report the end-to-end speedup of the sweep
+#: engine against the state it replaced; never gated (machines differ).
+PR1_BASELINE_WALL_SECONDS = 1.046
+
+#: Costs of every run of the combined sweep workload, computed at the PR-1
+#: commit.  Keyed by ``(experiment, instance, algorithm)`` where algorithm
+#: ``"optimal"`` is the shared offline optimum.  The sweep engine (and the
+#: sequential baseline it is compared against) must keep reproducing these
+#: within 1e-6 — the engine's entire point is bit-identical orchestration.
+PINNED_SWEEP_COSTS: Dict[tuple, float] = {
+    ("thm8", "homogeneous-T48", "optimal"): 457.7955467914764,
+    ("thm8", "homogeneous-T48", "algorithm-A"): 462.510945523983,
+    ("thm8", "diurnal-cpu-gpu-T48", "optimal"): 490.14819054513424,
+    ("thm8", "diurnal-cpu-gpu-T48", "algorithm-A"): 537.0508316855593,
+    ("thm8", "bursty-old-new-T40", "optimal"): 324.0,
+    ("thm8", "bursty-old-new-T40", "algorithm-A"): 346.46666666666664,
+    ("thm8", "load-independent-T40", "optimal"): 119.0,
+    ("thm8", "load-independent-T40", "algorithm-A"): 127.5,
+    ("thm8", "spiky-three-tier-T32", "optimal"): 167.05000000000007,
+    ("thm8", "spiky-three-tier-T32", "algorithm-A"): 196.14999999999998,
+    ("thm13", "diurnal-cpu-gpu-T36-amp0.0", "optimal"): 382.7085828837085,
+    ("thm13", "diurnal-cpu-gpu-T36-amp0.0", "algorithm-B"): 429.12546409862074,
+    ("thm13", "diurnal-cpu-gpu-T36-amp0.3", "optimal"): 367.6656740144223,
+    ("thm13", "diurnal-cpu-gpu-T36-amp0.3", "algorithm-B"): 409.27272149829344,
+    ("thm13", "diurnal-cpu-gpu-T36-amp0.6", "optimal"): 351.07321520748866,
+    ("thm13", "diurnal-cpu-gpu-T36-amp0.6", "algorithm-B"): 402.3399501476715,
+    ("thm13", "diurnal-cpu-gpu-T36-amp0.9", "optimal"): 334.4281800254081,
+    ("thm13", "diurnal-cpu-gpu-T36-amp0.9", "algorithm-B"): 392.8770834403654,
+    ("thm15", "priced-cpu-gpu-T30", "optimal"): 304.7209596263647,
+    ("thm15", "priced-cpu-gpu-T30", "algorithm-B"): 343.55428004574236,
+    ("thm15", "priced-cpu-gpu-T30", "algorithm-C(eps=1)"): 343.55428004574236,
+    ("thm15", "priced-cpu-gpu-T30", "algorithm-C(eps=0.5)"): 361.56845083685425,
+    ("thm15", "priced-cpu-gpu-T30", "algorithm-C(eps=0.25)"): 361.9366010047067,
+    ("thm22", "time-varying-m", "optimal"): 404.0157648710129,
+    ("thm22", "time-varying-m", "offline-optimal"): 404.0157648710129,
+    ("thm22", "time-varying-m", "approx(eps=0.5)"): 404.0157648710129,
+}
+
+
+def thm8_scenarios() -> List[tuple]:
+    """The five THM8 scenarios as ``(label, instance)`` pairs.
+
+    Single source of truth shared by ``benchmarks/bench_thm8_algorithm_a_ratio.py``
+    and the perf-regress gate — the pinned costs below gate exactly these.
+    """
+    homogeneous = fleet_instance(
+        single_type_fleet(count=8),
+        diurnal_trace(48, period=24, base=0.5, peak=6.0, noise=0.05, rng=5),
+        name="homogeneous-T48",
+    )
+    diurnal = fleet_instance(
+        cpu_gpu_fleet(cpu_count=5, gpu_count=2),
+        diurnal_trace(48, period=24, base=1.0, peak=10.0, noise=0.05, rng=1),
+        name="diurnal-cpu-gpu-T48",
+    )
+    bursty = fleet_instance(
+        old_new_fleet(old_count=5, new_count=3),
+        bursty_trace(40, base=1.0, burst_height=8.0, burst_probability=0.15, rng=2),
+        name="bursty-old-new-T40",
+    )
+    load_independent = fleet_instance(
+        load_independent_fleet(d=2),
+        bursty_trace(40, base=1.0, burst_height=6.0, burst_probability=0.2, rng=7),
+        name="load-independent-T40",
+    )
+    fleet = [st.with_count(min(st.count, 3)) for st in three_tier_fleet()]
+    spiky = fleet_instance(
+        fleet,
+        spike_trace(32, base=0.5, spike_height=8.0, spike_every=8),
+        name="spiky-three-tier-T32",
+    )
+    return [
+        ("homogeneous d=1 (diurnal)", homogeneous),
+        ("cpu+gpu d=2 (diurnal)", diurnal),
+        ("old+new d=2 (bursty)", bursty),
+        ("load-independent d=2 (Corollary 9)", load_independent),
+        ("three-tier d=3 (spiky)", spiky),
+    ]
+
+
+def thm13_scenarios() -> List[tuple]:
+    """The four THM13 price-amplitude scenarios as ``(label, instance)`` pairs."""
+    base = fleet_instance(
+        cpu_gpu_fleet(cpu_count=5, gpu_count=2),
+        diurnal_trace(36, period=18, base=1.0, peak=10.0, noise=0.05, rng=1),
+        name="diurnal-cpu-gpu-T36-amp0.0",
+    )
+    scenarios = [("price amplitude 0.0", base)]
+    for amplitude in (0.3, 0.6, 0.9):
+        prices = 1.0 + amplitude * np.sin(np.arange(36) / 36 * 4 * np.pi + 0.5)
+        scenarios.append(
+            (
+                f"price amplitude {amplitude:.1f}",
+                base.with_price_profile(prices, name=f"diurnal-cpu-gpu-T36-amp{amplitude}"),
+            )
+        )
+    return scenarios
+
+
+def thm15_instance() -> ProblemInstance:
+    """The THM15 priced instance (CPU+GPU diurnal with a price profile, T=30)."""
+    base = fleet_instance(
+        cpu_gpu_fleet(cpu_count=5, gpu_count=2),
+        diurnal_trace(30, period=15, base=1.0, peak=10.0, noise=0.05, rng=11),
+    )
+    prices = 1.0 + 0.5 * np.sin(np.arange(30) / 30 * 4.0 * np.pi + 0.7)
+    return base.with_price_profile(prices, name="priced-cpu-gpu-T30")
+
+
+def thm22_instance() -> ProblemInstance:
+    """The THM22 time-varying-fleet instance (maintenance window + expansion)."""
+    fleet = old_new_fleet(old_count=6, new_count=4)
+    T = 30
+    demand = diurnal_trace(T, period=10, base=2.0, peak=10.0, noise=0.05, rng=21)
+    counts = np.tile([6, 4], (T, 1)).astype(int)
+    counts[10:15, 0] = 2
+    counts[20:, 1] = 6
+    instance = ProblemInstance(tuple(fleet), demand, counts=counts, name="time-varying-m")
+    cap = np.array([instance.total_capacity(t) for t in range(T)])
+    return ProblemInstance(
+        tuple(fleet), np.minimum(demand, 0.95 * cap), counts=counts, name="time-varying-m"
+    )
+
+
+def sweep_suite() -> List[tuple]:
+    """The combined ratio workload as named engine sweep plans."""
+    from .exp.engine import OfflineSpec, SweepPlan, spec
+
+    return [
+        (
+            "thm8",
+            SweepPlan(
+                instances=tuple(inst for _, inst in thm8_scenarios()),
+                algorithms=(spec("A"),),
+            ),
+        ),
+        (
+            "thm13",
+            SweepPlan(
+                instances=tuple(inst for _, inst in thm13_scenarios()),
+                algorithms=(spec("B"),),
+            ),
+        ),
+        (
+            "thm15",
+            SweepPlan(
+                instances=(thm15_instance(),),
+                algorithms=(
+                    spec("B"),
+                    spec("C", label="algorithm-C(eps=1)", epsilon=1.0),
+                    spec("C", label="algorithm-C(eps=0.5)", epsilon=0.5),
+                    spec("C", label="algorithm-C(eps=0.25)", epsilon=0.25),
+                ),
+            ),
+        ),
+        (
+            "thm22",
+            SweepPlan(
+                instances=(thm22_instance(),),
+                algorithms=(),
+                offline=(
+                    OfflineSpec(solver="optimal"),
+                    OfflineSpec(solver="approx", epsilon=0.5),
+                ),
+            ),
+        ),
+    ]
+
+
+def _sequential_baseline() -> Dict[tuple, float]:
+    """Re-run the suite with PR-1 style orchestration: nothing shared per run.
+
+    One fresh :class:`DispatchSolver` per instance (shared only between the
+    offline optimum and the runs of that one benchmark scenario, exactly as
+    the PR-1 benchmark files did), private trackers per algorithm, a separate
+    ``solve_optimal`` per instance.
+    """
+    costs: Dict[tuple, float] = {}
+    for _, instance in thm8_scenarios():
+        dispatcher = DispatchSolver(instance)
+        costs[("thm8", instance.name, "optimal")] = solve_optimal(
+            instance, dispatcher=dispatcher, return_schedule=False
+        ).cost
+        result = run_online(instance, AlgorithmA(), dispatcher=dispatcher)
+        costs[("thm8", instance.name, "algorithm-A")] = result.cost
+    for _, instance in thm13_scenarios():
+        dispatcher = DispatchSolver(instance)
+        costs[("thm13", instance.name, "optimal")] = solve_optimal(
+            instance, dispatcher=dispatcher, return_schedule=False
+        ).cost
+        result = run_online(instance, AlgorithmB(), dispatcher=dispatcher)
+        costs[("thm13", instance.name, "algorithm-B")] = result.cost
+    instance = thm15_instance()
+    dispatcher = DispatchSolver(instance)
+    costs[("thm15", instance.name, "optimal")] = solve_optimal(
+        instance, dispatcher=dispatcher, return_schedule=False
+    ).cost
+    costs[("thm15", instance.name, "algorithm-B")] = run_online(
+        instance, AlgorithmB(), dispatcher=dispatcher
+    ).cost
+    for eps, label in ((1.0, "algorithm-C(eps=1)"), (0.5, "algorithm-C(eps=0.5)"), (0.25, "algorithm-C(eps=0.25)")):
+        costs[("thm15", instance.name, label)] = run_online(
+            instance, AlgorithmC(epsilon=eps), dispatcher=dispatcher
+        ).cost
+    instance = thm22_instance()
+    dispatcher = DispatchSolver(instance)
+    exact = solve_optimal(instance, dispatcher=dispatcher)
+    approx = solve_approx(instance, epsilon=0.5, dispatcher=dispatcher)
+    costs[("thm22", instance.name, "optimal")] = exact.cost
+    costs[("thm22", instance.name, "offline-optimal")] = exact.cost
+    costs[("thm22", instance.name, "approx(eps=0.5)")] = approx.cost
+    return costs
+
+
+def run_sweep_bench(
+    tolerance: float = 1e-6,
+    json_path: Optional[str] = None,
+    jobs: int = 1,
+    include_baseline: bool = True,
+) -> dict:
+    """Run the combined THM8+13+15+22 workload through the sweep engine.
+
+    Asserts that every cost matches the pinned PR-1 value within ``tolerance``
+    and (when ``include_baseline``) that the engine agrees with the sequential
+    PR-1 orchestration to 1e-9.  Returns the ``BENCH_sweep.json`` payload;
+    wall times and speedups are recorded but never gated.
+    """
+    from .exp.engine import run_plan
+
+    experiments = {}
+    engine_costs: Dict[tuple, float] = {}
+    engine_start = time.perf_counter()
+    for name, plan in sweep_suite():
+        report = run_plan(plan, jobs=jobs)
+        experiments[name] = {
+            "engine_seconds": round(report.total_seconds, 6),
+            "rows": report.as_rows(),
+        }
+        for instance_name in report.instances():
+            first = next(r for r in report.records if r.instance == instance_name)
+            engine_costs[(name, instance_name, "optimal")] = first.optimal_cost
+        for record in report.records:
+            engine_costs[(name, record.instance, record.algorithm)] = record.cost
+    engine_wall = time.perf_counter() - engine_start
+
+    deviations = []
+    for key, pinned in PINNED_SWEEP_COSTS.items():
+        if key not in engine_costs:
+            raise AssertionError(f"sweep engine produced no cost for pinned run {key!r}")
+        deviations.append((key, abs(engine_costs[key] - pinned)))
+    worst_key, worst = max(deviations, key=lambda kv: kv[1])
+    if worst > tolerance:
+        raise AssertionError(
+            f"{worst_key!r}: sweep-engine cost deviates from the pinned PR-1 value "
+            f"by {worst:g} (> {tolerance:g}) — shared-context orchestration is no longer exact"
+        )
+
+    baseline_wall = None
+    if include_baseline:
+        baseline_start = time.perf_counter()
+        baseline_costs = _sequential_baseline()
+        baseline_wall = time.perf_counter() - baseline_start
+        for key, cost in baseline_costs.items():
+            if abs(engine_costs[key] - cost) > 1e-9:
+                raise AssertionError(
+                    f"{key!r}: engine cost {engine_costs[key]!r} differs from the sequential "
+                    f"baseline {cost!r} by more than 1e-9"
+                )
+
+    payload = {
+        "benchmark": "sweep",
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "tolerance": tolerance,
+        "max_cost_deviation": worst,
+        "engine_wall_seconds": round(engine_wall, 4),
+        "sequential_wall_seconds": None if baseline_wall is None else round(baseline_wall, 4),
+        "speedup_vs_sequential": None
+        if baseline_wall is None
+        else round(baseline_wall / engine_wall, 2),
+        "pr1_reference": {
+            "wall_seconds": PR1_BASELINE_WALL_SECONDS,
+            "note": "combined THM8+13+15+22 wall time measured at the PR-1 commit "
+                    "on the reference machine (advisory only)",
+        },
+        "speedup_vs_pr1": round(PR1_BASELINE_WALL_SECONDS / engine_wall, 2),
+        "jobs": jobs,
+        "experiments": experiments,
+    }
+    if json_path:
+        directory = os.path.dirname(json_path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+    return payload

@@ -18,10 +18,23 @@ without writing Python:
     Run the whole algorithm suite on one scenario and print the comparison
     table (the same table the COMP benchmark regenerates).
 
+``python -m repro sweep``
+    Batch several online algorithms (times several seeds) through the
+    shared-context sweep engine: one dispatch solver, one set of grid
+    operating-cost tensors and one memoised prefix-DP value stream per
+    instance, with optional process sharding (``--jobs``) and machine-readable
+    output (``--json``).
+
 ``python -m repro bench --smoke``
     Run the <30s benchmark regression harness: solve three pinned instances
     and assert the DP still returns seed-identical optimal costs (guards the
     batched dispatch engine against accuracy drift).
+
+``python -m repro bench --sweep``
+    Run the combined THM8+13+15+22 ratio workload through the sweep engine,
+    assert every cost matches the pinned PR-1 values (1e-6) and the sequential
+    orchestration (1e-9), and report the measured speedup (wall times are
+    advisory).
 
 Scenarios are described by a fleet preset (``--fleet``) and a trace generator
 (``--trace``) with ``--slots`` and ``--seed``; a custom demand trace can be
@@ -230,12 +243,99 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .exp import SweepPlan, run_plan
+    from .exp.engine import ALGORITHM_BUILDERS, spec as algo_spec
+
+    seeds = [int(s) for s in str(args.seeds).split(",") if s.strip()] if args.seeds else [args.seed]
+    instances = []
+    for seed in seeds:
+        ns = argparse.Namespace(**vars(args))
+        ns.seed = seed
+        instance = _build_instance(ns)
+        if len(seeds) > 1:
+            instance = instance.with_demand(instance.demand, name=f"{instance.name}/seed{seed}")
+        instances.append(instance)
+
+    specs = []
+    for key in args.algorithms.split(","):
+        key = key.strip()
+        if not key:
+            continue
+        if key not in ALGORITHM_BUILDERS:
+            raise SystemExit(f"unknown algorithm {key!r} (choose from {', '.join(sorted(ALGORITHM_BUILDERS))})")
+        if key == "C":
+            specs.append(algo_spec("C", epsilon=args.epsilon or 0.25))
+        elif key == "lcp":
+            specs.append(algo_spec("lcp", bound=None, allow_heterogeneous=True))
+        else:
+            specs.append(algo_spec(key))
+    if not specs:
+        raise SystemExit("no algorithms selected")
+
+    report = run_plan(SweepPlan(instances=tuple(instances), algorithms=tuple(specs), jobs=args.jobs))
+    rows = []
+    for record in report:
+        row = {
+            "instance": record.instance,
+            "algorithm": record.algorithm,
+            "cost": round(record.cost, 3),
+            "optimal": round(record.optimal_cost, 3),
+            "ratio": round(record.ratio, 4),
+            "seconds": round(record.elapsed_seconds, 4),
+        }
+        if record.bound is not None:
+            row["bound"] = round(record.bound, 3)
+            row["within_bound"] = bool(record.within_bound)
+        rows.append(row)
+    print(format_table(
+        rows,
+        title=f"shared-context sweep — {len(instances)} instance(s) x {len(specs)} algorithm(s), "
+              f"jobs={report.meta.get('jobs', 1)}, {report.total_seconds:.3f}s total",
+    ))
+    if args.json:
+        report.write_json(args.json)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .bench import run_smoke_bench
+    from .bench import PINNED_SWEEP_COSTS, run_smoke_bench, run_sweep_bench
+
+    if args.sweep:
+        try:
+            payload = run_sweep_bench(tolerance=args.tolerance, json_path=args.json, jobs=args.jobs)
+        except AssertionError as exc:
+            print(f"FAIL: {exc}", file=sys.stderr)
+            return 1
+        table_rows = [
+            {
+                "experiment": name,
+                "instance": row["instance"],
+                "algorithm": row["algorithm"],
+                "cost": round(row["cost"], 4),
+                "ratio": round(row["ratio"], 4),
+                "seconds": row["elapsed_seconds"],
+            }
+            for name, experiment in payload["experiments"].items()
+            for row in experiment["rows"]
+        ]
+        print(format_table(table_rows, title="bench sweep — combined THM8+13+15+22 via the shared-context engine"))
+        print(f"\nall {len(PINNED_SWEEP_COSTS)} pinned PR-1 costs reproduced within "
+              f"{args.tolerance:g} (max deviation {payload['max_cost_deviation']:.2e})")
+        print(f"wall time: engine {payload['engine_wall_seconds']:.3f}s, "
+              f"sequential orchestration {payload['sequential_wall_seconds']:.3f}s "
+              f"({payload['speedup_vs_sequential']}x), "
+              f"PR-1 reference {payload['pr1_reference']['wall_seconds']:.3f}s "
+              f"({payload['speedup_vs_pr1']}x, advisory)")
+        if args.json:
+            print(f"wrote {args.json}")
+        return 0
 
     if not args.smoke:
         print("the full benchmark harness lives in benchmarks/ (run `make bench`); "
-              "use `repro bench --smoke` for the pinned exactness subset", file=sys.stderr)
+              "use `repro bench --smoke` for the pinned exactness subset or "
+              "`repro bench --sweep` for the sweep-engine regression", file=sys.stderr)
         return 2
     try:
         rows = run_smoke_bench(tolerance=args.tolerance, json_path=args.json)
@@ -315,12 +415,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument("--epsilon", type=float, default=None)
     p_compare.set_defaults(func=_cmd_compare)
 
+    p_sweep = sub.add_parser("sweep", help="batch algorithms x instances through the shared-context engine")
+    _add_scenario_arguments(p_sweep)
+    p_sweep.add_argument("--algorithms", default="A,B,C",
+                         help="comma-separated algorithm keys (default: A,B,C); "
+                              "also: lcp, reactive, follow-demand, all-on")
+    p_sweep.add_argument("--epsilon", type=float, default=None,
+                         help="eps parameter for Algorithm C (default 0.25)")
+    p_sweep.add_argument("--seeds", default=None,
+                         help="comma-separated trace seeds — one instance per seed (overrides --seed)")
+    p_sweep.add_argument("--jobs", type=int, default=1,
+                         help="shard instances across this many worker processes")
+    p_sweep.add_argument("--json", default=None, help="write the full report to this JSON file")
+    p_sweep.set_defaults(func=_cmd_sweep)
+
     p_bench = sub.add_parser("bench", help="run the benchmark regression harness")
     p_bench.add_argument("--smoke", action="store_true",
                          help="run the <30s pinned-instance exactness subset "
-                              "(required; the full harness lives in benchmarks/)")
+                              "(the full harness lives in benchmarks/)")
+    p_bench.add_argument("--sweep", action="store_true",
+                         help="run the combined THM8+13+15+22 sweep-engine regression "
+                              "(pinned costs gate at --tolerance; wall times advisory)")
     p_bench.add_argument("--tolerance", type=float, default=1e-6,
                          help="maximum allowed deviation from the pinned seed costs (default: 1e-6)")
+    p_bench.add_argument("--jobs", type=int, default=1,
+                         help="process sharding for --sweep (default: 1)")
     p_bench.add_argument("--json", default=None, help="also write the measurements to this JSON file")
     p_bench.set_defaults(func=_cmd_bench)
 

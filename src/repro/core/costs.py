@@ -27,6 +27,7 @@ from .schedule import Schedule
 
 __all__ = [
     "CostBreakdown",
+    "breakdown_from_parts",
     "evaluate_schedule",
     "total_cost",
     "operating_cost",
@@ -113,8 +114,6 @@ def evaluate_schedule(
 
     T, d = instance.T, instance.d
     operating = np.zeros(T)
-    idle = np.zeros((T, d))
-    load_dep = np.zeros((T, d))
     loads = np.zeros((T, d))
     feasible = True
 
@@ -151,7 +150,33 @@ def evaluate_schedule(
         loads[t] = loads_t
         if not np.isfinite(cost_t):
             feasible = False
+
+    return breakdown_from_parts(instance, schedule, operating, loads, feasible)
+
+
+def breakdown_from_parts(
+    instance: ProblemInstance,
+    schedule: Schedule,
+    operating: np.ndarray,
+    loads: np.ndarray,
+    feasible: bool,
+) -> CostBreakdown:
+    """Assemble a :class:`CostBreakdown` from precomputed per-slot dispatch results.
+
+    ``operating[t]`` is ``g_t(x_t)`` (``inf`` for infeasible slots) and
+    ``loads[t]`` the optimal per-type volumes.  The sweep engine gathers both
+    from the per-slot grid tensors it already computed instead of re-solving
+    the schedule's configurations, then shares this assembly with
+    :func:`evaluate_schedule`.
+    """
+    T, d = instance.T, instance.d
+    idle = np.zeros((T, d))
+    load_dep = np.zeros((T, d))
+    for t in range(T):
+        if not np.isfinite(operating[t]):
             continue
+        x_t = schedule[t]
+        loads_t = loads[t]
         functions = instance.cost_row(t)
         for j in range(d):
             f = functions[j]
@@ -163,11 +188,11 @@ def evaluate_schedule(
 
     switching = (schedule.power_ups() * instance.beta[None, :]).sum(axis=1)
     return CostBreakdown(
-        operating=operating,
+        operating=np.asarray(operating, dtype=float),
         switching=switching,
         idle=idle,
         load_dependent=load_dep,
-        loads=loads,
+        loads=np.asarray(loads, dtype=float),
         feasible=feasible,
     )
 

@@ -54,7 +54,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..core.cost_functions import CostFunction
+from ..core.cost_functions import CostFunction, ScaledCost
 from ..core.instance import ProblemInstance
 
 __all__ = ["DispatchResult", "DispatchStats", "DispatchSolver", "reference_dispatch"]
@@ -136,6 +136,30 @@ class DispatchStats:
             "bracket_expansions": self.bracket_expansions,
         }
 
+    def delta_since(self, before: dict) -> dict:
+        """Work counters accumulated since an earlier :meth:`snapshot`.
+
+        Solvers are shared across many runs (the sweep engine runs every
+        algorithm of a plan through one solver per instance), so a raw snapshot
+        taken after a run reports *cumulative* totals.  Per-run reporting must
+        therefore difference two snapshots; the cache-hit rate is recomputed
+        from the deltas rather than copied.
+        """
+        block_calls = self.block_calls - int(before.get("block_calls", 0))
+        slot_queries = self.slot_queries - int(before.get("slot_queries", 0))
+        unique_solves = self.unique_solves - int(before.get("unique_solves", 0))
+        cache_hits = slot_queries - unique_solves
+        rate = 0.0 if slot_queries <= 0 else 1.0 - unique_solves / slot_queries
+        return {
+            "block_calls": block_calls,
+            "slot_queries": slot_queries,
+            "unique_solves": unique_solves,
+            "cache_hits": cache_hits,
+            "cache_hit_rate": round(rate, 4),
+            "bisection_iterations": self.bisection_iterations - int(before.get("bisection_iterations", 0)),
+            "bracket_expansions": self.bracket_expansions - int(before.get("bracket_expansions", 0)),
+        }
+
 
 class DispatchSolver:
     """Evaluates ``g_t(x)`` for configurations of a fixed problem instance.
@@ -165,6 +189,7 @@ class DispatchSolver:
         self._cache: dict = {}
         self._block_cache: dict = {}
         self._sig_cache: dict = {}
+        self._sig_functions: dict = {}
         self._configs_id_cache: dict = {}
 
     # ------------------------------------------------------------------ API
@@ -191,6 +216,7 @@ class DispatchSolver:
         self._cache.clear()
         self._block_cache.clear()
         self._sig_cache.clear()
+        self._sig_functions.clear()
         self._configs_id_cache.clear()
 
     # ----------------------------------------------------------- vectorised
@@ -254,39 +280,51 @@ class DispatchSolver:
         configs_key = self._configs_key(configs)
         float_configs: Optional[np.ndarray] = None
 
-        # --- dedup: signature -> rows of the output block that share it
+        # --- dedup: signature -> rows of the output block that share it.  A
+        # slot's signature is its *base* cost row; its scale (price factor,
+        # Algorithm C's 1/n_t sub-slot scaling) only multiplies the cost, so
+        # slots differing by scale alone share one dual-bisection solve.
         pending: dict = {}
         for i, t in enumerate(ts):
-            sig = self._slot_signature(t)
-            cached = self._block_cache.get((sig, configs_key))
+            sig, scale = self._slot_signature(t)
+            cached = self._block_cache.get((sig, scale, configs_key))
             if cached is not None:
                 out_costs[i], out_loads[i] = cached
                 continue
             entry = pending.get(sig)
             if entry is None:
-                pending[sig] = (t, [i])
+                pending[sig] = [(i, scale)]
             else:
-                entry[1].append(i)
+                entry.append((i, scale))
 
         # --- group unique signatures by cost row and solve each group at once
         groups: dict = {}
-        for sig, (rep_t, rows) in pending.items():
-            groups.setdefault(sig[1], []).append((sig, rep_t, rows))
-        for entries in groups.values():
+        for sig, rows in pending.items():
+            groups.setdefault(sig[1], []).append((sig, rows))
+        for row_key, entries in groups.items():
             entries.sort(key=lambda e: e[0][0])  # ascending demand
             lams = np.array([e[0][0] for e in entries], dtype=float)
-            functions = inst.cost_row(entries[0][1])
+            functions = self._sig_functions[row_key]
             if float_configs is None:
                 float_configs = np.ascontiguousarray(configs, dtype=float)
             costs_u, loads_u = self._solve_rows(lams, float_configs, functions)
             costs_u.setflags(write=False)
             loads_u.setflags(write=False)
             self.stats.unique_solves += len(entries)
-            for k, (sig, _rep_t, rows) in enumerate(entries):
-                self._block_cache[(sig, configs_key)] = (costs_u[k], loads_u[k])
-                for i in rows:
-                    out_costs[i] = costs_u[k]
-                    out_loads[i] = loads_u[k]
+            for k, (sig, rows) in enumerate(entries):
+                loads_k = loads_u[k]
+                scaled_costs: dict = {1.0: costs_u[k]}
+                for i, scale in rows:
+                    row_costs = scaled_costs.get(scale)
+                    if row_costs is None:
+                        # the optimal allocation is scale-invariant; only the
+                        # cost is multiplied (inf stays inf for scale > 0)
+                        row_costs = costs_u[k] * scale
+                        row_costs.setflags(write=False)
+                        scaled_costs[scale] = row_costs
+                    self._block_cache[(sig, scale, configs_key)] = (row_costs, loads_k)
+                    out_costs[i] = row_costs
+                    out_loads[i] = loads_k
 
         out_costs.setflags(write=False)
         out_loads.setflags(write=False)
@@ -311,24 +349,41 @@ class DispatchSolver:
         return (configs.shape, configs.dtype.str, configs.tobytes())
 
     def _slot_signature(self, t: int):
-        """Hashable dispatch identity of slot ``t``: ``(lambda_t, cost row)``.
+        """Dispatch identity of slot ``t``: ``((lambda_t, base cost row), scale)``.
 
-        Two slots with equal signatures have identical ``g_t`` — the engine
-        solves one of them and reuses the result.  Exotic unhashable cost
-        functions degrade gracefully to a per-slot signature (no cross-slot
-        sharing).
+        Two slots with equal signatures have identical ``g_t`` up to the scalar
+        ``scale`` — the engine solves one of them and reuses the result.  Rows
+        in which every type carries the *same* positive ``ScaledCost`` factor
+        (electricity-price profiles, Algorithm C's ``1/n_t`` sub-slot split)
+        are normalised to their base row: scaling the whole objective by a
+        positive constant does not change the optimal allocation, so the base
+        solve is shared and only the cost is multiplied by ``scale``.  Exotic
+        unhashable cost functions degrade gracefully to a per-slot signature
+        (no cross-slot sharing).
         """
-        sig = self._sig_cache.get(t)
-        if sig is None:
+        cached = self._sig_cache.get(t)
+        if cached is None:
             lam = float(self.instance.demand[t])
             row = self.instance.cost_row(t)
+            scale = 1.0
+            while row and all(type(f) is ScaledCost for f in row):
+                factors = {f.factor for f in row}
+                if len(factors) != 1:
+                    break
+                factor = factors.pop()
+                if not factor > 0.0:
+                    break
+                scale *= factor
+                row = tuple(f.base for f in row)
             try:
                 hash(row)
             except TypeError:
-                row = ("slot", t)
+                row, scale = ("slot", t), 1.0
             sig = (lam, row)
-            self._sig_cache[t] = sig
-        return sig
+            self._sig_functions.setdefault(row, self.instance.cost_row(t) if row == ("slot", t) else row)
+            cached = (sig, scale)
+            self._sig_cache[t] = cached
+        return cached
 
     def _solve_rows(self, lams: np.ndarray, configs: np.ndarray, functions: Sequence[CostFunction]) -> tuple:
         """Solve the dispatch problem for ``u`` demand levels x ``n`` configurations.

@@ -1,0 +1,23 @@
+"""Experiment engine: shared-context sweeps of algorithms × instances.
+
+``run_plan`` executes a :class:`SweepPlan` — N online algorithms and optional
+offline solves over M instances — through one shared context per instance
+(dispatch solver, per-slot grid tensors, memoised prefix-DP value stream), with
+optional process-level sharding for large sweeps.  See ``docs/PERFORMANCE.md``.
+"""
+
+from .engine import AlgorithmSpec, OfflineSpec, SweepPlan, run_instance, run_plan, spec
+from .records import RunRecord, SweepReport
+from .shared import SharedInstanceContext
+
+__all__ = [
+    "AlgorithmSpec",
+    "OfflineSpec",
+    "RunRecord",
+    "SharedInstanceContext",
+    "SweepPlan",
+    "SweepReport",
+    "run_instance",
+    "run_plan",
+    "spec",
+]

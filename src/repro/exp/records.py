@@ -1,0 +1,144 @@
+"""Result records of the shared-context sweep engine.
+
+A sweep runs ``N`` algorithms (plus optional offline solves) over ``M``
+instances; every single run yields one :class:`RunRecord`, and one engine
+invocation yields a :class:`SweepReport` bundling all records with timing and
+environment metadata.  Records keep a reference to the underlying
+``OnlineRunResult`` / ``OfflineResult`` for in-process consumers (benchmarks
+asserting on schedules), but serialise to flat JSON-safe rows for
+``BENCH_sweep.json`` and the reporting helpers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["RunRecord", "SweepReport"]
+
+
+@dataclass(frozen=True, eq=False)
+class RunRecord:
+    """Outcome of one (instance, algorithm-or-solver) run inside a sweep.
+
+    ``kind`` is ``"online"`` for algorithm runs and ``"offline"`` for exact /
+    approximate solves; ``optimal_cost`` is the instance's shared offline
+    optimum (one solve per instance, reused by every record of the instance).
+    """
+
+    instance: str
+    algorithm: str
+    kind: str
+    cost: float
+    optimal_cost: float
+    elapsed_seconds: float
+    bound: Optional[float] = None
+    breakdown: Optional[dict] = None
+    dispatch_stats: Optional[dict] = None
+    extras: Dict = field(default_factory=dict)
+    result: Optional[object] = None
+
+    @property
+    def ratio(self) -> float:
+        """Empirical ratio against the shared offline optimum."""
+        if self.optimal_cost <= 0:
+            return float("inf") if self.cost > 0 else 1.0
+        return self.cost / self.optimal_cost
+
+    @property
+    def within_bound(self) -> Optional[bool]:
+        if self.bound is None:
+            return None
+        return self.ratio <= self.bound + 1e-6
+
+    def as_row(self) -> dict:
+        """Flat JSON-safe row (drops the in-process ``result`` reference)."""
+        row = {
+            "instance": self.instance,
+            "algorithm": self.algorithm,
+            "kind": self.kind,
+            "cost": self.cost,
+            "optimal_cost": self.optimal_cost,
+            "ratio": self.ratio,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+        }
+        if self.bound is not None:
+            row["bound"] = self.bound
+            row["within_bound"] = bool(self.within_bound)
+        if self.extras:
+            row.update(self.extras)
+        if self.dispatch_stats is not None:
+            row["dispatch"] = dict(self.dispatch_stats)
+        return row
+
+    def to_ratio_result(self):
+        """Bridge into :class:`repro.analysis.competitive.RatioResult`."""
+        from ..analysis.competitive import RatioResult
+
+        return RatioResult(
+            instance=self.instance,
+            algorithm=self.algorithm,
+            online_cost=self.cost,
+            optimal_cost=self.optimal_cost,
+            bound=self.bound,
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class SweepReport:
+    """All records produced by one sweep-engine invocation."""
+
+    records: Tuple[RunRecord, ...]
+    total_seconds: float
+    meta: Dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def filter(self, **conditions) -> "SweepReport":
+        """Records whose attributes match all ``name == value`` conditions."""
+        selected = tuple(
+            r for r in self.records
+            if all(getattr(r, k, None) == v for k, v in conditions.items())
+        )
+        return SweepReport(records=selected, total_seconds=self.total_seconds, meta=self.meta)
+
+    def record(self, instance: str, algorithm: str) -> RunRecord:
+        """The unique record of an (instance, algorithm) pair."""
+        matches = [r for r in self.records if r.instance == instance and r.algorithm == algorithm]
+        if len(matches) != 1:
+            raise KeyError(f"expected exactly one record for ({instance!r}, {algorithm!r}), found {len(matches)}")
+        return matches[0]
+
+    def instances(self) -> List[str]:
+        """Instance names in first-seen order."""
+        seen: Dict[str, None] = {}
+        for r in self.records:
+            seen.setdefault(r.instance, None)
+        return list(seen)
+
+    def as_rows(self) -> List[dict]:
+        return [r.as_row() for r in self.records]
+
+    def ratio_results(self) -> list:
+        """Online records as :class:`~repro.analysis.competitive.RatioResult` objects."""
+        return [r.to_ratio_result() for r in self.records if r.kind == "online"]
+
+    def json_payload(self) -> dict:
+        return {
+            "total_seconds": round(self.total_seconds, 6),
+            "meta": dict(self.meta),
+            "rows": self.as_rows(),
+        }
+
+    def write_json(self, path) -> Path:
+        """Persist the report as machine-readable JSON."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.json_payload(), indent=2) + "\n")
+        return path

@@ -41,7 +41,13 @@ from ..dispatch.allocation import DispatchSolver
 from .state_grid import StateGrid, grid_for_slot
 from .transitions import startup_cost_tensor, switching_cost_tensor, transition
 
-__all__ = ["OfflineResult", "operating_cost_tensor", "operating_cost_tensors", "solve_dp"]
+__all__ = [
+    "OfflineResult",
+    "backtrack_schedule",
+    "operating_cost_tensor",
+    "operating_cost_tensors",
+    "solve_dp",
+]
 
 
 @dataclass(frozen=True, eq=False)
@@ -118,6 +124,39 @@ def _check_some_feasible(tensor: np.ndarray, t: int) -> None:
             f"slot {t}: no configuration on the grid can serve the demand "
             "(instance infeasible or grid too coarse)"
         )
+
+
+def backtrack_schedule(
+    grids: Sequence[StateGrid],
+    tables: Sequence[np.ndarray],
+    beta: np.ndarray,
+) -> np.ndarray:
+    """Reconstruct the optimal configuration path from the DP value tensors.
+
+    ``tables[t]`` is the value tensor ``V_t`` on ``grids[t]``; the path ends at
+    the argmin of the final tensor and walks backwards through the argmin of
+    ``V_{t-1} + S(., x_t)``.  Shared by :func:`solve_dp` and the sweep engine's
+    shared-context path (which reuses the memoised per-slot value stream as the
+    tables).  One scratch buffer carries the per-slot ``prev_value + switch``
+    sum: it is reallocated only when consecutive grids differ in shape.
+    """
+    T = len(grids)
+    d = len(beta)
+    configs = np.zeros((T, d), dtype=int)
+    if T == 0:
+        return configs
+    best_flat = int(np.argmin(tables[T - 1]))
+    idx = np.unravel_index(best_flat, grids[T - 1].shape)
+    configs[T - 1] = grids[T - 1].config_at(idx)
+    scratch: Optional[np.ndarray] = None
+    for t in range(T - 1, 0, -1):
+        prev_grid = grids[t - 1]
+        scratch = switching_cost_tensor(prev_grid.values, configs[t], beta, out=scratch)
+        total = np.add(tables[t - 1], scratch, out=scratch)
+        flat = int(np.argmin(total))
+        idx = np.unravel_index(flat, prev_grid.shape)
+        configs[t - 1] = prev_grid.config_at(idx)
+    return configs
 
 
 def solve_dp(
@@ -204,19 +243,7 @@ def solve_dp(
         )
 
     # ------------------------------------------------------------ backward pass
-    configs = np.zeros((T, d), dtype=int)
-    idx = np.unravel_index(best_flat, grids[T - 1].shape)
-    configs[T - 1] = grids[T - 1].config_at(idx)
-    for t in range(T - 1, 0, -1):
-        prev_grid = grids[t - 1]
-        prev_value = tables[t - 1]
-        switch = switching_cost_tensor(prev_grid.values, configs[t], beta)
-        total = prev_value + switch
-        flat = int(np.argmin(total))
-        idx = np.unravel_index(flat, prev_grid.shape)
-        configs[t - 1] = prev_grid.config_at(idx)
-
-    schedule = Schedule(configs)
+    schedule = Schedule(backtrack_schedule(grids, tables, beta))
     # Re-evaluate the schedule cost explicitly; for the exact algorithm this
     # equals ``best_cost`` (up to dispatch tolerance) and serves as a sanity
     # check, for reduced grids it is by definition identical as well.

@@ -23,7 +23,7 @@ indexed by the admissible values of server type ``j`` (see
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -130,22 +130,30 @@ def switching_cost_tensor(
     src_values: Sequence[np.ndarray],
     x_next: Sequence[int],
     beta: Sequence[float],
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Tensor of switching costs from every source-grid configuration to ``x_next``.
 
     Used for backwards path reconstruction: the predecessor of ``x_next`` is the
-    argmin of ``V_prev + switching_cost_tensor(...)``.
+    argmin of ``V_prev + switching_cost_tensor(...)``.  ``out``, when given with
+    the right shape, is overwritten and returned instead of allocating a fresh
+    tensor — the backward pass of the DP calls this once per slot and reuses a
+    single scratch buffer across slots whose grids agree.
     """
     beta = np.asarray(beta, dtype=float)
     d = len(beta)
     shape = tuple(len(np.asarray(v)) for v in src_values)
-    total = np.zeros(shape)
+    if out is not None and out.shape == shape:
+        total = out
+        total.fill(0.0)
+    else:
+        total = np.zeros(shape)
     for j in range(d):
         vals = np.asarray(src_values[j], dtype=float)
         per_dim = beta[j] * np.maximum(float(x_next[j]) - vals, 0.0)
         reshape = [1] * d
         reshape[j] = len(vals)
-        total = total + per_dim.reshape(reshape)
+        total += per_dim.reshape(reshape)
     return total
 
 

@@ -11,12 +11,19 @@ from .adversary import (
 from .algorithm_a import AlgorithmA
 from .algorithm_b import AlgorithmB, compute_retirement_sets, compute_runtimes
 from .algorithm_c import AlgorithmC, sub_slot_count
-from .base import OnlineAlgorithm, OnlineContext, OnlineRunResult, SlotInfo, run_online
+from .base import OnlineAlgorithm, OnlineContext, OnlineRunResult, SlotContext, SlotInfo, run_online
 from .baselines import AllOn, FollowDemand, Reactive, optimal_static_schedule, receding_horizon_schedule
 from .blocks import Block, block_index_sets, blocks_from_power_ups, special_slots, verify_partition
 from .lcp import LazyCapacityProvisioning
 from .obd import FractionalRunResult, round_up, run_obd
-from .tracker import DPPrefixTracker, FixedSequenceTracker, PrefixOptimumTracker
+from .tracker import (
+    DPPrefixTracker,
+    FixedSequenceTracker,
+    PrefixOptimumTracker,
+    SharedTrackerFactory,
+    SharedValueStream,
+    argmin_config,
+)
 
 __all__ = [
     "AlgorithmA",
@@ -35,7 +42,11 @@ __all__ = [
     "OnlineRunResult",
     "PrefixOptimumTracker",
     "Reactive",
+    "SharedTrackerFactory",
+    "SharedValueStream",
+    "SlotContext",
     "SlotInfo",
+    "argmin_config",
     "block_index_sets",
     "blocks_from_power_ups",
     "compute_retirement_sets",

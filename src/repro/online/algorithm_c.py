@@ -113,6 +113,7 @@ class AlgorithmC(OnlineAlgorithm):
                 beta=scaled.beta,
                 zmax=scaled.zmax,
                 _evaluator=scaled._evaluator,
+                _grid_evaluator=scaled._grid_evaluator,
             )
             sub_configs.append(np.asarray(self._inner.step(sub_slot), dtype=int))
             self._sub_slot_cursor += 1

@@ -22,12 +22,20 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-from ..core.costs import CostBreakdown, evaluate_schedule
+from ..core.costs import CostBreakdown, breakdown_from_parts, evaluate_schedule
 from ..core.instance import ProblemInstance
 from ..core.schedule import Schedule
 from ..dispatch.allocation import DispatchSolver
+from ..offline.state_grid import grid_for_slot
 
-__all__ = ["OnlineContext", "SlotInfo", "OnlineAlgorithm", "OnlineRunResult", "run_online"]
+__all__ = [
+    "OnlineContext",
+    "SlotContext",
+    "SlotInfo",
+    "OnlineAlgorithm",
+    "OnlineRunResult",
+    "run_online",
+]
 
 
 @dataclass(frozen=True, eq=False)
@@ -61,6 +69,10 @@ class SlotInfo:
     beta: np.ndarray
     zmax: np.ndarray
     _evaluator: Callable[[np.ndarray], np.ndarray]
+    #: Optional fast path: ``grid -> value tensor of g_t over the whole grid``.
+    #: Populated by :class:`SlotContext` so that every tracker sharing the
+    #: context reads one precomputed tensor instead of re-querying dispatch.
+    _grid_evaluator: Optional[Callable] = None
 
     def idle_costs(self) -> np.ndarray:
         """Idle operating costs ``l_{t,j} = f_{t,j}(0)`` of the current slot."""
@@ -74,6 +86,15 @@ class SlotInfo:
         costs = self._evaluator(batch)
         return float(costs[0]) if single else costs
 
+    def grid_operating_cost(self, grid) -> np.ndarray:
+        """Value tensor of ``g_t`` over a whole :class:`~repro.offline.state_grid.StateGrid`.
+
+        The returned tensor is read-only and may be shared between callers.
+        """
+        if self._grid_evaluator is not None:
+            return self._grid_evaluator(grid)
+        return self.operating_cost(grid.configs()).reshape(grid.shape)
+
     def with_scaled_costs(self, factor: float) -> "SlotInfo":
         """A copy of this slot whose operating costs are multiplied by ``factor``.
 
@@ -82,9 +103,15 @@ class SlotInfo:
         """
         scaled_functions = tuple(f.scaled(factor) for f in self.cost_functions)
         evaluator = self._evaluator
+        grid_evaluator = self._grid_evaluator
 
         def scaled_evaluator(configs: np.ndarray) -> np.ndarray:
             return factor * evaluator(configs)
+
+        scaled_grid_evaluator = None
+        if grid_evaluator is not None:
+            def scaled_grid_evaluator(grid) -> np.ndarray:
+                return factor * grid_evaluator(grid)
 
         return SlotInfo(
             t=self.t,
@@ -94,6 +121,7 @@ class SlotInfo:
             beta=self.beta,
             zmax=self.zmax,
             _evaluator=scaled_evaluator,
+            _grid_evaluator=scaled_grid_evaluator,
         )
 
 
@@ -118,10 +146,12 @@ class OnlineAlgorithm(abc.ABC):
 class OnlineRunResult:
     """Outcome of running an online algorithm over a full instance.
 
-    ``dispatch_stats`` is a snapshot of the shared dispatch engine's work
-    counters for the run (block calls, unique solves, cache-hit rate) — the
-    benchmark harness uses it to track how much of the per-slot grid work the
-    batched engine deduplicates.
+    ``dispatch_stats`` holds the *per-run delta* of the dispatch engine's work
+    counters (block calls, unique solves, cache-hit rate) — the benchmark
+    harness uses it to track how much of the per-slot grid work the batched
+    engine deduplicates.  Deltas (not cumulative snapshots) are reported
+    because the sweep engine shares one solver across every run of an
+    instance.
     """
 
     algorithm: str
@@ -140,10 +170,159 @@ class OnlineRunResult:
         return out
 
 
+class SlotContext:
+    """Reusable per-instance driver state shared by many online runs.
+
+    ``run_online`` builds ``T`` :class:`SlotInfo` objects and evaluates the
+    final schedule for every run.  When one instance is swept by several
+    algorithms (the sweep engine's core loop), that work is identical across
+    runs; a ``SlotContext`` does it once:
+
+    * one shared :class:`DispatchSolver`,
+    * prebuilt, immutable per-slot :class:`SlotInfo` objects whose
+      :meth:`SlotInfo.grid_operating_cost` serves memoised whole-grid value
+      tensors — computed once per distinct dispatch signature and handed to
+      every algorithm and tracker that shares the context, and
+    * schedule evaluation by *gathering* costs and loads from those tensors
+      (:meth:`evaluate_schedule`) instead of re-solving each schedule's
+      configuration set from scratch.
+    """
+
+    def __init__(self, instance: ProblemInstance, dispatcher: Optional[DispatchSolver] = None):
+        self.instance = instance
+        self.dispatcher = dispatcher or DispatchSolver(instance)
+        self.context = OnlineContext(
+            server_types=instance.server_types,
+            beta=instance.beta,
+            zmax=instance.zmax,
+            base_counts=instance.m,
+        )
+        self._slots: list = [None] * instance.T
+        self._tensor_cache: dict = {}
+        self._batched_grids: set = set()
+
+    def slot(self, t: int) -> SlotInfo:
+        """The (cached) :class:`SlotInfo` of slot ``t``."""
+        slot = self._slots[t]
+        if slot is None:
+            instance, dispatcher = self.instance, self.dispatcher
+
+            def evaluator(batch: np.ndarray, _t: int = t) -> np.ndarray:
+                costs, _ = dispatcher.solve_grid(_t, batch)
+                return costs
+
+            def grid_evaluator(grid, _t: int = t) -> np.ndarray:
+                return self._grid_tensors(_t, grid)[0]
+
+            slot = SlotInfo(
+                t=t,
+                demand=float(instance.demand[t]),
+                cost_functions=instance.cost_row(t),
+                counts=instance.counts_at(t),
+                beta=instance.beta,
+                zmax=instance.zmax,
+                _evaluator=evaluator,
+                _grid_evaluator=grid_evaluator,
+            )
+            self._slots[t] = slot
+        return slot
+
+    def _grid_tensors(self, t: int, grid) -> tuple:
+        """``(cost tensor, per-config loads)`` of ``g_t`` over ``grid``.
+
+        Memoised per ``(dispatch signature, scale, grid)``, so slots that share
+        a signature share one tensor and repeat queries skip even the dispatch
+        block-cache lookup and reshape.  The first query for a grid triggers
+        :meth:`_batch_grid`, which pushes *every* slot sharing the grid through
+        one ``solve_block`` call — keeping the cross-demand vectorised dual
+        bisection that slot-by-slot queries would forfeit.
+        """
+        sig, scale = self.dispatcher._slot_signature(t)
+        key = (sig, scale, grid.key)
+        hit = self._tensor_cache.get(key)
+        if hit is None:
+            self._batch_grid(grid)
+            hit = self._tensor_cache.get(key)
+        if hit is None:
+            # slot whose counts match no batch (safety net; cannot happen for
+            # grids built from slot counts)
+            costs, loads = self.dispatcher.solve_grid(t, grid.configs())
+            hit = (costs.reshape(grid.shape), loads)
+            self._tensor_cache[key] = hit
+        return hit
+
+    def _batch_grid(self, grid) -> None:
+        """Solve ``g_t`` over ``grid`` for all matching slots in one block.
+
+        A grid applies to every slot whose available counts equal the grid's
+        per-dimension maxima (full and geometric grids both satisfy this), so
+        those slots form one dispatch block: the solver deduplicates them by
+        signature and runs a single vectorised bisection across the unique
+        demands, exactly as the offline DP's ``operating_cost_tensors`` does.
+        """
+        if grid.key in self._batched_grids:
+            return
+        self._batched_grids.add(grid.key)
+        instance = self.instance
+        counts_key = tuple(int(v) for v in grid.max_values())
+        pending_keys: list = []
+        pending_ts: list = []
+        seen: set = set()
+        for t in range(instance.T):
+            if tuple(int(c) for c in instance.counts_at(t)) != counts_key:
+                continue
+            sig, scale = self.dispatcher._slot_signature(t)
+            key = (sig, scale, grid.key)
+            if key in self._tensor_cache or key in seen:
+                continue
+            seen.add(key)
+            pending_keys.append(key)
+            pending_ts.append(t)
+        if not pending_ts:
+            return
+        costs, loads = self.dispatcher.solve_block(pending_ts, grid.configs())
+        for i, key in enumerate(pending_keys):
+            self._tensor_cache[key] = (costs[i].reshape(grid.shape), loads[i])
+
+    def evaluate_schedule(self, schedule: Schedule) -> CostBreakdown:
+        """Exact cost breakdown of a schedule, gathered from the grid tensors.
+
+        Gathers only from tensors that earlier runs already materialised; a
+        cold slot (e.g. a reduced-grid-only sweep that never touched the full
+        grid) falls back to the general path, which solves just the schedule's
+        own configurations instead of a whole grid.
+        """
+        instance = self.instance
+        T, d = instance.T, instance.d
+        operating = np.zeros(T)
+        loads = np.zeros((T, d))
+        feasible = True
+        for t in range(T):
+            grid = grid_for_slot(instance, t)
+            sig, scale = self.dispatcher._slot_signature(t)
+            hit = self._tensor_cache.get((sig, scale, grid.key))
+            if hit is None:
+                return evaluate_schedule(instance, schedule, self.dispatcher)
+            try:
+                idx = grid.index_of(schedule[t])
+            except ValueError:
+                # off-grid configuration (exceeds the slot's fleet): take the
+                # general path, which reports the slot as infeasible
+                return evaluate_schedule(instance, schedule, self.dispatcher)
+            costs, load_rows = hit
+            flat = int(np.ravel_multi_index(idx, grid.shape))
+            operating[t] = float(costs.reshape(-1)[flat])
+            loads[t] = load_rows[flat]
+            if not np.isfinite(operating[t]):
+                feasible = False
+        return breakdown_from_parts(instance, schedule, operating, loads, feasible)
+
+
 def run_online(
     instance: ProblemInstance,
     algorithm: OnlineAlgorithm,
     dispatcher: Optional[DispatchSolver] = None,
+    slot_context: Optional[SlotContext] = None,
 ) -> OnlineRunResult:
     """Feed an instance slot-by-slot to an online algorithm and evaluate the result.
 
@@ -152,32 +331,51 @@ def run_online(
     The chosen configurations are validated against the per-slot fleet sizes;
     choosing more servers than exist raises immediately (this would mean the
     algorithm is not producing feasible schedules, cf. Lemmas 1 and 10).
+
+    ``slot_context`` enables the shared-context path of the sweep engine: the
+    run reuses the context's dispatch solver, prebuilt slots and memoised grid
+    tensors, and the final schedule is evaluated by gathering from those
+    tensors.  ``dispatch_stats`` always reports the *per-run delta* of the
+    solver's work counters, so shared solvers do not leak one run's work into
+    the next run's report.
     """
-    dispatcher = dispatcher or DispatchSolver(instance)
-    context = OnlineContext(
-        server_types=instance.server_types,
-        beta=instance.beta,
-        zmax=instance.zmax,
-        base_counts=instance.m,
-    )
+    if slot_context is not None:
+        if slot_context.instance is not instance:
+            raise ValueError("slot_context was built for a different instance")
+        if dispatcher is not None and dispatcher is not slot_context.dispatcher:
+            raise ValueError("give either a dispatcher or a slot_context, not both")
+        dispatcher = slot_context.dispatcher
+        context = slot_context.context
+    else:
+        dispatcher = dispatcher or DispatchSolver(instance)
+        context = OnlineContext(
+            server_types=instance.server_types,
+            beta=instance.beta,
+            zmax=instance.zmax,
+            base_counts=instance.m,
+        )
+    stats_before = dispatcher.stats.snapshot()
     algorithm.start(context)
 
     T, d = instance.T, instance.d
     configs = np.zeros((T, d), dtype=int)
     for t in range(T):
-        def evaluator(batch: np.ndarray, _t: int = t) -> np.ndarray:
-            costs, _ = dispatcher.solve_grid(_t, batch)
-            return costs
+        if slot_context is not None:
+            slot = slot_context.slot(t)
+        else:
+            def evaluator(batch: np.ndarray, _t: int = t) -> np.ndarray:
+                costs, _ = dispatcher.solve_grid(_t, batch)
+                return costs
 
-        slot = SlotInfo(
-            t=t,
-            demand=float(instance.demand[t]),
-            cost_functions=instance.cost_row(t),
-            counts=instance.counts_at(t),
-            beta=instance.beta,
-            zmax=instance.zmax,
-            _evaluator=evaluator,
-        )
+            slot = SlotInfo(
+                t=t,
+                demand=float(instance.demand[t]),
+                cost_functions=instance.cost_row(t),
+                counts=instance.counts_at(t),
+                beta=instance.beta,
+                zmax=instance.zmax,
+                _evaluator=evaluator,
+            )
         choice = np.asarray(algorithm.step(slot))
         if choice.shape != (d,):
             raise ValueError(
@@ -194,10 +392,13 @@ def run_online(
     algorithm.finish()
 
     schedule = Schedule(configs)
-    breakdown = evaluate_schedule(instance, schedule, dispatcher)
+    if slot_context is not None:
+        breakdown = slot_context.evaluate_schedule(schedule)
+    else:
+        breakdown = evaluate_schedule(instance, schedule, dispatcher)
     return OnlineRunResult(
         algorithm=algorithm.name,
         schedule=schedule,
         breakdown=breakdown,
-        dispatch_stats=dispatcher.stats.snapshot(),
+        dispatch_stats=dispatcher.stats.delta_since(stats_before),
     )

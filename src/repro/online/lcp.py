@@ -33,19 +33,34 @@ from typing import Optional
 import numpy as np
 
 from .base import OnlineAlgorithm, OnlineContext, SlotInfo
-from .tracker import DPPrefixTracker
+from .tracker import DPPrefixTracker, SharedTrackerFactory
 
 __all__ = ["LazyCapacityProvisioning"]
 
 
 class LazyCapacityProvisioning(OnlineAlgorithm):
-    """Discrete Lazy Capacity Provisioning (Lin et al.) on top of the prefix-optimum DP."""
+    """Discrete Lazy Capacity Provisioning (Lin et al.) on top of the prefix-optimum DP.
+
+    ``tracker_factory`` (a :class:`~repro.online.tracker.SharedTrackerFactory`)
+    lets the sweep engine hand LCP its per-instance shared value stream: the
+    lower and upper targets then read one memoised prefix-DP stream — also
+    shared with Algorithms A and B — instead of maintaining two private ones.
+    """
 
     name = "LCP"
 
-    def __init__(self, gamma: Optional[float] = None, allow_heterogeneous: bool = False):
-        self._lower_tracker = DPPrefixTracker(gamma=gamma, tie_break="smallest")
-        self._upper_tracker = DPPrefixTracker(gamma=gamma, tie_break="largest")
+    def __init__(
+        self,
+        gamma: Optional[float] = None,
+        allow_heterogeneous: bool = False,
+        tracker_factory: Optional[SharedTrackerFactory] = None,
+    ):
+        if tracker_factory is not None:
+            self._lower_tracker = tracker_factory.tracker(gamma=gamma, tie_break="smallest")
+            self._upper_tracker = tracker_factory.tracker(gamma=gamma, tie_break="largest")
+        else:
+            self._lower_tracker = DPPrefixTracker(gamma=gamma, tie_break="smallest")
+            self._upper_tracker = DPPrefixTracker(gamma=gamma, tie_break="largest")
         self.allow_heterogeneous = bool(allow_heterogeneous)
         self._current: Optional[np.ndarray] = None
         self._bounds_history = []

@@ -34,7 +34,153 @@ from ..offline.state_grid import StateGrid
 from ..offline.transitions import startup_cost_tensor, transition
 from .base import SlotInfo
 
-__all__ = ["PrefixOptimumTracker", "DPPrefixTracker", "FixedSequenceTracker"]
+__all__ = [
+    "PrefixOptimumTracker",
+    "DPPrefixTracker",
+    "FixedSequenceTracker",
+    "SharedValueStream",
+    "SharedTrackerFactory",
+    "argmin_config",
+]
+
+
+def argmin_config(
+    value: np.ndarray,
+    grid: StateGrid,
+    tie_break: str,
+    scratch: Optional[np.ndarray] = None,
+) -> tuple:
+    """Deterministic argmin configuration of a value tensor.
+
+    ``tie_break`` picks the lexicographically smallest or largest optimal
+    configuration.  The 'largest' path needs a reversed copy of the flattened
+    tensor (argmin on a negatively-strided view is slow); the copy goes into
+    ``scratch`` when its shape fits.  Returns ``(config, scratch)`` so callers
+    can thread one buffer through repeated calls.
+    """
+    flat = value.reshape(-1)
+    if tie_break == "smallest":
+        idx = int(np.argmin(flat))
+    else:
+        # last occurrence of the minimum = lexicographically largest config
+        if scratch is None or scratch.shape != flat.shape:
+            scratch = np.empty_like(flat)
+        np.copyto(scratch, flat[::-1])
+        idx = flat.size - 1 - int(np.argmin(scratch))
+    multi = np.unravel_index(idx, grid.shape)
+    return grid.config_at(multi), scratch
+
+
+class SharedValueStream:
+    """Memoised prefix-DP value-tensor stream of one canonical slot sequence.
+
+    The incremental DP behind :class:`DPPrefixTracker` depends only on the
+    *observed slots*, never on the consuming algorithm's decisions — so when
+    several algorithms sweep the same instance, their trackers all recompute
+    the identical sequence of value tensors ``V_t``.  A shared stream computes
+    each tensor once (on first traversal) and replays it to every later
+    tracker; both tie-breaks read the same stream because tie-breaking only
+    affects which argmin is reported, not the tensors.
+
+    The stream trusts its callers to feed the same slot sequence in order
+    (``run_online`` over one :class:`~repro.online.base.SlotContext` guarantees
+    this); a stream must not be shared between different instances or between
+    differently-scaled slot sequences (e.g. Algorithm C's sub-slot stream).
+    """
+
+    def __init__(self, gamma: Optional[float] = None):
+        if gamma is not None and gamma <= 1.0:
+            raise ValueError("gamma must be > 1 when given")
+        self.gamma = gamma
+        self._grids: list = []
+        self._values: list = []
+        self._grid_cache: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def grids(self) -> tuple:
+        """Per-step grids computed so far."""
+        return tuple(self._grids)
+
+    @property
+    def values(self) -> tuple:
+        """Per-step (read-only) value tensors computed so far.
+
+        ``values[t]`` equals the forward-DP tensor ``V_t`` of
+        :func:`repro.offline.dp.solve_dp` on the same grids, which is what lets
+        the sweep engine reuse the stream for the offline optimum and its
+        backward pass.
+        """
+        return tuple(self._values)
+
+    def at(self, step: int, slot: SlotInfo) -> tuple:
+        """``(grid, value tensor)`` after observing ``slot`` as step ``step``.
+
+        Previously-computed steps are replayed from the memo; the next new step
+        extends the stream.  Requesting a step beyond the frontier means the
+        caller skipped slots and is an error.
+        """
+        if step < len(self._values):
+            return self._grids[step], self._values[step]
+        if step != len(self._values):
+            raise IndexError(
+                f"stream is at step {len(self._values)} but step {step} was requested"
+            )
+        grid = self._build_grid(slot.counts)
+        g_tensor = slot.grid_operating_cost(grid)
+        if not np.any(np.isfinite(g_tensor)):
+            raise ValueError(
+                f"slot {slot.t}: no grid configuration can serve demand {slot.demand:g}"
+            )
+        if step == 0:
+            arrival = startup_cost_tensor(grid.values, slot.beta)
+        else:
+            arrival = transition(
+                self._values[step - 1], self._grids[step - 1].values, grid.values, slot.beta
+            )
+        value = np.add(arrival, g_tensor, out=arrival)
+        value.setflags(write=False)
+        self._grids.append(grid)
+        self._values.append(value)
+        return grid, value
+
+    def _build_grid(self, counts: np.ndarray) -> StateGrid:
+        key = tuple(int(c) for c in counts)
+        grid = self._grid_cache.get(key)
+        if grid is None:
+            if self.gamma is None:
+                grid = StateGrid.full(counts)
+            else:
+                grid = StateGrid.geometric(counts, self.gamma)
+            self._grid_cache[key] = grid
+        return grid
+
+
+class SharedTrackerFactory:
+    """Hands out trackers that share one memoised value stream per ``gamma``.
+
+    One factory serves one instance sweep: Algorithms A and B, and both LCP
+    tie-breaks, then maintain a *single* prefix-DP value stream between them
+    instead of four independent ones.  (Algorithm C's inner tracker observes
+    scaled sub-slots and must keep a private stream — give it a plain
+    :class:`DPPrefixTracker`.)
+    """
+
+    def __init__(self):
+        self._streams: dict = {}
+
+    def stream(self, gamma: Optional[float] = None) -> SharedValueStream:
+        key = None if gamma is None else float(gamma)
+        stream = self._streams.get(key)
+        if stream is None:
+            stream = SharedValueStream(gamma=gamma)
+            self._streams[key] = stream
+        return stream
+
+    def tracker(self, gamma: Optional[float] = None, tie_break: str = "smallest") -> "DPPrefixTracker":
+        return DPPrefixTracker(gamma=gamma, tie_break=tie_break, stream=self.stream(gamma))
 
 
 class PrefixOptimumTracker(abc.ABC):
@@ -72,18 +218,36 @@ class DPPrefixTracker(PrefixOptimumTracker):
         ``"smallest"`` (default) or ``"largest"``: which optimal last
         configuration to report when several exist.  The LCP baseline uses one
         tracker of each kind to obtain its lower/upper bounds.
+    stream:
+        Optional :class:`SharedValueStream`.  When given, the tracker replays
+        (and lazily extends) the shared memoised value stream instead of
+        maintaining a private one — the cross-run tensor-reuse path of the
+        sweep engine.  Use :class:`SharedTrackerFactory` to construct matching
+        trackers.
     """
 
-    def __init__(self, gamma: Optional[float] = None, tie_break: str = "smallest"):
+    def __init__(
+        self,
+        gamma: Optional[float] = None,
+        tie_break: str = "smallest",
+        stream: Optional[SharedValueStream] = None,
+    ):
+        if stream is not None:
+            if gamma is None:
+                gamma = stream.gamma
+            elif stream.gamma is None or float(gamma) != float(stream.gamma):
+                raise ValueError("gamma does not match the shared value stream")
         if gamma is not None and gamma <= 1.0:
             raise ValueError("gamma must be > 1 when given")
         if tie_break not in ("smallest", "largest"):
             raise ValueError("tie_break must be 'smallest' or 'largest'")
         self.gamma = gamma
         self.tie_break = tie_break
+        self._stream = stream
         self._value: Optional[np.ndarray] = None
         self._grid: Optional[StateGrid] = None
         self._steps = 0
+        self._scratch: Optional[np.ndarray] = None
         # counts -> StateGrid; grids do not depend on the observed demands, so
         # the cache survives reset() and is shared by consecutive runs.  The
         # cached grid also carries its configs() enumeration, so the per-slot
@@ -97,8 +261,12 @@ class DPPrefixTracker(PrefixOptimumTracker):
         self._steps = 0
 
     def observe(self, slot: SlotInfo) -> np.ndarray:
+        if self._stream is not None:
+            self._grid, self._value = self._stream.at(self._steps, slot)
+            self._steps += 1
+            return self._argmin_config()
         grid = self._build_grid(slot.counts)
-        g_tensor = slot.operating_cost(grid.configs()).reshape(grid.shape)
+        g_tensor = slot.grid_operating_cost(grid)
         if not np.any(np.isfinite(g_tensor)):
             raise ValueError(
                 f"slot {slot.t}: no grid configuration can serve demand {slot.demand:g}"
@@ -131,15 +299,8 @@ class DPPrefixTracker(PrefixOptimumTracker):
         return grid
 
     def _argmin_config(self) -> np.ndarray:
-        flat = self._value.reshape(-1)
-        if self.tie_break == "smallest":
-            idx = int(np.argmin(flat))
-        else:
-            # last occurrence of the minimum = lexicographically largest config
-            reversed_idx = int(np.argmin(flat[::-1]))
-            idx = flat.size - 1 - reversed_idx
-        multi = np.unravel_index(idx, self._grid.shape)
-        return self._grid.config_at(multi)
+        config, self._scratch = argmin_config(self._value, self._grid, self.tie_break, self._scratch)
+        return config
 
 
 class FixedSequenceTracker(PrefixOptimumTracker):

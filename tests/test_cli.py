@@ -125,3 +125,33 @@ class TestCompareCommand:
         code, out = run_cli("compare", "--fleet", "single", "--trace", "diurnal", "--slots", "10")
         assert code == 0
         assert "LCP" in out
+
+
+class TestSweepCommand:
+    def test_single_scenario_sweep(self):
+        code, out = run_cli(
+            "sweep", "--fleet", "cpu-gpu", "--trace", "diurnal", "--slots", "10",
+            "--algorithms", "A,B",
+        )
+        assert code == 0
+        assert "shared-context sweep" in out
+        assert "algorithm-A" in out and "algorithm-B" in out
+
+    def test_multi_seed_sweep_writes_json(self, tmp_path):
+        import json
+
+        target = tmp_path / "sweep.json"
+        code, out = run_cli(
+            "sweep", "--fleet", "cpu-gpu", "--trace", "diurnal", "--slots", "8",
+            "--seeds", "0,1", "--algorithms", "A", "--json", str(target),
+        )
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert len(payload["rows"]) == 2
+        assert {row["instance"] for row in payload["rows"]} == {
+            "cpu-gpu/diurnal/seed0", "cpu-gpu/diurnal/seed1",
+        }
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("sweep", "--slots", "8", "--algorithms", "nonsense")
