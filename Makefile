@@ -1,21 +1,30 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-sweep perf-regress
+.PHONY: test bench bench-smoke bench-sweep bench-scale perf-regress
 
 test:
 	$(PYTHON) -m pytest -x -q
 
-# <30s regression harness: solves three pinned instances and asserts the DP
+# <60s regression harness: solves three pinned instances and asserts the DP
 # still returns seed-identical optimal costs (guards the batched dispatch
-# engine against accuracy drift), then runs the sweep-engine gate.
+# engine against accuracy drift), runs the sweep-engine gate, and gates the
+# streaming DP (checkpointed backtracking == all-tables at 1e-9) on the quick
+# scale instances.
 bench-smoke: perf-regress
 	$(PYTHON) -m repro bench --smoke
+	$(PYTHON) -m repro bench --scale
 
 # Shared-context sweep engine over the combined THM8+13+15+22 workload;
 # writes benchmarks/output/BENCH_sweep.json (costs, ratios, wall times).
 bench-sweep:
 	$(PYTHON) -m repro bench --sweep --json benchmarks/output/BENCH_sweep.json
+
+# Streaming-DP scale suite at the headline sizes (T up to 50000, d=4 fleets
+# with m_j up to 10^4 on geometric grids); gates streaming == all-tables at
+# 1e-9 and writes benchmarks/output/BENCH_scale.json (wall + peak memory).
+bench-scale:
+	$(PYTHON) -m repro bench --scale --full --json benchmarks/output/BENCH_scale.json
 
 # Performance-regression gate: re-runs the combined workload and compares
 # every cost field against the pinned PR-1 reference (exact to 1e-6).  Wall

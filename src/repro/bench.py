@@ -62,6 +62,7 @@ __all__ = [
     "PINNED_OPTIMAL_COSTS",
     "PINNED_SWEEP_COSTS",
     "PR1_BASELINE_WALL_SECONDS",
+    "run_scale_bench",
     "run_smoke_bench",
     "run_sweep_bench",
     "smoke_instances",
@@ -321,6 +322,214 @@ def sweep_suite() -> List[tuple]:
             ),
         ),
     ]
+
+
+# --------------------------------------------------------------------------- #
+# Scale regression suite: the streaming DP core on long-horizon workloads
+# --------------------------------------------------------------------------- #
+
+
+def _measured(fn):
+    """``(result, wall_seconds, tracemalloc_peak_bytes, rss_peak_mb)`` of ``fn``.
+
+    ``fn`` is executed twice clean — the wall time is the best of the two
+    (single-run walls on shared machines are noisy enough to distort the
+    streaming-vs-forward ratios, and tracemalloc roughly doubles
+    allocation-heavy passes, so it must not time them) — then once more under
+    ``tracemalloc`` for the comparable per-row peak-memory column.
+    ``rss_peak_mb`` is the process high-water mark — monotonic across rows, so
+    only its *first* large run is attributable; tracemalloc is the per-row
+    signal.
+    """
+    import resource
+    import tracemalloc
+
+    wall = float("inf")
+    result = None
+    for _ in range(2):
+        start = time.perf_counter()
+        result = fn()
+        wall = min(wall, time.perf_counter() - start)
+    tracemalloc.start()
+    fn()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    return result, wall, peak, rss_mb
+
+
+def run_scale_bench(
+    full: bool = False,
+    json_path: Optional[str] = None,
+    tolerance: float = 1e-9,
+) -> dict:
+    """Benchmark the streaming DP core on the large-scale scenario suite.
+
+    For every scenario the streaming pass (``checkpoint_every = ceil(sqrt(T))``)
+    is measured forward-only and end-to-end; ``compare`` scenarios additionally
+    run the classic all-tables pass and **gate** on it — the streaming schedule
+    must be identical and its cost equal within ``tolerance`` (1e-9), the
+    regression guard wired into ``make bench-smoke``.  Scenarios marked
+    streaming-only instead document the all-tables footprint as *projected*
+    bytes (``T * |M| * 8`` of value-table history alone — OOM territory on
+    typical runners long before the seed code's additional ``O(T * |M| * d)``
+    dispatch blocks).  A float32 value-stream row is recorded for the first
+    scenario of the suite.
+
+    Returns the ``BENCH_scale.json`` payload; wall times and memory are
+    recorded, only cost/schedule equality gates.
+    """
+    import math
+
+    from .offline.dp import solve_dp
+    from .offline.state_grid import grid_for_slot
+    from .workloads.scale import scale_scenarios
+
+    rows: List[dict] = []
+    comparisons: List[dict] = []
+    scenarios = scale_scenarios(full=full)
+    for index, scenario in enumerate(scenarios):
+        instance = scenario["instance"]
+        gamma = scenario["gamma"]
+        T = instance.T
+        k = max(1, int(math.ceil(math.sqrt(T))))
+        grid = grid_for_slot(instance, 0, gamma)
+        table_mb = T * grid.size * 8 / 1e6
+        base = {
+            "instance": instance.name,
+            "label": scenario["label"],
+            "T": T,
+            "d": instance.d,
+            "grid_states": grid.size,
+            "gamma": gamma,
+            "table_history_projected_mb": round(table_mb, 2),
+        }
+
+        _, fwd_wall, fwd_peak, fwd_rss = _measured(
+            lambda: solve_dp(instance, gamma=gamma, checkpoint_every=k, return_schedule=False)
+        )
+        rows.append(
+            dict(
+                base,
+                mode="streaming-forward",
+                checkpoint_every=k,
+                wall_seconds=round(fwd_wall, 4),
+                tracemalloc_peak_mb=round(fwd_peak / 1e6, 3),
+                rss_peak_mb=round(fwd_rss, 1),
+            )
+        )
+
+        stream, stream_wall, stream_peak, stream_rss = _measured(
+            lambda: solve_dp(instance, gamma=gamma, checkpoint_every=k)
+        )
+        rows.append(
+            dict(
+                base,
+                mode="streaming",
+                checkpoint_every=k,
+                wall_seconds=round(stream_wall, 4),
+                tracemalloc_peak_mb=round(stream_peak / 1e6, 3),
+                rss_peak_mb=round(stream_rss, 1),
+                cost=stream.cost,
+            )
+        )
+
+        if index == 0:
+            f32, f32_wall, f32_peak, f32_rss = _measured(
+                lambda: solve_dp(instance, gamma=gamma, checkpoint_every=k, value_dtype="float32")
+            )
+            deviation = abs(f32.cost - stream.cost) / max(abs(stream.cost), 1.0)
+            rows.append(
+                dict(
+                    base,
+                    mode="streaming-float32",
+                    checkpoint_every=k,
+                    wall_seconds=round(f32_wall, 4),
+                    tracemalloc_peak_mb=round(f32_peak / 1e6, 3),
+                    rss_peak_mb=round(f32_rss, 1),
+                    cost=f32.cost,
+                    relative_cost_deviation=deviation,
+                )
+            )
+            if deviation > 1e-5:
+                raise AssertionError(
+                    f"{instance.name}: float32 streaming cost deviates by {deviation:g} "
+                    "(> 1e-5) despite the float64 re-evaluation"
+                )
+
+        if scenario["compare"]:
+            tables, tables_wall, tables_peak, tables_rss = _measured(
+                lambda: solve_dp(instance, gamma=gamma, keep_tables=True)
+            )
+            rows.append(
+                dict(
+                    base,
+                    mode="keep-tables",
+                    checkpoint_every=None,
+                    wall_seconds=round(tables_wall, 4),
+                    tracemalloc_peak_mb=round(tables_peak / 1e6, 3),
+                    rss_peak_mb=round(tables_rss, 1),
+                    cost=tables.cost,
+                )
+            )
+            deviation = abs(stream.cost - tables.cost)
+            identical = bool(np.array_equal(stream.schedule.x, tables.schedule.x))
+            comparisons.append(
+                {
+                    "instance": instance.name,
+                    "cost_deviation": deviation,
+                    "schedules_identical": identical,
+                    "memory_ratio": round(tables_peak / max(stream_peak, 1), 2),
+                    "stream_wall_vs_forward": round(stream_wall / max(fwd_wall, 1e-9), 2),
+                    "stream_wall_vs_tables": round(stream_wall / max(tables_wall, 1e-9), 2),
+                }
+            )
+            if deviation > tolerance or not identical:
+                raise AssertionError(
+                    f"{instance.name}: streaming backtracking deviates from keep_tables=True "
+                    f"(cost deviation {deviation:g}, schedules identical: {identical}) — "
+                    "the checkpointed backward pass is no longer exact"
+                )
+        else:
+            rows.append(
+                dict(
+                    base,
+                    mode="keep-tables-projected",
+                    checkpoint_every=None,
+                    wall_seconds=None,
+                    # measured column stays empty — the projection lives in
+                    # table_history_projected_mb so consumers never mistake
+                    # an estimate for a tracemalloc measurement
+                    tracemalloc_peak_mb=None,
+                    rss_peak_mb=None,
+                    note=(
+                        "not executed: value-table history alone needs "
+                        f"{table_mb:.0f} MB (plus O(T*|M|*d) dispatch blocks in the "
+                        "seed code) — OOM-or-worse on typical 4-8 GB runners"
+                    ),
+                )
+            )
+
+    payload = {
+        "benchmark": "scale_streaming",
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "suite": "full" if full else "quick",
+        "tolerance": tolerance,
+        "rows": rows,
+        "comparisons": comparisons,
+    }
+    if json_path:
+        directory = os.path.dirname(json_path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+    return payload
 
 
 def _sequential_baseline() -> Dict[tuple, float]:

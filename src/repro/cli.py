@@ -36,6 +36,13 @@ without writing Python:
     orchestration (1e-9), and report the measured speedup (wall times are
     advisory).
 
+``python -m repro bench --scale``
+    Run the streaming-DP scale suite: long-horizon / big-fleet instances
+    solved with checkpointed O(sqrt(T))-memory backtracking, gated on cost and
+    schedule equality (1e-9) against the classic all-tables pass, with
+    wall-time and peak-memory columns (``--full`` for the headline T=5*10^4 /
+    d=4 sizes, written to ``BENCH_scale.json``).
+
 Scenarios are described by a fleet preset (``--fleet``) and a trace generator
 (``--trace``) with ``--slots`` and ``--seed``; a custom demand trace can be
 supplied from a CSV file with ``--demand-file`` (one value per line).
@@ -173,12 +180,16 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     instance = _build_instance(args)
     print(instance.describe())
     dispatcher = DispatchSolver(instance)
+    streaming = dict(
+        checkpoint_every=args.checkpoint_every,
+        value_dtype="float32" if args.float32 else None,
+    )
     if args.epsilon is None:
-        result = solve_optimal(instance, dispatcher=dispatcher)
+        result = solve_optimal(instance, dispatcher=dispatcher, **streaming)
         label = "exact optimum"
         guarantee = 1.0
     else:
-        result = solve_approx(instance, epsilon=args.epsilon, dispatcher=dispatcher)
+        result = solve_approx(instance, epsilon=args.epsilon, dispatcher=dispatcher, **streaming)
         label = f"(1+eps)-approximation, eps={args.epsilon}"
         guarantee = approximation_guarantee(result.gamma)
     metrics = compute_metrics(instance, result.schedule, name=label, dispatcher=dispatcher)
@@ -273,7 +284,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if not specs:
         raise SystemExit("no algorithms selected")
 
-    report = run_plan(SweepPlan(instances=tuple(instances), algorithms=tuple(specs), jobs=args.jobs))
+    report = run_plan(SweepPlan(
+        instances=tuple(instances),
+        algorithms=tuple(specs),
+        jobs=args.jobs,
+        checkpoint_every=args.checkpoint_every,
+    ))
     rows = []
     for record in report:
         row = {
@@ -300,11 +316,60 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .bench import PINNED_SWEEP_COSTS, run_smoke_bench, run_sweep_bench
+    from .bench import PINNED_SWEEP_COSTS, run_scale_bench, run_smoke_bench, run_sweep_bench
+
+    selected = [flag for flag in ("smoke", "sweep", "scale") if getattr(args, flag)]
+    if len(selected) > 1:
+        print(f"choose one of --smoke/--sweep/--scale per invocation (got {', '.join('--' + f for f in selected)}); "
+              "run them as separate commands — `make bench-smoke` chains all three gates",
+              file=sys.stderr)
+        return 2
+    if args.full and not args.scale:
+        print("--full only applies to --scale", file=sys.stderr)
+        return 2
+
+    tolerance = args.tolerance
+
+    if args.scale:
+        try:
+            payload = run_scale_bench(
+                full=args.full, json_path=args.json,
+                tolerance=1e-9 if tolerance is None else tolerance,
+            )
+        except AssertionError as exc:
+            print(f"FAIL: {exc}", file=sys.stderr)
+            return 1
+        table_rows = [
+            {
+                "instance": row["instance"],
+                "mode": row["mode"],
+                "T": row["T"],
+                "states": row["grid_states"],
+                "k": row.get("checkpoint_every"),
+                "seconds": row["wall_seconds"],
+                "peak_mb": row["tracemalloc_peak_mb"],
+                "cost": None if row.get("cost") is None else round(row["cost"], 2),
+            }
+            for row in payload["rows"]
+        ]
+        print(format_table(table_rows, title="bench scale — streaming DP vs all-tables history"))
+        for cmp_row in payload["comparisons"]:
+            print(
+                f"\n{cmp_row['instance']}: streaming == keep-tables "
+                f"(cost deviation {cmp_row['cost_deviation']:.2e}, schedules identical), "
+                f"peak memory {cmp_row['memory_ratio']}x smaller, "
+                f"end-to-end {cmp_row['stream_wall_vs_forward']}x the forward-pass wall time"
+            )
+        if args.json:
+            print(f"\nwrote {args.json}")
+        return 0
+
+    if tolerance is None:
+        tolerance = 1e-6
 
     if args.sweep:
         try:
-            payload = run_sweep_bench(tolerance=args.tolerance, json_path=args.json, jobs=args.jobs)
+            payload = run_sweep_bench(tolerance=tolerance, json_path=args.json, jobs=args.jobs)
         except AssertionError as exc:
             print(f"FAIL: {exc}", file=sys.stderr)
             return 1
@@ -322,7 +387,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         ]
         print(format_table(table_rows, title="bench sweep — combined THM8+13+15+22 via the shared-context engine"))
         print(f"\nall {len(PINNED_SWEEP_COSTS)} pinned PR-1 costs reproduced within "
-              f"{args.tolerance:g} (max deviation {payload['max_cost_deviation']:.2e})")
+              f"{tolerance:g} (max deviation {payload['max_cost_deviation']:.2e})")
         print(f"wall time: engine {payload['engine_wall_seconds']:.3f}s, "
               f"sequential orchestration {payload['sequential_wall_seconds']:.3f}s "
               f"({payload['speedup_vs_sequential']}x), "
@@ -338,7 +403,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               "`repro bench --sweep` for the sweep-engine regression", file=sys.stderr)
         return 2
     try:
-        rows = run_smoke_bench(tolerance=args.tolerance, json_path=args.json)
+        rows = run_smoke_bench(tolerance=tolerance, json_path=args.json)
     except AssertionError as exc:
         print(f"FAIL: {exc}", file=sys.stderr)
         return 1
@@ -356,7 +421,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         for row in rows
     ]
     print(format_table(table_rows, title="bench smoke — pinned exactness regression"))
-    print(f"\nall {len(rows)} pinned optimal costs reproduced within {args.tolerance:g}")
+    print(f"\nall {len(rows)} pinned optimal costs reproduced within {tolerance:g}")
     if args.json:
         print(f"wrote {args.json}")
     return 0
@@ -365,6 +430,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 # --------------------------------------------------------------------------- #
 # Parser
 # --------------------------------------------------------------------------- #
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
 
 
 def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
@@ -397,10 +469,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--out", help="write the trace to this file instead of stdout")
     p_trace.set_defaults(func=_cmd_trace)
 
-    p_solve = sub.add_parser("solve", help="solve a scenario offline (exact or approximate)")
+    p_solve = sub.add_parser(
+        "solve",
+        help="solve a scenario offline (exact or approximate)",
+        epilog="Scaling limits: the classic DP keeps one value tensor per slot "
+               "(O(T * |M|) memory); long horizons stream the value pass with "
+               "checkpointed backtracking instead (O(sqrt(T) * |M|), auto-enabled "
+               "above ~32 MB of table history). --checkpoint-every forces a window, "
+               "--float32 halves the stream; for fleets with thousands of servers "
+               "per type combine with --epsilon (geometric grids). "
+               "See `repro bench --scale` and docs/PERFORMANCE.md.",
+    )
     _add_scenario_arguments(p_solve)
     p_solve.add_argument("--epsilon", type=float, default=None,
                          help="use the (1+eps)-approximation instead of the exact solver")
+    p_solve.add_argument("--checkpoint-every", type=_positive_int, default=None,
+                         help="streaming-DP checkpoint window (default: auto — full history "
+                              "on small instances, sqrt(T) on long horizons)")
+    p_solve.add_argument("--float32", action="store_true",
+                         help="run the DP value stream in float32 (half the memory; the "
+                              "reported cost is re-evaluated in float64)")
     p_solve.set_defaults(func=_cmd_solve)
 
     p_online = sub.add_parser("online", help="run an online algorithm on a scenario")
@@ -426,6 +514,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated trace seeds — one instance per seed (overrides --seed)")
     p_sweep.add_argument("--jobs", type=int, default=1,
                          help="shard instances across this many worker processes")
+    p_sweep.add_argument("--checkpoint-every", type=_positive_int, default=None,
+                         help="checkpoint window of the shared prefix-DP value streams "
+                              "(O(sqrt(T)) memory for long-horizon sweeps; default: full history)")
     p_sweep.add_argument("--json", default=None, help="write the full report to this JSON file")
     p_sweep.set_defaults(func=_cmd_sweep)
 
@@ -436,8 +527,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--sweep", action="store_true",
                          help="run the combined THM8+13+15+22 sweep-engine regression "
                               "(pinned costs gate at --tolerance; wall times advisory)")
-    p_bench.add_argument("--tolerance", type=float, default=1e-6,
-                         help="maximum allowed deviation from the pinned seed costs (default: 1e-6)")
+    p_bench.add_argument("--scale", action="store_true",
+                         help="run the streaming-DP scale suite: checkpointed O(sqrt(T))-memory "
+                              "backtracking vs the all-tables pass, gated on cost/schedule "
+                              "equality (1e-9), with peak-memory columns")
+    p_bench.add_argument("--full", action="store_true",
+                         help="with --scale: the headline sizes (T up to 50000, d=4 geometric "
+                              "fleets) instead of the quick regression subset")
+    p_bench.add_argument("--tolerance", type=float, default=None,
+                         help="maximum allowed cost deviation (default: 1e-6 for --smoke/--sweep "
+                              "against the pinned seed costs, 1e-9 for --scale streaming equality)")
     p_bench.add_argument("--jobs", type=int, default=1,
                          help="process sharding for --sweep (default: 1)")
     p_bench.add_argument("--json", default=None, help="also write the measurements to this JSON file")

@@ -99,11 +99,15 @@ def evaluate_schedule(
     instance: ProblemInstance,
     schedule: Schedule,
     dispatcher: Optional[DispatchSolver] = None,
+    memoise: bool = True,
 ) -> CostBreakdown:
     """Evaluate a schedule against an instance, returning the full cost breakdown.
 
     Infeasible slots (demand exceeding the capacity of the chosen configuration)
-    contribute ``inf`` operating cost, mirroring equation (1).
+    contribute ``inf`` operating cost, mirroring equation (1).  ``memoise=False``
+    forwards to :meth:`~repro.dispatch.DispatchSolver.solve_block` so the
+    streaming DP's final re-evaluation does not repopulate the per-slot dispatch
+    cache it deliberately avoided building.
     """
     if schedule.x.shape != (instance.T, instance.d):
         raise ValueError(
@@ -118,38 +122,47 @@ def evaluate_schedule(
     feasible = True
 
     # Batch all dispatch work through the block engine: evaluate the schedule's
-    # unique configurations against every slot in one call.  The engine
-    # deduplicates slots by (demand, cost-row) signature, so the number of
-    # actual dual-bisection solves is (unique signatures) x (unique configs)
-    # fused into a single vectorised pass — far cheaper than T sequential
-    # single-configuration solves.  Fall back to the per-slot path when the
-    # block would be degenerately large (many distinct configs on a long
-    # horizon).
+    # unique configurations against every slot.  The engine deduplicates slots
+    # by (demand, cost-row) signature, so the number of actual dual-bisection
+    # solves is (unique signatures) x (unique configs) fused into vectorised
+    # passes — far cheaper than T sequential single-configuration solves.
+    # Long horizons are *chunked* so the transient (slots x configs) result
+    # block stays bounded (~500k entries, the streaming DP's final
+    # re-evaluation must not reintroduce an O(T * |M|) allocation); a single
+    # chunk reproduces the historical one-block behaviour exactly.  Only when
+    # the schedule has so many distinct configurations that chunks would
+    # degenerate to a handful of slots does the per-slot single-configuration
+    # path remain the cheaper option.
     unique_configs, inverse = np.unique(schedule.x, axis=0, return_inverse=True)
     inverse = np.asarray(inverse).reshape(-1)
-    use_block = T > 0 and T * len(unique_configs) <= 500_000
-    if use_block:
-        block_costs, block_loads = dispatcher.solve_block(range(T), unique_configs)
+    chunk = max(1, 500_000 // max(len(unique_configs), 1)) if T else 0
+    use_block = T > 0 and chunk >= 4
 
-    for t in range(T):
-        x_t = schedule[t]
-        counts = instance.counts_at(t)
-        if np.any(x_t > counts):
-            operating[t] = np.inf
-            feasible = False
-            continue
+    for lo in range(0, T, chunk if use_block else max(T, 1)):
         if use_block:
-            k = int(inverse[t])
-            cost_t = float(block_costs[t, k])
-            loads_t = block_loads[t, k]
+            ts = range(lo, min(lo + chunk, T))
+            block_costs, block_loads = dispatcher.solve_block(ts, unique_configs, memoise=memoise)
         else:
-            result = dispatcher.solve(t, x_t)
-            cost_t = result.cost
-            loads_t = result.loads
-        operating[t] = cost_t
-        loads[t] = loads_t
-        if not np.isfinite(cost_t):
-            feasible = False
+            ts = range(T)
+        for i, t in enumerate(ts):
+            x_t = schedule[t]
+            counts = instance.counts_at(t)
+            if np.any(x_t > counts):
+                operating[t] = np.inf
+                feasible = False
+                continue
+            if use_block:
+                k = int(inverse[t])
+                cost_t = float(block_costs[i, k])
+                loads_t = block_loads[i, k]
+            else:
+                result = dispatcher.solve(t, x_t)
+                cost_t = result.cost
+                loads_t = result.loads
+            operating[t] = cost_t
+            loads[t] = loads_t
+            if not np.isfinite(cost_t):
+                feasible = False
 
     return breakdown_from_parts(instance, schedule, operating, loads, feasible)
 

@@ -240,7 +240,7 @@ class DispatchSolver:
         costs, loads = self.solve_block([t], configs)
         return costs[0], loads[0]
 
-    def solve_block(self, ts: Sequence[int], configs: np.ndarray) -> tuple:
+    def solve_block(self, ts: Sequence[int], configs: np.ndarray, memoise: bool = True) -> tuple:
         """Evaluate ``g_t(x)`` for every slot in ``ts`` times every row of ``configs``.
 
         This is the batched engine behind all solvers: slots are deduplicated
@@ -254,6 +254,13 @@ class DispatchSolver:
             Slot indices (0-based, repeats allowed).
         configs:
             Array of shape ``(n, d)`` shared by all slots.
+        memoise:
+            When ``False``, previously cached results are still *read* but no
+            new ``(signature, configuration-set)`` entries are written.  The
+            streaming DP passes ``False``: on long horizons with per-slot
+            demands the memo would hold one cost row *and* one load block per
+            slot — the very ``O(T * |M|)`` footprint the streaming pass
+            removes.
 
         Returns
         -------
@@ -322,7 +329,8 @@ class DispatchSolver:
                         row_costs = costs_u[k] * scale
                         row_costs.setflags(write=False)
                         scaled_costs[scale] = row_costs
-                    self._block_cache[(sig, scale, configs_key)] = (row_costs, loads_k)
+                    if memoise:
+                        self._block_cache[(sig, scale, configs_key)] = (row_costs, loads_k)
                     out_costs[i] = row_costs
                     out_loads[i] = loads_k
 

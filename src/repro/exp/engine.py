@@ -87,6 +87,13 @@ class OfflineSpec:
     epsilon: Optional[float] = None
     gamma: Optional[float] = None
     return_schedule: bool = True
+    #: Streaming-DP options for **approximate** solves only: a checkpoint
+    #: window (``None`` = the plan's ``checkpoint_every``) and an optional
+    #: float32 value pass.  ``solver="optimal"`` reads the shared value
+    #: stream, whose streaming is governed by the plan's ``checkpoint_every``
+    #: — setting either field on an optimal spec raises.
+    checkpoint_every: Optional[int] = None
+    value_dtype: Optional[str] = None
 
 
 @dataclass(frozen=True, eq=False)
@@ -100,6 +107,10 @@ class SweepPlan:
     compute_optimal: bool = True
     #: Process-level sharding across instances (1 = in-process).
     jobs: int = 1
+    #: Checkpoint window of the shared prefix-DP value streams (``None`` =
+    #: full history).  Long-horizon plans set this to keep every instance's
+    #: stream at O(sqrt(T) * |M|) resident tensors.
+    checkpoint_every: Optional[int] = None
 
 
 # --------------------------------------------------------------------------- #
@@ -200,6 +211,7 @@ def run_instance(
     offline: Sequence[OfflineSpec] = (),
     compute_optimal: bool = True,
     context: Optional[SharedInstanceContext] = None,
+    checkpoint_every: Optional[int] = None,
 ) -> list:
     """Run all algorithms and offline solves of a plan on one instance.
 
@@ -208,7 +220,16 @@ def run_instance(
     :class:`RunRecord` per run; the shared optimum is computed once and stamped
     into every record.
     """
-    ctx = context if context is not None else SharedInstanceContext(instance)
+    if context is not None:
+        if checkpoint_every is not None and context.checkpoint_every != checkpoint_every:
+            raise ValueError(
+                "run_instance was given both an explicit context and a conflicting "
+                f"checkpoint_every ({context.checkpoint_every!r} vs {checkpoint_every!r}); "
+                "configure streaming on the SharedInstanceContext instead"
+            )
+        ctx = context
+    else:
+        ctx = SharedInstanceContext(instance, checkpoint_every=checkpoint_every)
     records = []
 
     optimal_cost = float("nan")
@@ -222,11 +243,21 @@ def run_instance(
     for off in offline:
         start = time.perf_counter()
         if off.solver == "optimal":
+            if off.checkpoint_every is not None or off.value_dtype is not None:
+                raise ValueError(
+                    "OfflineSpec(solver='optimal') reads the shared value stream; its "
+                    "streaming is set by the plan's checkpoint_every — per-spec "
+                    "checkpoint_every/value_dtype apply to approx solves only"
+                )
             result = ctx.solve_optimal(return_schedule=off.return_schedule)
             label = off.label or "offline-optimal"
         elif off.solver == "approx":
             result = ctx.solve_approx(
-                epsilon=off.epsilon, gamma=off.gamma, return_schedule=off.return_schedule
+                epsilon=off.epsilon,
+                gamma=off.gamma,
+                return_schedule=off.return_schedule,
+                checkpoint_every=off.checkpoint_every,
+                value_dtype=off.value_dtype,
             )
             if off.label:
                 label = off.label
@@ -275,9 +306,13 @@ def run_instance(
 
 def _instance_worker(payload) -> list:
     """Module-level worker for process-sharded plans (must stay picklable)."""
-    instance, algorithms, offline, compute_optimal = payload
+    instance, algorithms, offline, compute_optimal, checkpoint_every = payload
     return run_instance(
-        instance, algorithms=algorithms, offline=offline, compute_optimal=compute_optimal
+        instance,
+        algorithms=algorithms,
+        offline=offline,
+        compute_optimal=compute_optimal,
+        checkpoint_every=checkpoint_every,
     )
 
 
@@ -304,7 +339,10 @@ def run_plan(plan: SweepPlan, jobs: Optional[int] = None) -> SweepReport:
         from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 
         try:
-            payloads = [(inst, algorithms, offline, plan.compute_optimal) for inst in instances]
+            payloads = [
+                (inst, algorithms, offline, plan.compute_optimal, plan.checkpoint_every)
+                for inst in instances
+            ]
             with ProcessPoolExecutor(max_workers=min(jobs, len(instances))) as pool:
                 for chunk in pool.map(_instance_worker, payloads):
                     records.extend(chunk)
@@ -324,6 +362,7 @@ def run_plan(plan: SweepPlan, jobs: Optional[int] = None) -> SweepReport:
                     algorithms=algorithms,
                     offline=offline,
                     compute_optimal=plan.compute_optimal,
+                    checkpoint_every=plan.checkpoint_every,
                 )
             )
     total = time.perf_counter() - start

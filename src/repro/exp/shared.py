@@ -29,7 +29,7 @@ from ..core.costs import CostBreakdown
 from ..core.instance import ProblemInstance
 from ..core.schedule import Schedule
 from ..dispatch.allocation import DispatchSolver
-from ..offline.dp import OfflineResult, backtrack_schedule
+from ..offline.dp import OfflineResult
 from ..offline.graph_approx import solve_approx
 from ..online.base import OnlineAlgorithm, OnlineRunResult, SlotContext, run_online
 from ..online.tracker import DPPrefixTracker, SharedTrackerFactory
@@ -38,13 +38,38 @@ __all__ = ["SharedInstanceContext"]
 
 
 class SharedInstanceContext:
-    """All cross-run shared state for sweeping one problem instance."""
+    """All cross-run shared state for sweeping one problem instance.
 
-    def __init__(self, instance: ProblemInstance, dispatcher: Optional[DispatchSolver] = None):
+    ``checkpoint_every`` puts the shared prefix-DP value streams into the
+    checkpointed ``O(sqrt(T) * |M|)``-memory mode of the streaming DP core:
+    trackers then retain one tensor per checkpoint window instead of the full
+    per-slot history, and the offline optimum's backward pass rematerialises
+    windows on demand.  Replays (every tracker after the first, plus the
+    backward pass) each cost up to one extra forward DP — the trade that lets
+    long-horizon sweeps fit in memory.  A checkpointed context also caps the
+    slot context's grid-tensor memo (``tensor_budget_bytes``, default 64 MB)
+    so a horizon of per-slot-unique demands cannot rebuild the
+    ``O(T * |M| * d)`` footprint through the dispatch layer; slots past the
+    budget are re-solved per query.
+    """
+
+    #: Grid-tensor memo cap applied when the context runs checkpointed.
+    DEFAULT_TENSOR_BUDGET_BYTES = 64 * 1024 * 1024
+
+    def __init__(
+        self,
+        instance: ProblemInstance,
+        dispatcher: Optional[DispatchSolver] = None,
+        checkpoint_every: Optional[int] = None,
+        tensor_budget_bytes: Optional[int] = None,
+    ):
         self.instance = instance
-        self.slots = SlotContext(instance, dispatcher)
+        if tensor_budget_bytes is None and checkpoint_every is not None:
+            tensor_budget_bytes = self.DEFAULT_TENSOR_BUDGET_BYTES
+        self.slots = SlotContext(instance, dispatcher, tensor_budget_bytes=tensor_budget_bytes)
         self.dispatcher = self.slots.dispatcher
-        self.trackers = SharedTrackerFactory()
+        self.checkpoint_every = checkpoint_every
+        self.trackers = SharedTrackerFactory(checkpoint_every=checkpoint_every)
         self._optimal_cost: Optional[float] = None
 
     # ------------------------------------------------------------- online runs
@@ -71,23 +96,37 @@ class SharedInstanceContext:
         :func:`repro.offline.dp.solve_dp` on the same grids, so the reported
         cost is the same ``min_x V_{T-1}[x]`` and the schedule (when requested)
         comes from the same backward pass — without running the DP again when
-        any tracker already advanced the stream.
+        any tracker already advanced the stream.  With a checkpointed context
+        the backward pass rematerialises the stream's windows instead of
+        reading a full table history.
         """
         instance = self.instance
         T, d = instance.T, instance.d
         if T == 0:
-            return OfflineResult(schedule=Schedule.empty(0, d), cost=0.0, grids=())
+            return OfflineResult(
+                schedule=Schedule.empty(0, d) if return_schedule else None, cost=0.0, grids=()
+            )
         stream = self._full_stream()
-        best_cost = float(np.min(stream.values[T - 1]))
+        best_cost = float(np.min(stream.value_at(T - 1)))
         if not np.isfinite(best_cost):
             raise ValueError("no feasible schedule exists on the given grids")
         self._optimal_cost = best_cost
         if not return_schedule:
-            return OfflineResult(schedule=Schedule.empty(0, d), cost=best_cost, grids=stream.grids)
-        configs = backtrack_schedule(stream.grids, stream.values, instance.beta)
+            return OfflineResult(
+                schedule=None,
+                cost=best_cost,
+                grids=stream.grids,
+                checkpoint_every=stream.checkpoint_every,
+            )
+        configs = stream.backtrack(instance.beta)
         schedule = Schedule(configs)
         breakdown = self.slots.evaluate_schedule(schedule)
-        return OfflineResult(schedule=schedule, cost=float(breakdown.total), grids=stream.grids)
+        return OfflineResult(
+            schedule=schedule,
+            cost=float(breakdown.total),
+            grids=stream.grids,
+            checkpoint_every=stream.checkpoint_every,
+        )
 
     def optimal_cost(self) -> float:
         """The instance's optimal total cost (cached after the first call)."""
@@ -96,14 +135,21 @@ class SharedInstanceContext:
         return self._optimal_cost
 
     def solve_approx(self, epsilon: Optional[float] = None, gamma: Optional[float] = None,
-                     return_schedule: bool = True) -> OfflineResult:
-        """The ``(1+eps)``-approximation, sharing this context's dispatch solver."""
+                     return_schedule: bool = True, checkpoint_every: Optional[int] = None,
+                     value_dtype=None) -> OfflineResult:
+        """The ``(1+eps)``-approximation, sharing this context's dispatch solver.
+
+        Streaming defaults to the context's ``checkpoint_every`` (pass an
+        explicit value to override for one solve).
+        """
         return solve_approx(
             self.instance,
             epsilon=epsilon,
             gamma=gamma,
             dispatcher=self.dispatcher,
             return_schedule=return_schedule,
+            checkpoint_every=self.checkpoint_every if checkpoint_every is None else checkpoint_every,
+            value_dtype=value_dtype,
         )
 
     # -------------------------------------------------------------- evaluation

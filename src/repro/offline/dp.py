@@ -17,6 +17,23 @@ minimisation is the separable min-plus transition of
 :mod:`repro.offline.transitions`.  Since powering down at the end of the
 horizon is free, ``OPT = min_x V_{T-1}[x]``.
 
+Memory model
+------------
+The forward recurrence only ever needs the *previous* value tensor, but
+reconstructing the argmin chain classically requires all ``T`` tensors —
+``O(T * |M|)`` memory, the scaling wall on long horizons.  The engine therefore
+runs a **streaming value pass with checkpointed backtracking** (Hirschberg-style
+divide and conquer on the layered graph): the forward pass retains one value
+tensor every ``checkpoint_every`` slots, and the backward pass rematerialises
+each checkpoint window by re-running the forward DP inside it — ``O(sqrt(T) *
+|M|)`` memory at most one extra forward pass of work.  Operating-cost tensors
+are likewise produced window by window (:class:`WindowedOperatingCosts`)
+instead of all-T upfront, and the dispatch engine is asked not to memoise
+per-slot results while streaming.  Small instances (below
+:data:`STREAMING_TABLE_BYTES_THRESHOLD` of table history) keep the classic
+full-history pass, which costs no recompute; ``keep_tables=True`` forces it and
+exposes the tensors.
+
 The same engine serves
 
 * the exact algorithm (full grids, Section 4.1),
@@ -29,8 +46,9 @@ The same engine serves
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -43,11 +61,43 @@ from .transitions import startup_cost_tensor, switching_cost_tensor, transition
 
 __all__ = [
     "OfflineResult",
+    "STREAMING_TABLE_BYTES_THRESHOLD",
+    "WindowedOperatingCosts",
     "backtrack_schedule",
+    "default_checkpoint_every",
     "operating_cost_tensor",
     "operating_cost_tensors",
     "solve_dp",
 ]
+
+
+#: Table-history size (bytes) below which the DP keeps all value tensors even
+#: in streaming-eligible calls: rematerialising windows costs up to one extra
+#: forward pass, which only pays off once the history is actually large.
+STREAMING_TABLE_BYTES_THRESHOLD = 32 * 1024 * 1024
+
+
+def default_checkpoint_every(
+    T: int,
+    max_states: int,
+    itemsize: int = 8,
+    threshold: int = STREAMING_TABLE_BYTES_THRESHOLD,
+) -> Optional[int]:
+    """Auto-tuned checkpoint window for a ``T``-slot DP over ``max_states`` states.
+
+    Returns ``None`` (keep the full table history — no recompute) while
+    ``T * max_states * itemsize`` stays below ``threshold``, else
+    ``ceil(sqrt(T))``.  Streaming memory is ``T/k`` checkpoint tensors plus
+    ``k`` rematerialised window tensors, which is minimised at ``k = sqrt(T)``
+    independent of the grid size — ``prod_j |M_j|`` (and the value dtype, via
+    ``itemsize``) only decides *whether* the 2x-forward-FLOPs trade is worth
+    taking at all.
+    """
+    if T <= 2:
+        return None
+    if T * max(int(max_states), 1) * itemsize <= threshold:
+        return None
+    return max(1, int(math.ceil(math.sqrt(T))))
 
 
 @dataclass(frozen=True, eq=False)
@@ -57,9 +107,13 @@ class OfflineResult:
     Attributes
     ----------
     schedule:
-        The computed schedule (optimal on the given grids).
+        The computed schedule (optimal on the given grids), or ``None`` when
+        the run was asked for the cost only (``return_schedule=False``).  A
+        cost-only result used to carry a zero-length placeholder schedule that
+        could silently masquerade as a solved one; ``None`` makes the
+        distinction explicit.
     cost:
-        Its total cost ``C(X)`` with respect to the *original* instance.
+        The total cost ``C(X)`` with respect to the *original* instance.
     grids:
         The per-slot state grids that were searched.
     value_tables:
@@ -67,13 +121,18 @@ class OfflineResult:
         diagnostics and for warm-starting analyses).
     gamma:
         The grid-reduction parameter (``None`` for the exact algorithm).
+    checkpoint_every:
+        The checkpoint window of the streaming value pass, or ``None`` when
+        the run kept the full table history (small instances,
+        ``keep_tables=True``).
     """
 
-    schedule: Schedule
+    schedule: Optional[Schedule]
     cost: float
     grids: tuple
     value_tables: Optional[tuple] = None
     gamma: Optional[float] = None
+    checkpoint_every: Optional[int] = None
 
     @property
     def num_states_explored(self) -> int:
@@ -106,6 +165,11 @@ def operating_cost_tensors(
     :meth:`~repro.dispatch.DispatchSolver.solve_block` call, which additionally
     deduplicates slots with equal demand/cost signatures and vectorises the
     dual bisection across the remaining unique slots.
+
+    This materialises all ``T`` tensors at once — ``O(T * |M|)`` live memory.
+    The DP itself streams them through :class:`WindowedOperatingCosts` instead;
+    this whole-horizon variant remains for consumers that genuinely need every
+    slot at once (the explicit Figure-4 graph construction).
     """
     tensors: List[Optional[np.ndarray]] = [None] * len(grids)
     by_grid: dict = {}
@@ -118,12 +182,164 @@ def operating_cost_tensors(
     return tensors  # type: ignore[return-value]
 
 
+class WindowedOperatingCosts:
+    """Produce ``g_t`` value tensors one checkpoint window at a time.
+
+    The provider materialises the window containing the requested slot —
+    grouping the window's slots by grid and issuing one batched
+    :meth:`~repro.dispatch.DispatchSolver.solve_block` per distinct grid, the
+    same per-grid batching the whole-horizon path uses — and drops the previous
+    window, so at most ``window`` cost tensors are live.  Windows are aligned
+    to multiples of ``window``, which makes the backward pass rematerialise
+    exactly the tensors the forward pass produced.
+
+    With ``memoise=False`` the dispatch engine is told not to cache the
+    per-slot results (on long horizons that cache — one cost row *and* one
+    ``|M| x d`` load block per signature — is itself ``O(T * |M|)``).  The
+    provider instead keeps its own **byte-capped signature memo of cost
+    tensors only**: real long-horizon traces carry far fewer distinct
+    ``(demand, cost-row)`` signatures than slots, so later windows (and the
+    entire backtracking pass) reuse the forward pass's tensors instead of
+    re-running the dual bisection, while adversarially unique horizons simply
+    stop inserting once the budget is reached and degrade to recompute.
+    """
+
+    def __init__(
+        self,
+        instance: ProblemInstance,
+        grids: Sequence[StateGrid],
+        dispatcher: DispatchSolver,
+        window: Optional[int] = None,
+        memoise: bool = True,
+        memo_bytes: int = 32 * 1024 * 1024,
+    ):
+        self.instance = instance
+        self.grids = tuple(grids)
+        self.dispatcher = dispatcher
+        T = len(self.grids)
+        self.window = T if window is None else max(1, min(int(window), max(T, 1)))
+        self.memoise = memoise
+        self.memo_bytes = int(memo_bytes)
+        self._tensors: dict = {}
+        self._sig_memo: dict = {}
+        self._sig_memo_used = 0
+        #: Number of window materialisations (2x the window count for a full
+        #: streaming solve: one forward pass, one backtracking pass).
+        self.windows_materialised = 0
+        #: Slots served from the signature memo instead of a dispatch solve.
+        self.signature_memo_hits = 0
+
+    def tensor(self, t: int) -> np.ndarray:
+        """The ``g_t`` value tensor of slot ``t`` (materialising its window)."""
+        g_tensor = self._tensors.get(t)
+        if g_tensor is None:
+            self._materialise((t // self.window) * self.window)
+            g_tensor = self._tensors[t]
+        return g_tensor
+
+    def _materialise(self, lo: int) -> None:
+        hi = min(lo + self.window, len(self.grids))
+        self._tensors.clear()
+        by_grid: dict = {}
+        sig_keys: dict = {}
+        use_sig_memo = not self.memoise  # streaming mode only; the classic
+        # whole-horizon pass already deduplicates inside its single block
+        for t in range(lo, hi):
+            grid = self.grids[t]
+            if use_sig_memo:
+                sig_keys[t] = (self.dispatcher._slot_signature(t), grid.key)
+                hit = self._sig_memo.get(sig_keys[t])
+                if hit is not None:
+                    self._tensors[t] = hit
+                    self.signature_memo_hits += 1
+                    continue
+            by_grid.setdefault(grid.key, (grid, []))[1].append(t)
+        for grid, ts in by_grid.values():
+            costs, _ = self.dispatcher.solve_block(ts, grid.configs(), memoise=self.memoise)
+            for i, t in enumerate(ts):
+                if not use_sig_memo:
+                    self._tensors[t] = costs[i].reshape(grid.shape)
+                    continue
+                key = sig_keys[t]
+                cached = self._sig_memo.get(key)
+                if cached is not None:
+                    # duplicate signature within the window, first copy wins
+                    self._tensors[t] = cached
+                    continue
+                # copy the row out of the (window x configs) block so a memo
+                # entry pins |M| floats, not the whole window's result (and
+                # the block's load array can be freed immediately)
+                tensor = costs[i].reshape(grid.shape).copy()
+                tensor.setflags(write=False)
+                self._tensors[t] = tensor
+                if self._sig_memo_used + tensor.nbytes <= self.memo_bytes:
+                    self._sig_memo[key] = tensor
+                    self._sig_memo_used += tensor.nbytes
+        self.windows_materialised += 1
+
+
 def _check_some_feasible(tensor: np.ndarray, t: int) -> None:
     if not np.any(np.isfinite(tensor)):
         raise ValueError(
             f"slot {t}: no configuration on the grid can serve the demand "
             "(instance infeasible or grid too coarse)"
         )
+
+
+def _backtrack_windowed(
+    grids: Sequence[StateGrid],
+    beta: np.ndarray,
+    T: int,
+    window: int,
+    tables_for_window: Callable[[int, int], Sequence[np.ndarray]],
+) -> np.ndarray:
+    """Walk the argmin chain backwards, one table window at a time.
+
+    ``tables_for_window(c, e)`` returns the value tensors of slots ``c..e``
+    (inclusive); windows are processed from the last to the first, each seeded
+    by the configuration the following window chose for its first slot.  With
+    ``window >= T`` and the full table list this is the classic single-sweep
+    backtrack; with rematerialising callbacks it is the checkpointed
+    ``O(sqrt(T))``-memory variant.  Two scratch buffers are threaded through
+    the walk; the switching-cost tensor is additionally memoised on its
+    ``(grid, next configuration)`` pair — optimal schedules hold their
+    configuration over long stretches, so most slots reuse it outright.
+    """
+    d = len(beta)
+    configs = np.zeros((T, d), dtype=int)
+    if T == 0:
+        return configs
+    switch: Optional[np.ndarray] = None
+    total: Optional[np.ndarray] = None
+    switch_key: Optional[tuple] = None
+
+    def argmin_prev(grid: StateGrid, table: np.ndarray, x_next: np.ndarray) -> np.ndarray:
+        nonlocal switch, total, switch_key
+        key = (id(grid), tuple(int(v) for v in x_next))
+        if switch_key != key:
+            out = switch if switch is not None and switch.shape == grid.shape else None
+            switch = switching_cost_tensor(grid.values, x_next, beta, out=out)
+            switch_key = key
+        if total is None or total.shape != grid.shape:
+            total = np.empty(grid.shape)
+        np.add(table, switch, out=total)
+        idx = np.unravel_index(int(np.argmin(total)), grid.shape)
+        return grid.config_at(idx)
+
+    next_config: Optional[np.ndarray] = None
+    for c in range(((T - 1) // window) * window, -1, -window):
+        e = min(c + window, T) - 1
+        tables = tables_for_window(c, e)
+        if next_config is None:
+            # final slot of the horizon: free power-down, plain argmin
+            idx = np.unravel_index(int(np.argmin(tables[e - c])), grids[e].shape)
+            configs[e] = grids[e].config_at(idx)
+        else:
+            configs[e] = argmin_prev(grids[e], tables[e - c], next_config)
+        for t in range(e, c, -1):
+            configs[t - 1] = argmin_prev(grids[t - 1], tables[t - 1 - c], configs[t])
+        next_config = configs[c]
+    return configs
 
 
 def backtrack_schedule(
@@ -137,26 +353,40 @@ def backtrack_schedule(
     the argmin of the final tensor and walks backwards through the argmin of
     ``V_{t-1} + S(., x_t)``.  Shared by :func:`solve_dp` and the sweep engine's
     shared-context path (which reuses the memoised per-slot value stream as the
-    tables).  One scratch buffer carries the per-slot ``prev_value + switch``
-    sum: it is reallocated only when consecutive grids differ in shape.
+    tables).
     """
     T = len(grids)
-    d = len(beta)
-    configs = np.zeros((T, d), dtype=int)
-    if T == 0:
-        return configs
-    best_flat = int(np.argmin(tables[T - 1]))
-    idx = np.unravel_index(best_flat, grids[T - 1].shape)
-    configs[T - 1] = grids[T - 1].config_at(idx)
-    scratch: Optional[np.ndarray] = None
-    for t in range(T - 1, 0, -1):
-        prev_grid = grids[t - 1]
-        scratch = switching_cost_tensor(prev_grid.values, configs[t], beta, out=scratch)
-        total = np.add(tables[t - 1], scratch, out=scratch)
-        flat = int(np.argmin(total))
-        idx = np.unravel_index(flat, prev_grid.shape)
-        configs[t - 1] = prev_grid.config_at(idx)
-    return configs
+    return _backtrack_windowed(grids, beta, T, max(T, 1), lambda c, e: tables)
+
+
+def _backtrack_checkpointed(
+    grids: Sequence[StateGrid],
+    beta: np.ndarray,
+    T: int,
+    window: int,
+    checkpoints: dict,
+    provider: WindowedOperatingCosts,
+) -> np.ndarray:
+    """Checkpointed backward pass: rematerialise each window by forward DP.
+
+    ``checkpoints`` maps window-start slots to their value tensors (consumed —
+    each checkpoint is released once its window has been walked, so the live
+    set only shrinks).  Rematerialisation repeats the exact forward-pass
+    operations from the checkpoint, so the recovered tables — and therefore
+    the argmin chain — are bit-identical to the full-history pass.
+    """
+
+    def tables_for_window(c: int, e: int) -> List[np.ndarray]:
+        value = checkpoints.pop(c)
+        tables = [value]
+        for t in range(c + 1, e + 1):
+            g_tensor = provider.tensor(t)
+            arrival = transition(value, grids[t - 1].values, grids[t].values, beta)
+            value = np.add(arrival, g_tensor, out=arrival)
+            tables.append(value)
+        return tables
+
+    return _backtrack_windowed(grids, beta, T, window, tables_for_window)
 
 
 def solve_dp(
@@ -166,6 +396,8 @@ def solve_dp(
     dispatcher: Optional[DispatchSolver] = None,
     keep_tables: bool = False,
     return_schedule: bool = True,
+    checkpoint_every: Optional[int] = None,
+    value_dtype=None,
 ) -> OfflineResult:
     """Run the forward DP / shortest-path computation.
 
@@ -182,10 +414,28 @@ def solve_dp(
     dispatcher:
         Shared dispatch solver (created on demand).
     keep_tables:
-        Keep all per-slot value tensors in the result.
+        Keep all per-slot value tensors in the result.  Forces the classic
+        full-history pass (``O(T * |M|)`` memory) regardless of
+        ``checkpoint_every``.
     return_schedule:
         When ``False``, only the optimal cost is computed (the backward pass
-        and the memory for all value tensors are skipped).
+        and the memory for the table history are skipped); the result's
+        ``schedule`` is ``None``.
+    checkpoint_every:
+        Checkpoint window of the streaming value pass.  ``None`` auto-tunes
+        via :func:`default_checkpoint_every`: small instances keep the full
+        history (no recompute), large ones stream with a ``sqrt(T)`` window.
+        Any explicit value forces streaming with that window (must be >= 1;
+        values above ``T`` are clamped) — ``O(T/k + k)`` value tensors live
+        instead of ``T``, at the cost of re-running the forward DP once
+        inside each window during backtracking.
+    value_dtype:
+        dtype of the value tensors — ``float64`` (default) or ``float32``.
+        A ``float32`` stream halves the memory of checkpoints and windows;
+        the reported cost of a schedule-returning solve is *always* a
+        ``float64`` re-evaluation of the reconstructed schedule, so only the
+        argmin chain (and the cost of cost-only solves) feels the reduced
+        precision.
 
     Returns
     -------
@@ -206,26 +456,55 @@ def solve_dp(
 
     if T == 0:
         return OfflineResult(
-            schedule=Schedule.empty(0, d), cost=0.0, grids=grids, value_tables=() if keep_tables else None, gamma=gamma
+            schedule=Schedule.empty(0, d) if return_schedule else None,
+            cost=0.0,
+            grids=grids,
+            value_tables=() if keep_tables else None,
+            gamma=gamma,
         )
 
-    need_history = return_schedule or keep_tables
+    dtype = np.dtype(np.float64 if value_dtype is None else value_dtype)
+    if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError(f"value_dtype must be float32 or float64, got {dtype}")
+
+    if checkpoint_every is not None and int(checkpoint_every) < 1:
+        raise ValueError("checkpoint_every must be a positive integer when given")
+    if keep_tables:
+        window = None
+    elif checkpoint_every is not None:
+        window = min(int(checkpoint_every), T)
+    else:
+        window = default_checkpoint_every(
+            T, max(g.size for g in grids), itemsize=dtype.itemsize
+        )
+    streaming = window is not None
+    provider = WindowedOperatingCosts(
+        instance, grids, dispatcher, window=window, memoise=not streaming
+    )
+
+    keep_history = keep_tables or (return_schedule and not streaming)
+    track_checkpoints = streaming and return_schedule
+
     tables: List[np.ndarray] = []
+    checkpoints: dict = {}
     value: Optional[np.ndarray] = None
 
-    g_tensors = operating_cost_tensors(instance, grids, dispatcher)
     for t in range(T):
         grid = grids[t]
-        g_tensor = g_tensors[t]
+        g_tensor = provider.tensor(t)
         _check_some_feasible(g_tensor, t)
         if t == 0:
             arrival = startup_cost_tensor(grid.values, beta)
+            if arrival.dtype != dtype:
+                arrival = arrival.astype(dtype)
         else:
             arrival = transition(value, grids[t - 1].values, grid.values, beta)
         # arrival is a fresh tensor every slot, so accumulate in place
         value = np.add(arrival, g_tensor, out=arrival)
-        if need_history:
+        if keep_history:
             tables.append(value)
+        elif track_checkpoints and t % window == 0:
+            checkpoints[t] = value
 
     assert value is not None
     best_flat = int(np.argmin(value))
@@ -235,23 +514,31 @@ def solve_dp(
 
     if not return_schedule:
         return OfflineResult(
-            schedule=Schedule.empty(0, d),
+            schedule=None,
             cost=best_cost,
             grids=grids,
             value_tables=tuple(tables) if keep_tables else None,
             gamma=gamma,
+            checkpoint_every=window if streaming else None,
         )
 
     # ------------------------------------------------------------ backward pass
-    schedule = Schedule(backtrack_schedule(grids, tables, beta))
-    # Re-evaluate the schedule cost explicitly; for the exact algorithm this
-    # equals ``best_cost`` (up to dispatch tolerance) and serves as a sanity
-    # check, for reduced grids it is by definition identical as well.
-    breakdown = evaluate_schedule(instance, schedule, dispatcher)
+    if keep_history:
+        configs = backtrack_schedule(grids, tables, beta)
+    else:
+        configs = _backtrack_checkpointed(grids, beta, T, window, checkpoints, provider)
+    schedule = Schedule(configs)
+    # Re-evaluate the schedule cost explicitly (always in float64); for the
+    # exact algorithm this equals ``best_cost`` (up to dispatch tolerance) and
+    # serves as a sanity check, for reduced grids it is by definition identical
+    # as well, and for float32 value streams it removes the accumulated
+    # single-precision error from the reported cost.
+    breakdown = evaluate_schedule(instance, schedule, dispatcher, memoise=not streaming)
     return OfflineResult(
         schedule=schedule,
         cost=float(breakdown.total),
         grids=grids,
         value_tables=tuple(tables) if keep_tables else None,
         gamma=gamma,
+        checkpoint_every=window if streaming else None,
     )

@@ -75,6 +75,9 @@ class StateGrid:
                 raise ValueError(f"dimension {j}: the value 0 must be part of the grid")
             if np.any(arr < 0):
                 raise ValueError(f"dimension {j}: values must be non-negative")
+            # frozen so downstream caches (the min-plus relaxation plans) may
+            # key on array identity instead of re-serialising the contents
+            arr.setflags(write=False)
             vals.append(arr)
         self._values = tuple(vals)
         self._configs: Optional[np.ndarray] = None

@@ -36,6 +36,64 @@ __all__ = [
 ]
 
 
+#: Per-(src, dst) value-list plans: the ``searchsorted`` index maps between two
+#: grid value lists depend only on the lists, never on the value tensor or
+#: ``beta``, yet the DP recomputes them for every slot.  Grids are memoised per
+#: instance (``grid_for_slot``), so the common time-invariant case sees one
+#: (src, dst) pair for the whole horizon — one plan per pair turns the per-slot
+#: index computation into a dictionary lookup.  Keyed by content (bytes), so
+#: equal grids share a plan across instances; bounded to keep pathological
+#: workloads (thousands of distinct per-slot grids) from pinning memory.
+_PLAN_CACHE: dict = {}
+#: Identity fast path for read-only value arrays: grid value lists are frozen
+#: by :class:`~repro.offline.state_grid.StateGrid` and memoised per instance,
+#: so the same array objects recur ``T * d`` times per solve — the id lookup
+#: (validated by ``is``, as in ``DispatchSolver._configs_key``) skips the
+#: per-call ``tobytes`` serialisation of up to ~10^4 values per dimension.
+_PLAN_ID_CACHE: dict = {}
+_PLAN_CACHE_MAX = 4096
+
+
+def _relax_plan(src_values, dst_values) -> tuple:
+    """``(src_f, dst_f, up_idx, all_up, valid_up, down_idx, all_down, valid_down)``."""
+    src = np.asarray(src_values)
+    dst = np.asarray(dst_values)
+    id_key = None
+    if not src.flags.writeable and not dst.flags.writeable:
+        id_key = (id(src), id(dst))
+        entry = _PLAN_ID_CACHE.get(id_key)
+        if entry is not None and entry[0] is src and entry[1] is dst:
+            return entry[2]
+    key = (src.dtype.str, src.tobytes(), dst.dtype.str, dst.tobytes())
+    plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        src_f = np.asarray(src, dtype=float)
+        dst_f = np.asarray(dst, dtype=float)
+        # index of the last source value <= each destination value
+        up_idx = np.searchsorted(src_f, dst_f, side="right") - 1
+        valid_up = up_idx >= 0
+        down_idx = np.searchsorted(src_f, dst_f, side="left")
+        valid_down = down_idx < len(src_f)
+        plan = (
+            src_f,
+            dst_f,
+            up_idx,
+            bool(valid_up.all()),
+            valid_up,
+            np.minimum(down_idx, max(len(src_f) - 1, 0)),
+            bool(valid_down.all()),
+            valid_down,
+        )
+        if len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
+            _PLAN_CACHE.clear()
+        _PLAN_CACHE[key] = plan
+    if id_key is not None:
+        if len(_PLAN_ID_CACHE) >= _PLAN_CACHE_MAX:
+            _PLAN_ID_CACHE.clear()
+        _PLAN_ID_CACHE[id_key] = (src, dst, plan)
+    return plan
+
+
 def relax_dimension(
     values_tensor: np.ndarray,
     src_values: np.ndarray,
@@ -52,49 +110,60 @@ def relax_dimension(
     ``min( beta*dst[k] + min_{src<=dst[k]} (V - beta*src),  min_{src>=dst[k]} V )``,
     i.e. a prefix minimum for the power-up direction and a suffix minimum for
     the (free) power-down direction.  Both are computed with
-    ``numpy.minimum.accumulate`` and the mapping between the two value lists is
-    done with ``numpy.searchsorted``, so arbitrary (sorted) source and target
+    ``numpy.minimum.accumulate``; the ``numpy.searchsorted`` mapping between the
+    two value lists is hoisted into a content-keyed plan cache (consecutive
+    slots almost always share a grid), so arbitrary (sorted) source and target
     value sets are supported — in particular the geometric grids ``M^gamma`` of
     the approximation algorithm and per-slot grids of different sizes.
+
+    Floating value tensors keep their dtype (the streaming DP optionally runs
+    ``float32`` value passes); any other input dtype is promoted to ``float64``.
     """
-    src_values = np.asarray(src_values, dtype=float)
-    dst_values = np.asarray(dst_values, dtype=float)
-    V = np.moveaxis(np.asarray(values_tensor, dtype=float), axis, -1)
-    if V.shape[-1] != len(src_values):
+    src_f, dst_f, up_idx, all_up, valid_up, down_idx, all_down, valid_down = _relax_plan(
+        src_values, dst_values
+    )
+    V = np.asarray(values_tensor)
+    # swapaxes instead of moveaxis: the relaxation is elementwise along the
+    # moved axis, so any consistent permutation works, and swapaxes skips
+    # moveaxis' per-call axis normalisation (the DP calls this T*d times)
+    moved = axis not in (-1, V.ndim - 1)
+    if moved:
+        V = np.swapaxes(V, axis, -1)
+    if V.dtype not in (np.float32, np.float64):
+        V = V.astype(float)
+    if V.shape[-1] != len(src_f):
         raise ValueError(
-            f"axis {axis} has length {V.shape[-1]} but {len(src_values)} source values were given"
+            f"axis {axis} has length {V.shape[-1]} but {len(src_f)} source values were given"
         )
+    dtype = V.dtype
 
     # Power-up direction: target >= source.  The shifted tensor is a scratch
     # buffer: the prefix minimum is accumulated into it in place, and the
     # gathered `up` array doubles as the output buffer below.
-    shifted = V - beta * src_values  # broadcast along the last axis
+    shifted = V - np.asarray(beta * src_f, dtype=dtype)  # broadcast along the last axis
     np.minimum.accumulate(shifted, axis=-1, out=shifted)
-    # index of the last source value <= each destination value
-    up_idx = np.searchsorted(src_values, dst_values, side="right") - 1
-    valid_up = up_idx >= 0
-    if valid_up.all():
+    if all_up:
         up = shifted[..., up_idx]
-        up += beta * dst_values
+        up += np.asarray(beta * dst_f, dtype=dtype)
     else:
-        up = np.full(V.shape[:-1] + (len(dst_values),), np.inf)
+        up = np.full(V.shape[:-1] + (len(dst_f),), np.inf, dtype=dtype)
         if np.any(valid_up):
-            up[..., valid_up] = shifted[..., up_idx[valid_up]] + beta * dst_values[valid_up]
+            up[..., valid_up] = shifted[..., up_idx[valid_up]] + np.asarray(
+                beta * dst_f[valid_up], dtype=dtype
+            )
 
     # Power-down direction: target <= source, no cost.  Reuse the scratch
     # buffer for the suffix minimum (V itself must stay intact for callers).
     np.minimum.accumulate(V[..., ::-1], axis=-1, out=shifted[..., ::-1])
     suffix_min = shifted
-    down_idx = np.searchsorted(src_values, dst_values, side="left")
-    valid_down = down_idx < len(src_values)
-    if valid_down.all():
+    if all_down:
         np.minimum(up, suffix_min[..., down_idx], out=up)
     elif np.any(valid_down):
         up[..., valid_down] = np.minimum(
             up[..., valid_down], suffix_min[..., down_idx[valid_down]]
         )
 
-    return np.moveaxis(up, -1, axis)
+    return np.swapaxes(up, axis, -1) if moved else up
 
 
 def transition(
@@ -114,7 +183,9 @@ def transition(
     d = len(beta)
     if len(src_values) != d or len(dst_values) != d:
         raise ValueError("src_values, dst_values and beta must all have length d")
-    out = np.asarray(values_tensor, dtype=float)
+    out = np.asarray(values_tensor)
+    if out.dtype not in (np.float32, np.float64):
+        out = out.astype(float)
     for j in range(d):
         out = relax_dimension(out, src_values[j], dst_values[j], float(beta[j]), axis=j)
     return out

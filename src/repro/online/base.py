@@ -186,9 +186,24 @@ class SlotContext:
     * schedule evaluation by *gathering* costs and loads from those tensors
       (:meth:`evaluate_schedule`) instead of re-solving each schedule's
       configuration set from scratch.
+
+    ``tensor_budget_bytes`` caps the grid-tensor memo (and tells the dispatch
+    engine not to mirror the entries in its own block cache): once the budget
+    is spent, further slots are re-solved per query instead of memoised.  A
+    horizon whose demands are all distinct would otherwise pin one ``|M|``
+    cost tensor plus one ``|M| x d`` load block per slot — the very
+    ``O(T * |M| * d)`` footprint the checkpointed value streams exist to
+    avoid, which is why :class:`~repro.exp.shared.SharedInstanceContext`
+    sets a budget whenever it runs checkpointed.  ``None`` (default) keeps
+    the unbounded classic behaviour.
     """
 
-    def __init__(self, instance: ProblemInstance, dispatcher: Optional[DispatchSolver] = None):
+    def __init__(
+        self,
+        instance: ProblemInstance,
+        dispatcher: Optional[DispatchSolver] = None,
+        tensor_budget_bytes: Optional[int] = None,
+    ):
         self.instance = instance
         self.dispatcher = dispatcher or DispatchSolver(instance)
         self.context = OnlineContext(
@@ -197,9 +212,25 @@ class SlotContext:
             zmax=instance.zmax,
             base_counts=instance.m,
         )
+        self.tensor_budget_bytes = tensor_budget_bytes
+        self._tensor_bytes_used = 0
         self._slots: list = [None] * instance.T
         self._tensor_cache: dict = {}
         self._batched_grids: set = set()
+
+    def _cache_tensors(self, key, costs: np.ndarray, loads: np.ndarray) -> None:
+        if self.tensor_budget_bytes is not None:
+            size = costs.nbytes + loads.nbytes
+            if self._tensor_bytes_used + size > self.tensor_budget_bytes:
+                return
+            self._tensor_bytes_used += size
+            # copy rows out of the batched block so a cached entry pins its
+            # own bytes, not the whole (slots x configs) result it came from
+            costs = costs.copy()
+            costs.setflags(write=False)
+            loads = loads.copy()
+            loads.setflags(write=False)
+        self._tensor_cache[key] = (costs, loads)
 
     def slot(self, t: int) -> SlotInfo:
         """The (cached) :class:`SlotInfo` of slot ``t``."""
@@ -244,11 +275,13 @@ class SlotContext:
             self._batch_grid(grid)
             hit = self._tensor_cache.get(key)
         if hit is None:
-            # slot whose counts match no batch (safety net; cannot happen for
-            # grids built from slot counts)
-            costs, loads = self.dispatcher.solve_grid(t, grid.configs())
-            hit = (costs.reshape(grid.shape), loads)
-            self._tensor_cache[key] = hit
+            # budget-evicted slot, or a slot whose counts match no batch:
+            # re-solve per query (correct, just not memoised)
+            costs, loads = self.dispatcher.solve_block(
+                [t], grid.configs(), memoise=self.tensor_budget_bytes is None
+            )
+            hit = (costs[0].reshape(grid.shape), loads[0])
+            self._cache_tensors(key, *hit)
         return hit
 
     def _batch_grid(self, grid) -> None:
@@ -280,9 +313,24 @@ class SlotContext:
             pending_ts.append(t)
         if not pending_ts:
             return
-        costs, loads = self.dispatcher.solve_block(pending_ts, grid.configs())
-        for i, key in enumerate(pending_keys):
-            self._tensor_cache[key] = (costs[i].reshape(grid.shape), loads[i])
+        memoise = self.tensor_budget_bytes is None
+        if memoise:
+            chunk = len(pending_ts)
+        else:
+            # bound the transient (slots x configs x (1+d)) result block the
+            # same way evaluate_schedule chunks long horizons — one unchunked
+            # call would materialise O(T * |M| * d) regardless of the budget
+            chunk = max(1, 500_000 // max(grid.size * (1 + self.instance.d), 1))
+        for lo in range(0, len(pending_ts), chunk):
+            if not memoise and self._tensor_bytes_used >= self.tensor_budget_bytes:
+                # budget exhausted: the remaining slots would be solved only
+                # to be discarded — leave them to the per-query safety net
+                break
+            costs, loads = self.dispatcher.solve_block(
+                pending_ts[lo : lo + chunk], grid.configs(), memoise=memoise
+            )
+            for i, key in enumerate(pending_keys[lo : lo + chunk]):
+                self._cache_tensors(key, costs[i].reshape(grid.shape), loads[i])
 
     def evaluate_schedule(self, schedule: Schedule) -> CostBreakdown:
         """Exact cost breakdown of a schedule, gathered from the grid tensors.
@@ -297,18 +345,21 @@ class SlotContext:
         operating = np.zeros(T)
         loads = np.zeros((T, d))
         feasible = True
+        # the fallback must honour the tensor budget: with memoise=True it
+        # would repopulate the unbounded dispatch block cache the budget caps
+        memoise = self.tensor_budget_bytes is None
         for t in range(T):
             grid = grid_for_slot(instance, t)
             sig, scale = self.dispatcher._slot_signature(t)
             hit = self._tensor_cache.get((sig, scale, grid.key))
             if hit is None:
-                return evaluate_schedule(instance, schedule, self.dispatcher)
+                return evaluate_schedule(instance, schedule, self.dispatcher, memoise=memoise)
             try:
                 idx = grid.index_of(schedule[t])
             except ValueError:
                 # off-grid configuration (exceeds the slot's fleet): take the
                 # general path, which reports the slot as infeasible
-                return evaluate_schedule(instance, schedule, self.dispatcher)
+                return evaluate_schedule(instance, schedule, self.dispatcher, memoise=memoise)
             costs, load_rows = hit
             flat = int(np.ravel_multi_index(idx, grid.shape))
             operating[t] = float(costs.reshape(-1)[flat])

@@ -1,4 +1,4 @@
-"""Synthetic workloads: demand-trace generators and heterogeneous fleet presets."""
+"""Synthetic workloads: demand-trace generators, fleet presets and scale scenarios."""
 
 from .fleets import (
     cpu_gpu_fleet,
@@ -7,6 +7,15 @@ from .fleets import (
     old_new_fleet,
     single_type_fleet,
     three_tier_fleet,
+)
+from .scale import (
+    big_fleet_instance,
+    long_horizon_instance,
+    mega_fleet,
+    metered_trace,
+    quantise_trace,
+    scale_scenarios,
+    wide_cpu_gpu_fleet,
 )
 from .traces import (
     as_rng,
@@ -22,18 +31,25 @@ from .traces import (
 
 __all__ = [
     "as_rng",
+    "big_fleet_instance",
     "bursty_trace",
     "constant_trace",
     "cpu_gpu_fleet",
     "diurnal_trace",
     "fleet_instance",
     "load_independent_fleet",
+    "long_horizon_instance",
+    "mega_fleet",
+    "metered_trace",
     "mmpp_trace",
     "old_new_fleet",
     "poisson_trace",
+    "quantise_trace",
     "ramp_trace",
     "random_walk_trace",
+    "scale_scenarios",
     "single_type_fleet",
     "spike_trace",
     "three_tier_fleet",
+    "wide_cpu_gpu_fleet",
 ]
