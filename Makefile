@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-sweep bench-scale perf-regress
+.PHONY: test bench bench-smoke bench-sweep bench-scale perf-regress scenarios-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -32,6 +32,12 @@ bench-scale:
 # the committed BENCH_sweep.json (use `make bench-sweep` to refresh it).
 perf-regress:
 	$(PYTHON) -m repro bench --sweep
+
+# Scenario-registry gate: build every registered scenario family at a tiny
+# size and run one online algorithm through each (validates the declarative
+# layer end to end: spec -> registry -> lazy materialisation -> engine).
+scenarios-smoke:
+	$(PYTHON) -m repro scenarios smoke
 
 # full benchmark harness (regenerates the paper artifacts + BENCH_*.json)
 bench:

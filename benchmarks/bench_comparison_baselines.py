@@ -9,6 +9,10 @@ workload suite and regenerates the qualitative picture:
 * right-sizing (A/B) clearly beats keeping the whole fleet on,
 * the heterogeneous algorithms match LCP on homogeneous inputs,
 * naive rounding of the fractional OBD trajectory inflates the switching cost.
+
+The workloads are addressed through the scenario registry (``diurnal-cpu-gpu``
+and ``homogeneous`` specs) — the fleet/trace wiring this file used to inline
+lives in :mod:`repro.scenarios.families`, and each record carries its spec.
 """
 
 import numpy as np
@@ -16,25 +20,22 @@ import numpy as np
 from repro import total_cost
 from repro.exp import SharedInstanceContext, run_instance, spec
 from repro.online import optimal_static_schedule, receding_horizon_schedule, round_up, run_obd
+from repro.scenarios import ScenarioSpec, build as build_scenario
 
-from bench_utils import (
-    diurnal_cpu_gpu_instance,
-    homogeneous_instance,
-    once,
-    result_section,
-    write_result,
-)
+from bench_utils import once, result_section, write_result
 
 
-def _compare_on(instance, include_lcp=False):
+def _compare_on(scenario, include_lcp=False):
     # One shared context serves every online run (A/B and the LCP trackers
     # read one prefix-DP value stream), the offline optimum *and* the
     # static/receding-horizon baselines below, which reuse its dispatcher.
+    instance = build_scenario(scenario)
     context = SharedInstanceContext(instance)
     specs = [spec("A"), spec("B"), spec("reactive"), spec("follow-demand"), spec("all-on")]
     if include_lcp:
         specs.insert(2, spec("lcp"))
-    records = run_instance(instance, algorithms=specs, context=context)
+    records = run_instance(instance, algorithms=specs, context=context, scenario=scenario)
+    assert all(r.scenario["scenario"] == scenario.name for r in records)
     opt = context.optimal_cost()
     dispatcher = context.dispatcher
     rows = []
@@ -69,17 +70,18 @@ def _compare_on(instance, include_lcp=False):
         }
     )
     rows.append({"algorithm": "offline optimum", "cost": round(opt, 2), "ratio_vs_opt": 1.0, "switching_share": "-"})
-    return opt, rows
+    return instance, opt, rows
 
 
-def _obd_rows(instance):
+def _obd_rows(scenario):
+    instance = build_scenario(scenario)
     context = SharedInstanceContext(instance)
     dispatcher = context.dispatcher
     opt = context.optimal_cost()
     fractional = run_obd(instance, dispatcher=dispatcher)
     rounded = round_up(fractional, instance)
     rounded_cost = total_cost(instance, rounded, dispatcher)
-    return [
+    return instance, [
         {
             "algorithm": "OBD (fractional relaxation)",
             "cost": round(fractional.cost, 2),
@@ -96,12 +98,9 @@ def _obd_rows(instance):
 
 
 def _run():
-    hetero = diurnal_cpu_gpu_instance(T=36)
-    homog = homogeneous_instance(T=36)
-    opt_hetero, hetero_rows = _compare_on(hetero)
-    opt_homog, homog_rows = _compare_on(homog, include_lcp=True)
-    obd_instance = diurnal_cpu_gpu_instance(T=20, seed=4)
-    obd_rows = _obd_rows(obd_instance)
+    hetero, _, hetero_rows = _compare_on(ScenarioSpec("diurnal-cpu-gpu", {"T": 36}))
+    homog, _, homog_rows = _compare_on(ScenarioSpec("homogeneous", {"T": 36}), include_lcp=True)
+    obd_instance, obd_rows = _obd_rows(ScenarioSpec("diurnal-cpu-gpu", {"T": 20}, seed=4))
     return (hetero, hetero_rows), (homog, homog_rows), (obd_instance, obd_rows)
 
 

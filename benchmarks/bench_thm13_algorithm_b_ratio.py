@@ -8,26 +8,31 @@ prices (several price amplitudes, which change ``c(I)``) and checks the bound.
 The four priced instances run through the shared-context sweep engine; the
 dispatch layer recognises each priced slot as a scaled copy of the shared base
 cost row, so the whole horizon collapses into one vectorised dual bisection.
-The scenarios come from :func:`repro.bench.thm13_scenarios` — the single
-source also gated (against pinned PR-1 costs) by ``make perf-regress``.
+The plan carries the declarative registry specs of
+:func:`repro.bench.thm13_specs` (one ``priced-cpu-gpu`` spec per amplitude —
+the single source also gated against pinned PR-1 costs by
+``make perf-regress``); instances materialise lazily inside the engine.
 """
 
-from repro.bench import thm13_scenarios
+from repro.bench import thm13_specs
 from repro.exp import SweepPlan, run_plan, spec
+from repro.scenarios import build as build_scenario
 
 from bench_utils import once, result_section, write_result
 
 
 def _run():
-    scenarios = thm13_scenarios()
+    scenarios = thm13_specs()
     report = run_plan(
         SweepPlan(
-            instances=tuple(instance for _, instance in scenarios),
+            scenarios=tuple(s for _, s in scenarios),
             algorithms=(spec("B"),),
         )
     )
     rows = []
-    for (label, instance), record in zip(scenarios, report.records):
+    for (label, scenario), record in zip(scenarios, report.records):
+        assert record.scenario["scenario"] == scenario.name
+        instance = build_scenario(scenario)  # for c(I) — the runs themselves were lazy
         assert record.instance == instance.name
         rows.append(
             {

@@ -8,10 +8,12 @@ Algorithm B, and checks every run against its bound ``2d + 1 + eps``.
 
 All four runs share one engine context: B reads the shared prefix-DP value
 stream, and C's sub-slot trackers reuse the shared per-slot grid tensors
-(scaled by ``1/n_t``) instead of re-querying dispatch.
+(scaled by ``1/n_t``) instead of re-querying dispatch.  The plan addresses
+the instance declaratively (:func:`repro.bench.thm15_spec`, a
+``priced-cpu-gpu`` registry spec) and materialises it lazily.
 """
 
-from repro.bench import thm15_instance
+from repro.bench import thm15_instance, thm15_spec
 from repro.exp import SweepPlan, run_plan, spec
 
 from bench_utils import once, result_section, write_result
@@ -21,7 +23,7 @@ def _run():
     instance = thm15_instance()
     report = run_plan(
         SweepPlan(
-            instances=(instance,),
+            scenarios=(thm15_spec(),),
             algorithms=(
                 spec("B"),
                 spec("C", epsilon=1.0),
@@ -30,6 +32,7 @@ def _run():
             ),
         )
     )
+    assert all(r.instance == instance.name for r in report.records)
     opt = report.records[0].optimal_cost
 
     rows = []

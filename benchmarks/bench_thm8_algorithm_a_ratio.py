@@ -10,33 +10,36 @@ workloads stay).
 
 The runs route through the shared-context sweep engine (:mod:`repro.exp`): per
 instance, the offline optimum is read off the same memoised prefix-DP value
-stream that drives Algorithm A's tracker, instead of a second DP.  The
-scenarios come from :func:`repro.bench.thm8_scenarios` — the single source
-also gated (against pinned PR-1 costs) by ``make perf-regress``.
+stream that drives Algorithm A's tracker, instead of a second DP.  The plan is
+*scenario-addressed*: it carries the declarative registry specs of
+:func:`repro.bench.thm8_specs` (the single source also gated against pinned
+PR-1 costs by ``make perf-regress``) and the engine materialises the
+instances lazily, stamping each spec into its records.
 """
 
-from repro.bench import thm8_scenarios
+from repro.bench import thm8_specs
 from repro.exp import SweepPlan, run_plan, spec
 
 from bench_utils import once, result_section, write_result
 
 
 def _run():
-    scenarios = thm8_scenarios()
+    scenarios = thm8_specs()
     report = run_plan(
         SweepPlan(
-            instances=tuple(instance for _, instance in scenarios),
+            scenarios=tuple(s for _, s in scenarios),
             algorithms=(spec("A"),),
         )
     )
     rows = []
-    for (label, instance), record in zip(scenarios, report.records):
-        assert record.instance == instance.name
+    for (label, scenario), record in zip(scenarios, report.records):
+        assert record.scenario["scenario"] == scenario.name
+        T, d = record.result.schedule.x.shape
         rows.append(
             {
                 "scenario": label,
-                "d": instance.d,
-                "T": instance.T,
+                "d": d,
+                "T": T,
                 "optimal": round(record.optimal_cost, 2),
                 "algorithm_A": round(record.cost, 2),
                 "ratio": round(record.ratio, 4),

@@ -24,19 +24,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import ProblemInstance
 from repro.analysis import format_markdown_table, format_table
-from repro.workloads import (
-    bursty_trace,
-    cpu_gpu_fleet,
-    diurnal_trace,
-    fleet_instance,
-    load_independent_fleet,
-    old_new_fleet,
-    single_type_fleet,
-    spike_trace,
-    three_tier_fleet,
-)
 
 OUTPUT_DIR = Path(__file__).resolve().parent / "output"
 
@@ -96,45 +84,6 @@ def once(benchmark, func, *args, **kwargs):
     return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
 
-# --------------------------------------------------------------------------- #
-# Standard experiment instances
-# --------------------------------------------------------------------------- #
-
-
-def diurnal_cpu_gpu_instance(T: int = 48, seed: int = 1) -> ProblemInstance:
-    """Diurnal workload on a CPU+GPU fleet (d=2) — the workhorse scenario."""
-    demand = diurnal_trace(T, period=T // 2, base=1.0, peak=10.0, noise=0.05, rng=seed)
-    return fleet_instance(cpu_gpu_fleet(cpu_count=5, gpu_count=2), demand, name=f"diurnal-cpu-gpu-T{T}")
-
-
-def bursty_old_new_instance(T: int = 40, seed: int = 2) -> ProblemInstance:
-    """Bursty workload on an old/new-generation fleet (d=2)."""
-    demand = bursty_trace(T, base=1.0, burst_height=8.0, burst_probability=0.15, rng=seed)
-    return fleet_instance(old_new_fleet(old_count=5, new_count=3), demand, name=f"bursty-old-new-T{T}")
-
-
-def spiky_three_tier_instance(T: int = 32) -> ProblemInstance:
-    """Spiky workload on the three-tier fleet (d=3, small counts)."""
-    demand = spike_trace(T, base=0.5, spike_height=8.0, spike_every=8)
-    fleet = three_tier_fleet()
-    fleet = [st.with_count(min(st.count, 3)) for st in fleet]
-    return fleet_instance(fleet, demand, name=f"spiky-three-tier-T{T}")
-
-
-def homogeneous_instance(T: int = 48, seed: int = 5) -> ProblemInstance:
-    """Single-type instance (d=1) for the LCP / homogeneous comparisons."""
-    demand = diurnal_trace(T, period=T // 2, base=0.5, peak=6.0, noise=0.05, rng=seed)
-    return fleet_instance(single_type_fleet(count=8), demand, name=f"homogeneous-T{T}")
-
-
-def load_independent_instance(T: int = 40, seed: int = 7) -> ProblemInstance:
-    """Load-independent operating costs (Corollary 9 regime)."""
-    demand = bursty_trace(T, base=1.0, burst_height=6.0, burst_probability=0.2, rng=seed)
-    return fleet_instance(load_independent_fleet(d=2), demand, name=f"load-independent-T{T}")
-
-
-def priced_instance(T: int = 36, seed: int = 11) -> ProblemInstance:
-    """Time-dependent operating costs via a day/night electricity-price profile."""
-    base = diurnal_cpu_gpu_instance(T, seed)
-    prices = 1.0 + 0.5 * np.sin(np.arange(T) / T * 4.0 * np.pi + 0.7)
-    return base.with_price_profile(prices)
+# The standard experiment instances that used to be defined here live in the
+# scenario registry (src/repro/scenarios/families.py) — address them by name:
+# build("diurnal-cpu-gpu", T=36), ScenarioSpec("homogeneous", {"T": 36}), ...

@@ -31,6 +31,14 @@ the offline optimum) — with optional process sharding for large sweeps.  See
 benchmark harness (``make bench-smoke`` / ``python -m repro bench --smoke``
 guards the DP's exactness, ``make perf-regress`` / ``repro bench --sweep``
 guards the sweep engine's).
+
+Experiments are addressed *declaratively* through the scenario registry
+(:mod:`repro.scenarios`): a :class:`ScenarioSpec` names a registered instance
+family plus parameters and one seed, a ``plan.json`` selection compiles into
+a :class:`SweepPlan` (:func:`compile_plan` / :func:`load_plan`), and the
+engine materialises instances lazily — inside worker shards for process-
+sharded plans — stamping each spec into its records.  See
+``docs/ARCHITECTURE.md`` for the full layer stack.
 """
 
 from .core import (
@@ -90,6 +98,8 @@ from .exp import (
     SweepReport,
     run_plan,
 )
+from .scenarios import ScenarioSpec, compile_plan, load_plan
+from .scenarios import build as build_scenario
 from .workloads import (
     bursty_trace,
     cpu_gpu_fleet,
@@ -128,6 +138,7 @@ __all__ = [
     "QuadraticCost",
     "Reactive",
     "ScaledCost",
+    "ScenarioSpec",
     "Schedule",
     "ServerType",
     "SharedInstanceContext",
@@ -136,7 +147,9 @@ __all__ = [
     "SweepPlan",
     "SweepReport",
     "approximation_guarantee",
+    "build_scenario",
     "bursty_trace",
+    "compile_plan",
     "compute_metrics",
     "cpu_gpu_fleet",
     "diurnal_trace",
@@ -144,6 +157,7 @@ __all__ = [
     "evaluate_schedule",
     "fleet_instance",
     "format_table",
+    "load_plan",
     "operating_cost",
     "optimal_cost",
     "ratio_table",

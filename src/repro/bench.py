@@ -46,17 +46,8 @@ from .online.algorithm_a import AlgorithmA
 from .online.algorithm_b import AlgorithmB
 from .online.algorithm_c import AlgorithmC
 from .online.base import run_online
-from .workloads import (
-    bursty_trace,
-    cpu_gpu_fleet,
-    diurnal_trace,
-    fleet_instance,
-    load_independent_fleet,
-    old_new_fleet,
-    single_type_fleet,
-    spike_trace,
-    three_tier_fleet,
-)
+from .scenarios import ScenarioSpec, build as build_scenario
+from .workloads import bursty_trace, cpu_gpu_fleet, diurnal_trace, fleet_instance, old_new_fleet
 
 __all__ = [
     "PINNED_OPTIMAL_COSTS",
@@ -68,9 +59,13 @@ __all__ = [
     "smoke_instances",
     "sweep_suite",
     "thm8_scenarios",
+    "thm8_specs",
     "thm13_scenarios",
+    "thm13_specs",
     "thm15_instance",
+    "thm15_spec",
     "thm22_instance",
+    "thm22_spec",
 ]
 
 #: Optimal costs of the pinned instances, computed with the seed (pre-engine)
@@ -194,114 +189,104 @@ PINNED_SWEEP_COSTS: Dict[tuple, float] = {
 }
 
 
-def thm8_scenarios() -> List[tuple]:
-    """The five THM8 scenarios as ``(label, instance)`` pairs.
+def thm8_specs() -> List[tuple]:
+    """The five THM8 scenarios as ``(label, ScenarioSpec)`` pairs.
 
     Single source of truth shared by ``benchmarks/bench_thm8_algorithm_a_ratio.py``
     and the perf-regress gate — the pinned costs below gate exactly these.
+    The specs address the scenario registry (:mod:`repro.scenarios`); the
+    family defaults were chosen so these specs rebuild the original pinned
+    instances byte-for-byte.
     """
-    homogeneous = fleet_instance(
-        single_type_fleet(count=8),
-        diurnal_trace(48, period=24, base=0.5, peak=6.0, noise=0.05, rng=5),
-        name="homogeneous-T48",
-    )
-    diurnal = fleet_instance(
-        cpu_gpu_fleet(cpu_count=5, gpu_count=2),
-        diurnal_trace(48, period=24, base=1.0, peak=10.0, noise=0.05, rng=1),
-        name="diurnal-cpu-gpu-T48",
-    )
-    bursty = fleet_instance(
-        old_new_fleet(old_count=5, new_count=3),
-        bursty_trace(40, base=1.0, burst_height=8.0, burst_probability=0.15, rng=2),
-        name="bursty-old-new-T40",
-    )
-    load_independent = fleet_instance(
-        load_independent_fleet(d=2),
-        bursty_trace(40, base=1.0, burst_height=6.0, burst_probability=0.2, rng=7),
-        name="load-independent-T40",
-    )
-    fleet = [st.with_count(min(st.count, 3)) for st in three_tier_fleet()]
-    spiky = fleet_instance(
-        fleet,
-        spike_trace(32, base=0.5, spike_height=8.0, spike_every=8),
-        name="spiky-three-tier-T32",
-    )
     return [
-        ("homogeneous d=1 (diurnal)", homogeneous),
-        ("cpu+gpu d=2 (diurnal)", diurnal),
-        ("old+new d=2 (bursty)", bursty),
-        ("load-independent d=2 (Corollary 9)", load_independent),
-        ("three-tier d=3 (spiky)", spiky),
+        ("homogeneous d=1 (diurnal)", ScenarioSpec("homogeneous", {"T": 48}, seed=5)),
+        ("cpu+gpu d=2 (diurnal)", ScenarioSpec("diurnal-cpu-gpu", {"T": 48}, seed=1)),
+        ("old+new d=2 (bursty)", ScenarioSpec("bursty-old-new", {"T": 40}, seed=2)),
+        ("load-independent d=2 (Corollary 9)", ScenarioSpec("load-independent", {"T": 40}, seed=7)),
+        ("three-tier d=3 (spiky)", ScenarioSpec("spiky-three-tier", {"T": 32})),
     ]
 
 
-def thm13_scenarios() -> List[tuple]:
-    """The four THM13 price-amplitude scenarios as ``(label, instance)`` pairs."""
-    base = fleet_instance(
-        cpu_gpu_fleet(cpu_count=5, gpu_count=2),
-        diurnal_trace(36, period=18, base=1.0, peak=10.0, noise=0.05, rng=1),
-        name="diurnal-cpu-gpu-T36-amp0.0",
-    )
-    scenarios = [("price amplitude 0.0", base)]
-    for amplitude in (0.3, 0.6, 0.9):
-        prices = 1.0 + amplitude * np.sin(np.arange(36) / 36 * 4 * np.pi + 0.5)
-        scenarios.append(
+def thm8_scenarios() -> List[tuple]:
+    """The five THM8 scenarios as materialised ``(label, instance)`` pairs."""
+    return [(label, build_scenario(spec)) for label, spec in thm8_specs()]
+
+
+def thm13_specs() -> List[tuple]:
+    """The four THM13 price-amplitude scenarios as ``(label, ScenarioSpec)`` pairs."""
+    specs = []
+    for amplitude in (0.0, 0.3, 0.6, 0.9):
+        specs.append(
             (
                 f"price amplitude {amplitude:.1f}",
-                base.with_price_profile(prices, name=f"diurnal-cpu-gpu-T36-amp{amplitude}"),
+                ScenarioSpec(
+                    "priced-cpu-gpu",
+                    {
+                        "T": 36,
+                        "amplitude": amplitude,
+                        "phase": 0.5,
+                        "name": f"diurnal-cpu-gpu-T36-amp{amplitude}",
+                    },
+                    seed=1,
+                ),
             )
         )
-    return scenarios
+    return specs
+
+
+def thm13_scenarios() -> List[tuple]:
+    """The four THM13 scenarios as materialised ``(label, instance)`` pairs."""
+    return [(label, build_scenario(spec)) for label, spec in thm13_specs()]
+
+
+def thm15_spec() -> ScenarioSpec:
+    """The THM15 priced scenario (CPU+GPU diurnal under a tariff, T=30)."""
+    return ScenarioSpec("priced-cpu-gpu", {"T": 30}, seed=11)
 
 
 def thm15_instance() -> ProblemInstance:
-    """The THM15 priced instance (CPU+GPU diurnal with a price profile, T=30)."""
-    base = fleet_instance(
-        cpu_gpu_fleet(cpu_count=5, gpu_count=2),
-        diurnal_trace(30, period=15, base=1.0, peak=10.0, noise=0.05, rng=11),
-    )
-    prices = 1.0 + 0.5 * np.sin(np.arange(30) / 30 * 4.0 * np.pi + 0.7)
-    return base.with_price_profile(prices, name="priced-cpu-gpu-T30")
+    """The THM15 priced instance, materialised from :func:`thm15_spec`."""
+    return build_scenario(thm15_spec())
+
+
+def thm22_spec() -> ScenarioSpec:
+    """The THM22 time-varying-fleet scenario (maintenance window + expansion)."""
+    return ScenarioSpec("time-varying-m")
 
 
 def thm22_instance() -> ProblemInstance:
-    """The THM22 time-varying-fleet instance (maintenance window + expansion)."""
-    fleet = old_new_fleet(old_count=6, new_count=4)
-    T = 30
-    demand = diurnal_trace(T, period=10, base=2.0, peak=10.0, noise=0.05, rng=21)
-    counts = np.tile([6, 4], (T, 1)).astype(int)
-    counts[10:15, 0] = 2
-    counts[20:, 1] = 6
-    instance = ProblemInstance(tuple(fleet), demand, counts=counts, name="time-varying-m")
-    cap = np.array([instance.total_capacity(t) for t in range(T)])
-    return ProblemInstance(
-        tuple(fleet), np.minimum(demand, 0.95 * cap), counts=counts, name="time-varying-m"
-    )
+    """The THM22 time-varying-fleet instance, materialised from :func:`thm22_spec`."""
+    return build_scenario(thm22_spec())
 
 
 def sweep_suite() -> List[tuple]:
-    """The combined ratio workload as named engine sweep plans."""
+    """The combined ratio workload as named engine sweep plans.
+
+    The plans are *scenario-addressed*: they carry specs, not instances, so
+    every ``perf-regress`` run also exercises the registry's lazy
+    materialisation path against the pinned costs.
+    """
     from .exp.engine import OfflineSpec, SweepPlan, spec
 
     return [
         (
             "thm8",
             SweepPlan(
-                instances=tuple(inst for _, inst in thm8_scenarios()),
+                scenarios=tuple(s for _, s in thm8_specs()),
                 algorithms=(spec("A"),),
             ),
         ),
         (
             "thm13",
             SweepPlan(
-                instances=tuple(inst for _, inst in thm13_scenarios()),
+                scenarios=tuple(s for _, s in thm13_specs()),
                 algorithms=(spec("B"),),
             ),
         ),
         (
             "thm15",
             SweepPlan(
-                instances=(thm15_instance(),),
+                scenarios=(thm15_spec(),),
                 algorithms=(
                     spec("B"),
                     spec("C", label="algorithm-C(eps=1)", epsilon=1.0),
@@ -313,7 +298,7 @@ def sweep_suite() -> List[tuple]:
         (
             "thm22",
             SweepPlan(
-                instances=(thm22_instance(),),
+                scenarios=(thm22_spec(),),
                 algorithms=(),
                 offline=(
                     OfflineSpec(solver="optimal"),

@@ -18,12 +18,23 @@ without writing Python:
     Run the whole algorithm suite on one scenario and print the comparison
     table (the same table the COMP benchmark regenerates).
 
+``python -m repro scenarios list|describe|build|smoke``
+    Inspect and exercise the declarative scenario registry: list the
+    registered families, show one family's parameters and defaults, build an
+    instance from ``NAME --param k=v --seed N``, or run the smoke suite (every
+    family at a tiny size, one algorithm through each — the ``make
+    scenarios-smoke`` gate).
+
 ``python -m repro sweep``
     Batch several online algorithms (times several seeds) through the
     shared-context sweep engine: one dispatch solver, one set of grid
     operating-cost tensors and one memoised prefix-DP value stream per
     instance, with optional process sharding (``--jobs``) and machine-readable
-    output (``--json``).
+    output (``--json``).  Instances come from ``--fleet``/``--trace`` as
+    before, or declaratively: ``--scenario NAME[,NAME...] --param k=v`` builds
+    registry specs, ``--plan plan.json`` compiles a whole selection file; both
+    materialise instances lazily inside worker shards and stamp the spec
+    (name + params + seed) into every record.
 
 ``python -m repro bench --smoke``
     Run the <30s benchmark regression harness: solve three pinned instances
@@ -51,7 +62,9 @@ supplied from a CSV file with ``--demand-file`` (one value per line).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -254,22 +267,27 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    from .exp import SweepPlan, run_plan
+def _parse_param_overrides(pairs: Sequence[str]) -> dict:
+    """Parse repeated ``--param k=v`` flags; values go through JSON first."""
+    params = {}
+    for pair in pairs or []:
+        key, sep, raw = pair.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise SystemExit(f"--param expects K=V, got {pair!r}")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
+
+
+def _algorithm_specs(args: argparse.Namespace) -> tuple:
     from .exp.engine import ALGORITHM_BUILDERS, spec as algo_spec
 
-    seeds = [int(s) for s in str(args.seeds).split(",") if s.strip()] if args.seeds else [args.seed]
-    instances = []
-    for seed in seeds:
-        ns = argparse.Namespace(**vars(args))
-        ns.seed = seed
-        instance = _build_instance(ns)
-        if len(seeds) > 1:
-            instance = instance.with_demand(instance.demand, name=f"{instance.name}/seed{seed}")
-        instances.append(instance)
-
+    selected = args.algorithms if args.algorithms is not None else "A,B,C"
     specs = []
-    for key in args.algorithms.split(","):
+    for key in selected.split(","):
         key = key.strip()
         if not key:
             continue
@@ -281,15 +299,87 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             specs.append(algo_spec("lcp", bound=None, allow_heterogeneous=True))
         else:
             specs.append(algo_spec(key))
-    if not specs:
-        raise SystemExit("no algorithms selected")
+    return tuple(specs)
 
-    report = run_plan(SweepPlan(
-        instances=tuple(instances),
-        algorithms=tuple(specs),
-        jobs=args.jobs,
-        checkpoint_every=args.checkpoint_every,
-    ))
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .exp import SweepPlan, run_plan
+
+    if args.plan and args.scenario:
+        raise SystemExit("--plan and --scenario are mutually exclusive")
+
+    if args.plan:
+        from dataclasses import replace
+
+        from .scenarios import ScenarioError, load_plan
+
+        # the plan file is the single source of truth for what runs — flags
+        # that would silently lose to it are rejected instead of ignored
+        # (--jobs/--checkpoint-every/--json tune *how*, so they compose)
+        for flag, value in (("--param", args.param or None), ("--seeds", args.seeds),
+                            ("--seed", args.seed), ("--epsilon", args.epsilon)):
+            if value is not None:
+                raise SystemExit(f"{flag} does not apply with --plan — put it in the plan file")
+        try:
+            plan = load_plan(args.plan, jobs=args.jobs, checkpoint_every=args.checkpoint_every)
+        except (ScenarioError, ValueError, OSError) as exc:
+            raise SystemExit(str(exc))
+        if plan.algorithms or plan.offline:
+            if args.algorithms:
+                raise SystemExit("--algorithms does not apply with --plan — "
+                                 "the plan file already selects its algorithms")
+        else:
+            plan = replace(plan, algorithms=_algorithm_specs(args))
+        if not plan.algorithms and not plan.offline:
+            raise SystemExit("no algorithms selected")
+    elif args.scenario:
+        from .scenarios import ScenarioError, compile_plan
+
+        if args.seeds:
+            seeds = [int(s) for s in str(args.seeds).split(",") if s.strip()]
+        elif args.seed is not None:
+            seeds = [args.seed]
+        else:
+            seeds = None  # keep each family's default seed
+        specs = _algorithm_specs(args)
+        if not specs:
+            raise SystemExit("no algorithms selected")
+        selection = {
+            "scenarios": [name.strip() for name in args.scenario.split(",") if name.strip()],
+            "params": _parse_param_overrides(args.param),
+            "seeds": seeds,
+            "algorithms": list(specs),
+            "jobs": args.jobs or 1,
+            "checkpoint_every": args.checkpoint_every,
+        }
+        try:
+            plan = compile_plan(selection)
+        except (ScenarioError, ValueError) as exc:
+            raise SystemExit(str(exc))
+    else:
+        if args.seeds:
+            seeds = [int(s) for s in str(args.seeds).split(",") if s.strip()]
+        else:
+            seeds = [0 if args.seed is None else args.seed]
+        instances = []
+        for seed in seeds:
+            ns = argparse.Namespace(**vars(args))
+            ns.seed = seed
+            instance = _build_instance(ns)
+            if len(seeds) > 1:
+                instance = instance.with_demand(instance.demand, name=f"{instance.name}/seed{seed}")
+            instances.append(instance)
+        specs = _algorithm_specs(args)
+        if not specs:
+            raise SystemExit("no algorithms selected")
+        plan = SweepPlan(
+            instances=tuple(instances),
+            algorithms=specs,
+            jobs=args.jobs or 1,
+            checkpoint_every=args.checkpoint_every,
+        )
+
+    report = run_plan(plan)
     rows = []
     for record in report:
         row = {
@@ -300,17 +390,149 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "ratio": round(record.ratio, 4),
             "seconds": round(record.elapsed_seconds, 4),
         }
+        if record.scenario is not None and record.scenario.get("seed") is not None:
+            row["seed"] = record.scenario["seed"]
         if record.bound is not None:
             row["bound"] = round(record.bound, 3)
             row["within_bound"] = bool(record.within_bound)
         rows.append(row)
+    n_algorithms = len(plan.algorithms) + len(plan.offline)
     print(format_table(
         rows,
-        title=f"shared-context sweep — {len(instances)} instance(s) x {len(specs)} algorithm(s), "
+        title=f"shared-context sweep — {report.meta.get('instances', 0)} instance(s) x "
+              f"{n_algorithms} run(s) each, "
               f"jobs={report.meta.get('jobs', 1)}, {report.total_seconds:.3f}s total",
     ))
     if args.json:
         report.write_json(args.json)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Scenario registry sub-commands
+# --------------------------------------------------------------------------- #
+
+
+def _scenarios_smoke(json_path: Optional[str] = None) -> int:
+    """Build every registered family at its smoke size, run one algorithm each."""
+    from . import scenarios
+    from .exp import run_instance
+    from .exp.engine import spec as algo_spec
+
+    rows = []
+    failures = []
+    for name in scenarios.names():
+        fam = scenarios.family(name)
+        spec_obj = scenarios.ScenarioSpec(name, dict(fam.smoke_params))
+        start = time.perf_counter()
+        try:
+            instance = scenarios.build(spec_obj)
+            records = run_instance(
+                instance, algorithms=(algo_spec("A", bound=None),), scenario=spec_obj
+            )
+            record = records[0]
+            elapsed = time.perf_counter() - start
+            ok = np.isfinite(record.cost) and record.ratio >= 1.0 - 1e-9
+            if not ok:
+                failures.append(f"{name}: cost {record.cost!r} vs optimum {record.optimal_cost!r}")
+            rows.append(
+                {
+                    "scenario": name,
+                    "instance": instance.name,
+                    "T": instance.T,
+                    "d": instance.d,
+                    "optimal": round(record.optimal_cost, 3),
+                    "algorithm_A": round(record.cost, 3),
+                    "ratio": round(record.ratio, 4),
+                    "seconds": round(elapsed, 4),
+                    "ok": ok,
+                }
+            )
+        except Exception as exc:  # a broken family must fail the gate, not crash it
+            failures.append(f"{name}: {exc!r}")
+            rows.append({"scenario": name, "instance": "-", "T": "-", "d": "-",
+                         "optimal": "-", "algorithm_A": "-", "ratio": "-",
+                         "seconds": round(time.perf_counter() - start, 4), "ok": False})
+    print(format_table(rows, title=f"scenarios smoke — {len(scenarios.names())} registered families"))
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump({"scenarios_smoke": rows}, handle, indent=2, default=str)
+        print(f"\nwrote {json_path}")
+    if failures:
+        print("\nFAIL:\n  " + "\n  ".join(failures), file=sys.stderr)
+        return 1
+    print(f"\nall {len(rows)} families built and ran cleanly")
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from . import scenarios
+
+    if args.action == "smoke":
+        return _scenarios_smoke(json_path=args.json)
+
+    if args.action == "list":
+        rows = []
+        for name in scenarios.names():
+            fam = scenarios.family(name)
+            defaults = fam.defaults
+            rows.append(
+                {
+                    "scenario": name,
+                    "T": defaults.get("T", "-"),
+                    "seed": defaults.get("seed", "-"),
+                    "params": len(defaults),
+                    "tags": ",".join(fam.tags) or "-",
+                    "description": (fam.description[:58] + "…") if len(fam.description) > 59 else fam.description,
+                }
+            )
+        print(format_table(rows, title=f"{len(rows)} registered scenario families "
+                                       "(`repro scenarios describe NAME` for parameters)"))
+        return 0
+
+    if not args.name:
+        raise SystemExit(f"`repro scenarios {args.action}` needs a scenario name "
+                         f"(see `repro scenarios list`)")
+    try:
+        fam = scenarios.family(args.name)
+    except scenarios.UnknownScenarioError as exc:
+        raise SystemExit(str(exc))
+
+    if args.action == "describe":
+        info = fam.describe()
+        print(f"scenario family {info['name']!r}")
+        print(f"  {info['description']}")
+        if info["tags"]:
+            print(f"  tags: {', '.join(info['tags'])}")
+        print()
+        print(format_table(
+            [{"param": k, "default": repr(v)} for k, v in info["params"].items()],
+            title="parameters (override with --param K=V; 'seed' drives the unified seed streams)",
+        ))
+        if info["smoke_params"]:
+            smoke = ", ".join(f"{k}={v}" for k, v in info["smoke_params"].items())
+            print(f"\nsmoke configuration: {smoke}")
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(info, handle, indent=2, default=repr)
+            print(f"\nwrote {args.json}")
+        return 0
+
+    # action == "build"
+    try:
+        spec_obj = scenarios.validate(
+            scenarios.ScenarioSpec(args.name, _parse_param_overrides(args.param), args.seed)
+        )
+        instance = scenarios.build(spec_obj)
+    except scenarios.ScenarioError as exc:
+        raise SystemExit(str(exc))
+    print(f"spec: {spec_obj.to_json()}")
+    print()
+    print(instance.describe())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(spec_obj.to_dict(), handle, indent=2)
         print(f"\nwrote {args.json}")
     return 0
 
@@ -503,17 +725,55 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument("--epsilon", type=float, default=None)
     p_compare.set_defaults(func=_cmd_compare)
 
+    p_scenarios = sub.add_parser(
+        "scenarios",
+        help="inspect and exercise the declarative scenario registry",
+        epilog="Scenarios are named, parameterised instance families "
+               "(trace x fleet x horizon x seed) materialised lazily through "
+               "the registry; `repro sweep --scenario NAME` and plan.json "
+               "files address them by name.  `smoke` builds every family at "
+               "a tiny size and runs Algorithm A through each (the "
+               "`make scenarios-smoke` CI gate).",
+    )
+    p_scenarios.add_argument("action", choices=["list", "describe", "build", "smoke"],
+                             help="list families / describe one / build an instance / run the smoke gate")
+    p_scenarios.add_argument("name", nargs="?", default=None,
+                             help="scenario family name (describe/build)")
+    p_scenarios.add_argument("--param", action="append", default=[], metavar="K=V",
+                             help="parameter override for build (repeatable; values JSON-parsed)")
+    p_scenarios.add_argument("--seed", type=int, default=None,
+                             help="scenario seed for build (one seed derives all random streams)")
+    p_scenarios.add_argument("--json", default=None,
+                             help="also write the spec/description/smoke rows to this JSON file")
+    p_scenarios.set_defaults(func=_cmd_scenarios)
+
     p_sweep = sub.add_parser("sweep", help="batch algorithms x instances through the shared-context engine")
     _add_scenario_arguments(p_sweep)
-    p_sweep.add_argument("--algorithms", default="A,B,C",
+    # distinguish "user passed --seed" from the default: --fleet/--trace sweeps
+    # fall back to seed 0, --scenario sweeps to each family's registered seed
+    p_sweep.set_defaults(seed=None)
+    p_sweep.add_argument("--scenario", default=None,
+                         help="comma-separated registered scenario names (see `repro scenarios list`); "
+                              "instances are materialised lazily inside worker shards and the spec "
+                              "is stamped into every record (overrides --fleet/--trace)")
+    p_sweep.add_argument("--param", action="append", default=[], metavar="K=V",
+                         help="scenario parameter override applied to every --scenario entry "
+                              "(repeatable; values JSON-parsed)")
+    p_sweep.add_argument("--plan", default=None,
+                         help="compile a plan.json selection file "
+                              "({scenarios, params, seeds, algorithms, offline, jobs}) "
+                              "instead of command-line flags")
+    p_sweep.add_argument("--algorithms", default=None,
                          help="comma-separated algorithm keys (default: A,B,C); "
-                              "also: lcp, reactive, follow-demand, all-on")
+                              "also: lcp, reactive, follow-demand, all-on "
+                              "(not with --plan when the plan selects algorithms)")
     p_sweep.add_argument("--epsilon", type=float, default=None,
                          help="eps parameter for Algorithm C (default 0.25)")
     p_sweep.add_argument("--seeds", default=None,
-                         help="comma-separated trace seeds — one instance per seed (overrides --seed)")
-    p_sweep.add_argument("--jobs", type=int, default=1,
-                         help="shard instances across this many worker processes")
+                         help="comma-separated scenario seeds — one instance per (scenario, seed) "
+                              "pair (overrides --seed)")
+    p_sweep.add_argument("--jobs", type=int, default=None,
+                         help="shard instance sources across this many worker processes")
     p_sweep.add_argument("--checkpoint-every", type=_positive_int, default=None,
                          help="checkpoint window of the shared prefix-DP value streams "
                               "(O(sqrt(T)) memory for long-horizon sweeps; default: full history)")

@@ -19,6 +19,14 @@ Algorithms are named by *specs* (small picklable descriptions resolved against
 a registry) so that plans can be shipped to worker processes; a spec may also
 carry an arbitrary ``factory`` callable for custom algorithms, which restricts
 the plan to in-process execution.
+
+Instances, too, can be named declaratively: a plan's ``scenarios`` tuple holds
+:class:`~repro.scenarios.spec.ScenarioSpec` entries (family name + params +
+seed, see :mod:`repro.scenarios`) that are materialised *lazily* — in-process
+right before the runs, and inside the worker shard for process-sharded plans,
+so only the tiny spec crosses the process boundary, never a pickled
+:class:`ProblemInstance`.  The spec is stamped into every resulting
+:class:`RunRecord`, making each report row reproducible by address.
 """
 
 from __future__ import annotations
@@ -98,9 +106,14 @@ class OfflineSpec:
 
 @dataclass(frozen=True, eq=False)
 class SweepPlan:
-    """A full sweep: instances × (online algorithms + offline solves)."""
+    """A full sweep: instances and/or scenarios × (online algorithms + offline solves)."""
 
-    instances: Tuple[ProblemInstance, ...]
+    instances: Tuple[ProblemInstance, ...] = ()
+    #: Declarative instance sources: :class:`~repro.scenarios.spec.ScenarioSpec`
+    #: entries (or names / spec dicts), materialised lazily by :func:`run_plan`
+    #: — inside the worker shard when the plan is process-sharded.  They run
+    #: after ``instances`` in plan order.
+    scenarios: Tuple = ()
     algorithms: Tuple = ()
     offline: Tuple[OfflineSpec, ...] = ()
     #: Solve the shared offline optimum per instance (denominator of ratios).
@@ -212,14 +225,17 @@ def run_instance(
     compute_optimal: bool = True,
     context: Optional[SharedInstanceContext] = None,
     checkpoint_every: Optional[int] = None,
+    scenario=None,
 ) -> list:
     """Run all algorithms and offline solves of a plan on one instance.
 
     Everything shares one :class:`SharedInstanceContext` (pass ``context`` to
     share it further, e.g. with hand-written analysis code).  Returns one
     :class:`RunRecord` per run; the shared optimum is computed once and stamped
-    into every record.
+    into every record, as is the declarative ``scenario`` spec (name + params
+    + seed) when the instance came out of the scenario registry.
     """
+    scenario_row = scenario.to_dict() if scenario is not None else None
     if context is not None:
         if checkpoint_every is not None and context.checkpoint_every != checkpoint_every:
             raise ValueError(
@@ -276,6 +292,7 @@ def run_instance(
                 cost=result.cost,
                 optimal_cost=optimal_cost if compute_optimal else result.cost,
                 elapsed_seconds=elapsed + (optimal_seconds if off.solver == "optimal" else 0.0),
+                scenario=scenario_row,
                 result=result,
             )
         )
@@ -297,6 +314,7 @@ def run_instance(
                 bound=_resolve_bound(entry, instance),
                 breakdown=result.breakdown.summary(),
                 dispatch_stats=result.dispatch_stats,
+                scenario=scenario_row,
                 extras=_algorithm_extras(algorithm),
                 result=result,
             )
@@ -304,33 +322,85 @@ def run_instance(
     return records
 
 
+def _materialise(scenario) -> ProblemInstance:
+    """Build a scenario spec through the registry (lazy import: the scenarios
+    package layers *above* the engine and imports it for the plan compiler)."""
+    from ..scenarios import registry
+
+    return registry.family(scenario.name).build(scenario)
+
+
 def _instance_worker(payload) -> list:
-    """Module-level worker for process-sharded plans (must stay picklable)."""
-    instance, algorithms, offline, compute_optimal, checkpoint_every = payload
+    """Module-level worker for process-sharded plans (must stay picklable).
+
+    ``payload[0]`` is either a :class:`ProblemInstance` or ``None`` with
+    ``payload[1]`` carrying a :class:`~repro.scenarios.spec.ScenarioSpec` —
+    scenario shards ship only the spec and materialise the instance here,
+    inside the worker process.
+    """
+    instance, scenario, algorithms, offline, compute_optimal, checkpoint_every = payload
+    if instance is None:
+        instance = _materialise(scenario)
     return run_instance(
         instance,
         algorithms=algorithms,
         offline=offline,
         compute_optimal=compute_optimal,
         checkpoint_every=checkpoint_every,
+        scenario=scenario,
     )
+
+
+def _plan_sources(plan: SweepPlan) -> list:
+    """The plan's instance sources in run order, as ``(instance, spec)`` pairs.
+
+    Pre-built instances keep ``spec=None``; scenario entries are validated
+    against the registry here (fail fast, before any work runs) and keep
+    ``instance=None`` — materialisation is deferred to the execution site.
+    """
+    from ..scenarios import registry
+    from ..scenarios.spec import ScenarioSpec
+
+    sources = [(instance, None) for instance in plan.instances]
+    for entry in plan.scenarios:
+        spec = registry.validate(ScenarioSpec.parse(entry))
+        sources.append((None, spec))
+    return sources
+
+
+def _shard_payloads(plan: SweepPlan, algorithms: Tuple, offline: Tuple, sources=None) -> list:
+    """Worker payloads of a process-sharded plan.
+
+    Scenario entries contribute ``(None, spec, ...)`` payloads — the invariant
+    (asserted by the test suite) is that no ``ProblemInstance`` of a scenario
+    source is ever pickled into a shard.  ``sources`` takes the already
+    computed :func:`_plan_sources` list so callers validate each spec once.
+    """
+    if sources is None:
+        sources = _plan_sources(plan)
+    return [
+        (instance, spec, algorithms, offline, plan.compute_optimal, plan.checkpoint_every)
+        for instance, spec in sources
+    ]
 
 
 def run_plan(plan: SweepPlan, jobs: Optional[int] = None) -> SweepReport:
     """Execute a sweep plan and return the bundled report.
 
-    ``jobs > 1`` shards *instances* across worker processes (results and
-    record order are identical to the serial path).  Plans containing custom
-    ``factory`` specs, or whose instances fail to pickle, fall back to serial
-    execution with a warning.
+    ``jobs > 1`` shards *instance sources* across worker processes (results
+    and record order are identical to the serial path).  Scenario sources ship
+    their spec only and are materialised inside the worker; pre-built
+    instances are pickled as before.  Plans containing custom ``factory``
+    specs, or whose instances fail to pickle, fall back to serial execution
+    with a warning.
     """
     jobs = plan.jobs if jobs is None else int(jobs)
     algorithms = tuple(_normalise_spec(a) for a in plan.algorithms)
     offline = tuple(plan.offline)
-    instances = tuple(plan.instances)
+    sources = _plan_sources(plan)
 
     start = time.perf_counter()
-    parallel = jobs > 1 and len(instances) > 1 and all(a.factory is None for a in algorithms)
+    parallel = jobs > 1 and len(sources) > 1 and all(a.factory is None for a in algorithms)
     records: list = []
     used_jobs = 1
     sharded = False
@@ -339,14 +409,11 @@ def run_plan(plan: SweepPlan, jobs: Optional[int] = None) -> SweepReport:
         from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 
         try:
-            payloads = [
-                (inst, algorithms, offline, plan.compute_optimal, plan.checkpoint_every)
-                for inst in instances
-            ]
-            with ProcessPoolExecutor(max_workers=min(jobs, len(instances))) as pool:
+            payloads = _shard_payloads(plan, algorithms, offline, sources=sources)
+            with ProcessPoolExecutor(max_workers=min(jobs, len(sources))) as pool:
                 for chunk in pool.map(_instance_worker, payloads):
                     records.extend(chunk)
-            used_jobs = min(jobs, len(instances))
+            used_jobs = min(jobs, len(sources))
             sharded = True
         except (pickle.PicklingError, AttributeError, ImportError, OSError, BrokenExecutor) as exc:
             # infrastructure failures only (unpicklable instances, missing
@@ -355,7 +422,9 @@ def run_plan(plan: SweepPlan, jobs: Optional[int] = None) -> SweepReport:
             warnings.warn(f"process sharding unavailable ({exc!r}); running serially")
             records = []
     if not sharded:
-        for instance in instances:
+        for instance, scenario in sources:
+            if instance is None:
+                instance = _materialise(scenario)
             records.extend(
                 run_instance(
                     instance,
@@ -363,16 +432,20 @@ def run_plan(plan: SweepPlan, jobs: Optional[int] = None) -> SweepReport:
                     offline=offline,
                     compute_optimal=plan.compute_optimal,
                     checkpoint_every=plan.checkpoint_every,
+                    scenario=scenario,
                 )
             )
     total = time.perf_counter() - start
+    meta = {
+        "instances": len(sources),
+        "algorithms": [a.label or a.kind for a in algorithms],
+        "offline": [o.label or o.solver for o in offline],
+        "jobs": used_jobs,
+    }
+    if plan.scenarios:
+        meta["scenarios"] = [spec.to_dict() for _, spec in sources if spec is not None]
     return SweepReport(
         records=tuple(records),
         total_seconds=total,
-        meta={
-            "instances": len(instances),
-            "algorithms": [a.label or a.kind for a in algorithms],
-            "offline": [o.label or o.solver for o in offline],
-            "jobs": used_jobs,
-        },
+        meta=meta,
     )

@@ -26,6 +26,11 @@ class RunRecord:
     ``kind`` is ``"online"`` for algorithm runs and ``"offline"`` for exact /
     approximate solves; ``optimal_cost`` is the instance's shared offline
     optimum (one solve per instance, reused by every record of the instance).
+    ``scenario`` is the declarative address of the instance — the
+    ``{scenario, params, seed}`` dict of the
+    :class:`~repro.scenarios.spec.ScenarioSpec` it was materialised from —
+    stamped into every record of scenario-driven sweeps so any row of a
+    report is reproducible from the row alone.
     """
 
     instance: str
@@ -37,6 +42,7 @@ class RunRecord:
     bound: Optional[float] = None
     breakdown: Optional[dict] = None
     dispatch_stats: Optional[dict] = None
+    scenario: Optional[Dict] = None
     extras: Dict = field(default_factory=dict)
     result: Optional[object] = None
 
@@ -67,6 +73,8 @@ class RunRecord:
         if self.bound is not None:
             row["bound"] = self.bound
             row["within_bound"] = bool(self.within_bound)
+        if self.scenario is not None:
+            row["scenario"] = dict(self.scenario)
         if self.extras:
             row.update(self.extras)
         if self.dispatch_stats is not None:

@@ -1,0 +1,48 @@
+"""Declarative scenario registry and plan compiler.
+
+This package makes every experiment *addressable*: a scenario is a registered
+family name plus a JSON-safe parameter dict and one seed
+(:class:`ScenarioSpec`), materialised lazily into a
+:class:`~repro.core.instance.ProblemInstance` through the registry
+(:func:`build`).  A plan file selecting ``{scenarios, algorithms, offline}``
+compiles into the sweep engine's :class:`~repro.exp.engine.SweepPlan`
+(:func:`compile_plan` / :func:`load_plan`) with instances built *inside*
+worker shards — specs, not tensors, cross process boundaries.
+
+Layering: ``workloads`` (generators) → ``scenarios`` (this package: names,
+validation, lazy materialisation) → ``exp`` (execution) → ``analysis``/CLI.
+See ``docs/ARCHITECTURE.md``.
+"""
+
+from . import families  # noqa: F401  — registers the built-in families on import
+from .compiler import compile_plan, load_plan, scenario_specs
+from .registry import (
+    ScenarioError,
+    ScenarioFamily,
+    ScenarioParamError,
+    UnknownScenarioError,
+    build,
+    describe,
+    family,
+    names,
+    register,
+    validate,
+)
+from .spec import ScenarioSpec
+
+__all__ = [
+    "ScenarioError",
+    "ScenarioFamily",
+    "ScenarioParamError",
+    "ScenarioSpec",
+    "UnknownScenarioError",
+    "build",
+    "compile_plan",
+    "describe",
+    "family",
+    "load_plan",
+    "names",
+    "register",
+    "scenario_specs",
+    "validate",
+]

@@ -1,0 +1,264 @@
+"""The built-in scenario families.
+
+Every family wraps the :mod:`repro.workloads` generators behind one
+``build(spec)`` entry point with the unified seeding convention: a family
+takes a *single* ``seed`` and, where it has more than one randomness consumer
+(trace + fleet), derives independent sub-streams via
+:func:`repro.workloads.traces.spawn_streams`.
+
+The first seven families are byte-for-byte the instances the benchmark and
+perf-regression suites have always run (``thm8``/``thm13``/``thm15``/``thm22``
+and the comparison workloads) — their default parameters reproduce the pinned
+costs in :data:`repro.bench.PINNED_SWEEP_COSTS` exactly.  The remaining ones
+cover the scale suite (long horizons, big fleets on geometric grids) and a
+randomised-fleet family exercising the spawned fleet sub-stream.
+
+Families are registered at import time; ``import repro.scenarios`` is enough
+to populate the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..workloads.fleets import (
+    cpu_gpu_fleet,
+    fleet_instance,
+    load_independent_fleet,
+    old_new_fleet,
+    perturbed_fleet,
+    single_type_fleet,
+    three_tier_fleet,
+)
+from ..workloads.scale import big_fleet_instance, long_horizon_instance
+from ..workloads.traces import bursty_trace, diurnal_trace, spawn_streams, spike_trace
+from .registry import register
+
+__all__ = ["price_profile"]
+
+
+def _period(T: int, period: Optional[int]) -> int:
+    return int(period) if period is not None else max(4, int(T) // 2)
+
+
+def price_profile(T: int, amplitude: float, phase: float = 0.7, cycles: float = 2.0) -> np.ndarray:
+    """The sinusoidal time-of-day electricity tariff used by the priced families."""
+    return 1.0 + amplitude * np.sin(np.arange(int(T)) / max(int(T), 1) * cycles * 2.0 * np.pi + phase)
+
+
+# --------------------------------------------------------------------------- #
+# Benchmark workhorse families (pinned by the perf-regression gates)
+# --------------------------------------------------------------------------- #
+
+
+@register("diurnal-cpu-gpu", smoke_params={"T": 10}, tags=("thm8", "comparison"))
+def _diurnal_cpu_gpu(
+    T: int = 48,
+    period: Optional[int] = None,
+    base: float = 1.0,
+    peak: float = 10.0,
+    noise: float = 0.05,
+    cpu_count: int = 5,
+    gpu_count: int = 2,
+    seed: int = 1,
+    name: Optional[str] = None,
+) -> ProblemInstance:
+    """Diurnal workload on a CPU+GPU fleet (d=2) — the workhorse scenario."""
+    demand = diurnal_trace(T, period=_period(T, period), base=base, peak=peak, noise=noise, rng=seed)
+    return fleet_instance(
+        cpu_gpu_fleet(cpu_count=cpu_count, gpu_count=gpu_count),
+        demand,
+        name=name or f"diurnal-cpu-gpu-T{T}",
+    )
+
+
+@register("homogeneous", smoke_params={"T": 10}, tags=("thm8", "lcp", "comparison"))
+def _homogeneous(
+    T: int = 48,
+    period: Optional[int] = None,
+    base: float = 0.5,
+    peak: float = 6.0,
+    noise: float = 0.05,
+    count: int = 8,
+    seed: int = 5,
+    name: Optional[str] = None,
+) -> ProblemInstance:
+    """Single-type instance (d=1) for the LCP / homogeneous comparisons."""
+    demand = diurnal_trace(T, period=_period(T, period), base=base, peak=peak, noise=noise, rng=seed)
+    return fleet_instance(single_type_fleet(count=count), demand, name=name or f"homogeneous-T{T}")
+
+
+@register("bursty-old-new", smoke_params={"T": 10}, tags=("thm8",))
+def _bursty_old_new(
+    T: int = 40,
+    base: float = 1.0,
+    burst_height: float = 8.0,
+    burst_probability: float = 0.15,
+    old_count: int = 5,
+    new_count: int = 3,
+    seed: int = 2,
+    name: Optional[str] = None,
+) -> ProblemInstance:
+    """Bursty workload on an old/new-generation fleet (d=2)."""
+    demand = bursty_trace(
+        T, base=base, burst_height=burst_height, burst_probability=burst_probability, rng=seed
+    )
+    return fleet_instance(
+        old_new_fleet(old_count=old_count, new_count=new_count),
+        demand,
+        name=name or f"bursty-old-new-T{T}",
+    )
+
+
+@register("load-independent", smoke_params={"T": 10}, tags=("thm8", "corollary9"))
+def _load_independent(
+    T: int = 40,
+    d: int = 2,
+    base_count: int = 6,
+    base: float = 1.0,
+    burst_height: float = 6.0,
+    burst_probability: float = 0.2,
+    seed: int = 7,
+    name: Optional[str] = None,
+) -> ProblemInstance:
+    """Load-independent operating costs (the Corollary 9 regime)."""
+    demand = bursty_trace(
+        T, base=base, burst_height=burst_height, burst_probability=burst_probability, rng=seed
+    )
+    return fleet_instance(
+        load_independent_fleet(d=d, base_count=base_count),
+        demand,
+        name=name or f"load-independent-T{T}",
+    )
+
+
+@register("spiky-three-tier", smoke_params={"T": 10, "spike_every": 4}, tags=("thm8",))
+def _spiky_three_tier(
+    T: int = 32,
+    base: float = 0.5,
+    spike_height: float = 8.0,
+    spike_every: int = 8,
+    max_count: int = 3,
+    jitter: int = 0,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> ProblemInstance:
+    """Spiky workload on the three-tier fleet (d=3, capped per-type counts)."""
+    demand = spike_trace(
+        T, base=base, spike_height=spike_height, spike_every=spike_every, jitter=jitter, rng=seed
+    )
+    fleet = [st.with_count(min(st.count, max_count)) for st in three_tier_fleet()]
+    return fleet_instance(fleet, demand, name=name or f"spiky-three-tier-T{T}")
+
+
+@register("priced-cpu-gpu", smoke_params={"T": 10}, tags=("thm13", "thm15", "priced"))
+def _priced_cpu_gpu(
+    T: int = 30,
+    period: Optional[int] = None,
+    base: float = 1.0,
+    peak: float = 10.0,
+    noise: float = 0.05,
+    cpu_count: int = 5,
+    gpu_count: int = 2,
+    amplitude: float = 0.5,
+    phase: float = 0.7,
+    cycles: float = 2.0,
+    seed: int = 11,
+    name: Optional[str] = None,
+) -> ProblemInstance:
+    """Time-dependent operating costs: a CPU+GPU diurnal workload under a
+    sinusoidal electricity tariff (Section 3).  ``amplitude=0`` keeps the
+    costs time-independent (the reference point of the THM13 sweep)."""
+    instance = _diurnal_cpu_gpu(
+        T=T, period=period, base=base, peak=peak, noise=noise,
+        cpu_count=cpu_count, gpu_count=gpu_count, seed=seed,
+    )
+    target = name or f"priced-cpu-gpu-T{T}"
+    if amplitude == 0:
+        return instance.with_demand(instance.demand, name=target)
+    prices = price_profile(T, amplitude=amplitude, phase=phase, cycles=cycles)
+    return instance.with_price_profile(prices, name=target)
+
+
+@register("time-varying-m", smoke_params={"T": 12, "maintenance_start": 4, "maintenance_end": 6, "expansion_start": 8}, tags=("thm22",))
+def _time_varying_m(
+    T: int = 30,
+    period: int = 10,
+    base: float = 2.0,
+    peak: float = 10.0,
+    noise: float = 0.05,
+    old_count: int = 6,
+    new_count: int = 4,
+    maintenance_start: int = 10,
+    maintenance_end: int = 15,
+    maintenance_count: int = 2,
+    expansion_start: int = 20,
+    expansion_count: int = 6,
+    cap_fraction: float = 0.95,
+    seed: int = 21,
+    name: Optional[str] = None,
+) -> ProblemInstance:
+    """Time-dependent fleet sizes (Section 4.3): a maintenance window on the
+    old generation followed by an expansion of the new one."""
+    fleet = old_new_fleet(old_count=old_count, new_count=new_count)
+    demand = diurnal_trace(T, period=period, base=base, peak=peak, noise=noise, rng=seed)
+    counts = np.tile([old_count, new_count], (T, 1)).astype(int)
+    counts[maintenance_start:maintenance_end, 0] = maintenance_count
+    counts[expansion_start:, 1] = expansion_count
+    instance = ProblemInstance(tuple(fleet), demand, counts=counts, name=name or "time-varying-m")
+    cap = np.array([instance.total_capacity(t) for t in range(T)])
+    return ProblemInstance(
+        tuple(fleet),
+        np.minimum(demand, cap_fraction * cap),
+        counts=counts,
+        name=name or "time-varying-m",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Randomised-fleet and scale families
+# --------------------------------------------------------------------------- #
+
+
+@register("heterogeneous-random", smoke_params={"T": 10}, tags=("randomised",))
+def _heterogeneous_random(
+    T: int = 32,
+    period: Optional[int] = None,
+    base: float = 1.0,
+    peak: float = 10.0,
+    noise: float = 0.05,
+    cpu_count: int = 5,
+    gpu_count: int = 2,
+    jitter: float = 0.25,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> ProblemInstance:
+    """A randomised CPU+GPU fleet: switching costs, capacities and operating
+    costs jittered log-normally.  One scenario seed spawns independent trace
+    and fleet sub-streams, so varying ``jitter`` never perturbs the demand."""
+    trace_rng, fleet_rng = spawn_streams(seed, 2)
+    fleet = perturbed_fleet(
+        cpu_gpu_fleet(cpu_count=cpu_count, gpu_count=gpu_count), jitter=jitter, rng=fleet_rng
+    )
+    demand = diurnal_trace(
+        T, period=_period(T, period), base=base, peak=peak, noise=noise, rng=trace_rng
+    )
+    return fleet_instance(fleet, demand, name=name or f"heterogeneous-random-T{T}-s{seed}")
+
+
+register(
+    "long-horizon",
+    long_horizon_instance,
+    smoke_params={"T": 96, "cpu_count": 6, "gpu_count": 4, "levels": 8},
+    tags=("scale", "streaming"),
+)
+
+register(
+    "big-fleet",
+    big_fleet_instance,
+    smoke_params={"T": 48, "d": 2, "m_max": 10, "levels": 8},
+    tags=("scale", "geometric-grid"),
+)

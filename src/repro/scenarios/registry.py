@@ -1,0 +1,210 @@
+"""The scenario registry: named, parameterised, lazily materialised families.
+
+A *family* wraps one instance-builder function from :mod:`repro.workloads`
+(or a composition of them) behind a uniform interface:
+
+* ``describe()`` exposes the parameter names, defaults and docstring,
+* ``build(spec)`` validates a :class:`~repro.scenarios.spec.ScenarioSpec`
+  against the builder's signature and materialises the
+  :class:`~repro.core.instance.ProblemInstance`,
+* ``smoke_params`` names a tiny configuration every family must be able to
+  build in well under a second (``repro scenarios smoke`` /
+  ``make scenarios-smoke`` runs one algorithm through each).
+
+Validation is eager and specific: unknown family names raise
+:class:`UnknownScenarioError` listing the registered names, unknown parameters
+raise :class:`ScenarioParamError` listing the family's accepted ones — a plan
+file typo fails at compile time, not after an hour of sweeping.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Union
+
+from ..core.instance import ProblemInstance
+from .spec import ScenarioSpec
+
+__all__ = [
+    "ScenarioFamily",
+    "ScenarioError",
+    "UnknownScenarioError",
+    "ScenarioParamError",
+    "register",
+    "family",
+    "names",
+    "describe",
+    "build",
+    "validate",
+]
+
+
+class ScenarioError(Exception):
+    """Base class for scenario registry errors."""
+
+
+class UnknownScenarioError(ScenarioError, KeyError):
+    """A spec referenced a family name that is not registered."""
+
+    def __str__(self) -> str:  # KeyError quotes its args; keep the message readable
+        return self.args[0] if self.args else ""
+
+
+class ScenarioParamError(ScenarioError, ValueError):
+    """A spec carried parameters the family's builder does not accept."""
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """One registered scenario family (see module docstring)."""
+
+    name: str
+    builder: Callable[..., ProblemInstance]
+    description: str
+    defaults: Dict = field(default_factory=dict)
+    smoke_params: Dict = field(default_factory=dict)
+    tags: tuple = ()
+
+    # --------------------------------------------------------------- validate
+    def validate_params(self, params: Mapping) -> None:
+        unknown = sorted(set(params) - set(self.defaults))
+        if unknown:
+            raise ScenarioParamError(
+                f"scenario family {self.name!r} got unknown parameter(s) {unknown}; "
+                f"accepted: {sorted(self.defaults)}"
+            )
+
+    def validate_spec(self, spec: ScenarioSpec) -> None:
+        """Check a spec's params and seed against this family (raises)."""
+        self.validate_params(spec.params)
+        if spec.seed is not None and "seed" not in self.defaults:
+            raise ScenarioParamError(
+                f"scenario family {self.name!r} is deterministic (no 'seed' parameter) "
+                f"but the spec carries seed={spec.seed}"
+            )
+
+    # ---------------------------------------------------------------- realise
+    def build(self, spec: ScenarioSpec) -> ProblemInstance:
+        self.validate_spec(spec)
+        kwargs = dict(spec.params)
+        if spec.seed is not None:
+            kwargs["seed"] = spec.seed
+        instance = self.builder(**kwargs)
+        if not isinstance(instance, ProblemInstance):
+            raise TypeError(
+                f"builder of scenario family {self.name!r} returned {type(instance)!r}, "
+                "expected ProblemInstance"
+            )
+        return instance
+
+    def describe(self) -> dict:
+        """JSON-safe metadata: name, description, params with defaults, tags."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "params": dict(self.defaults),
+            "smoke_params": dict(self.smoke_params),
+            "tags": list(self.tags),
+        }
+
+
+_REGISTRY: Dict[str, ScenarioFamily] = {}
+
+
+def _introspect_defaults(builder: Callable) -> Dict:
+    defaults: Dict = {}
+    for pname, param in inspect.signature(builder).parameters.items():
+        if param.kind in (inspect.Parameter.VAR_POSITIONAL, inspect.Parameter.VAR_KEYWORD):
+            raise TypeError(
+                f"scenario builders must have a concrete signature, {builder!r} uses *{pname}"
+            )
+        defaults[pname] = None if param.default is inspect.Parameter.empty else param.default
+    return defaults
+
+
+def register(
+    name: str,
+    builder: Optional[Callable[..., ProblemInstance]] = None,
+    *,
+    description: Optional[str] = None,
+    smoke_params: Optional[Mapping] = None,
+    tags: tuple = (),
+) -> Callable:
+    """Register a builder as the scenario family ``name``.
+
+    Usable directly (``register("x", fn, ...)``) or as a decorator::
+
+        @register("diurnal-cpu-gpu", smoke_params={"T": 8}, tags=("thm8",))
+        def _diurnal_cpu_gpu(T=48, ..., seed=1): ...
+
+    Parameter names and defaults are introspected from the builder's
+    signature; the first docstring paragraph becomes the description unless an
+    explicit one is given.  Re-registering a name raises — families are
+    process-wide constants.
+    """
+
+    def _register(fn: Callable[..., ProblemInstance]) -> Callable[..., ProblemInstance]:
+        if name in _REGISTRY:
+            raise ValueError(f"scenario family {name!r} is already registered")
+        doc = description
+        if doc is None:
+            doc = inspect.getdoc(fn) or ""
+            doc = doc.split("\n\n", 1)[0].replace("\n", " ").strip()
+        entry = ScenarioFamily(
+            name=name,
+            builder=fn,
+            description=doc,
+            defaults=_introspect_defaults(fn),
+            smoke_params=dict(smoke_params or {}),
+            tags=tuple(tags),
+        )
+        entry.validate_params(entry.smoke_params)
+        _REGISTRY[name] = entry
+        return fn
+
+    if builder is not None:
+        return _register(builder)
+    return _register
+
+
+def family(name: str) -> ScenarioFamily:
+    """Look up a registered family (raises :class:`UnknownScenarioError`)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownScenarioError(
+            f"unknown scenario family {name!r} (registered: {', '.join(names())})"
+        ) from None
+
+
+def names() -> List[str]:
+    """All registered family names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def describe(name: str) -> dict:
+    """JSON-safe metadata of one family."""
+    return family(name).describe()
+
+
+def validate(spec: Union[str, Mapping, ScenarioSpec]) -> ScenarioSpec:
+    """Parse + validate a spec against the registry without building it."""
+    spec = ScenarioSpec.parse(spec)
+    family(spec.name).validate_spec(spec)
+    return spec
+
+
+def build(spec: Union[str, Mapping, ScenarioSpec], **params) -> ProblemInstance:
+    """Materialise a scenario: ``build("homogeneous", T=24, seed=3)``.
+
+    Accepts a family name, a spec dict or a :class:`ScenarioSpec`; keyword
+    ``params`` (including ``seed``) are merged on top.  This is the single
+    entry point every consumer — CLI, sweep-engine worker shards, benchmarks —
+    funnels through.
+    """
+    spec = ScenarioSpec.parse(spec)
+    if params:
+        seed = params.pop("seed", None)
+        spec = spec.with_overrides(seed=seed, **params)
+    return family(spec.name).build(spec)

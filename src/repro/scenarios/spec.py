@@ -1,0 +1,146 @@
+"""Declarative scenario descriptions.
+
+A :class:`ScenarioSpec` is the *address* of a problem instance: a registered
+family name, a plain-dict parameter override and a seed.  It carries no numpy
+arrays, no cost functions and no :class:`~repro.core.instance.ProblemInstance`
+— materialisation happens lazily through the registry
+(:func:`repro.scenarios.build`), so specs are cheap to construct, trivially
+picklable, JSON round-trippable, and safe to ship across process boundaries:
+worker shards of the sweep engine rebuild the instance locally instead of
+receiving megabytes of pickled tensors.
+
+``ScenarioSpec.parse`` accepts the three spellings used throughout the CLI
+and plan files::
+
+    "diurnal-cpu-gpu"                                  # family, all defaults
+    {"scenario": "homogeneous", "params": {"T": 24}, "seed": 3}
+    ScenarioSpec("big-fleet", {"m_max": 500}, seed=1)  # passed through
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Union
+
+__all__ = ["ScenarioSpec"]
+
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+def _canonical_json_value(value, path: str):
+    """Validate a param value as JSON-safe and return its canonical form.
+
+    Tuples become lists (what they deserialise back to), so a spec always
+    equals its own JSON round-trip.
+    """
+    if isinstance(value, _JSON_SCALARS):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_canonical_json_value(item, f"{path}[{i}]") for i, item in enumerate(value)]
+    if isinstance(value, Mapping):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError(f"scenario param key {key!r} at {path} must be a string")
+            out[key] = _canonical_json_value(item, f"{path}.{key}")
+        return out
+    raise TypeError(
+        f"scenario param {path} = {value!r} is not JSON-safe "
+        "(allowed: str, int, float, bool, None, lists, dicts)"
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Name + params + seed: the serialisable identity of one instance.
+
+    ``name`` refers to a family registered in :mod:`repro.scenarios.registry`;
+    ``params`` overrides a subset of the family's defaults (JSON-safe values
+    only, enforced at construction); ``seed`` feeds the family's unified
+    seeding convention (one scenario seed, spawned sub-streams for trace and
+    fleet randomness).  ``seed=None`` keeps the family's default seed so that
+    registered specs stay bit-reproducible.
+    """
+
+    name: str
+    params: Dict = field(default_factory=dict)
+    seed: Optional[int] = None
+
+    def __post_init__(self):
+        if not isinstance(self.name, str) or not self.name:
+            raise TypeError(f"scenario name must be a non-empty string, got {self.name!r}")
+        params = _canonical_json_value(dict(self.params or {}), self.name)
+        object.__setattr__(self, "params", params)
+        if self.seed is not None:
+            if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+                raise TypeError(f"scenario seed must be an int or None, got {self.seed!r}")
+
+    # ---------------------------------------------------------- (de)serialise
+    def to_dict(self) -> dict:
+        """Flat JSON-safe representation (inverse of :meth:`from_dict`)."""
+        payload: dict = {"scenario": self.name}
+        if self.params:
+            payload["params"] = dict(self.params)
+        if self.seed is not None:
+            payload["seed"] = self.seed
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ScenarioSpec":
+        payload = dict(payload)
+        name = payload.pop("scenario", None) or payload.pop("name", None)
+        if name is None:
+            raise ValueError(f"scenario dict needs a 'scenario' (or 'name') key, got {sorted(payload)}")
+        params = payload.pop("params", {}) or {}
+        seed = payload.pop("seed", None)
+        if payload:
+            raise ValueError(
+                f"unknown scenario-spec keys {sorted(payload)} "
+                "(expected: scenario/name, params, seed)"
+            )
+        return cls(name=name, params=params, seed=seed)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def parse(cls, entry: Union[str, Mapping, "ScenarioSpec"]) -> "ScenarioSpec":
+        """Normalise a name / dict / spec into a :class:`ScenarioSpec`."""
+        if isinstance(entry, ScenarioSpec):
+            return entry
+        if isinstance(entry, str):
+            return cls(name=entry)
+        if isinstance(entry, Mapping):
+            return cls.from_dict(entry)
+        raise TypeError(f"cannot parse scenario spec from {entry!r}")
+
+    # -------------------------------------------------------------- utilities
+    def with_overrides(self, seed: Optional[int] = None, **params) -> "ScenarioSpec":
+        """A copy with ``params`` merged in (and optionally a new seed)."""
+        merged = dict(self.params)
+        merged.update(params)
+        return ScenarioSpec(self.name, merged, self.seed if seed is None else seed)
+
+    def key(self) -> str:
+        """A stable human-readable identity string (used in reports and logs)."""
+        parts = [self.name]
+        if self.params:
+            parts.append(",".join(f"{k}={self.params[k]}" for k in sorted(self.params)))
+        if self.seed is not None:
+            parts.append(f"seed={self.seed}")
+        return "[" + " ".join(parts) + "]"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ScenarioSpec):
+            return NotImplemented
+        return (self.name, self.params, self.seed) == (other.name, other.params, other.seed)
+
+    def __hash__(self) -> int:
+        # coarse on purpose: params is a dict and numerically equal specs
+        # (T=1 vs T=1.0) must hash alike; equality does the fine-grained work
+        return hash((self.name, self.seed))

@@ -5,6 +5,7 @@ from .fleets import (
     fleet_instance,
     load_independent_fleet,
     old_new_fleet,
+    perturbed_fleet,
     single_type_fleet,
     three_tier_fleet,
 )
@@ -26,6 +27,7 @@ from .traces import (
     poisson_trace,
     ramp_trace,
     random_walk_trace,
+    spawn_streams,
     spike_trace,
 )
 
@@ -43,12 +45,14 @@ __all__ = [
     "metered_trace",
     "mmpp_trace",
     "old_new_fleet",
+    "perturbed_fleet",
     "poisson_trace",
     "quantise_trace",
     "ramp_trace",
     "random_walk_trace",
     "scale_scenarios",
     "single_type_fleet",
+    "spawn_streams",
     "spike_trace",
     "three_tier_fleet",
     "wide_cpu_gpu_fleet",

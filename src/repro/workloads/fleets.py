@@ -16,6 +16,7 @@ optimum; the scaling benchmarks build larger fleets explicitly.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import List, Sequence
 
 import numpy as np
@@ -23,6 +24,7 @@ import numpy as np
 from ..core.cost_functions import ConstantCost, LinearCost, PowerCost, QuadraticCost
 from ..core.instance import ProblemInstance
 from ..core.server import ServerType
+from .traces import RngLike, as_rng
 
 __all__ = [
     "single_type_fleet",
@@ -30,6 +32,7 @@ __all__ = [
     "old_new_fleet",
     "three_tier_fleet",
     "load_independent_fleet",
+    "perturbed_fleet",
     "fleet_instance",
 ]
 
@@ -138,6 +141,42 @@ def load_independent_fleet(d: int = 2, base_count: int = 6) -> List[ServerType]:
             )
         )
     return types
+
+
+def perturbed_fleet(
+    fleet: Sequence[ServerType],
+    jitter: float = 0.2,
+    rng: RngLike = None,
+) -> List[ServerType]:
+    """A randomised variant of a fleet preset: log-normal parameter jitter.
+
+    Switching costs, idle/operating costs and capacities of every type are
+    each scaled by an independent ``exp(jitter * N(0, 1))`` factor — a cheap
+    model of procurement differences, energy contracts and hardware binning
+    that turns each deterministic preset into a family of related fleets.
+
+    Seeding follows the library convention (:func:`repro.workloads.traces.
+    spawn_streams`): callers pass the *fleet sub-stream* of their scenario
+    seed, so fleet randomness is derived from — but independent of — the
+    demand trace's stream.  ``jitter=0`` returns the preset unchanged.
+    """
+    if jitter < 0:
+        raise ValueError("jitter must be non-negative")
+    if jitter == 0:
+        return list(fleet)
+    rng = as_rng(rng)
+    perturbed = []
+    for st in fleet:
+        factors = np.exp(jitter * rng.standard_normal(3))
+        perturbed.append(
+            replace(
+                st,
+                switching_cost=float(st.switching_cost * factors[0]),
+                capacity=float(st.capacity * factors[1]),
+                cost_function=st.cost_function.scaled(float(factors[2])),
+            )
+        )
+    return perturbed
 
 
 def fleet_instance(

@@ -20,8 +20,12 @@ Metered/aggregated traffic genuinely arrives that way, and it keeps the number
 of distinct dispatch signatures per checkpoint window bounded, so the batched
 dual bisection stays vectorised instead of degenerating into one row per slot.
 
-All generators are seeded and deterministic; ``scale_scenarios`` bundles the
-named instances used by ``benchmarks/bench_scale_streaming.py`` and
+All generators are seeded and deterministic under the library-wide seeding
+convention: each instance builder takes a *single* scenario seed and spawns
+independent sub-streams (:func:`repro.workloads.traces.spawn_streams`) for the
+demand trace and the fleet perturbation, so trace and fleet randomness are
+derived from — and only from — that one seed.  ``scale_scenarios`` bundles
+the named instances used by ``benchmarks/bench_scale_streaming.py`` and
 ``repro bench --scale``.
 """
 
@@ -34,8 +38,8 @@ import numpy as np
 from ..core.cost_functions import LinearCost, PowerCost, QuadraticCost
 from ..core.instance import ProblemInstance
 from ..core.server import ServerType
-from .fleets import fleet_instance
-from .traces import as_rng, RngLike
+from .fleets import fleet_instance, perturbed_fleet
+from .traces import as_rng, RngLike, spawn_streams
 
 __all__ = [
     "quantise_trace",
@@ -152,6 +156,7 @@ def long_horizon_instance(
     cpu_count: int = 60,
     gpu_count: int = 40,
     levels: int = 32,
+    heterogeneity: float = 0.0,
     seed: int = 0,
     name: Optional[str] = None,
 ) -> ProblemInstance:
@@ -160,11 +165,19 @@ def long_horizon_instance(
     The default — ``T = 5 * 10^4`` five-minute slots (~6 months) over a
     ``61 x 41``-state fleet — needs ~1 GB of value-table history in the classic
     all-tables DP and a few MB in the streaming pass.
+
+    ``seed`` derives both the trace and (when ``heterogeneity > 0``) the fleet
+    perturbation through spawned sub-streams, and the trace is sized against
+    the *unperturbed* fleet's capacity, so instances with and without fleet
+    jitter share the identical demand trace (up to the feasibility clip
+    against the perturbed capacity).
     """
-    fleet = wide_cpu_gpu_fleet(cpu_count=cpu_count, gpu_count=gpu_count)
-    capacity = sum(st.count * st.capacity for st in fleet)
+    trace_rng, fleet_rng = spawn_streams(seed, 2)
+    base_fleet = wide_cpu_gpu_fleet(cpu_count=cpu_count, gpu_count=gpu_count)
+    capacity = sum(st.count * st.capacity for st in base_fleet)
+    fleet = perturbed_fleet(base_fleet, jitter=heterogeneity, rng=fleet_rng)
     demand = metered_trace(
-        T, period=288, base=0.05 * capacity, peak=0.75 * capacity, levels=levels, rng=seed
+        T, period=288, base=0.05 * capacity, peak=0.75 * capacity, levels=levels, rng=trace_rng
     )
     return fleet_instance(
         fleet, demand, name=name or f"long-horizon-T{T}-d2-{cpu_count}x{gpu_count}"
@@ -176,6 +189,7 @@ def big_fleet_instance(
     d: int = 4,
     m_max: int = 10_000,
     levels: int = 24,
+    heterogeneity: float = 0.0,
     seed: int = 1,
     name: Optional[str] = None,
 ) -> ProblemInstance:
@@ -184,12 +198,16 @@ def big_fleet_instance(
     Solve it with ``gamma``-reduced grids (:func:`repro.offline.graph_approx.
     solve_approx`); the full grid is astronomically large, and even the
     geometric grid tensor is big enough that the all-tables history dwarfs RAM
-    on longer horizons.
+    on longer horizons.  Trace and (optional) fleet randomness both derive
+    from ``seed`` via spawned sub-streams; the trace is sized against the
+    unperturbed fleet so fleet jitter never changes the demand pattern.
     """
-    fleet = mega_fleet(d=d, m_max=m_max)
-    capacity = sum(st.count * st.capacity for st in fleet)
+    trace_rng, fleet_rng = spawn_streams(seed, 2)
+    base_fleet = mega_fleet(d=d, m_max=m_max)
+    capacity = sum(st.count * st.capacity for st in base_fleet)
+    fleet = perturbed_fleet(base_fleet, jitter=heterogeneity, rng=fleet_rng)
     demand = metered_trace(
-        T, period=96, base=0.02 * capacity, peak=0.6 * capacity, levels=levels, rng=seed
+        T, period=96, base=0.02 * capacity, peak=0.6 * capacity, levels=levels, rng=trace_rng
     )
     return fleet_instance(fleet, demand, name=name or f"big-fleet-T{T}-d{d}-m{m_max}")
 

@@ -17,6 +17,16 @@ The generators cover the workload regimes the paper's introduction appeals to:
 All generators take an explicit ``numpy.random.Generator`` (or a seed) so that
 experiments are reproducible, and return plain non-negative ``float`` arrays
 that can be fed to :class:`repro.core.ProblemInstance`.
+
+Seeding convention
+------------------
+A *scenario* owns exactly one seed.  Everything random inside it — the demand
+trace, fleet perturbations, future noise sources — draws from independent
+child streams spawned off that one seed via :func:`spawn_streams` (NumPy's
+``Generator.spawn``, i.e. ``SeedSequence`` children).  Consumers therefore
+never share or re-use a raw seed across modules: one scenario seed
+deterministically derives every stream, and adding a new randomness consumer
+never perturbs the existing ones.
 """
 
 from __future__ import annotations
@@ -27,6 +37,7 @@ import numpy as np
 
 __all__ = [
     "as_rng",
+    "spawn_streams",
     "constant_trace",
     "diurnal_trace",
     "bursty_trace",
@@ -45,6 +56,21 @@ def as_rng(rng: RngLike) -> np.random.Generator:
     if isinstance(rng, np.random.Generator):
         return rng
     return np.random.default_rng(rng)
+
+
+def spawn_streams(rng: RngLike, n: int) -> list:
+    """Spawn ``n`` independent child generators from one scenario seed.
+
+    This is the library-wide seeding convention: a scenario seed is normalised
+    through :func:`as_rng` and split into statistically independent
+    sub-streams (``SeedSequence`` children), one per randomness consumer —
+    e.g. ``trace_rng, fleet_rng = spawn_streams(seed, 2)``.  The split is
+    deterministic in the seed, and each consumer's stream is unaffected by how
+    much entropy the others draw.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return list(as_rng(rng).spawn(n))
 
 
 def _clip_non_negative(trace: np.ndarray, peak: Optional[float] = None) -> np.ndarray:

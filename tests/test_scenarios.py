@@ -1,0 +1,550 @@
+"""Tests for the declarative scenario registry and plan compiler.
+
+Covers the four contracts the scenario layer makes:
+
+* **addressability** — specs round-trip through dicts/JSON and rebuild the
+  identical instance (same seed ⇒ identical demand arrays, fleets, names),
+* **validation** — unknown family names and unknown parameters fail eagerly
+  with specific errors, at spec, build and plan-compile time,
+* **lazy execution** — a scenario-addressed ``SweepPlan`` produces costs
+  identical (1e-9) to the equivalent hand-built instance plan, serial and
+  process-sharded, with no ``ProblemInstance`` pickled into worker shards and
+  the spec stamped into every record, and
+* **unified seeding** — one scenario seed derives trace and fleet randomness
+  through spawned sub-streams.
+"""
+
+import io
+import json
+from contextlib import redirect_stdout
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.instance import ProblemInstance
+from repro.exp import SweepPlan, run_plan, spec
+from repro.exp.engine import _shard_payloads, _plan_sources
+from repro.scenarios import (
+    ScenarioParamError,
+    ScenarioSpec,
+    UnknownScenarioError,
+    build,
+    compile_plan,
+    describe,
+    family,
+    load_plan,
+    names,
+    scenario_specs,
+    validate,
+)
+from repro.workloads import perturbed_fleet, spawn_streams
+from repro.workloads.fleets import cpu_gpu_fleet
+from repro.workloads.scale import big_fleet_instance, long_horizon_instance
+
+
+# --------------------------------------------------------------------------- #
+# ScenarioSpec round-trips
+# --------------------------------------------------------------------------- #
+
+
+class TestScenarioSpec:
+    def test_dict_round_trip(self):
+        original = ScenarioSpec("diurnal-cpu-gpu", {"T": 24, "peak": 8.0}, seed=3)
+        assert ScenarioSpec.from_dict(original.to_dict()) == original
+
+    def test_json_round_trip(self):
+        original = ScenarioSpec("priced-cpu-gpu", {"T": 12, "amplitude": 0.3, "name": "x"}, seed=7)
+        restored = ScenarioSpec.from_json(original.to_json())
+        assert restored == original
+        assert restored.params == {"T": 12, "amplitude": 0.3, "name": "x"}
+
+    def test_minimal_spec_omits_empty_fields(self):
+        assert ScenarioSpec("homogeneous").to_dict() == {"scenario": "homogeneous"}
+
+    def test_parse_accepts_name_dict_and_spec(self):
+        by_name = ScenarioSpec.parse("homogeneous")
+        by_dict = ScenarioSpec.parse({"scenario": "homogeneous"})
+        passthrough = ScenarioSpec.parse(by_name)
+        assert by_name == by_dict == passthrough
+
+    def test_rejects_non_json_params(self):
+        with pytest.raises(TypeError):
+            ScenarioSpec("homogeneous", {"T": np.int64(5)})
+        with pytest.raises(TypeError):
+            ScenarioSpec("homogeneous", {"fn": lambda: None})
+
+    def test_rejects_bad_seed_and_name(self):
+        with pytest.raises(TypeError):
+            ScenarioSpec("homogeneous", seed="five")
+        with pytest.raises(TypeError):
+            ScenarioSpec("")
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown scenario-spec keys"):
+            ScenarioSpec.from_dict({"scenario": "homogeneous", "instances": []})
+
+    def test_tuple_params_canonicalised_to_lists(self):
+        spec = ScenarioSpec("any", {"xs": (1, 2), "nested": {"ys": (3,)}})
+        assert spec.params == {"xs": [1, 2], "nested": {"ys": [3]}}
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_hash_consistent_with_numeric_equality(self):
+        a = ScenarioSpec("homogeneous", {"T": 1}, seed=2)
+        b = ScenarioSpec("homogeneous", {"T": 1.0}, seed=2)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_with_overrides_merges(self):
+        base = ScenarioSpec("homogeneous", {"T": 10})
+        out = base.with_overrides(seed=2, peak=4.0)
+        assert out.params == {"T": 10, "peak": 4.0}
+        assert out.seed == 2
+        assert base.params == {"T": 10}  # untouched
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+
+
+class TestRegistry:
+    def test_expected_families_registered(self):
+        expected = {
+            "diurnal-cpu-gpu", "homogeneous", "bursty-old-new", "load-independent",
+            "spiky-three-tier", "priced-cpu-gpu", "time-varying-m",
+            "heterogeneous-random", "long-horizon", "big-fleet",
+        }
+        assert expected <= set(names())
+
+    def test_describe_exposes_params_and_defaults(self):
+        info = describe("diurnal-cpu-gpu")
+        assert info["params"]["T"] == 48
+        assert info["params"]["seed"] == 1
+        assert info["description"]
+        assert info["smoke_params"]
+
+    def test_every_family_has_buildable_smoke_params(self):
+        for name in names():
+            fam = family(name)
+            instance = build(ScenarioSpec(name, dict(fam.smoke_params)))
+            assert isinstance(instance, ProblemInstance)
+            assert instance.T > 0
+            assert instance.is_feasible()
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(UnknownScenarioError, match="unknown scenario family 'nope'"):
+            build("nope")
+
+    def test_unknown_param_raises(self):
+        with pytest.raises(ScenarioParamError, match="unknown parameter"):
+            build("homogeneous", horizon=10)
+        with pytest.raises(ScenarioParamError, match="unknown parameter"):
+            validate(ScenarioSpec("homogeneous", {"horizon": 10}))
+
+    def test_deterministic_rebuild(self):
+        for name in ("diurnal-cpu-gpu", "bursty-old-new", "heterogeneous-random"):
+            spec_obj = ScenarioSpec(name, {"T": 12}, seed=9)
+            a, b = build(spec_obj), build(spec_obj)
+            assert a.name == b.name
+            assert np.array_equal(a.demand, b.demand)
+            assert a.server_types == b.server_types
+
+    def test_seed_changes_stochastic_families(self):
+        a = build("diurnal-cpu-gpu", T=12, seed=0)
+        b = build("diurnal-cpu-gpu", T=12, seed=1)
+        assert not np.array_equal(a.demand, b.demand)
+
+    def test_name_override_param(self):
+        instance = build("homogeneous", T=8, name="my-own-name")
+        assert instance.name == "my-own-name"
+
+
+# --------------------------------------------------------------------------- #
+# Unified seeding
+# --------------------------------------------------------------------------- #
+
+
+class TestSeeding:
+    def test_spawn_streams_deterministic_and_independent(self):
+        a1, b1 = spawn_streams(42, 2)
+        a2, b2 = spawn_streams(42, 2)
+        assert np.array_equal(a1.random(8), a2.random(8))
+        assert np.array_equal(b1.random(8), b2.random(8))
+        assert not np.array_equal(spawn_streams(42, 2)[0].random(8), spawn_streams(43, 2)[0].random(8))
+
+    def test_perturbed_fleet_seeded_and_identity_at_zero(self):
+        fleet = cpu_gpu_fleet()
+        assert perturbed_fleet(fleet, jitter=0.0, rng=1) == list(fleet)
+        j1 = perturbed_fleet(fleet, jitter=0.3, rng=spawn_streams(1, 1)[0])
+        j2 = perturbed_fleet(fleet, jitter=0.3, rng=spawn_streams(1, 1)[0])
+        assert [st.switching_cost for st in j1] == [st.switching_cost for st in j2]
+        assert j1[0].switching_cost != fleet[0].switching_cost
+        with pytest.raises(ValueError):
+            perturbed_fleet(fleet, jitter=-0.1)
+
+    def test_scale_builders_share_trace_across_heterogeneity(self):
+        # the fleet sub-stream is independent of the trace sub-stream, and the
+        # trace is sized against the unperturbed fleet: turning fleet jitter on
+        # must not change the demand (up to the feasibility clip)
+        plain = long_horizon_instance(T=64, cpu_count=6, gpu_count=4, levels=8, seed=5)
+        jittered = long_horizon_instance(
+            T=64, cpu_count=6, gpu_count=4, levels=8, seed=5, heterogeneity=0.2
+        )
+        assert jittered.server_types != plain.server_types
+        cap = min(
+            sum(st.count * st.capacity for st in plain.server_types),
+            sum(st.count * st.capacity for st in jittered.server_types),
+        )
+        assert np.array_equal(np.minimum(plain.demand, cap), np.minimum(jittered.demand, cap))
+        plain2 = long_horizon_instance(T=64, cpu_count=6, gpu_count=4, levels=8, seed=5)
+        assert np.array_equal(plain.demand, plain2.demand)
+
+    def test_big_fleet_builder_deterministic(self):
+        a = big_fleet_instance(T=32, d=2, m_max=10, levels=8, seed=3)
+        b = big_fleet_instance(T=32, d=2, m_max=10, levels=8, seed=3)
+        assert np.array_equal(a.demand, b.demand)
+        assert a.name == "big-fleet-T32-d2-m10"
+
+    def test_heterogeneous_random_family_trace_independent_of_jitter(self):
+        a = build("heterogeneous-random", T=16, jitter=0.0, seed=4)
+        b = build("heterogeneous-random", T=16, jitter=0.5, seed=4)
+        # same seed, different fleet jitter: fleets differ...
+        assert a.server_types != b.server_types
+        # ...but the demand stream is untouched up to the capacity clip
+        cap = min(
+            sum(st.count * st.capacity for st in a.server_types),
+            sum(st.count * st.capacity for st in b.server_types),
+        )
+        mask = (a.demand < cap) & (b.demand < cap)
+        assert mask.any()
+        assert np.array_equal(a.demand[mask], b.demand[mask])
+
+
+# --------------------------------------------------------------------------- #
+# Plan compiler
+# --------------------------------------------------------------------------- #
+
+
+class TestCompiler:
+    def test_compile_minimal_plan(self):
+        plan = compile_plan({"scenarios": ["homogeneous"], "algorithms": ["A"]})
+        assert plan.instances == ()
+        assert plan.scenarios == (ScenarioSpec("homogeneous"),)
+        assert plan.algorithms[0].kind == "A"
+
+    def test_common_params_merge_with_entry_precedence(self):
+        plan = compile_plan({
+            "scenarios": ["homogeneous", {"scenario": "bursty-old-new", "params": {"T": 10}}],
+            "params": {"T": 24},
+            "algorithms": ["A"],
+        })
+        assert plan.scenarios[0].params == {"T": 24}
+        assert plan.scenarios[1].params == {"T": 10}
+
+    def test_seeds_expand(self):
+        plan = compile_plan({
+            "scenarios": ["homogeneous"], "seeds": [0, 1, 2], "algorithms": ["A"],
+        })
+        assert [s.seed for s in plan.scenarios] == [0, 1, 2]
+
+    def test_entry_level_seed_survives_global_seeds(self):
+        plan = compile_plan({
+            "scenarios": [{"scenario": "homogeneous", "seed": 9}, "diurnal-cpu-gpu"],
+            "seeds": [0, 1],
+            "algorithms": ["A"],
+        })
+        assert [(s.name, s.seed) for s in plan.scenarios] == [
+            ("homogeneous", 9), ("diurnal-cpu-gpu", 0), ("diurnal-cpu-gpu", 1),
+        ]
+
+    def test_seeds_must_be_an_integer_list(self):
+        for bad in ("12", 5, [1, "2"], [True]):
+            with pytest.raises(ValueError, match="seeds"):
+                compile_plan({"scenarios": ["homogeneous"], "seeds": bad, "algorithms": ["A"]})
+
+    def test_null_jobs_and_compute_optimal_mean_defaults(self):
+        plan = compile_plan({
+            "scenarios": ["homogeneous"],
+            "algorithms": ["A"],
+            "jobs": None,
+            "compute_optimal": None,
+            "checkpoint_every": None,
+        })
+        assert plan.jobs == 1
+        assert plan.compute_optimal is True
+
+    def test_offline_and_algorithm_dicts(self):
+        plan = compile_plan({
+            "scenarios": ["time-varying-m"],
+            "algorithms": [{"kind": "C", "params": {"epsilon": 0.5}, "label": "C(0.5)"}],
+            "offline": [{"solver": "approx", "epsilon": 0.5, "return_schedule": False}],
+            "jobs": 3,
+            "compute_optimal": False,
+        })
+        assert plan.algorithms[0].params == {"epsilon": 0.5}
+        assert plan.offline[0].solver == "approx"
+        assert plan.jobs == 3
+        assert plan.compute_optimal is False
+
+    def test_unknown_scenario_fails_at_compile_time(self):
+        with pytest.raises(UnknownScenarioError):
+            compile_plan({"scenarios": ["nope"], "algorithms": ["A"]})
+
+    def test_unknown_param_fails_at_compile_time(self):
+        with pytest.raises(ScenarioParamError):
+            compile_plan({"scenarios": [{"scenario": "homogeneous", "params": {"bogus": 1}}]})
+
+    def test_unknown_plan_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown plan keys"):
+            compile_plan({"scenarios": ["homogeneous"], "instances": []})
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ValueError, match="at least one scenario"):
+            compile_plan({"algorithms": ["A"]})
+
+    def test_load_plan_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({
+            "scenarios": [{"scenario": "homogeneous", "params": {"T": 8}}],
+            "algorithms": ["A"],
+        }))
+        plan = load_plan(path, jobs=2)
+        assert plan.jobs == 2
+        assert plan.scenarios[0].params == {"T": 8}
+
+    def test_load_plan_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_plan(path)
+
+    def test_scenario_specs_helper(self):
+        specs = scenario_specs(["homogeneous", "diurnal-cpu-gpu"], params={"T": 10}, seeds=[1, 2])
+        assert len(specs) == 4
+        assert all(s.params == {"T": 10} for s in specs)
+        assert [s.seed for s in specs] == [1, 2, 1, 2]
+
+
+# --------------------------------------------------------------------------- #
+# Lazy execution through the sweep engine
+# --------------------------------------------------------------------------- #
+
+
+THREE_FAMILY_SPECS = (
+    ScenarioSpec("homogeneous", {"T": 12}, seed=5),
+    ScenarioSpec("diurnal-cpu-gpu", {"T": 12}, seed=1),
+    ScenarioSpec("bursty-old-new", {"T": 12}, seed=2),
+)
+
+
+class TestLazyPlans:
+    def _hand_built(self):
+        return SweepPlan(
+            instances=tuple(build(s) for s in THREE_FAMILY_SPECS),
+            algorithms=(spec("A"), spec("B")),
+        )
+
+    def test_scenario_plan_matches_hand_built_serial(self):
+        lazy = SweepPlan(scenarios=THREE_FAMILY_SPECS, algorithms=(spec("A"), spec("B")))
+        a, b = run_plan(lazy), run_plan(self._hand_built())
+        assert len(a.records) == len(b.records) == 6
+        for ra, rb in zip(a.records, b.records):
+            assert ra.instance == rb.instance
+            assert ra.algorithm == rb.algorithm
+            assert abs(ra.cost - rb.cost) <= 1e-9
+            assert abs(ra.optimal_cost - rb.optimal_cost) <= 1e-9
+
+    def test_scenario_plan_matches_hand_built_sharded(self):
+        lazy = SweepPlan(scenarios=THREE_FAMILY_SPECS, algorithms=(spec("A"), spec("B")), jobs=2)
+        sharded, serial = run_plan(lazy), run_plan(self._hand_built())
+        assert sharded.meta["jobs"] == 2
+        for ra, rb in zip(sharded.records, serial.records):
+            assert abs(ra.cost - rb.cost) <= 1e-9
+            assert ra.scenario is not None
+
+    def test_no_instance_pickled_into_scenario_shards(self):
+        plan = SweepPlan(scenarios=THREE_FAMILY_SPECS, algorithms=(spec("A"),), jobs=2)
+        payloads = _shard_payloads(plan, plan.algorithms, plan.offline)
+        assert len(payloads) == 3
+        for payload in payloads:
+            instance, scenario = payload[0], payload[1]
+            assert instance is None
+            assert isinstance(scenario, ScenarioSpec)
+            assert not any(isinstance(item, ProblemInstance) for item in payload)
+
+    def test_mixed_instances_and_scenarios_run_in_plan_order(self):
+        plan = SweepPlan(
+            instances=(build("homogeneous", T=10),),
+            scenarios=(ScenarioSpec("diurnal-cpu-gpu", {"T": 10}),),
+            algorithms=(spec("A"),),
+        )
+        report = run_plan(plan)
+        assert [r.instance for r in report.records] == ["homogeneous-T10", "diurnal-cpu-gpu-T10"]
+        assert report.records[0].scenario is None
+        assert report.records[1].scenario == {"scenario": "diurnal-cpu-gpu", "params": {"T": 10}}
+
+    def test_scenario_stamp_in_records_and_rows(self):
+        plan = SweepPlan(scenarios=(ScenarioSpec("homogeneous", {"T": 10}, seed=3),),
+                         algorithms=(spec("A"),))
+        report = run_plan(plan)
+        record = report.records[0]
+        assert record.scenario == {"scenario": "homogeneous", "params": {"T": 10}, "seed": 3}
+        assert record.as_row()["scenario"] == record.scenario
+        assert report.meta["scenarios"] == [record.scenario]
+
+    def test_string_and_dict_scenario_entries_accepted(self):
+        plan = SweepPlan(
+            scenarios=("homogeneous", {"scenario": "homogeneous", "params": {"T": 10}}),
+            algorithms=(),
+            offline=(),
+        )
+        sources = _plan_sources(plan)
+        assert [s.params for _, s in sources] == [{}, {"T": 10}]
+
+    def test_invalid_scenario_in_plan_fails_before_running(self):
+        plan = SweepPlan(scenarios=("nope",), algorithms=(spec("A"),))
+        with pytest.raises(UnknownScenarioError):
+            run_plan(plan)
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+
+
+def run_cli(*argv):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = cli_main(list(argv))
+    return code, buffer.getvalue()
+
+
+class TestScenarioCli:
+    def test_list(self):
+        code, out = run_cli("scenarios", "list")
+        assert code == 0
+        for name in ("diurnal-cpu-gpu", "homogeneous", "big-fleet"):
+            assert name in out
+
+    def test_describe(self):
+        code, out = run_cli("scenarios", "describe", "priced-cpu-gpu")
+        assert code == 0
+        assert "amplitude" in out
+        assert "seed" in out
+
+    def test_describe_unknown_exits(self):
+        with pytest.raises(SystemExit, match="unknown scenario family"):
+            run_cli("scenarios", "describe", "nope")
+
+    def test_describe_without_name_exits(self):
+        with pytest.raises(SystemExit, match="needs a scenario name"):
+            run_cli("scenarios", "describe")
+
+    def test_build_with_params(self, tmp_path):
+        target = tmp_path / "spec.json"
+        code, out = run_cli(
+            "scenarios", "build", "homogeneous", "--param", "T=9", "--seed", "4",
+            "--json", str(target),
+        )
+        assert code == 0
+        assert "homogeneous-T9" in out
+        assert json.loads(target.read_text()) == {
+            "scenario": "homogeneous", "params": {"T": 9}, "seed": 4,
+        }
+
+    def test_build_unknown_param_exits(self):
+        with pytest.raises(SystemExit, match="unknown parameter"):
+            run_cli("scenarios", "build", "homogeneous", "--param", "bogus=1")
+
+    def test_sweep_scenario_flag(self, tmp_path):
+        target = tmp_path / "report.json"
+        code, out = run_cli(
+            "sweep", "--scenario", "homogeneous,diurnal-cpu-gpu", "--param", "T=10",
+            "--algorithms", "A", "--json", str(target),
+        )
+        assert code == 0
+        assert "homogeneous-T10" in out
+        assert "diurnal-cpu-gpu-T10" in out
+        payload = json.loads(target.read_text())
+        assert all(row["scenario"]["params"] == {"T": 10} for row in payload["rows"])
+
+    def test_sweep_scenario_seed_flag_applies(self):
+        code, out = run_cli("sweep", "--scenario", "homogeneous", "--param", "T=10",
+                            "--seed", "3", "--algorithms", "A")
+        assert code == 0
+        # the spec seed shows in the table's seed column (family default would not)
+        assert "| 3    |" in out
+
+    def test_sweep_plan_file_with_null_jobs(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({
+            "scenarios": ["homogeneous"], "params": {"T": 10},
+            "algorithms": ["A"], "jobs": None,
+        }))
+        code, out = run_cli("sweep", "--plan", str(path))
+        assert code == 0
+        assert "homogeneous-T10" in out
+
+    def test_sweep_scenario_jobs_matches_serial(self):
+        code1, out1 = run_cli("sweep", "--scenario", "homogeneous", "--param", "T=10",
+                              "--seeds", "0,1", "--algorithms", "A", "--jobs", "2")
+        code2, out2 = run_cli("sweep", "--scenario", "homogeneous", "--param", "T=10",
+                              "--seeds", "0,1", "--algorithms", "A")
+        assert code1 == code2 == 0
+
+        def costs(text):
+            return [line.split("|")[2].strip() for line in text.splitlines() if "algorithm-A" in line]
+
+        assert costs(out1) == costs(out2)
+
+    def test_sweep_plan_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({
+            "scenarios": ["homogeneous"],
+            "params": {"T": 10},
+            "algorithms": ["A"],
+        }))
+        code, out = run_cli("sweep", "--plan", str(path))
+        assert code == 0
+        assert "homogeneous-T10" in out
+
+    def test_sweep_plan_and_scenario_are_exclusive(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("{}")
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            run_cli("sweep", "--plan", str(path), "--scenario", "homogeneous")
+
+    def test_sweep_plan_rejects_overridden_flags(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({"scenarios": ["homogeneous"], "algorithms": ["A"]}))
+        with pytest.raises(SystemExit, match="--seeds does not apply"):
+            run_cli("sweep", "--plan", str(path), "--seeds", "7,8")
+        with pytest.raises(SystemExit, match="--param does not apply"):
+            run_cli("sweep", "--plan", str(path), "--param", "T=24")
+        with pytest.raises(SystemExit, match="--algorithms does not apply"):
+            run_cli("sweep", "--plan", str(path), "--algorithms", "B")
+        with pytest.raises(SystemExit, match="--seed does not apply"):
+            run_cli("sweep", "--plan", str(path), "--seed", "0")
+
+    def test_sweep_plan_without_algorithms_uses_cli_selection(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({"scenarios": ["homogeneous"], "params": {"T": 10}}))
+        code, out = run_cli("sweep", "--plan", str(path), "--algorithms", "A,B")
+        assert code == 0
+        assert "algorithm-A" in out and "algorithm-B" in out
+
+    def test_sweep_empty_algorithms_rejected(self):
+        with pytest.raises(SystemExit, match="no algorithms selected"):
+            run_cli("sweep", "--scenario", "homogeneous", "--algorithms", "")
+
+    def test_sweep_unknown_scenario_exits(self):
+        with pytest.raises(SystemExit, match="unknown scenario family"):
+            run_cli("sweep", "--scenario", "nope", "--algorithms", "A")
+
+    def test_legacy_fleet_trace_sweep_still_works(self):
+        code, out = run_cli("sweep", "--fleet", "cpu-gpu", "--trace", "diurnal",
+                            "--slots", "10", "--algorithms", "A")
+        assert code == 0
+        assert "cpu-gpu/diurnal" in out
