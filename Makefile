@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-sweep bench-scale perf-regress scenarios-smoke
+.PHONY: test bench bench-smoke bench-sweep bench-scale bench-serve perf-regress scenarios-smoke serve-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -38,6 +38,19 @@ perf-regress:
 # layer end to end: spec -> registry -> lazy materialisation -> engine).
 scenarios-smoke:
 	$(PYTHON) -m repro scenarios smoke
+
+# Serve-layer gate: every registered scenario family replayed tick by tick
+# through a ControllerSession — including a mid-stream checkpoint/restore
+# round-trip serialised through JSON — must reproduce the batch run_online
+# schedule exactly and its total cost to 1e-9.
+serve-smoke:
+	$(PYTHON) -m repro serve smoke
+
+# Multi-tenant serving benchmark: latency percentiles + tenants/sec for
+# 1/8/64 concurrent sessions, shared vs isolated caches; gates cost equality
+# and real work deduplication, writes benchmarks/output/BENCH_serve.json.
+bench-serve:
+	$(PYTHON) -m repro serve bench --json benchmarks/output/BENCH_serve.json
 
 # full benchmark harness (regenerates the paper artifacts + BENCH_*.json)
 bench:

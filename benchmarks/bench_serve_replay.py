@@ -1,0 +1,86 @@
+"""SERVE — multi-tenant streaming replay: latency percentiles and cache sharing.
+
+Runs the serve-layer benchmark (:func:`repro.bench.run_serve_bench`): one
+fleet geometry, ``n`` concurrent :class:`~repro.serve.ControllerSession`
+tenants each replaying a rotated copy of the same quantised demand trace,
+for ``n`` in {1, 8, 64} — once over one shared
+:class:`~repro.serve.ServeCache` and once with per-tenant isolated caches.
+
+* **gates** (deterministic): sharing must be decision-neutral (every tenant's
+  cumulative cost identical between modes) and real (strictly fewer unique
+  dispatch solves in shared mode for n > 1),
+* measures per-tick wall-latency p50/p95/p99, aggregate ticks/sec and
+  tenants/sec, and the cache-hit counters, and
+* records everything in ``benchmarks/output/BENCH_serve.json`` plus a
+  human-readable ``SERVE_replay.txt``.
+
+Run directly (``python benchmarks/bench_serve_replay.py``) or through
+``make bench`` / ``pytest --benchmark-only`` like the other experiments.
+"""
+
+from repro.bench import run_serve_bench
+
+from bench_utils import once, result_section, write_bench_json, write_result
+
+
+def _report(payload: dict) -> str:
+    rows = [
+        {
+            "tenants": row["tenants"],
+            "mode": row["mode"],
+            "total_ticks": row["total_ticks"],
+            "p50_ms": row["latency"]["p50_ms"],
+            "p95_ms": row["latency"]["p95_ms"],
+            "p99_ms": row["latency"]["p99_ms"],
+            "ticks_per_s": row["ticks_per_second"],
+            "tenants_per_s": row["tenants_per_second"],
+            "unique_solves": row["unique_solves"],
+            "grid_hit_rate": row["grid_hit_rate"],
+        }
+        for row in payload["rows"]
+    ]
+    comparisons = [
+        {
+            "tenants": row["tenants"],
+            "speedup_vs_isolated": row["speedup_vs_isolated"],
+            "per_tick_us_shared": row["per_tick_us_shared"],
+            "per_tick_us_isolated": row["per_tick_us_isolated"],
+            "unique_solves_shared": row["unique_solves_shared"],
+            "unique_solves_isolated": row["unique_solves_isolated"],
+            "max_cost_deviation": f"{row['max_cost_deviation']:.2e}",
+        }
+        for row in payload["comparisons"]
+    ]
+    return "\n\n".join(
+        [
+            "Experiment SERVE — multi-tenant streaming replay "
+            f"({payload['instance']}, {payload['ticks_per_tenant']} ticks/tenant, "
+            f"{payload['demand_levels']} demand levels).",
+            result_section("per-mode measurements", rows),
+            result_section("shared vs isolated", comparisons),
+            "Gates: per-tenant cost equality between modes (1e-9) and strictly "
+            "fewer unique dispatch solves in shared mode for n > 1.  Wall "
+            "times and latency percentiles are advisory (machine-dependent).",
+        ]
+    )
+
+
+def test_serve_replay_benchmark(benchmark):
+    payload = once(benchmark, run_serve_bench, tenant_counts=(1, 8, 64))
+
+    # the deterministic gates re-asserted at the harness level
+    for row in payload["comparisons"]:
+        assert row["max_cost_deviation"] <= 1e-9
+        if row["tenants"] > 1:
+            assert row["unique_solves_shared"] < row["unique_solves_isolated"]
+
+    write_bench_json("serve", payload)
+    write_result("SERVE_replay", _report(payload))
+
+
+if __name__ == "__main__":
+    payload = run_serve_bench(tenant_counts=(1, 8, 64))
+    write_bench_json("serve", payload)
+    path = write_result("SERVE_replay", _report(payload))
+    print(_report(payload))
+    print(f"\nwrote {path}")

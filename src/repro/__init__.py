@@ -39,6 +39,15 @@ a :class:`SweepPlan` (:func:`compile_plan` / :func:`load_plan`), and the
 engine materialises instances lazily — inside worker shards for process-
 sharded plans — stamping each spec into its records.  See
 ``docs/ARCHITECTURE.md`` for the full layer stack.
+
+The *serve* layer (:mod:`repro.serve`) drives the same algorithms from live
+demand streams instead of materialised instances: a :class:`ControllerSession`
+wraps any registered algorithm behind an incremental ``observe(demand_t)``
+API with latency telemetry and JSON checkpoint/restore, trace feeds replay
+scenarios / JSONL streams / synthetic generators at configurable time-warp
+speed, and a :class:`ServeEngine` multiplexes many tenants over shared
+dispatch caches.  Streamed replay reproduces batch ``run_online`` exactly
+(``make serve-smoke`` gates this for every scenario family).
 """
 
 from .core import (
@@ -100,6 +109,15 @@ from .exp import (
 )
 from .scenarios import ScenarioSpec, compile_plan, load_plan
 from .scenarios import build as build_scenario
+from .serve import (
+    ControllerSession,
+    FleetState,
+    InstanceFeed,
+    ScenarioFeed,
+    ServeCache,
+    ServeEngine,
+    verify_replay,
+)
 from .workloads import (
     bursty_trace,
     cpu_gpu_fleet,
@@ -119,13 +137,16 @@ __all__ = [
     "AllOn",
     "CallableCost",
     "ConstantCost",
+    "ControllerSession",
     "CostBreakdown",
     "CostFunction",
     "DPPrefixTracker",
     "DispatchResult",
     "DispatchSolver",
     "DispatchStats",
+    "FleetState",
     "FollowDemand",
+    "InstanceFeed",
     "LazyCapacityProvisioning",
     "LinearCost",
     "OfflineResult",
@@ -138,8 +159,11 @@ __all__ = [
     "QuadraticCost",
     "Reactive",
     "ScaledCost",
+    "ScenarioFeed",
     "ScenarioSpec",
     "Schedule",
+    "ServeCache",
+    "ServeEngine",
     "ServerType",
     "SharedInstanceContext",
     "ShiftedCost",
@@ -171,5 +195,6 @@ __all__ = [
     "theoretical_bound",
     "three_tier_fleet",
     "total_cost",
+    "verify_replay",
     "__version__",
 ]

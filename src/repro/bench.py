@@ -54,6 +54,7 @@ __all__ = [
     "PINNED_SWEEP_COSTS",
     "PR1_BASELINE_WALL_SECONDS",
     "run_scale_bench",
+    "run_serve_bench",
     "run_smoke_bench",
     "run_sweep_bench",
     "smoke_instances",
@@ -640,6 +641,150 @@ def run_sweep_bench(
         "speedup_vs_pr1": round(PR1_BASELINE_WALL_SECONDS / engine_wall, 2),
         "jobs": jobs,
         "experiments": experiments,
+    }
+    if json_path:
+        directory = os.path.dirname(json_path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+    return payload
+
+
+# --------------------------------------------------------------------------- #
+# SERVE: multi-tenant streaming replay benchmark
+# --------------------------------------------------------------------------- #
+
+
+def run_serve_bench(
+    tenant_counts=(1, 8, 64),
+    ticks: Optional[int] = None,
+    scenario: str = "diurnal-cpu-gpu",
+    algorithm="A",
+    demand_levels: int = 12,
+    json_path: Optional[str] = None,
+    assert_sharing: bool = True,
+) -> dict:
+    """Benchmark the serve layer: N concurrent sessions, shared vs isolated caches.
+
+    One fleet geometry, ``n`` tenants, each replaying a rotated copy of the
+    same quantised demand trace (rotation keeps the streams distinct while the
+    level *set* overlaps — the realistic many-tenants-one-hardware-pool shape).
+    Every tenant count runs twice: with one shared :class:`~repro.serve.ServeCache`
+    and with per-tenant isolated caches.  Records per-tick latency percentiles,
+    tenants/sec and the sharing counters in ``BENCH_serve.json``.
+
+    Gates (deterministic, machine-independent):
+
+    * per tenant, the shared-cache replay must cost exactly what the isolated
+      replay costs (sharing must not change a single decision), and
+    * with more than one tenant, the shared mode must run strictly fewer
+      unique dispatch solves than the isolated mode — the sharing is real,
+      not a label.  Wall times are recorded but advisory.
+    """
+    from .serve import InstanceFeed, ServeEngine
+    from .workloads.scale import quantise_trace
+
+    ticks = 64 if ticks is None else int(ticks)
+    base = build_scenario(scenario, T=ticks)
+    demand = quantise_trace(base.demand, levels=demand_levels)
+    instance = base.with_demand(demand, name=f"serve-{scenario}-T{ticks}")
+
+    rows: List[dict] = []
+    comparisons: List[dict] = []
+    for n in tenant_counts:
+        n = int(n)
+        mode_costs: Dict[str, list] = {}
+        for mode in ("shared", "isolated"):
+            engine = ServeEngine(share_caches=(mode == "shared"))
+            for k in range(n):
+                tenant_demand = np.roll(demand, k % max(ticks, 1))
+                feed = InstanceFeed(
+                    instance.with_demand(tenant_demand, name=f"tenant-{k}")
+                )
+                engine.add_tenant(f"tenant-{k}", algorithm, feed)
+            report = engine.run()
+            mode_costs[mode] = [s.cumulative_cost for s in engine.sessions]
+            sharing = report["sharing"]
+            rows.append(
+                {
+                    "tenants": n,
+                    "mode": mode,
+                    "ticks_per_tenant": ticks,
+                    "total_ticks": report["total_ticks"],
+                    "wall_seconds": report["wall_seconds"],
+                    "ticks_per_second": report.get("ticks_per_second"),
+                    "tenants_per_second": report.get("tenants_per_second"),
+                    "latency": report["latency"],
+                    "caches": report["caches"],
+                    "unique_solves": sum(c["unique_solves"] for c in sharing),
+                    "slot_queries": sum(c["slot_queries"] for c in sharing),
+                    # the serve-layer tensor memo absorbs repeated whole-grid
+                    # queries before they ever reach the dispatcher, so the
+                    # meaningful hit rate is measured there, not at the
+                    # solver's block cache (which only ever sees misses)
+                    "grid_hit_rate": round(
+                        sum(c["tensor_hits"] for c in sharing)
+                        / max(
+                            sum(c["tensor_hits"] + c["tensor_misses"] for c in sharing), 1
+                        ),
+                        6,
+                    ),
+                    "tensor_hits": sum(c["tensor_hits"] for c in sharing),
+                    "tensor_misses": sum(c["tensor_misses"] for c in sharing),
+                }
+            )
+        deviations = [
+            abs(a - b) for a, b in zip(mode_costs["shared"], mode_costs["isolated"])
+        ]
+        max_dev = max(deviations) if deviations else 0.0
+        if not max_dev <= 1e-9:
+            raise AssertionError(
+                f"{n} tenants: shared-cache replay changed a tenant's cost "
+                f"(max deviation {max_dev:.3e}) — sharing must be decision-neutral"
+            )
+        shared_row = rows[-2]
+        isolated_row = rows[-1]
+        if assert_sharing and n > 1:
+            if not shared_row["unique_solves"] < isolated_row["unique_solves"]:
+                raise AssertionError(
+                    f"{n} tenants: shared caches ran {shared_row['unique_solves']} unique "
+                    f"dispatch solves vs {isolated_row['unique_solves']} isolated — "
+                    "multi-tenant sharing is not deduplicating work"
+                )
+        shared_wall = shared_row["wall_seconds"]
+        isolated_wall = isolated_row["wall_seconds"]
+        comparisons.append(
+            {
+                "tenants": n,
+                "max_cost_deviation": max_dev,
+                "unique_solves_shared": shared_row["unique_solves"],
+                "unique_solves_isolated": isolated_row["unique_solves"],
+                "tensor_hits_shared": shared_row["tensor_hits"],
+                "tensor_hits_isolated": isolated_row["tensor_hits"],
+                "speedup_vs_isolated": (
+                    None if not shared_wall else round(isolated_wall / shared_wall, 2)
+                ),
+                "per_tick_us_shared": round(1e6 * shared_wall / max(shared_row["total_ticks"], 1), 1),
+                "per_tick_us_isolated": round(1e6 * isolated_wall / max(isolated_row["total_ticks"], 1), 1),
+            }
+        )
+
+    payload = {
+        "scenario": scenario,
+        "instance": instance.name,
+        "algorithm": algorithm if isinstance(algorithm, str) else dict(algorithm),
+        "ticks_per_tenant": ticks,
+        "demand_levels": demand_levels,
+        "tenant_counts": [int(n) for n in tenant_counts],
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "rows": rows,
+        "comparisons": comparisons,
+        "note": "cost equality and unique-solve counters gate; wall times are advisory",
     }
     if json_path:
         directory = os.path.dirname(json_path)

@@ -36,6 +36,16 @@ without writing Python:
     materialise instances lazily inside worker shards and stamp the spec
     (name + params + seed) into every record.
 
+``python -m repro serve replay|bench|smoke``
+    The live replay & serving subsystem: stream a scenario tick by tick
+    through a :class:`~repro.serve.ControllerSession` (``replay`` — with
+    optional time-warp pacing, per-tick JSONL telemetry, a mid-stream
+    checkpoint/restore round-trip and batch-equivalence verification), run
+    the multi-tenant serving benchmark (``bench`` — latency percentiles and
+    shared-vs-isolated cache counters for 1/8/64 concurrent sessions), or run
+    the streaming-equivalence gate over every registered scenario family
+    (``smoke`` — the ``make serve-smoke`` CI gate).
+
 ``python -m repro bench --smoke``
     Run the <30s benchmark regression harness: solve three pinned instances
     and assert the DP still returns seed-identical optimal costs (guards the
@@ -86,18 +96,14 @@ from .online import (
 )
 from .analysis.competitive import theoretical_bound
 from .workloads import (
-    bursty_trace,
-    constant_trace,
     cpu_gpu_fleet,
-    diurnal_trace,
     fleet_instance,
     load_independent_fleet,
-    mmpp_trace,
+    named_trace,
     old_new_fleet,
-    random_walk_trace,
     single_type_fleet,
-    spike_trace,
     three_tier_fleet,
+    trace_preset_names,
 )
 
 __all__ = ["main", "build_parser"]
@@ -111,13 +117,11 @@ FLEETS: Dict[str, Callable[[], list]] = {
     "load-independent": lambda: load_independent_fleet(),
 }
 
+# The named presets live in workloads.traces so the serve feeds resolve the
+# exact same parameterisations (`SyntheticFeed("diurnal")` == `--trace diurnal`).
 TRACES: Dict[str, Callable[[int, Optional[int]], np.ndarray]] = {
-    "diurnal": lambda T, seed: diurnal_trace(T, period=max(4, T // 2), base=1.0, peak=10.0, rng=seed),
-    "bursty": lambda T, seed: bursty_trace(T, rng=seed),
-    "mmpp": lambda T, seed: mmpp_trace(T, rng=seed),
-    "spikes": lambda T, seed: spike_trace(T, spike_height=6.0, spike_every=max(2, T // 6), rng=seed),
-    "constant": lambda T, seed: constant_trace(T, level=4.0),
-    "random-walk": lambda T, seed: random_walk_trace(T, rng=seed),
+    name: (lambda T, seed, _name=name: named_trace(_name, T, rng=seed))
+    for name in trace_preset_names()
 }
 
 ONLINE_ALGORITHMS: Dict[str, Callable[[argparse.Namespace], object]] = {
@@ -537,6 +541,188 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+# --------------------------------------------------------------------------- #
+# Serve sub-commands
+# --------------------------------------------------------------------------- #
+
+
+def _serve_algorithm(args: argparse.Namespace) -> dict:
+    """The algorithm selection of a serve command, as a build_serve_algorithm dict."""
+    params = {}
+    if args.algorithm == "C" and args.epsilon is not None:
+        params["epsilon"] = args.epsilon
+    return {"kind": args.algorithm, "params": params}
+
+
+def _serve_smoke(json_path: Optional[str] = None, tolerance: float = 1e-9) -> int:
+    """The streaming-equivalence gate: every registered scenario family must
+    replay through a ControllerSession — including one mid-stream
+    checkpoint/restore round-trip — and reproduce the batch ``run_online``
+    schedule exactly and its cost within ``tolerance``."""
+    from . import scenarios
+    from .serve import verify_replay
+
+    rows = []
+    failures = []
+    for name in scenarios.names():
+        fam = scenarios.family(name)
+        spec_obj = scenarios.ScenarioSpec(name, dict(fam.smoke_params))
+        start = time.perf_counter()
+        try:
+            instance = scenarios.build(spec_obj)
+            row = verify_replay(
+                instance,
+                "A",
+                # a one-slot family has no interior tick to checkpoint at
+                checkpoint_at=max(1, instance.T // 2) if instance.T >= 2 else None,
+                tolerance=tolerance,
+            )
+            rows.append(
+                {
+                    "scenario": name,
+                    "ticks": row["ticks"],
+                    "checkpoint_at": row["checkpoint_at"],
+                    "cost": round(row["cost"], 3),
+                    "cost_deviation": f"{row['cost_deviation']:.2e}",
+                    "p50_ms": row["latency"].get("p50_ms"),
+                    "seconds": round(time.perf_counter() - start, 4),
+                    "ok": True,
+                }
+            )
+        except Exception as exc:  # a broken family must fail the gate, not crash it
+            failures.append(f"{name}: {exc}")
+            rows.append({"scenario": name, "ticks": "-", "checkpoint_at": "-",
+                         "cost": "-", "cost_deviation": "-", "p50_ms": "-",
+                         "seconds": round(time.perf_counter() - start, 4), "ok": False})
+    print(format_table(
+        rows,
+        title=f"serve smoke — streaming replay == batch run_online "
+              f"(checkpoint/restore mid-stream, {len(rows)} families)",
+    ))
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump({"serve_smoke": rows}, handle, indent=2, default=str)
+        print(f"\nwrote {json_path}")
+    if failures:
+        print("\nFAIL:\n  " + "\n  ".join(failures), file=sys.stderr)
+        return 1
+    print(f"\nall {len(rows)} families replay equivalently (schedule exact, cost <= 1e-9)")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.action == "smoke":
+        return _serve_smoke(json_path=args.json)
+
+    if args.action == "bench":
+        from .bench import run_serve_bench
+
+        tenant_counts = tuple(
+            int(v) for v in str(args.tenants).split(",") if v.strip()
+        )
+        try:
+            payload = run_serve_bench(
+                tenant_counts=tenant_counts,
+                ticks=args.ticks,
+                scenario=args.scenario or "diurnal-cpu-gpu",
+                algorithm=_serve_algorithm(args),
+                json_path=args.json,
+            )
+        except AssertionError as exc:
+            print(f"FAIL: {exc}", file=sys.stderr)
+            return 1
+        table_rows = [
+            {
+                "tenants": row["tenants"],
+                "mode": row["mode"],
+                "ticks": row["total_ticks"],
+                "p50_ms": row["latency"]["p50_ms"],
+                "p95_ms": row["latency"]["p95_ms"],
+                "p99_ms": row["latency"]["p99_ms"],
+                "ticks_per_s": row["ticks_per_second"],
+                "unique_solves": row["unique_solves"],
+                "grid_hit_rate": row["grid_hit_rate"],
+            }
+            for row in payload["rows"]
+        ]
+        print(format_table(table_rows, title="serve bench — shared vs isolated multi-tenant replay"))
+        for cmp_row in payload["comparisons"]:
+            print(
+                f"\n{cmp_row['tenants']} tenants: shared caches run "
+                f"{cmp_row['speedup_vs_isolated']}x faster than isolated "
+                f"({cmp_row['unique_solves_shared']} vs {cmp_row['unique_solves_isolated']} "
+                "unique dispatch solves)"
+            )
+        if args.json:
+            print(f"\nwrote {args.json}")
+        return 0
+
+    # action == "replay"
+    from .serve import ControllerSession, ScenarioFeed, TelemetryWriter, build_serve_algorithm
+
+    try:
+        feed = ScenarioFeed(
+            args.scenario or "diurnal-cpu-gpu",
+            seed=args.seed,
+            tick_seconds=args.tick_seconds,
+            **_parse_param_overrides(args.param),
+        )
+    except Exception as exc:
+        raise SystemExit(str(exc))
+    algorithm = _serve_algorithm(args)
+    instance = feed.instance
+    if args.checkpoint_at is not None and not 1 <= args.checkpoint_at < instance.T:
+        raise SystemExit(
+            f"--checkpoint-at must be in [1, T) = [1, {instance.T}) — "
+            f"{args.checkpoint_at} would never fire"
+        )
+    print(f"replaying {feed.spec.key()} (T={instance.T}, d={instance.d}) "
+          f"with algorithm {args.algorithm}"
+          + (f" at {args.speed:g}x time-warp" if args.speed else " (unpaced)"))
+
+    session = ControllerSession(
+        algorithm, instance.server_types, track_regret=args.regret, name="replay"
+    )
+    with TelemetryWriter(args.telemetry) as writer:
+        for tick in feed.play(args.speed):
+            if args.checkpoint_at is not None and tick.t == args.checkpoint_at:
+                payload_bytes = len(json.dumps(session.checkpoint()))
+                session = session.checkpoint_roundtrip()
+                print(f"  checkpoint/restore round-trip at tick {tick.t} "
+                      f"({payload_bytes} bytes)")
+            state = session.observe(tick.demand, cost_row=tick.cost_row, counts=tick.counts)
+            writer.write(state.as_row(), tenant=session.name)
+    session.finish()
+
+    summary = session.summary()
+    row = {
+        "ticks": summary["ticks"],
+        "cost": round(summary["cumulative_cost"], 3),
+        "p50_ms": summary["latency"].get("p50_ms"),
+        "p95_ms": summary["latency"].get("p95_ms"),
+        "p99_ms": summary["latency"].get("p99_ms"),
+        "feasible": summary["feasible"],
+    }
+    print()
+    print(format_table([row], title=f"live replay — {session.algorithm.name}"))
+    if args.telemetry:
+        print(f"\nwrote {writer.rows_written} telemetry rows to {args.telemetry}")
+    if args.verify:
+        # the live session (including any checkpoint round-trip above) already
+        # holds the streamed schedule — one batch run is all the check needs
+        from .online import run_online as _run_online
+
+        batch = _run_online(instance, build_serve_algorithm(algorithm))
+        deviation = abs(session.cumulative_cost - batch.cost)
+        if not np.array_equal(session.schedule.x, batch.schedule.x) or deviation > 1e-9:
+            print(f"\nVERIFY FAIL: streamed replay deviates from batch run_online "
+                  f"(cost deviation {deviation:.3e})", file=sys.stderr)
+            return 1
+        print(f"\nverified: streamed schedule == batch run_online, "
+              f"cost deviation {deviation:.2e}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import PINNED_SWEEP_COSTS, run_scale_bench, run_smoke_bench, run_sweep_bench
 
@@ -682,6 +868,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Right-sizing heterogeneous data centers (Albers & Quedenfeld, SPAA 2021) — "
                     "offline and online solvers on synthetic scenarios.",
     )
+    from . import __version__
+
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_trace = sub.add_parser("trace", help="generate a synthetic demand trace")
@@ -780,6 +969,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--json", default=None, help="write the full report to this JSON file")
     p_sweep.set_defaults(func=_cmd_sweep)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="live replay & serving: stream scenarios through controller sessions",
+        epilog="`replay` streams one scenario tick by tick through a "
+               "ControllerSession (optional time-warp pacing, per-tick JSONL "
+               "telemetry, mid-stream checkpoint/restore, --verify asserts "
+               "batch equivalence); `bench` measures multi-tenant serving "
+               "(latency percentiles + shared-vs-isolated cache counters, "
+               "writes BENCH_serve.json); `smoke` is the `make serve-smoke` "
+               "CI gate (every registered family must replay equivalently).",
+    )
+    p_serve.add_argument("action", choices=["replay", "bench", "smoke"],
+                         help="stream one scenario / run the multi-tenant benchmark / run the CI gate")
+    p_serve.add_argument("--scenario", default=None,
+                         help="registered scenario family to replay (default: diurnal-cpu-gpu)")
+    p_serve.add_argument("--param", action="append", default=[], metavar="K=V",
+                         help="scenario parameter override (repeatable; values JSON-parsed)")
+    p_serve.add_argument("--seed", type=int, default=None, help="scenario seed")
+    p_serve.add_argument("--algorithm", choices=sorted(ONLINE_ALGORITHMS), default="A",
+                         help="controller algorithm (default: A)")
+    p_serve.add_argument("--epsilon", type=float, default=None,
+                         help="eps parameter for Algorithm C (default 0.25)")
+    p_serve.add_argument("--speed", type=float, default=None,
+                         help="time-warp factor: release one tick every tick_seconds/speed "
+                              "wall seconds (default: replay as fast as possible)")
+    p_serve.add_argument("--tick-seconds", type=float, default=1.0,
+                         help="simulated duration of one tick, for pacing (default: 1.0)")
+    p_serve.add_argument("--telemetry", default=None, metavar="FILE",
+                         help="append per-tick telemetry rows to this JSONL file")
+    p_serve.add_argument("--checkpoint-at", type=_positive_int, default=None, metavar="K",
+                         help="serialise the session to JSON after K ticks and restore it "
+                              "into a fresh session (exercises checkpoint/restore mid-stream)")
+    p_serve.add_argument("--verify", action="store_true",
+                         help="assert the streamed schedule and cost reproduce batch run_online")
+    p_serve.add_argument("--regret", action="store_true",
+                         help="track the offline prefix optimum per tick and report regret "
+                              "in the telemetry (one extra DP transition per tick)")
+    p_serve.add_argument("--tenants", default="1,8,64",
+                         help="comma-separated concurrent-session counts for bench (default: 1,8,64)")
+    p_serve.add_argument("--ticks", type=_positive_int, default=None,
+                         help="ticks per tenant for bench (default: 64)")
+    p_serve.add_argument("--json", default=None,
+                         help="write the bench/smoke measurements to this JSON file")
+    p_serve.set_defaults(func=_cmd_serve)
+
     p_bench = sub.add_parser("bench", help="run the benchmark regression harness")
     p_bench.add_argument("--smoke", action="store_true",
                          help="run the <30s pinned-instance exactness subset "
@@ -805,8 +1039,20 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Registered sub-commands (kept in sync with build_parser; the friendly
+#: unknown-command error below lists them without re-parsing).
+COMMANDS = ("trace", "solve", "online", "compare", "scenarios", "sweep", "serve", "bench")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by ``python -m repro`` and the console script."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    first = next((arg for arg in argv if not arg.startswith("-")), None)
+    if first is not None and first not in COMMANDS:
+        print(f"repro: unknown command {first!r}", file=sys.stderr)
+        print(f"available commands: {', '.join(COMMANDS)}", file=sys.stderr)
+        print("run `repro <command> --help` for usage", file=sys.stderr)
+        return 2
     parser = build_parser()
     args = parser.parse_args(argv)
     return int(args.func(args))

@@ -112,6 +112,40 @@ class AlgorithmA(OnlineAlgorithm):
                 bucket[j] += int(w_t[j])
         return self._current.copy()
 
+    # -------------------------------------------------------- checkpointing
+    def state_dict(self) -> dict:
+        """Decision-relevant state: tracker, runtimes, fleet, pending expiries.
+
+        The analysis logs (power-up history, prefix optima) restart empty
+        after a restore; they do not influence future ``step`` decisions.
+        ``inf`` runtimes (zero idle cost) are encoded as ``None`` to stay
+        strictly JSON-safe.
+        """
+        return {
+            "tracker": self._tracker.state_dict(),
+            "runtimes": None if self._runtimes is None else [
+                None if math.isinf(r) else float(r) for r in self._runtimes
+            ],
+            "current": None if self._current is None else [int(v) for v in self._current],
+            "expiry": {str(t): [int(v) for v in vec] for t, vec in self._expiry.items()},
+            "d": int(self._d),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._d = int(state["d"])
+        self._tracker.load_state_dict(state["tracker"])
+        runtimes = state["runtimes"]
+        self._runtimes = None if runtimes is None else np.array(
+            [math.inf if r is None else float(r) for r in runtimes]
+        )
+        current = state["current"]
+        self._current = None if current is None else np.asarray(current, dtype=int)
+        self._expiry = {
+            int(t): np.asarray(vec, dtype=int) for t, vec in state["expiry"].items()
+        }
+        self._power_ups = []
+        self._xhat_history = []
+
     # ------------------------------------------------------------------ analysis
     @property
     def runtimes(self) -> Optional[np.ndarray]:

@@ -51,6 +51,7 @@ class AlgorithmB(OnlineAlgorithm):
             raise ValueError("give either an explicit tracker or gamma, not both")
         self._tracker = tracker if tracker is not None else DPPrefixTracker(gamma=gamma)
         self._d = 0
+        self._steps = 0
         self._current: Optional[np.ndarray] = None
         self._records: List[List[_PowerUpRecord]] = []
         self._power_ups: List[np.ndarray] = []
@@ -61,6 +62,7 @@ class AlgorithmB(OnlineAlgorithm):
     # ---------------------------------------------------------------- life-cycle
     def start(self, context: OnlineContext) -> None:
         self._d = context.d
+        self._steps = 0
         self._tracker.reset()
         self._current = np.zeros(self._d, dtype=int)
         self._records = [[] for _ in range(self._d)]
@@ -106,15 +108,58 @@ class AlgorithmB(OnlineAlgorithm):
                 self._records[j].append(_PowerUpRecord(slot=t, count=int(w_t[j])))
         self._current = np.maximum(self._current, xhat)
         self._power_ups.append(w_t.astype(int))
+        self._steps += 1
         return self._current.copy()
 
     def finish(self) -> None:
-        # close the blocks of servers that are still running at the end of the horizon
-        horizon = len(self._power_ups)
+        # close the blocks of servers that are still running at the end of the
+        # horizon (the step counter, not the analysis log — the log restarts
+        # empty after a checkpoint restore while records keep absolute slots)
+        horizon = self._steps
         for j in range(self._d):
             for record in self._records[j]:
                 self._retired[j].append(Block(start=record.slot, end=horizon - 1))
             self._records[j] = []
+
+    # -------------------------------------------------------- checkpointing
+    def state_dict(self) -> dict:
+        """Decision-relevant state: tracker, fleet and open power-up records.
+
+        The retired-block and power-up logs are analysis-only and restart
+        empty after a restore.
+        """
+        return {
+            "tracker": self._tracker.state_dict(),
+            "current": None if self._current is None else [int(v) for v in self._current],
+            "records": [
+                [
+                    {"slot": int(r.slot), "count": int(r.count), "idle": float(r.accumulated_idle)}
+                    for r in records
+                ]
+                for records in self._records
+            ],
+            "d": int(self._d),
+            "steps": int(self._steps),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._d = int(state["d"])
+        self._steps = int(state["steps"])
+        self._tracker.load_state_dict(state["tracker"])
+        current = state["current"]
+        self._current = None if current is None else np.asarray(current, dtype=int)
+        self._records = [
+            [
+                _PowerUpRecord(slot=int(r["slot"]), count=int(r["count"]),
+                               accumulated_idle=float(r["idle"]))
+                for r in records
+            ]
+            for records in state["records"]
+        ]
+        self._power_ups = []
+        self._xhat_history = []
+        self._retired = [[] for _ in range(self._d)]
+        self._retirement_log = []
 
     # ------------------------------------------------------------------ analysis
     @property

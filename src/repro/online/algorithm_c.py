@@ -135,6 +135,21 @@ class AlgorithmC(OnlineAlgorithm):
     def finish(self) -> None:
         self._inner.finish()
 
+    # -------------------------------------------------------- checkpointing
+    def state_dict(self) -> dict:
+        """Decision-relevant state: the inner Algorithm B plus the sub-slot cursor."""
+        return {
+            "inner": self._inner.state_dict(),
+            "cursor": int(self._sub_slot_cursor),
+            "d": int(self._d),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._d = int(state["d"])
+        self._inner.load_state_dict(state["inner"])
+        self._sub_slot_cursor = int(state["cursor"])
+        self._sub_slot_counts = []
+
     # ------------------------------------------------------------------ analysis
     @property
     def sub_slot_counts(self) -> np.ndarray:

@@ -141,6 +141,28 @@ class OnlineAlgorithm(abc.ABC):
     def finish(self) -> None:
         """Hook called after the last slot (optional bookkeeping)."""
 
+    # -------------------------------------------------------- checkpointing
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of all *decision-relevant* state.
+
+        The serve layer (:mod:`repro.serve`) persists this dict in a
+        :meth:`~repro.serve.ControllerSession.checkpoint` and feeds it back
+        through :meth:`load_state_dict` after a restart; an algorithm must
+        capture enough state here that every future :meth:`step` decision is
+        unchanged by the round-trip.  Analysis-only logs (power-up history,
+        block records) may be dropped.  Stateless algorithms inherit this
+        empty default.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (called after :meth:`start`)."""
+        if state:
+            raise ValueError(
+                f"{self.name}: cannot restore checkpoint state {sorted(state)} "
+                "(algorithm does not override load_state_dict)"
+            )
+
 
 @dataclass(frozen=True, eq=False)
 class OnlineRunResult:

@@ -97,6 +97,15 @@ class Reactive(OnlineAlgorithm):
         self._current = configs[best].astype(int)
         return self._current.copy()
 
+    def state_dict(self) -> dict:
+        return {
+            "current": None if self._current is None else [int(v) for v in self._current],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        current = state["current"]
+        self._current = None if current is None else np.asarray(current, dtype=int)
+
 
 def optimal_static_schedule(
     instance: ProblemInstance,

@@ -88,6 +88,22 @@ class LazyCapacityProvisioning(OnlineAlgorithm):
         self._current = np.clip(self._current, lo, hi)
         return self._current.copy()
 
+    # -------------------------------------------------------- checkpointing
+    def state_dict(self) -> dict:
+        """Decision-relevant state: current configuration and both trackers."""
+        return {
+            "current": None if self._current is None else [int(v) for v in self._current],
+            "lower": self._lower_tracker.state_dict(),
+            "upper": self._upper_tracker.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        current = state["current"]
+        self._current = None if current is None else np.asarray(current, dtype=int)
+        self._lower_tracker.load_state_dict(state["lower"])
+        self._upper_tracker.load_state_dict(state["upper"])
+        self._bounds_history = []
+
     @property
     def bounds_history(self):
         """Per-slot ``(X^L_t, X^U_t)`` targets (after normalisation)."""

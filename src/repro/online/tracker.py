@@ -289,6 +289,18 @@ class PrefixOptimumTracker(abc.ABC):
         """
         return float("nan")
 
+    # -------------------------------------------------------- checkpointing
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of the tracker state (serve-layer checkpoints)."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} cannot restore checkpoint state {sorted(state)}"
+            )
+
 
 class DPPrefixTracker(PrefixOptimumTracker):
     """Incremental dynamic-programming tracker (exact or grid-reduced).
@@ -335,6 +347,7 @@ class DPPrefixTracker(PrefixOptimumTracker):
         self._stream = stream
         self._value: Optional[np.ndarray] = None
         self._grid: Optional[StateGrid] = None
+        self._grid_counts: Optional[tuple] = None
         self._steps = 0
         self._scratch: Optional[np.ndarray] = None
         # counts -> StateGrid; grids do not depend on the observed demands, so
@@ -347,6 +360,7 @@ class DPPrefixTracker(PrefixOptimumTracker):
     def reset(self) -> None:
         self._value = None
         self._grid = None
+        self._grid_counts = None
         self._steps = 0
 
     def observe(self, slot: SlotInfo) -> np.ndarray:
@@ -367,6 +381,7 @@ class DPPrefixTracker(PrefixOptimumTracker):
         # arrival is freshly allocated each step — accumulate in place
         self._value = np.add(arrival, g_tensor, out=arrival)
         self._grid = grid
+        self._grid_counts = tuple(int(c) for c in slot.counts)
         self._steps += 1
         return self._argmin_config()
 
@@ -374,6 +389,52 @@ class DPPrefixTracker(PrefixOptimumTracker):
         if self._value is None:
             return 0.0
         return float(np.min(self._value))
+
+    # -------------------------------------------------------- checkpointing
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot: step count, current value tensor and grid counts.
+
+        Python floats are doubles, so finite values round-trip exactly and a
+        restored tracker continues the incremental DP bit-identically; the
+        ``+inf`` entries of infeasible configurations are encoded as ``None``
+        to stay strictly JSON-compliant.  Trackers backed by a
+        :class:`SharedValueStream` are sweep-engine internals and are
+        deliberately not checkpointable — the serve layer gives every session
+        a private tracker.
+        """
+        if self._stream is not None:
+            raise RuntimeError(
+                "a tracker backed by a SharedValueStream is not checkpointable; "
+                "use a private DPPrefixTracker for serve sessions"
+            )
+        if self._value is None:
+            value = None
+        else:
+            value = [
+                None if np.isinf(v) else float(v) for v in self._value.reshape(-1)
+            ]
+        return {
+            "steps": int(self._steps),
+            "value": value,
+            "counts": None if self._grid_counts is None else list(self._grid_counts),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if self._stream is not None:
+            raise RuntimeError("cannot restore state into a shared-stream tracker")
+        self._steps = int(state["steps"])
+        if state["value"] is None:
+            self._value = None
+            self._grid = None
+            self._grid_counts = None
+        else:
+            counts = np.asarray(state["counts"], dtype=int)
+            self._grid = self._build_grid(counts)
+            self._grid_counts = tuple(int(c) for c in counts)
+            flat = np.array(
+                [np.inf if v is None else v for v in state["value"]], dtype=float
+            )
+            self._value = flat.reshape(self._grid.shape)
 
     # -------------------------------------------------------------- internals
     def _build_grid(self, counts: np.ndarray) -> StateGrid:
@@ -412,6 +473,12 @@ class FixedSequenceTracker(PrefixOptimumTracker):
 
     def reset(self) -> None:
         self._cursor = 0
+
+    def state_dict(self) -> dict:
+        return {"cursor": int(self._cursor)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._cursor = int(state["cursor"])
 
     def observe(self, slot: SlotInfo) -> np.ndarray:
         if self._cursor >= len(self._sequence):

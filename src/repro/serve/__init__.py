@@ -1,0 +1,56 @@
+"""Live replay & serving: streaming controllers on top of the online layer.
+
+The batch layers materialise a full problem instance and iterate it; this
+subsystem drives the same :class:`~repro.online.base.OnlineAlgorithm.step`
+contract from a *demand stream* that arrives one tick at a time — the regime
+the paper's online algorithms were designed for:
+
+* :class:`ControllerSession` — ``observe(demand_t) -> FleetState`` around any
+  registered algorithm, with per-tick wall-latency metering and a
+  JSON-serialisable ``checkpoint()/restore()``,
+* :mod:`~repro.serve.feed` — trace feeds (scenario specs, JSONL streams,
+  synthetic generators) with time-warped playback,
+* :class:`ServeEngine` — multi-tenant multiplexing over shared dispatch/grid
+  caches (N tenants over one fleet geometry cost far less than N isolated
+  sessions),
+* :mod:`~repro.serve.telemetry` — per-tick JSONL telemetry, latency
+  percentiles and prefix-optimum regret.
+
+The correctness anchor is :func:`verify_replay`: streaming a scenario must
+reproduce the batch ``run_online`` schedule exactly and its cost to 1e-9,
+including across a mid-stream checkpoint/restore round-trip (``repro serve
+smoke`` / ``make serve-smoke`` gate this for every registered family).
+"""
+
+from .engine import ServeEngine, verify_replay
+from .feed import ArrayFeed, InstanceFeed, JsonlFeed, ScenarioFeed, SyntheticFeed, Tick, TraceFeed
+from .session import (
+    ControllerSession,
+    FleetState,
+    SERVE_ALGORITHMS,
+    ServeCache,
+    build_serve_algorithm,
+    fleet_signature,
+)
+from .telemetry import TelemetryWriter, latency_percentiles, summarise_sessions
+
+__all__ = [
+    "ArrayFeed",
+    "ControllerSession",
+    "FleetState",
+    "InstanceFeed",
+    "JsonlFeed",
+    "SERVE_ALGORITHMS",
+    "ScenarioFeed",
+    "ServeCache",
+    "ServeEngine",
+    "SyntheticFeed",
+    "TelemetryWriter",
+    "Tick",
+    "TraceFeed",
+    "build_serve_algorithm",
+    "fleet_signature",
+    "latency_percentiles",
+    "summarise_sessions",
+    "verify_replay",
+]

@@ -1,0 +1,252 @@
+"""Multi-tenant serve engine and the streaming-equivalence verifier.
+
+:class:`ServeEngine` multiplexes many concurrent
+:class:`~repro.serve.session.ControllerSession` objects — one per
+fleet/tenant — over shared :class:`~repro.serve.session.ServeCache` state.
+Tenants whose fleets are the *same objects* (one geometry, many demand
+streams) are grouped onto one cache automatically, so the dispatch dual
+bisections and whole-grid tensors behind their ticks are computed once per
+distinct demand level across the whole engine, not once per tenant; the
+resulting cache-hit counters and wall times are what ``repro serve bench``
+records in ``BENCH_serve.json``.
+
+:func:`verify_replay` is the subsystem's correctness gate: it replays an
+instance through a session — optionally across a mid-stream
+checkpoint/restore round-trip — and checks the streamed schedule and
+cumulative cost against batch :func:`~repro.online.base.run_online` with an
+identically-built algorithm.  ``repro serve smoke`` (the ``make serve-smoke``
+CI gate) runs it over every registered scenario family.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..online.base import run_online
+from .feed import InstanceFeed, TraceFeed
+from .session import ControllerSession, ServeCache, build_serve_algorithm, fleet_signature
+from .telemetry import TelemetryWriter, summarise_sessions
+
+__all__ = ["ServeEngine", "verify_replay"]
+
+
+class _Tenant:
+    """One registered (session, feed) pair plus its playback iterator."""
+
+    def __init__(self, session: ControllerSession, feed: TraceFeed, speed: Optional[float]):
+        self.session = session
+        self.feed = feed
+        self.iterator = feed.play(speed)
+        self.done = False
+
+
+class ServeEngine:
+    """Multiplexes concurrent streaming sessions over shared dispatch caches.
+
+    ``share_caches=True`` (default) groups tenants by fleet geometry: every
+    tenant whose ``server_types`` tuple carries the same fleet objects joins
+    one :class:`ServeCache`, so N tenants over one geometry cost far less
+    than N isolated sessions.  ``share_caches=False`` gives every tenant a
+    private cache — the isolation baseline the serve benchmark compares
+    against.
+    """
+
+    def __init__(self, share_caches: bool = True):
+        self.share_caches = bool(share_caches)
+        self._caches: Dict[tuple, ServeCache] = {}
+        self._tenants: Dict[str, _Tenant] = {}
+
+    # ------------------------------------------------------------ registration
+    def cache_for(self, server_types) -> ServeCache:
+        """The shared cache of a fleet geometry (created on first use)."""
+        if not self.share_caches:
+            return ServeCache(server_types)
+        key = fleet_signature(server_types)
+        cache = self._caches.get(key)
+        if cache is None:
+            cache = ServeCache(server_types)
+            self._caches[key] = cache
+        return cache
+
+    def add_tenant(
+        self,
+        name: str,
+        algorithm,
+        feed: TraceFeed,
+        server_types=None,
+        *,
+        track_regret: bool = False,
+        speed: Optional[float] = None,
+    ) -> ControllerSession:
+        """Register a tenant: one session driven by one feed.
+
+        ``server_types`` defaults to the feed's fleet (instance/scenario
+        feeds carry one); demand-only feeds need it explicitly.
+        """
+        if name in self._tenants:
+            raise ValueError(f"tenant {name!r} is already registered")
+        if server_types is None:
+            server_types = feed.server_types
+        if server_types is None:
+            raise ValueError(
+                f"tenant {name!r}: the feed carries no fleet; pass server_types explicitly"
+            )
+        session = ControllerSession(
+            algorithm,
+            cache=self.cache_for(server_types),
+            track_regret=track_regret,
+            name=name,
+        )
+        self._tenants[name] = _Tenant(session, feed, speed)
+        return session
+
+    def session(self, name: str) -> ControllerSession:
+        return self._tenants[name].session
+
+    @property
+    def sessions(self) -> List[ControllerSession]:
+        return [tenant.session for tenant in self._tenants.values()]
+
+    @property
+    def caches(self) -> List[ServeCache]:
+        caches = []
+        for tenant in self._tenants.values():
+            if tenant.session.cache not in caches:
+                caches.append(tenant.session.cache)
+        return caches
+
+    # --------------------------------------------------------------- execution
+    def run(
+        self,
+        max_ticks: Optional[int] = None,
+        telemetry: Optional[TelemetryWriter] = None,
+    ) -> dict:
+        """Drain all feeds, interleaving tenants tick by tick (round-robin).
+
+        Interleaving (rather than replaying tenants back to back) is what a
+        live serving process does — all tenants advance together — and it
+        maximises cross-tenant cache reuse: the first tenant to reach a
+        demand level pays its solve, every later tenant's tick hits the memo.
+        Returns the engine report (per-tenant summaries, pooled latency
+        percentiles, sharing counters).
+        """
+        writer = telemetry or TelemetryWriter(None)
+        active = list(self._tenants.items())
+        started = time.perf_counter()
+        round_index = 0
+        while active and (max_ticks is None or round_index < max_ticks):
+            still_active = []
+            for name, tenant in active:
+                tick = next(tenant.iterator, None)
+                if tick is None:
+                    if not tenant.done:
+                        tenant.done = True
+                        tenant.session.finish()
+                    continue
+                state = tenant.session.observe(
+                    tick.demand, cost_row=tick.cost_row, counts=tick.counts
+                )
+                writer.write(state.as_row(), tenant=name)
+                still_active.append((name, tenant))
+            active = still_active
+            round_index += 1
+        for tenant in self._tenants.values():
+            if not tenant.done:
+                tenant.done = True
+                tenant.session.finish()
+        wall = time.perf_counter() - started
+        return self.report(wall_seconds=wall)
+
+    def report(self, wall_seconds: Optional[float] = None) -> dict:
+        """Engine-level summary: totals, pooled latencies, sharing counters."""
+        report = summarise_sessions(self.sessions, wall_seconds=wall_seconds)
+        report["tenant_summaries"] = [s.summary() for s in self.sessions]
+        caches = self.caches
+        report["caches"] = len(caches)
+        report["sharing"] = [cache.counters() for cache in caches]
+        return report
+
+
+# --------------------------------------------------------------------------- #
+# Streaming-equivalence verification
+# --------------------------------------------------------------------------- #
+
+
+def verify_replay(
+    instance: ProblemInstance,
+    algorithm="A",
+    checkpoint_at: Optional[int] = None,
+    tolerance: float = 1e-9,
+    track_regret: bool = False,
+) -> dict:
+    """Check that streaming replay reproduces batch ``run_online`` exactly.
+
+    Replays ``instance`` tick by tick through a :class:`ControllerSession`
+    (built by :func:`build_serve_algorithm`), optionally serialising the
+    session to a JSON checkpoint after ``checkpoint_at`` ticks and restoring
+    it into a brand-new session before streaming the remainder.  The streamed
+    schedule must equal the batch schedule *configuration for configuration*
+    and the cumulative cost must match the batch total within ``tolerance``.
+
+    Returns a JSON-safe report row; raises :class:`AssertionError` on any
+    mismatch (this function *is* the ``make serve-smoke`` gate) and
+    :class:`ValueError` when ``checkpoint_at`` lies outside ``[1, T)`` — an
+    out-of-range checkpoint would silently verify nothing about the
+    restore path.
+    """
+    if checkpoint_at is not None and not 1 <= checkpoint_at < instance.T:
+        raise ValueError(
+            f"checkpoint_at must be in [1, T) = [1, {instance.T}), got {checkpoint_at} "
+            "(the round-trip would never fire)"
+        )
+
+    batch = run_online(instance, build_serve_algorithm(algorithm))
+
+    feed = InstanceFeed(instance)
+    session = ControllerSession(
+        algorithm, instance.server_types, track_regret=track_regret
+    )
+    checkpointed = False
+    for tick in feed:
+        if checkpoint_at is not None and tick.t == checkpoint_at:
+            session = session.checkpoint_roundtrip()
+            checkpointed = True
+        session.observe(tick.demand, cost_row=tick.cost_row, counts=tick.counts)
+    session.finish()
+
+    streamed = session.schedule
+    if streamed.x.shape != batch.schedule.x.shape or not np.array_equal(
+        streamed.x, batch.schedule.x
+    ):
+        mismatches = (
+            int(np.sum(np.any(streamed.x != batch.schedule.x, axis=1)))
+            if streamed.x.shape == batch.schedule.x.shape
+            else -1
+        )
+        raise AssertionError(
+            f"{instance.name}: streamed schedule deviates from batch run_online "
+            f"({mismatches} mismatching slots)"
+        )
+    cost_deviation = abs(session.cumulative_cost - batch.cost)
+    if not cost_deviation <= tolerance:
+        raise AssertionError(
+            f"{instance.name}: streamed cumulative cost {session.cumulative_cost!r} "
+            f"deviates from batch total {batch.cost!r} by {cost_deviation:.3e} "
+            f"(tolerance {tolerance:g})"
+        )
+    return {
+        "instance": instance.name,
+        "algorithm": session.algorithm.name,
+        "ticks": session.ticks,
+        "checkpointed": checkpointed,
+        "checkpoint_at": checkpoint_at if checkpointed else None,
+        "cost": session.cumulative_cost,
+        "batch_cost": batch.cost,
+        "cost_deviation": cost_deviation,
+        "latency": session.latency_summary(),
+        "ok": True,
+    }

@@ -1,0 +1,199 @@
+"""Trace feeds: demand sources for streaming replay.
+
+A feed is an iterable of :class:`Tick` objects — demand plus the optional
+per-tick fleet information (time-dependent cost rows, maintenance counts) a
+:class:`~repro.serve.session.ControllerSession` reveals to its algorithm one
+slot at a time.  Sources:
+
+* :class:`InstanceFeed` — replay a materialised
+  :class:`~repro.core.instance.ProblemInstance` (the batch-equivalence
+  anchor: streaming an instance must reproduce ``run_online`` on it),
+* :class:`ScenarioFeed` — replay a registered scenario family by name
+  (``ScenarioSpec`` address → lazy materialisation → replay),
+* :class:`JsonlFeed` — replay a JSONL demand stream (one number or one
+  ``{"demand": x}`` object per line),
+* :class:`SyntheticFeed` — generate a named trace preset (``"diurnal"``, ...)
+  or any array/callable on the fly.
+
+Every feed supports *time-warped* playback: ``feed.play(speed=60)`` paces the
+ticks at ``tick_seconds / speed`` wall seconds each (one simulated minute per
+wall second at ``tick_seconds=3600, speed=60``); ``speed=None`` (the default
+everywhere correctness matters) replays as fast as the controller can
+consume.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Optional, Union
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..workloads.traces import named_trace
+
+__all__ = [
+    "Tick",
+    "TraceFeed",
+    "ArrayFeed",
+    "InstanceFeed",
+    "JsonlFeed",
+    "ScenarioFeed",
+    "SyntheticFeed",
+]
+
+
+@dataclass(frozen=True, eq=False)
+class Tick:
+    """One step of a demand stream (plus optional per-tick fleet information)."""
+
+    t: int
+    demand: float
+    cost_row: Optional[tuple] = None
+    counts: Optional[np.ndarray] = None
+
+
+class TraceFeed:
+    """Base class: an iterable of :class:`Tick` objects with paced playback."""
+
+    #: Fleet the trace was materialised against (``None`` for demand-only feeds).
+    server_types: Optional[tuple] = None
+    #: Simulated duration of one tick, in seconds (pacing only).
+    tick_seconds: float = 1.0
+
+    def ticks(self) -> Iterator[Tick]:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[Tick]:
+        return self.ticks()
+
+    def play(self, speed: Optional[float] = None) -> Iterator[Tick]:
+        """Iterate the feed at a time-warp factor.
+
+        ``speed=None`` (or ``inf``) yields as fast as possible; otherwise each
+        tick is released ``tick_seconds / speed`` wall seconds after the
+        previous one (sleeping only for whatever time the consumer has not
+        already spent).
+        """
+        if speed is None or speed <= 0 or np.isinf(speed):
+            yield from self.ticks()
+            return
+        interval = self.tick_seconds / float(speed)
+        start = time.monotonic()
+        for i, tick in enumerate(self.ticks()):
+            due = start + i * interval
+            delay = due - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            yield tick
+
+
+class ArrayFeed(TraceFeed):
+    """Replay a plain demand array (no per-tick fleet information)."""
+
+    def __init__(self, demands, tick_seconds: float = 1.0, server_types=None):
+        self._demands = np.asarray(demands, dtype=float).reshape(-1)
+        self.tick_seconds = float(tick_seconds)
+        self.server_types = None if server_types is None else tuple(server_types)
+
+    def __len__(self) -> int:
+        return len(self._demands)
+
+    def ticks(self) -> Iterator[Tick]:
+        for t, demand in enumerate(self._demands):
+            yield Tick(t=t, demand=float(demand))
+
+
+class InstanceFeed(TraceFeed):
+    """Replay the demand trace (and per-tick cost rows / counts) of an instance.
+
+    Time-independent instances yield bare demand ticks; time-dependent costs
+    and fleet sizes are revealed tick by tick — exactly the information the
+    batch driver hands ``step`` for the same slot, which is what makes the
+    streamed replay equivalent to ``run_online`` on the instance.
+    """
+
+    def __init__(self, instance: ProblemInstance, tick_seconds: float = 1.0):
+        self.instance = instance
+        self.server_types = instance.server_types
+        self.tick_seconds = float(tick_seconds)
+
+    def __len__(self) -> int:
+        return self.instance.T
+
+    def ticks(self) -> Iterator[Tick]:
+        instance = self.instance
+        for t in range(instance.T):
+            yield Tick(
+                t=t,
+                demand=float(instance.demand[t]),
+                cost_row=instance.cost_row(t) if instance.has_time_dependent_costs else None,
+                counts=instance.counts_at(t) if instance.has_time_dependent_counts else None,
+            )
+
+
+class ScenarioFeed(InstanceFeed):
+    """Replay a registered scenario family by declarative address.
+
+    ``ScenarioFeed("diurnal-cpu-gpu", T=48, seed=3)`` materialises the spec
+    through the registry and replays the resulting instance; the resolved
+    :class:`~repro.scenarios.spec.ScenarioSpec` is kept on ``spec`` so
+    telemetry can stamp the address of what was replayed.
+    """
+
+    def __init__(self, scenario, tick_seconds: float = 1.0, seed: Optional[int] = None, **params):
+        from ..scenarios import ScenarioSpec, build, validate
+
+        spec = ScenarioSpec.parse(scenario)
+        if params or seed is not None:
+            spec = spec.with_overrides(seed=seed, **params)
+        self.spec = validate(spec)
+        super().__init__(build(self.spec), tick_seconds=tick_seconds)
+
+
+class JsonlFeed(TraceFeed):
+    """Replay a JSONL demand stream: one number or ``{"demand": x}`` per line."""
+
+    def __init__(self, path, tick_seconds: float = 1.0):
+        self.path = path
+        self.tick_seconds = float(tick_seconds)
+
+    def ticks(self) -> Iterator[Tick]:
+        t = 0
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                payload = json.loads(line)
+                if isinstance(payload, dict):
+                    demand = float(payload["demand"])
+                else:
+                    demand = float(payload)
+                yield Tick(t=t, demand=demand)
+                t += 1
+
+
+class SyntheticFeed(ArrayFeed):
+    """Generate a synthetic demand stream from a named preset or a callable.
+
+    ``SyntheticFeed("diurnal", slots=48, seed=0)`` resolves the same preset
+    parameterisation as the CLI's ``--trace diurnal``; a callable source is
+    invoked as ``source(slots, seed)`` and must return a 1-D array.
+    """
+
+    def __init__(
+        self,
+        source: Union[str, Callable[[int, Optional[int]], Iterable[float]]],
+        slots: int = 48,
+        seed: Optional[int] = None,
+        tick_seconds: float = 1.0,
+    ):
+        if callable(source):
+            demands = np.asarray(source(int(slots), seed), dtype=float)
+        else:
+            demands = named_trace(source, int(slots), rng=seed)
+        super().__init__(demands, tick_seconds=tick_seconds)
+        self.source = source

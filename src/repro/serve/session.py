@@ -1,0 +1,635 @@
+"""Streaming controller sessions: one online algorithm behind an ``observe`` API.
+
+Everything in the repo before this module is batch-shaped — a full
+:class:`~repro.core.instance.ProblemInstance` is materialised, then
+:func:`~repro.online.base.run_online` iterates its slots.  A
+:class:`ControllerSession` inverts that control flow for the serving regime the
+paper's algorithms were designed for: demand arrives one tick at a time
+(``observe(demand_t) -> FleetState``), the session reveals exactly one
+:class:`~repro.online.base.SlotInfo` per tick to the wrapped algorithm, and
+nothing about future ticks — not even the horizon — exists anywhere in the
+process.  The information model is therefore *structurally* enforced rather
+than merely promised by the driver loop.
+
+Correctness anchor
+------------------
+Replaying an instance's demand trace through a session must reproduce the
+batch ``run_online`` schedule exactly and its total cost to 1e-9 — including
+across a mid-stream :meth:`ControllerSession.checkpoint` /
+:meth:`ControllerSession.restore` round-trip.  This holds because
+
+* each tick is solved by the same single-slot dispatch query batch
+  ``run_online`` issues (one ``solve_block([t], configs)`` per slot — no
+  cross-demand warm starts that could perturb last bits),
+* the per-tick grid tensors served to the trackers are bit-identical to the
+  batch path's, and
+* :meth:`checkpoint` serialises every decision-relevant byte of algorithm and
+  tracker state via the ``state_dict`` protocol of
+  :class:`~repro.online.base.OnlineAlgorithm` (float64 values round-trip
+  exactly through JSON).
+
+Multi-tenant sharing
+--------------------
+Sessions draw all dispatch work from a :class:`ServeCache`.  The cache owns an
+append-only demand ledger (one *virtual slot* per distinct ``(demand, cost
+row)`` observation) behind a shared
+:class:`~repro.dispatch.allocation.DispatchSolver`, plus a whole-grid
+operating-cost tensor memo keyed by dispatch signature — the serve-side
+analogue of the sweep engine's :class:`~repro.online.base.SlotContext`.  Many
+sessions over the same fleet geometry share one cache: the first tenant to
+observe a demand level pays the dual bisection, every other tenant's tick is a
+dictionary hit (see ``repro serve bench`` / ``BENCH_serve.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..core.schedule import Schedule
+from ..core.server import ServerType
+from ..dispatch.allocation import DispatchSolver
+from ..online.algorithm_a import AlgorithmA
+from ..online.algorithm_b import AlgorithmB
+from ..online.algorithm_c import AlgorithmC
+from ..online.baselines import AllOn, FollowDemand, Reactive
+from ..online.base import OnlineAlgorithm, OnlineContext, SlotInfo
+from ..online.lcp import LazyCapacityProvisioning
+from ..online.tracker import DPPrefixTracker
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "ControllerSession",
+    "FleetState",
+    "ServeCache",
+    "SERVE_ALGORITHMS",
+    "build_serve_algorithm",
+    "fleet_signature",
+]
+
+
+CHECKPOINT_VERSION = 1
+
+
+# --------------------------------------------------------------------------- #
+# Algorithm construction
+# --------------------------------------------------------------------------- #
+
+# Serve-side builders construct *private* per-session state (plain trackers,
+# never shared value streams): tenants advance at independent rates, so the
+# lock-step slot sequence a SharedValueStream trusts does not exist here.
+SERVE_ALGORITHMS: Dict[str, callable] = {
+    "A": lambda params: AlgorithmA(gamma=params.get("gamma")),
+    "B": lambda params: AlgorithmB(gamma=params.get("gamma")),
+    "C": lambda params: AlgorithmC(
+        epsilon=params.get("epsilon", 0.25),
+        gamma=params.get("gamma"),
+        max_sub_slots=params.get("max_sub_slots", 1000),
+    ),
+    "lcp": lambda params: LazyCapacityProvisioning(
+        gamma=params.get("gamma"),
+        allow_heterogeneous=params.get("allow_heterogeneous", True),
+    ),
+    "reactive": lambda params: Reactive(),
+    "follow-demand": lambda params: FollowDemand(),
+    "all-on": lambda params: AllOn(),
+}
+
+
+def build_serve_algorithm(algorithm, **params) -> OnlineAlgorithm:
+    """Resolve an algorithm argument into a fresh :class:`OnlineAlgorithm`.
+
+    Accepts a ready instance (returned as-is), a registry kind (``"A"``,
+    ``"lcp"``, ...), or a dict ``{"kind": ..., "params": {...}}``; the
+    equivalence tests build their batch reference through this same function
+    so both sides run identically-constructed algorithms.
+    """
+    if isinstance(algorithm, OnlineAlgorithm):
+        if params:
+            raise ValueError("params only apply when building from a registry kind")
+        return algorithm
+    if isinstance(algorithm, dict):
+        merged = dict(algorithm.get("params", {}))
+        merged.update(params)
+        return build_serve_algorithm(algorithm["kind"], **merged)
+    builder = SERVE_ALGORITHMS.get(algorithm)
+    if builder is None:
+        raise KeyError(
+            f"unknown serve algorithm {algorithm!r} (known: {sorted(SERVE_ALGORITHMS)})"
+        )
+    return builder(params)
+
+
+def fleet_signature(server_types) -> tuple:
+    """Content key of a fleet geometry (used to group sessions onto one cache).
+
+    Cost functions hash by identity for most classes, so two *materialisations*
+    of the same scenario produce different signatures — sharing is only real
+    when tenants genuinely hold the same fleet objects, which is exactly when
+    the dispatch caches can serve each other's queries.
+    """
+    return tuple(
+        (st.name, int(st.count), float(st.switching_cost), float(st.capacity), st.cost_function)
+        for st in server_types
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Shared dispatch state
+# --------------------------------------------------------------------------- #
+
+
+class _StreamInstance:
+    """Append-only stand-in for the :class:`ProblemInstance` a solver reads.
+
+    The dispatch engine touches only ``d``, ``zmax``, ``demand[t]`` and
+    ``cost_row(t)`` — and only for slots it is queried about — so a growable
+    ledger satisfies the same contract without a horizon.  Each appended entry
+    is one *virtual slot*: a distinct ``(demand, cost row)`` observation of
+    some session.
+    """
+
+    def __init__(self, server_types):
+        self.server_types = tuple(server_types)
+        for st in self.server_types:
+            if not isinstance(st, ServerType):
+                raise TypeError(f"server_types entries must be ServerType, got {type(st)!r}")
+        self.demand: List[float] = []
+        self._rows: List[tuple] = []
+        self._zmax = np.array([st.capacity for st in self.server_types], dtype=float)
+        self._beta = np.array([st.switching_cost for st in self.server_types], dtype=float)
+        self._m = np.array([st.count for st in self.server_types], dtype=int)
+        self._base_row = tuple(st.cost_function for st in self.server_types)
+
+    @property
+    def d(self) -> int:
+        return len(self.server_types)
+
+    @property
+    def T(self) -> int:
+        return len(self.demand)
+
+    @property
+    def zmax(self) -> np.ndarray:
+        return self._zmax
+
+    @property
+    def beta(self) -> np.ndarray:
+        return self._beta
+
+    @property
+    def m(self) -> np.ndarray:
+        return self._m
+
+    @property
+    def base_cost_row(self) -> tuple:
+        return self._base_row
+
+    def cost_row(self, t: int) -> tuple:
+        return self._rows[t]
+
+    def append(self, demand: float, row: tuple) -> int:
+        self.demand.append(float(demand))
+        self._rows.append(row)
+        return len(self.demand) - 1
+
+
+class ServeCache:
+    """Shared dispatch solver + grid-tensor memo for one fleet geometry.
+
+    One cache serves any number of concurrent sessions whose fleets are the
+    *same objects* (same :class:`ServerType` tuple).  Observations are
+    deduplicated into virtual slots of the underlying ledger, the solver's
+    signature-level block cache dedups further (price-scaled rows collapse
+    onto their base row), and whole-grid operating-cost tensors are memoised
+    per ``(signature, scale, grid)`` so N tenants asking for the tensor of one
+    demand level trigger exactly one dual bisection.
+    """
+
+    def __init__(self, server_types):
+        self.stream = _StreamInstance(server_types)
+        self.dispatcher = DispatchSolver(self.stream)
+        self.signature = fleet_signature(self.stream.server_types)
+        self._virtual: dict = {}
+        self._tensors: dict = {}
+        self.tensor_hits = 0
+        self.tensor_misses = 0
+
+    @property
+    def server_types(self) -> tuple:
+        return self.stream.server_types
+
+    @property
+    def virtual_slots(self) -> int:
+        """Distinct ``(demand, cost row)`` observations ledgered so far."""
+        return self.stream.T
+
+    def virtual_slot(self, demand: float, row: tuple) -> int:
+        """The ledger index of a ``(demand, cost row)`` observation (appending if new)."""
+        try:
+            key = (demand, row)
+            vt = self._virtual.get(key)
+        except TypeError:  # unhashable exotic cost row: ledger it per occurrence
+            key = None
+            vt = None
+        if vt is None:
+            vt = self.stream.append(demand, row)
+            if key is not None:
+                self._virtual[key] = vt
+        return vt
+
+    def grid_tensor(self, vt: int, grid) -> np.ndarray:
+        """Memoised value tensor of ``g_t`` over ``grid`` at virtual slot ``vt``.
+
+        Computed by the same single-slot query the batch ``run_online`` path
+        issues, so the tensor is bit-identical to the batch one; keyed by
+        dispatch signature, so sessions (and tenants) sharing a demand level
+        share one tensor.
+        """
+        sig, scale = self.dispatcher._slot_signature(vt)
+        key = (sig, scale, grid.key)
+        tensor = self._tensors.get(key)
+        if tensor is None:
+            self.tensor_misses += 1
+            costs, _ = self.dispatcher.solve_grid(vt, grid.configs())
+            tensor = costs.reshape(grid.shape)
+            self._tensors[key] = tensor
+        else:
+            self.tensor_hits += 1
+        return tensor
+
+    def counters(self) -> dict:
+        """JSON-safe sharing counters (dispatch stats + tensor memo hits)."""
+        stats = self.dispatcher.stats
+        return {
+            "virtual_slots": self.virtual_slots,
+            "tensor_hits": self.tensor_hits,
+            "tensor_misses": self.tensor_misses,
+            "block_calls": stats.block_calls,
+            "slot_queries": stats.slot_queries,
+            "unique_solves": stats.unique_solves,
+            "cache_hit_rate": round(stats.cache_hit_rate, 6),
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Session
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True, eq=False)
+class FleetState:
+    """What the controller decided for one tick, plus running telemetry."""
+
+    t: int
+    demand: float
+    config: np.ndarray
+    operating_cost: float
+    switching_cost: float
+    cumulative_cost: float
+    loads: np.ndarray
+    feasible: bool
+    latency_seconds: float
+    #: Optimal cost of the observed prefix (``nan`` unless regret tracking is on).
+    prefix_optimum_cost: float = float("nan")
+
+    @property
+    def tick_cost(self) -> float:
+        return self.operating_cost + self.switching_cost
+
+    @property
+    def regret(self) -> float:
+        """Cumulative online cost minus the offline optimum of the observed prefix."""
+        return self.cumulative_cost - self.prefix_optimum_cost
+
+    def as_row(self) -> dict:
+        """Flat JSON-safe telemetry row (one JSONL line per tick)."""
+        row = {
+            "t": int(self.t),
+            "demand": float(self.demand),
+            "config": [int(v) for v in self.config],
+            "operating_cost": float(self.operating_cost),
+            "switching_cost": float(self.switching_cost),
+            "tick_cost": float(self.tick_cost),
+            "cumulative_cost": float(self.cumulative_cost),
+            "loads": [float(v) for v in self.loads],
+            "feasible": bool(self.feasible),
+            "latency_ms": round(self.latency_seconds * 1e3, 6),
+        }
+        if np.isfinite(self.prefix_optimum_cost):
+            row["prefix_optimum_cost"] = float(self.prefix_optimum_cost)
+            row["regret"] = float(self.regret)
+        return row
+
+
+class ControllerSession:
+    """A long-lived streaming controller around one online algorithm.
+
+    Parameters
+    ----------
+    algorithm:
+        An :class:`OnlineAlgorithm` instance, a registry kind (``"A"``, ...)
+        or a ``{"kind", "params"}`` dict — resolved by
+        :func:`build_serve_algorithm`.
+    server_types:
+        The tenant's fleet.  Omit it when ``cache`` is given (the cache's
+        fleet is used).
+    cache:
+        A :class:`ServeCache` to share with other sessions over the same
+        fleet geometry; a private cache is created when omitted.
+    track_regret:
+        Maintain a private exact :class:`DPPrefixTracker` alongside the
+        algorithm and report the optimal cost of the observed prefix in every
+        :class:`FleetState` (regret telemetry).  Costs one extra DP transition
+        per tick; the grid tensors are shared with the algorithm's tracker
+        through the cache.
+    name:
+        Tenant identifier stamped into telemetry rows.
+    """
+
+    def __init__(
+        self,
+        algorithm: Union[OnlineAlgorithm, str, dict] = "A",
+        server_types=None,
+        *,
+        cache: Optional[ServeCache] = None,
+        track_regret: bool = False,
+        regret_gamma: Optional[float] = None,
+        name: str = "tenant",
+    ):
+        if cache is None:
+            if server_types is None:
+                raise ValueError("give server_types, a cache, or both")
+            cache = ServeCache(server_types)
+        elif server_types is not None:
+            if fleet_signature(server_types) != cache.signature:
+                raise ValueError(
+                    "server_types do not match the shared cache's fleet geometry"
+                )
+        self.cache = cache
+        self.name = str(name)
+        # kept so checkpoint_roundtrip can build a genuinely fresh algorithm
+        # when the session was constructed from a registry kind / spec dict
+        self._algorithm_source = algorithm
+        self.algorithm = build_serve_algorithm(algorithm)
+        stream = cache.stream
+        self.context = OnlineContext(
+            server_types=stream.server_types,
+            beta=stream.beta,
+            zmax=stream.zmax,
+            base_counts=stream.m,
+        )
+        self.algorithm.start(self.context)
+        self._regret_gamma = regret_gamma
+        self._regret_tracker = (
+            DPPrefixTracker(gamma=regret_gamma) if track_regret else None
+        )
+        self._t = 0
+        self._previous = np.zeros(stream.d, dtype=int)
+        self._configs: List[np.ndarray] = []
+        self._latencies: List[float] = []
+        self._cum_operating = 0.0
+        self._cum_switching = 0.0
+        self._feasible = True
+
+    # ------------------------------------------------------------- properties
+    @property
+    def d(self) -> int:
+        return self.cache.stream.d
+
+    @property
+    def ticks(self) -> int:
+        """Number of ticks observed so far."""
+        return self._t
+
+    @property
+    def cumulative_cost(self) -> float:
+        return self._cum_operating + self._cum_switching
+
+    @property
+    def schedule(self) -> Schedule:
+        """The configurations chosen so far, as a batch-layer :class:`Schedule`."""
+        if not self._configs:
+            return Schedule.empty(0, self.d)
+        return Schedule(np.stack(self._configs))
+
+    @property
+    def latencies_seconds(self) -> np.ndarray:
+        """Per-tick wall latency of every ``observe`` call."""
+        return np.asarray(self._latencies, dtype=float)
+
+    # ------------------------------------------------------------------ ticks
+    def observe(self, demand: float, cost_row=None, counts=None) -> FleetState:
+        """Feed the next demand tick and return the controller's decision.
+
+        ``cost_row`` optionally reveals this tick's operating-cost functions
+        (time-of-day tariffs — Section 3 of the paper) and ``counts`` this
+        tick's available fleet (maintenance windows — Section 4.3); both
+        default to the static fleet description.  Only *current*-tick
+        information ever reaches the algorithm.
+        """
+        started = time.perf_counter()
+        stream = self.cache.stream
+        demand = float(demand)
+        if not np.isfinite(demand) or demand < 0:
+            raise ValueError(f"demand must be finite and non-negative, got {demand!r}")
+        if cost_row is None:
+            row = stream.base_cost_row
+        else:
+            row = tuple(cost_row)
+            if len(row) != stream.d:
+                raise ValueError(f"cost_row must have {stream.d} entries, got {len(row)}")
+        if counts is None:
+            counts_t = stream.m
+        else:
+            counts_t = np.asarray(counts, dtype=int)
+            if counts_t.shape != (stream.d,):
+                raise ValueError(f"counts must have shape ({stream.d},), got {counts_t.shape}")
+        capacity = float(np.sum(counts_t * stream.zmax))
+        if demand > capacity + 1e-9:
+            raise ValueError(
+                f"tick {self._t}: demand {demand:g} exceeds the fleet capacity {capacity:g}"
+            )
+
+        cache = self.cache
+        vt = cache.virtual_slot(demand, row)
+
+        def evaluator(batch: np.ndarray, _vt: int = vt) -> np.ndarray:
+            costs, _ = cache.dispatcher.solve_grid(_vt, batch)
+            return costs
+
+        def grid_evaluator(grid, _vt: int = vt) -> np.ndarray:
+            return cache.grid_tensor(_vt, grid)
+
+        slot = SlotInfo(
+            t=self._t,
+            demand=demand,
+            cost_functions=row,
+            counts=counts_t,
+            beta=stream.beta,
+            zmax=stream.zmax,
+            _evaluator=evaluator,
+            _grid_evaluator=grid_evaluator,
+        )
+
+        choice = np.asarray(self.algorithm.step(slot))
+        if choice.shape != (stream.d,):
+            raise ValueError(
+                f"{self.algorithm.name}: step() must return a configuration of shape "
+                f"({stream.d},), got {choice.shape}"
+            )
+        rounded = np.rint(choice).astype(int)
+        if not np.allclose(choice, rounded, atol=1e-9):
+            raise ValueError(
+                f"{self.algorithm.name}: returned a non-integral configuration {choice}"
+            )
+        if np.any(rounded < 0) or np.any(rounded > counts_t):
+            raise ValueError(
+                f"{self.algorithm.name}: configuration {rounded} violates fleet limits "
+                f"{counts_t} at tick {self._t}"
+            )
+
+        result = cache.dispatcher.solve(vt, rounded)
+        operating = float(result.cost)
+        if not np.isfinite(operating):
+            self._feasible = False
+        switching = float(np.sum(stream.beta * np.maximum(rounded - self._previous, 0)))
+
+        prefix_opt = float("nan")
+        if self._regret_tracker is not None:
+            self._regret_tracker.observe(slot)
+            prefix_opt = self._regret_tracker.prefix_optimum_cost()
+
+        self._cum_operating += operating
+        self._cum_switching += switching
+        self._configs.append(rounded)
+        self._previous = rounded
+        self._t += 1
+        latency = time.perf_counter() - started
+        self._latencies.append(latency)
+        return FleetState(
+            t=self._t - 1,
+            demand=demand,
+            config=rounded,
+            operating_cost=operating,
+            switching_cost=switching,
+            cumulative_cost=self.cumulative_cost,
+            loads=result.loads,
+            feasible=self._feasible,
+            latency_seconds=latency,
+            prefix_optimum_cost=prefix_opt,
+        )
+
+    def finish(self) -> None:
+        """Forward the end-of-stream hook to the wrapped algorithm."""
+        self.algorithm.finish()
+
+    # ---------------------------------------------------------------- summary
+    def latency_summary(self) -> dict:
+        """p50/p95/p99/mean/max tick latency in milliseconds."""
+        from .telemetry import latency_percentiles
+
+        return latency_percentiles(self._latencies)
+
+    def summary(self) -> dict:
+        """JSON-safe session summary (telemetry footer / bench row)."""
+        return {
+            "tenant": self.name,
+            "algorithm": self.algorithm.name,
+            "ticks": self.ticks,
+            "cumulative_cost": round(self.cumulative_cost, 9),
+            "operating_cost": round(self._cum_operating, 9),
+            "switching_cost": round(self._cum_switching, 9),
+            "feasible": self._feasible,
+            "latency": self.latency_summary(),
+        }
+
+    # ----------------------------------------------------------- checkpointing
+    def checkpoint(self) -> dict:
+        """JSON-serialisable snapshot of the whole session.
+
+        Captures the tick cursor, cumulative costs, the chosen-configuration
+        history and every decision-relevant byte of algorithm/tracker state
+        (via the ``state_dict`` protocol).  The fleet description itself is
+        *not* serialised — cost functions are code, not data — so restoring
+        means: rebuild the session from the same configuration (scenario
+        name, algorithm kind), then :meth:`restore` the payload.
+        """
+        return {
+            "version": CHECKPOINT_VERSION,
+            "tenant": self.name,
+            "algorithm": self.algorithm.name,
+            "tick": self._t,
+            "previous_config": [int(v) for v in self._previous],
+            "configs": [[int(v) for v in c] for c in self._configs],
+            "cum_operating": self._cum_operating,
+            "cum_switching": self._cum_switching,
+            "feasible": self._feasible,
+            "latencies_s": [float(v) for v in self._latencies],
+            "algorithm_state": self.algorithm.state_dict(),
+            "regret_state": (
+                None if self._regret_tracker is None else self._regret_tracker.state_dict()
+            ),
+            "regret_gamma": None if self._regret_tracker is None else self._regret_gamma,
+        }
+
+    def restore(self, payload: dict) -> "ControllerSession":
+        """Load a :meth:`checkpoint` payload into this (freshly built) session."""
+        if payload.get("version") != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {payload.get('version')!r} "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        if payload.get("algorithm") != self.algorithm.name:
+            raise ValueError(
+                f"checkpoint was taken from algorithm {payload.get('algorithm')!r} "
+                f"but this session runs {self.algorithm.name!r}"
+            )
+        self._t = int(payload["tick"])
+        self._previous = np.asarray(payload["previous_config"], dtype=int)
+        self._configs = [np.asarray(c, dtype=int) for c in payload["configs"]]
+        self._cum_operating = float(payload["cum_operating"])
+        self._cum_switching = float(payload["cum_switching"])
+        self._feasible = bool(payload["feasible"])
+        self._latencies = [float(v) for v in payload["latencies_s"]]
+        self.algorithm.load_state_dict(payload["algorithm_state"])
+        regret_state = payload.get("regret_state")
+        if regret_state is not None:
+            # the checkpoint records the tracker's gamma: a reduced-grid value
+            # tensor restored into an exact tracker (or vice versa) would be
+            # reshaped against the wrong grid
+            regret_gamma = payload.get("regret_gamma")
+            if self._regret_tracker is None or self._regret_gamma != regret_gamma:
+                self._regret_gamma = regret_gamma
+                self._regret_tracker = DPPrefixTracker(gamma=regret_gamma)
+            self._regret_tracker.load_state_dict(regret_state)
+        return self
+
+    def checkpoint_roundtrip(self, reuse_cache: bool = False) -> "ControllerSession":
+        """Serialise through actual JSON text and restore into a fresh session.
+
+        This is the move the serve-smoke gate and ``repro serve replay
+        --checkpoint-at`` both make: the round-trip covers the JSON
+        encode/decode, not just the in-memory dict.  The fresh session gets a
+        cold cache by default (simulating a process restart); ``reuse_cache``
+        keeps the warm shared cache instead.  When the session was built from
+        an :class:`OnlineAlgorithm` *object* (not a registry kind), that
+        object is reused — its state is overwritten by the restore.
+        """
+        payload = json.loads(json.dumps(self.checkpoint()))
+        kwargs = dict(
+            track_regret=self._regret_tracker is not None,
+            regret_gamma=self._regret_gamma,
+            name=self.name,
+        )
+        if reuse_cache:
+            fresh = ControllerSession(self._algorithm_source, cache=self.cache, **kwargs)
+        else:
+            fresh = ControllerSession(
+                self._algorithm_source, self.cache.server_types, **kwargs
+            )
+        return fresh.restore(payload)

@@ -1,0 +1,103 @@
+"""Serving telemetry: per-tick JSONL streams and latency/regret summaries.
+
+Every tick of a :class:`~repro.serve.session.ControllerSession` yields a
+:class:`~repro.serve.session.FleetState`; a :class:`TelemetryWriter` appends
+its flat row — tenant, demand, chosen configuration, tick/cumulative cost,
+wall latency, optional prefix-optimum regret — as one JSON line, the format
+every log shipper understands.  :func:`latency_percentiles` and
+:func:`summarise_sessions` aggregate what ``repro serve replay`` prints and
+what ``BENCH_serve.json`` records.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["TelemetryWriter", "latency_percentiles", "summarise_sessions"]
+
+
+class TelemetryWriter:
+    """Append-only JSONL sink for per-tick telemetry rows.
+
+    Usable as a context manager; ``path=None`` discards rows (a null sink, so
+    callers need no conditional plumbing).  Rows are flushed per write: a
+    long-lived serving process killed mid-stream keeps every completed tick.
+    """
+
+    def __init__(self, path=None):
+        self.path = None if path is None else Path(path)
+        self._handle = None
+        self.rows_written = 0
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+
+    def write(self, row: dict, tenant: Optional[str] = None) -> None:
+        """Append one telemetry row (stamping ``tenant`` when given)."""
+        if self._handle is None:
+            return
+        if tenant is not None:
+            row = dict(row, tenant=tenant)
+        self._handle.write(json.dumps(row) + "\n")
+        self._handle.flush()
+        self.rows_written += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TelemetryWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def latency_percentiles(latencies_seconds: Sequence[float]) -> dict:
+    """p50/p95/p99/mean/max of a latency sample, in milliseconds."""
+    arr = np.asarray(latencies_seconds, dtype=float)
+    if arr.size == 0:
+        return {"ticks": 0}
+    ms = arr * 1e3
+    return {
+        "ticks": int(arr.size),
+        "p50_ms": round(float(np.percentile(ms, 50)), 6),
+        "p95_ms": round(float(np.percentile(ms, 95)), 6),
+        "p99_ms": round(float(np.percentile(ms, 99)), 6),
+        "mean_ms": round(float(np.mean(ms)), 6),
+        "max_ms": round(float(np.max(ms)), 6),
+    }
+
+
+def summarise_sessions(sessions, wall_seconds: Optional[float] = None) -> dict:
+    """Aggregate summary of a set of sessions (the engine-level report body).
+
+    Pools every session's tick latencies into one percentile summary and, when
+    the multiplexing wall time is known, reports aggregate throughput
+    (``ticks_per_second``) and tenant turnover (``tenants_per_second`` — full
+    replays completed per wall second).
+    """
+    sessions = list(sessions)
+    pooled = (
+        np.concatenate([s.latencies_seconds for s in sessions])
+        if sessions
+        else np.zeros(0)
+    )
+    total_ticks = int(pooled.size)
+    summary = {
+        "tenants": len(sessions),
+        "total_ticks": total_ticks,
+        "total_cost": round(float(sum(s.cumulative_cost for s in sessions)), 9),
+        "latency": latency_percentiles(pooled),
+    }
+    if wall_seconds is not None:
+        summary["wall_seconds"] = round(float(wall_seconds), 6)
+        if wall_seconds > 0:
+            summary["ticks_per_second"] = round(total_ticks / wall_seconds, 3)
+            summary["tenants_per_second"] = round(len(sessions) / wall_seconds, 3)
+    return summary

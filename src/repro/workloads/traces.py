@@ -46,6 +46,8 @@ __all__ = [
     "ramp_trace",
     "spike_trace",
     "poisson_trace",
+    "named_trace",
+    "trace_preset_names",
 ]
 
 RngLike = Union[int, np.random.Generator, None]
@@ -215,3 +217,38 @@ def poisson_trace(T: int, mean: float = 4.0, rng: RngLike = None) -> np.ndarray:
         raise ValueError("mean must be non-negative")
     rng = as_rng(rng)
     return rng.poisson(mean, int(T)).astype(float)
+
+
+# --------------------------------------------------------------------------- #
+# Named presets (the `--trace NAME` spellings of the CLI and the serve feeds)
+# --------------------------------------------------------------------------- #
+
+_TRACE_PRESETS = {
+    "diurnal": lambda T, rng: diurnal_trace(T, period=max(4, T // 2), base=1.0, peak=10.0, rng=rng),
+    "bursty": lambda T, rng: bursty_trace(T, rng=rng),
+    "mmpp": lambda T, rng: mmpp_trace(T, rng=rng),
+    "spikes": lambda T, rng: spike_trace(T, spike_height=6.0, spike_every=max(2, T // 6), rng=rng),
+    "constant": lambda T, rng: constant_trace(T, level=4.0),
+    "random-walk": lambda T, rng: random_walk_trace(T, rng=rng),
+}
+
+
+def trace_preset_names() -> list:
+    """The registered named trace presets, sorted."""
+    return sorted(_TRACE_PRESETS)
+
+
+def named_trace(name: str, T: int, rng: RngLike = None) -> np.ndarray:
+    """Generate a demand trace from a named preset.
+
+    These are the exact parameterisations the CLI has always used for
+    ``--trace NAME``; the serve layer's synthetic feeds resolve the same
+    names, so a streamed synthetic workload equals its batch counterpart.
+    """
+    try:
+        preset = _TRACE_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown trace preset {name!r} (known: {', '.join(trace_preset_names())})"
+        ) from None
+    return preset(int(T), rng)

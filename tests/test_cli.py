@@ -31,6 +31,41 @@ class TestParser:
             build_parser().parse_args(["solve", "--fleet", "nonsense"])
 
 
+class TestErgonomics:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {repro.__version__}" in capsys.readouterr().out
+
+    def test_unknown_command_lists_available_commands(self, capsys):
+        from repro.cli import COMMANDS
+
+        code = main(["frobnicate"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown command 'frobnicate'" in err
+        for command in COMMANDS:
+            assert command in err
+
+    def test_commands_tuple_matches_parser(self):
+        from repro.cli import COMMANDS
+
+        parser = build_parser()
+        subparsers = next(
+            action for action in parser._actions
+            if isinstance(action, type(parser._subparsers._group_actions[0]))
+        )
+        assert set(COMMANDS) == set(subparsers.choices)
+
+    def test_known_command_still_parses(self):
+        code, out = run_cli("trace", "--trace", "constant", "--slots", "3")
+        assert code == 0
+        assert len(out.split()) == 3
+
+
 class TestTraceCommand:
     def test_prints_requested_number_of_values(self):
         code, out = run_cli("trace", "--trace", "diurnal", "--slots", "12", "--seed", "3")
@@ -155,3 +190,48 @@ class TestSweepCommand:
     def test_unknown_algorithm_rejected(self):
         with pytest.raises(SystemExit):
             run_cli("sweep", "--slots", "8", "--algorithms", "nonsense")
+
+
+class TestServeCommand:
+    def test_replay_with_checkpoint_and_verify(self, tmp_path):
+        import json
+
+        telemetry = tmp_path / "telemetry.jsonl"
+        code, out = run_cli(
+            "serve", "replay", "--scenario", "homogeneous", "--param", "T=10",
+            "--checkpoint-at", "5", "--verify", "--telemetry", str(telemetry),
+        )
+        assert code == 0
+        assert "checkpoint/restore round-trip at tick 5" in out
+        assert "verified: streamed schedule == batch run_online" in out
+        rows = [json.loads(line) for line in telemetry.read_text().splitlines()]
+        assert len(rows) == 10
+        assert rows[-1]["t"] == 9 and rows[-1]["cumulative_cost"] > 0
+
+    def test_replay_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            run_cli("serve", "replay", "--scenario", "nonsense")
+
+    def test_bench_writes_json(self, tmp_path):
+        import json
+
+        target = tmp_path / "BENCH_serve.json"
+        code, out = run_cli(
+            "serve", "bench", "--tenants", "1,3", "--ticks", "8", "--json", str(target),
+        )
+        assert code == 0
+        assert "serve bench" in out
+        payload = json.loads(target.read_text())
+        assert payload["tenant_counts"] == [1, 3]
+        three = next(r for r in payload["comparisons"] if r["tenants"] == 3)
+        assert three["unique_solves_shared"] < three["unique_solves_isolated"]
+
+    def test_smoke_gate_runs_every_family(self):
+        from repro import scenarios
+
+        code, out = run_cli("serve", "smoke")
+        assert code == 0
+        assert "serve smoke" in out
+        for name in scenarios.names():
+            assert name in out
+        assert "replay equivalently" in out

@@ -1,0 +1,407 @@
+"""Tests for the live replay & serving subsystem (:mod:`repro.serve`).
+
+The anchor is the *streaming equivalence gate*: replaying a scenario through a
+:class:`~repro.serve.ControllerSession` — including across a mid-stream
+checkpoint/restore round-trip serialised through actual JSON text — must
+reproduce the batch :func:`~repro.online.base.run_online` schedule exactly and
+its total cost to 1e-9, for every registered scenario family and every serve
+algorithm.  On top of that: feed sources, telemetry, multi-tenant cache
+sharing (decision-neutral and measurably deduplicating), and the serve
+benchmark's deterministic gates.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import scenarios
+from repro.online.base import run_online
+from repro.scenarios import build
+from repro.serve import (
+    ArrayFeed,
+    ControllerSession,
+    InstanceFeed,
+    JsonlFeed,
+    ScenarioFeed,
+    ServeCache,
+    ServeEngine,
+    SyntheticFeed,
+    TelemetryWriter,
+    build_serve_algorithm,
+    fleet_signature,
+    latency_percentiles,
+    summarise_sessions,
+    verify_replay,
+)
+from repro.workloads import named_trace
+
+ALGORITHMS = ["A", "B", "C", "lcp", "reactive", "follow-demand", "all-on"]
+
+
+def _smoke_instance(name):
+    fam = scenarios.family(name)
+    return build(scenarios.ScenarioSpec(name, dict(fam.smoke_params)))
+
+
+# --------------------------------------------------------------------------- #
+# The streaming equivalence gate
+# --------------------------------------------------------------------------- #
+
+
+class TestStreamingEquivalence:
+    @pytest.mark.parametrize("family", scenarios.names())
+    def test_every_family_replays_equivalently(self, family):
+        """ISSUE-5 acceptance: for every registered scenario family, streamed
+        replay with one mid-stream checkpoint/restore reproduces the batch
+        run_online schedule and cost to 1e-9."""
+        instance = _smoke_instance(family)
+        row = verify_replay(instance, "A", checkpoint_at=max(1, instance.T // 2))
+        assert row["ok"] and row["checkpointed"]
+        assert row["cost_deviation"] <= 1e-9
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_every_algorithm_replays_equivalently(self, algorithm):
+        instance = build("diurnal-cpu-gpu", T=12)
+        row = verify_replay(instance, algorithm, checkpoint_at=5)
+        assert row["ok"] and row["checkpointed"]
+
+    @pytest.mark.parametrize("algorithm", ["B", "C"])
+    def test_time_dependent_costs_replay(self, algorithm):
+        instance = build("priced-cpu-gpu", T=12)
+        row = verify_replay(instance, algorithm, checkpoint_at=6)
+        assert row["ok"]
+
+    def test_time_varying_counts_replay(self):
+        instance = _smoke_instance("time-varying-m")
+        row = verify_replay(instance, "A", checkpoint_at=5)
+        assert row["ok"]
+
+    def test_gamma_reduced_tracker_replays(self):
+        instance = build("big-fleet", T=24, m_max=20)
+        row = verify_replay(
+            instance, {"kind": "A", "params": {"gamma": 1.5}}, checkpoint_at=11
+        )
+        assert row["ok"]
+
+    def test_out_of_range_checkpoint_rejected(self):
+        # checkpoint_at >= T would silently verify nothing about restore
+        instance = build("homogeneous", T=6)
+        with pytest.raises(ValueError, match="checkpoint_at"):
+            verify_replay(instance, "A", checkpoint_at=6)
+        with pytest.raises(ValueError, match="checkpoint_at"):
+            verify_replay(instance, "A", checkpoint_at=0)
+
+    def test_checkpoint_roundtrip_helper(self):
+        instance = build("diurnal-cpu-gpu", T=10)
+        session = ControllerSession("A", instance.server_types, track_regret=True)
+        for t in range(5):
+            session.observe(float(instance.demand[t]))
+        fresh = session.checkpoint_roundtrip()
+        assert fresh is not session
+        assert fresh.cache is not session.cache  # cold cache by default
+        warm = session.checkpoint_roundtrip(reuse_cache=True)
+        assert warm.cache is session.cache
+        for t in range(5, 10):
+            a = session.observe(float(instance.demand[t]))
+            b = fresh.observe(float(instance.demand[t]))
+            c = warm.observe(float(instance.demand[t]))
+            assert np.array_equal(a.config, b.config)
+            assert np.array_equal(a.config, c.config)
+
+    def test_divergent_stream_produces_divergent_schedule(self):
+        # sanity check on the gate's power: a session fed a *different* demand
+        # stream must not reproduce the batch schedule of the original
+        instance = build("diurnal-cpu-gpu", T=8)
+        batch = run_online(instance, build_serve_algorithm("A"))
+        session = ControllerSession("A", instance.server_types)
+        for value in np.roll(instance.demand, 3):
+            session.observe(float(value))
+        assert not np.array_equal(session.schedule.x, batch.schedule.x)
+
+
+# --------------------------------------------------------------------------- #
+# Sessions: checkpointing, validation, telemetry fields
+# --------------------------------------------------------------------------- #
+
+
+class TestControllerSession:
+    def test_checkpoint_is_strict_json(self):
+        instance = build("diurnal-cpu-gpu", T=10)
+        session = ControllerSession("A", instance.server_types, track_regret=True)
+        for t in range(5):
+            session.observe(float(instance.demand[t]))
+        payload = session.checkpoint()
+        text = json.dumps(payload, allow_nan=False)  # raises on inf/nan leakage
+        restored = ControllerSession("A", instance.server_types, track_regret=True)
+        restored.restore(json.loads(text))
+        for t in range(5, 10):
+            a = session.observe(float(instance.demand[t]))
+            b = restored.observe(float(instance.demand[t]))
+            assert np.array_equal(a.config, b.config)
+            assert a.cumulative_cost == pytest.approx(b.cumulative_cost, abs=1e-12)
+            assert b.prefix_optimum_cost == pytest.approx(a.prefix_optimum_cost, abs=1e-12)
+
+    def test_checkpoint_restores_regret_tracker_gamma(self):
+        # the checkpoint records the regret tracker's gamma: restoring a
+        # reduced-grid tensor into an exact tracker would mis-shape the grid
+        instance = build("diurnal-cpu-gpu", T=10)
+        session = ControllerSession(
+            "A", instance.server_types, track_regret=True, regret_gamma=2.0
+        )
+        for t in range(4):
+            session.observe(float(instance.demand[t]))
+        payload = json.loads(json.dumps(session.checkpoint()))
+        restored = ControllerSession("A", instance.server_types).restore(payload)
+        for t in range(4, 10):
+            a = session.observe(float(instance.demand[t]))
+            b = restored.observe(float(instance.demand[t]))
+            assert b.prefix_optimum_cost == pytest.approx(a.prefix_optimum_cost, abs=1e-12)
+
+    def test_checkpoint_algorithm_mismatch_rejected(self):
+        instance = build("homogeneous", T=6)
+        session = ControllerSession("A", instance.server_types)
+        session.observe(1.0)
+        payload = session.checkpoint()
+        other = ControllerSession("B", instance.server_types)
+        with pytest.raises(ValueError, match="algorithm"):
+            other.restore(payload)
+
+    def test_checkpoint_version_checked(self):
+        instance = build("homogeneous", T=6)
+        session = ControllerSession("A", instance.server_types)
+        payload = session.checkpoint()
+        payload["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            ControllerSession("A", instance.server_types).restore(payload)
+
+    def test_fleet_state_row_is_json_safe(self):
+        instance = build("homogeneous", T=6)
+        session = ControllerSession("A", instance.server_types, track_regret=True)
+        state = session.observe(2.0)
+        row = state.as_row()
+        json.dumps(row, allow_nan=False)
+        assert row["t"] == 0
+        assert row["tick_cost"] == pytest.approx(row["operating_cost"] + row["switching_cost"])
+        assert "regret" in row and "prefix_optimum_cost" in row
+        assert state.regret == pytest.approx(0.0, abs=1e-9)  # prefix optimum at t=0
+
+    def test_demand_validation(self):
+        instance = build("homogeneous", T=6)
+        session = ControllerSession("A", instance.server_types)
+        with pytest.raises(ValueError, match="non-negative"):
+            session.observe(-1.0)
+        with pytest.raises(ValueError, match="capacity"):
+            session.observe(1e9)
+
+    def test_session_without_fleet_rejected(self):
+        with pytest.raises(ValueError, match="server_types"):
+            ControllerSession("A")
+
+    def test_mismatched_cache_geometry_rejected(self):
+        cpu_gpu = build("diurnal-cpu-gpu", T=4)
+        single = build("homogeneous", T=4)
+        cache = ServeCache(cpu_gpu.server_types)
+        with pytest.raises(ValueError, match="geometry"):
+            ControllerSession("A", single.server_types, cache=cache)
+
+    def test_latency_and_summary(self):
+        instance = build("homogeneous", T=8)
+        session = ControllerSession("A", instance.server_types, name="t0")
+        for t in range(8):
+            session.observe(float(instance.demand[t]))
+        assert len(session.latencies_seconds) == 8
+        summary = session.summary()
+        assert summary["tenant"] == "t0"
+        assert summary["ticks"] == 8
+        assert summary["latency"]["ticks"] == 8
+        assert summary["latency"]["p99_ms"] >= summary["latency"]["p50_ms"] >= 0.0
+
+    def test_schedule_property_matches_observations(self):
+        instance = build("homogeneous", T=6)
+        session = ControllerSession("all-on", instance.server_types)
+        for t in range(6):
+            session.observe(float(instance.demand[t]))
+        assert session.schedule.x.shape == (6, 1)
+        assert np.all(session.schedule.x == instance.m)
+
+
+# --------------------------------------------------------------------------- #
+# Feeds
+# --------------------------------------------------------------------------- #
+
+
+class TestFeeds:
+    def test_scenario_feed_carries_spec_and_fleet(self):
+        feed = ScenarioFeed("homogeneous", T=8, seed=3)
+        assert feed.spec.name == "homogeneous"
+        assert feed.spec.params["T"] == 8 and feed.spec.seed == 3
+        assert feed.server_types is not None
+        assert len(feed) == 8
+        ticks = list(feed)
+        assert [t.t for t in ticks] == list(range(8))
+        assert all(t.cost_row is None for t in ticks)  # time-independent family
+
+    def test_instance_feed_reveals_time_dependence(self):
+        instance = build("priced-cpu-gpu", T=6)
+        ticks = list(InstanceFeed(instance))
+        assert all(t.cost_row is not None for t in ticks)
+        varying = _smoke_instance("time-varying-m")
+        counts = [t.counts for t in InstanceFeed(varying)]
+        assert all(c is not None for c in counts)
+
+    def test_jsonl_feed(self, tmp_path):
+        path = tmp_path / "demand.jsonl"
+        path.write_text('1.5\n{"demand": 2.5}\n\n3.0\n')
+        demands = [tick.demand for tick in JsonlFeed(path)]
+        assert demands == [1.5, 2.5, 3.0]
+
+    def test_synthetic_feed_matches_named_preset(self):
+        feed = SyntheticFeed("diurnal", slots=10, seed=4)
+        np.testing.assert_allclose(
+            [t.demand for t in feed], named_trace("diurnal", 10, rng=4)
+        )
+
+    def test_synthetic_feed_callable_source(self):
+        feed = SyntheticFeed(lambda T, seed: np.full(T, 2.0), slots=5)
+        assert [t.demand for t in feed] == [2.0] * 5
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(KeyError, match="unknown trace preset"):
+            SyntheticFeed("nonsense", slots=4)
+
+    def test_unpaced_play_equals_iteration(self):
+        feed = ArrayFeed([1.0, 2.0, 3.0])
+        assert [t.demand for t in feed.play(None)] == [t.demand for t in feed]
+
+
+# --------------------------------------------------------------------------- #
+# Multi-tenant engine and cache sharing
+# --------------------------------------------------------------------------- #
+
+
+class TestServeEngine:
+    def _tenant_feeds(self, instance, n):
+        return [
+            InstanceFeed(
+                instance.with_demand(np.roll(instance.demand, k), name=f"tenant-{k}")
+            )
+            for k in range(n)
+        ]
+
+    def test_sharing_is_decision_neutral_and_real(self):
+        instance = build("diurnal-cpu-gpu", T=16)
+        costs = {}
+        solves = {}
+        for share in (True, False):
+            engine = ServeEngine(share_caches=share)
+            for k, feed in enumerate(self._tenant_feeds(instance, 4)):
+                engine.add_tenant(f"tenant-{k}", "A", feed)
+            report = engine.run()
+            costs[share] = [s.cumulative_cost for s in engine.sessions]
+            solves[share] = sum(c["unique_solves"] for c in report["sharing"])
+            assert report["caches"] == (1 if share else 4)
+        np.testing.assert_allclose(costs[True], costs[False], rtol=0, atol=1e-9)
+        assert solves[True] < solves[False]
+
+    def test_shared_tensor_hits_counted(self):
+        instance = build("diurnal-cpu-gpu", T=12)
+        engine = ServeEngine()
+        for k, feed in enumerate(self._tenant_feeds(instance, 3)):
+            engine.add_tenant(f"tenant-{k}", "A", feed)
+        report = engine.run()
+        (counters,) = report["sharing"]
+        assert counters["tensor_hits"] > 0
+        assert counters["tensor_misses"] <= 12  # at most one per demand level
+
+    def test_duplicate_tenant_rejected(self):
+        instance = build("homogeneous", T=4)
+        engine = ServeEngine()
+        engine.add_tenant("t", "A", InstanceFeed(instance))
+        with pytest.raises(ValueError, match="already registered"):
+            engine.add_tenant("t", "A", InstanceFeed(instance))
+
+    def test_demand_only_feed_needs_fleet(self):
+        engine = ServeEngine()
+        with pytest.raises(ValueError, match="server_types"):
+            engine.add_tenant("t", "A", ArrayFeed([1.0, 2.0]))
+
+    def test_engine_report_and_telemetry(self, tmp_path):
+        instance = build("homogeneous", T=6)
+        engine = ServeEngine()
+        engine.add_tenant("t0", "A", InstanceFeed(instance))
+        engine.add_tenant("t1", "reactive", InstanceFeed(instance))
+        path = tmp_path / "telemetry.jsonl"
+        with TelemetryWriter(path) as writer:
+            report = engine.run(telemetry=writer)
+        assert report["tenants"] == 2
+        assert report["total_ticks"] == 12
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(rows) == 12
+        assert {row["tenant"] for row in rows} == {"t0", "t1"}
+        # interleaved round-robin: first two rows are tick 0 of both tenants
+        assert [rows[0]["t"], rows[1]["t"]] == [0, 0]
+
+    def test_max_ticks_bounds_the_run(self):
+        instance = build("homogeneous", T=8)
+        engine = ServeEngine()
+        engine.add_tenant("t0", "A", InstanceFeed(instance))
+        report = engine.run(max_ticks=3)
+        assert report["total_ticks"] == 3
+
+    def test_engine_uses_one_cache_per_geometry(self):
+        a = build("diurnal-cpu-gpu", T=4)
+        b = build("homogeneous", T=4)
+        engine = ServeEngine()
+        engine.add_tenant("t0", "A", InstanceFeed(a))
+        engine.add_tenant("t1", "A", InstanceFeed(a.with_demand(a.demand, name="x")))
+        engine.add_tenant("t2", "A", InstanceFeed(b))
+        assert len(engine.caches) == 2
+        assert fleet_signature(a.server_types) != fleet_signature(b.server_types)
+
+
+# --------------------------------------------------------------------------- #
+# Telemetry helpers
+# --------------------------------------------------------------------------- #
+
+
+class TestTelemetry:
+    def test_null_writer_discards(self):
+        writer = TelemetryWriter(None)
+        writer.write({"t": 0})
+        assert writer.rows_written == 0
+
+    def test_latency_percentiles_shape(self):
+        summary = latency_percentiles([0.001] * 10)
+        assert summary["ticks"] == 10
+        assert summary["p50_ms"] == pytest.approx(1.0)
+        assert latency_percentiles([]) == {"ticks": 0}
+
+    def test_summarise_sessions_throughput(self):
+        instance = build("homogeneous", T=5)
+        session = ControllerSession("A", instance.server_types)
+        for t in range(5):
+            session.observe(float(instance.demand[t]))
+        summary = summarise_sessions([session], wall_seconds=0.5)
+        assert summary["total_ticks"] == 5
+        assert summary["ticks_per_second"] == pytest.approx(10.0)
+        assert summary["tenants_per_second"] == pytest.approx(2.0)
+
+
+# --------------------------------------------------------------------------- #
+# The serve benchmark's deterministic gates
+# --------------------------------------------------------------------------- #
+
+
+class TestServeBench:
+    def test_bench_gates_and_payload(self):
+        from repro.bench import run_serve_bench
+
+        payload = run_serve_bench(tenant_counts=(1, 4), ticks=12)
+        assert payload["tenant_counts"] == [1, 4]
+        assert len(payload["rows"]) == 4  # two modes per tenant count
+        for row in payload["comparisons"]:
+            assert row["max_cost_deviation"] <= 1e-9
+        four = next(r for r in payload["comparisons"] if r["tenants"] == 4)
+        assert four["unique_solves_shared"] < four["unique_solves_isolated"]
+        assert four["tensor_hits_shared"] > four["tensor_hits_isolated"]

@@ -1,0 +1,98 @@
+"""The :meth:`OnlineAlgorithm.step` contract every registered algorithm obeys.
+
+The serve layer keeps algorithm objects alive across whole demand streams and
+(through the sweep engine) reuses them across instances, so it depends on two
+invariants the base-class docstrings promise but nothing previously asserted:
+
+* **determinism under replay** — feeding the same slot sequence to the same
+  algorithm object twice (with ``start`` between runs) yields the identical
+  schedule, and a freshly constructed algorithm yields that same schedule;
+* **statelessness across instances** — running an algorithm on instance
+  ``I1``, then ``I2``, then ``I1`` again reproduces the first ``I1`` schedule
+  exactly (``start`` must reset every decision-relevant byte).
+
+Parametrised over every registered algorithm kind — A/B/C, LCP, and the
+baselines — plus both tracker tie-breaks for the DP prefix tracker.
+"""
+
+import numpy as np
+import pytest
+
+from repro.online.base import run_online
+from repro.online.tracker import DPPrefixTracker
+from repro.scenarios import build
+from repro.serve import SERVE_ALGORITHMS, build_serve_algorithm
+
+KINDS = sorted(SERVE_ALGORITHMS)
+
+
+@pytest.fixture(scope="module")
+def instances():
+    return {
+        "I1": build("diurnal-cpu-gpu", T=10),
+        "I2": build("bursty-old-new", T=10),
+    }
+
+
+@pytest.mark.parametrize("kind", KINDS)
+class TestStepContract:
+    def test_deterministic_under_repeated_replay(self, kind, instances):
+        algorithm = build_serve_algorithm(kind)
+        first = run_online(instances["I1"], algorithm)
+        second = run_online(instances["I1"], algorithm)
+        assert np.array_equal(first.schedule.x, second.schedule.x)
+        assert first.cost == pytest.approx(second.cost, abs=1e-12)
+
+    def test_fresh_object_reproduces_reused_object(self, kind, instances):
+        reused = build_serve_algorithm(kind)
+        run_online(instances["I2"], reused)  # dirty the object on another instance
+        replay = run_online(instances["I1"], reused)
+        fresh = run_online(instances["I1"], build_serve_algorithm(kind))
+        assert np.array_equal(replay.schedule.x, fresh.schedule.x)
+
+    def test_stateless_across_instances(self, kind, instances):
+        algorithm = build_serve_algorithm(kind)
+        before = run_online(instances["I1"], algorithm)
+        run_online(instances["I2"], algorithm)
+        after = run_online(instances["I1"], algorithm)
+        assert np.array_equal(before.schedule.x, after.schedule.x)
+        assert before.cost == pytest.approx(after.cost, abs=1e-12)
+
+    def test_schedules_respect_fleet_limits(self, kind, instances):
+        # run_online validates per step; assert the assembled schedule too
+        instance = instances["I1"]
+        result = run_online(instance, build_serve_algorithm(kind))
+        for t in range(instance.T):
+            assert np.all(result.schedule.x[t] >= 0)
+            assert np.all(result.schedule.x[t] <= instance.counts_at(t))
+
+
+class TestTrackerTieBreaks:
+    @pytest.mark.parametrize("tie_break", ["smallest", "largest"])
+    def test_tracker_deterministic_across_resets(self, tie_break, instances):
+        from repro.online.base import SlotContext
+
+        instance = instances["I1"]
+        context = SlotContext(instance)
+        tracker = DPPrefixTracker(tie_break=tie_break)
+        runs = []
+        for _ in range(2):
+            tracker.reset()
+            runs.append(
+                np.stack([tracker.observe(context.slot(t)) for t in range(instance.T)])
+            )
+        assert np.array_equal(runs[0], runs[1])
+
+    def test_tie_break_interval_well_formed_on_homogeneous(self):
+        """smallest <= largest per slot on a homogeneous instance — the LCP
+        projection interval both tie-breaks feed is well formed."""
+        from repro.online.base import SlotContext
+
+        instance = build("homogeneous", T=10)
+        context = SlotContext(instance)
+        lower = DPPrefixTracker(tie_break="smallest")
+        upper = DPPrefixTracker(tie_break="largest")
+        for t in range(instance.T):
+            lo = lower.observe(context.slot(t))
+            hi = upper.observe(context.slot(t))
+            assert np.all(lo <= hi)
