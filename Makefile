@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-sweep bench-scale bench-serve perf-regress scenarios-smoke serve-smoke
+.PHONY: test bench bench-smoke bench-sweep bench-scale bench-serve perf-regress scenarios-smoke serve-smoke chaos-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -45,6 +45,13 @@ scenarios-smoke:
 # schedule exactly and its total cost to 1e-9.
 serve-smoke:
 	$(PYTHON) -m repro serve smoke
+
+# Chaos gate: every chaos-* family plus targeted single-kind fault injections
+# replayed under an injected event plan in shed mode — streams must complete
+# without raising, account SLA violations in the telemetry, and be
+# bit-identical (schedules + counters) across a checkpoint/restore round-trip.
+chaos-smoke:
+	$(PYTHON) -m repro serve chaos
 
 # Multi-tenant serving benchmark: latency percentiles + tenants/sec for
 # 1/8/64 concurrent sessions, shared vs isolated caches; gates cost equality

@@ -610,9 +610,130 @@ def _serve_smoke(json_path: Optional[str] = None, tolerance: float = 1e-9) -> in
     return 0
 
 
+def _parse_chaos_spec(spec: str, T: int, d: int, n_events: int):
+    """Resolve a ``--chaos`` argument into an EventPlan.
+
+    An integer is a generation seed (``EventPlan.generate`` over the
+    scenario's horizon), inline JSON is parsed directly, anything else is
+    read as a JSON plan file.
+    """
+    from .scenarios.events import EventPlan
+
+    spec = spec.strip()
+    try:
+        seed = int(spec)
+    except ValueError:
+        pass
+    else:
+        return EventPlan.generate(T, d, seed=seed, n_events=n_events)
+    if spec.startswith("[") or spec.startswith("{"):
+        return EventPlan.parse(spec)
+    try:
+        text = open(spec, "r", encoding="utf-8").read()
+    except OSError as exc:
+        raise SystemExit(f"--chaos {spec!r}: not a seed, inline JSON, or readable plan file ({exc})")
+    return EventPlan.parse(text)
+
+
+def _serve_chaos_smoke(json_path: Optional[str] = None, tolerance: float = 1e-9) -> int:
+    """The chaos gate (``make chaos-smoke``): every chaos-* family must
+    replay deterministically under an injected event plan — bit-identical
+    schedules and SLA counters across a mid-stream checkpoint/restore
+    round-trip — and targeted single-kind injections must actually shed and
+    account (a fault layer that never fires would gate nothing)."""
+    from . import scenarios
+    from .scenarios.events import ChaosEvent, EventPlan
+    from .serve import verify_chaos_replay
+
+    rows = []
+    failures = []
+
+    def run_case(label, instance, plan, algorithm="A", must_violate=False):
+        start = time.perf_counter()
+        try:
+            row = verify_chaos_replay(instance, plan, algorithm=algorithm, tolerance=tolerance)
+            if must_violate and row["sla_violations"] == 0:
+                raise AssertionError(
+                    "the injected fault produced no SLA violations — injection is not firing"
+                )
+            rows.append(
+                {
+                    "case": label,
+                    "ticks": row["ticks"],
+                    "events": row["events"],
+                    "sla_violations": row["sla_violations"],
+                    "shed": round(row["shed_demand"], 3),
+                    "forced_down": row["forced_downs"],
+                    "cost": round(row["cost"], 3),
+                    "seconds": round(time.perf_counter() - start, 4),
+                    "ok": True,
+                }
+            )
+        except Exception as exc:  # a broken case must fail the gate, not crash it
+            failures.append(f"{label}: {exc}")
+            rows.append({"case": label, "ticks": "-", "events": "-", "sla_violations": "-",
+                         "shed": "-", "forced_down": "-", "cost": "-",
+                         "seconds": round(time.perf_counter() - start, 4), "ok": False})
+
+    # every chaos-* family replays deterministically under a generated plan
+    chaos_families = [n for n in scenarios.names() if n.startswith("chaos-")]
+    for name in chaos_families:
+        fam = scenarios.family(name)
+        instance = scenarios.build(scenarios.ScenarioSpec(name, dict(fam.smoke_params)))
+        plan = EventPlan.generate(instance.T, instance.d, seed=7, n_events=3)
+        run_case(name, instance, plan)
+
+    # targeted single-kind injections that must fire (overload / forced downs)
+    base = scenarios.build("diurnal-cpu-gpu", T=12)
+    targeted = [
+        ("inject:flash_crowd", EventPlan(events=(ChaosEvent("flash_crowd", t=3, duration=3, magnitude=50.0),)), "A"),
+        ("inject:capacity_drop", EventPlan(events=(ChaosEvent("capacity_drop", t=5, duration=4, magnitude=0.9),)), "B"),
+        ("inject:price_shock", EventPlan(events=(ChaosEvent("price_shock", t=2, duration=5, magnitude=3.0),
+                                                 ChaosEvent("flash_crowd", t=8, duration=2, magnitude=20.0),)), "A"),
+    ]
+    for label, plan, algorithm in targeted:
+        run_case(label, base, plan, algorithm=algorithm, must_violate=True)
+
+    # the telemetry contract: SLA accounting must reach the per-tick rows
+    try:
+        from .serve import ChaosFeed, ControllerSession, InstanceFeed
+
+        feed = ChaosFeed(InstanceFeed(base), targeted[0][1])
+        session = ControllerSession("A", base.server_types, degradation="shed")
+        saw_violation = False
+        for tick in feed:
+            row = session.observe(tick.demand, cost_row=tick.cost_row, counts=tick.counts).as_row()
+            if "sla_violation" not in row or "feasible" not in row:
+                raise AssertionError(f"telemetry row lacks SLA/feasibility keys: {sorted(row)}")
+            saw_violation = saw_violation or row["sla_violation"]
+        if not saw_violation:
+            raise AssertionError("no telemetry row carried sla_violation=True under overload")
+    except Exception as exc:
+        failures.append(f"telemetry-contract: {exc}")
+
+    print(format_table(
+        rows,
+        title=f"chaos smoke — deterministic fault injection + graceful degradation "
+              f"({len(chaos_families)} chaos families, {len(targeted)} targeted injections)",
+    ))
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump({"chaos_smoke": rows}, handle, indent=2, default=str)
+        print(f"\nwrote {json_path}")
+    if failures:
+        print("\nFAIL:\n  " + "\n  ".join(failures), file=sys.stderr)
+        return 1
+    print(f"\nall {len(rows)} chaos cases replay deterministically "
+          "(bit-identical schedules + SLA counters across checkpoint/restore)")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     if args.action == "smoke":
         return _serve_smoke(json_path=args.json)
+
+    if args.action == "chaos":
+        return _serve_chaos_smoke(json_path=args.json)
 
     if args.action == "bench":
         from .bench import run_serve_bench
@@ -658,7 +779,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 0
 
     # action == "replay"
-    from .serve import ControllerSession, ScenarioFeed, TelemetryWriter, build_serve_algorithm
+    from .serve import ChaosFeed, ControllerSession, ScenarioFeed, TelemetryWriter, build_serve_algorithm
 
     try:
         feed = ScenarioFeed(
@@ -676,12 +797,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"--checkpoint-at must be in [1, T) = [1, {instance.T}) — "
             f"{args.checkpoint_at} would never fire"
         )
-    print(f"replaying {feed.spec.key()} (T={instance.T}, d={instance.d}) "
+    spec_key = feed.spec.key()
+    chaos_plan = None
+    if args.chaos is not None:
+        if args.verify:
+            raise SystemExit(
+                "--verify asserts batch equivalence, which injected faults break by design; "
+                "determinism under chaos is gated by `repro serve chaos` instead"
+            )
+        chaos_plan = _parse_chaos_spec(args.chaos, instance.T, instance.d, args.chaos_events)
+        feed = ChaosFeed(feed, chaos_plan)
+    degradation = args.degradation
+    if degradation is None:
+        degradation = "shed" if chaos_plan is not None else "strict"
+    print(f"replaying {spec_key} (T={instance.T}, d={instance.d}) "
           f"with algorithm {args.algorithm}"
+          + (f", {len(chaos_plan.events)} injected chaos event(s), "
+             f"degradation={degradation}" if chaos_plan is not None else "")
           + (f" at {args.speed:g}x time-warp" if args.speed else " (unpaced)"))
 
     session = ControllerSession(
-        algorithm, instance.server_types, track_regret=args.regret, name="replay"
+        algorithm, instance.server_types, track_regret=args.regret,
+        degradation=degradation, name="replay"
     )
     with TelemetryWriter(args.telemetry) as writer:
         for tick in feed.play(args.speed):
@@ -703,8 +840,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "p99_ms": summary["latency"].get("p99_ms"),
         "feasible": summary["feasible"],
     }
+    if chaos_plan is not None or summary["sla_violations"]:
+        row["sla_violations"] = summary["sla_violations"]
+        row["shed"] = round(summary["shed_demand"], 3)
+        row["forced_down"] = summary["forced_downs"]
     print()
     print(format_table([row], title=f"live replay — {session.algorithm.name}"))
+    if chaos_plan is not None:
+        print(f"\nchaos: {summary['sla_violations']} SLA-violating tick(s), "
+              f"{summary['shed_demand']:.3f} demand shed, "
+              f"{summary['forced_downs']} forced power-down(s) "
+              f"(degradation={degradation}, stream completed without raising)")
     if args.telemetry:
         print(f"\nwrote {writer.rows_written} telemetry rows to {args.telemetry}")
     if args.verify:
@@ -978,10 +1124,14 @@ def build_parser() -> argparse.ArgumentParser:
                "batch equivalence); `bench` measures multi-tenant serving "
                "(latency percentiles + shared-vs-isolated cache counters, "
                "writes BENCH_serve.json); `smoke` is the `make serve-smoke` "
-               "CI gate (every registered family must replay equivalently).",
+               "CI gate (every registered family must replay equivalently); "
+               "`chaos` is the `make chaos-smoke` gate (chaos-* families and "
+               "targeted fault injections must replay deterministically and "
+               "degrade gracefully — see also `replay --chaos`).",
     )
-    p_serve.add_argument("action", choices=["replay", "bench", "smoke"],
-                         help="stream one scenario / run the multi-tenant benchmark / run the CI gate")
+    p_serve.add_argument("action", choices=["replay", "bench", "smoke", "chaos"],
+                         help="stream one scenario / run the multi-tenant benchmark / "
+                              "run the CI gates (smoke: batch equivalence, chaos: fault injection)")
     p_serve.add_argument("--scenario", default=None,
                          help="registered scenario family to replay (default: diurnal-cpu-gpu)")
     p_serve.add_argument("--param", action="append", default=[], metavar="K=V",
@@ -1006,6 +1156,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--regret", action="store_true",
                          help="track the offline prefix optimum per tick and report regret "
                               "in the telemetry (one extra DP transition per tick)")
+    p_serve.add_argument("--chaos", default=None, metavar="SPEC",
+                         help="inject mid-stream faults into the replay: an integer seed "
+                              "(generates an event plan over the scenario's horizon), inline "
+                              "JSON, or a plan file (incompatible with --verify)")
+    p_serve.add_argument("--chaos-events", type=_positive_int, default=4, metavar="N",
+                         help="events to generate when --chaos is a seed (default: 4)")
+    p_serve.add_argument("--degradation", choices=["strict", "shed"], default=None,
+                         help="infeasible-tick policy: raise (strict) or shed load with SLA "
+                              "accounting (default: shed when --chaos is given, else strict)")
     p_serve.add_argument("--tenants", default="1,8,64",
                          help="comma-separated concurrent-session counts for bench (default: 1,8,64)")
     p_serve.add_argument("--ticks", type=_positive_int, default=None,

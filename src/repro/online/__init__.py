@@ -1,9 +1,12 @@
 """Online algorithms: the paper's Algorithms A/B/C, trackers, baselines, adversaries."""
 
 from .adversary import (
+    AdaptiveAdversaryResult,
     ChasingGameResult,
+    adaptive_adversary,
     convex_chasing_game,
     greedy_cube_strategy,
+    interleaved_ski_rental_instance,
     rounding_pathology,
     ski_rental_instance,
     ski_rental_trace,
@@ -26,6 +29,7 @@ from .tracker import (
 )
 
 __all__ = [
+    "AdaptiveAdversaryResult",
     "AlgorithmA",
     "AlgorithmB",
     "AlgorithmC",
@@ -46,6 +50,7 @@ __all__ = [
     "SharedValueStream",
     "SlotContext",
     "SlotInfo",
+    "adaptive_adversary",
     "argmin_config",
     "block_index_sets",
     "blocks_from_power_ups",
@@ -53,6 +58,7 @@ __all__ = [
     "compute_runtimes",
     "convex_chasing_game",
     "greedy_cube_strategy",
+    "interleaved_ski_rental_instance",
     "optimal_static_schedule",
     "receding_horizon_schedule",
     "round_up",

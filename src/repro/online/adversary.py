@@ -41,9 +41,12 @@ from ..core.instance import ProblemInstance
 from ..core.server import ServerType
 
 __all__ = [
+    "AdaptiveAdversaryResult",
     "ChasingGameResult",
+    "adaptive_adversary",
     "convex_chasing_game",
     "greedy_cube_strategy",
+    "interleaved_ski_rental_instance",
     "ski_rental_trace",
     "ski_rental_instance",
     "rounding_pathology",
@@ -188,6 +191,157 @@ def ski_rental_trace(
     gap = max(1, int(round(gap_factor * break_even_slots)))
     cycle = [burst_height] + [0.0] * gap
     return np.array(cycle * n_cycles, dtype=float)
+
+
+def interleaved_ski_rental_instance(
+    server_types: Sequence[ServerType],
+    n_cycles: int = 6,
+    gap_factor: float = 1.0,
+    max_gap: int = 12,
+    name: Optional[str] = None,
+) -> ProblemInstance:
+    """Interleave per-type ski-rental pressure across a heterogeneous fleet.
+
+    The ``2d`` lower bound of the companion paper [5] interleaves ski-rental
+    gadgets across the ``d`` types; with a scalar load-dispatch demand the
+    closest expressible construction is a *staircase of bursts*: for each type
+    ``j`` (ordered as given) a burst to the cumulative capacity of types
+    ``0..j`` — forcing all of them on — followed by an idle gap tuned to
+    ``gap_factor`` times type ``j``'s break-even horizon.  Every type is
+    therefore repeatedly driven through its own worst-case keep-warm /
+    power-down dilemma, at a different cadence per type.  Gaps are capped at
+    ``max_gap`` slots (types with zero idle cost never break even; they get
+    the cap) to keep the horizon bounded.
+    """
+    types = tuple(server_types)
+    if not types:
+        raise ValueError("interleaved ski rental needs at least one server type")
+    if n_cycles < 1:
+        raise ValueError("n_cycles must be at least 1")
+    if max_gap < 1:
+        raise ValueError("max_gap must be at least 1")
+    levels = np.cumsum([st.count * st.capacity for st in types])
+    if not np.all(np.isfinite(levels)):
+        raise ValueError("interleaved ski rental needs finite per-type capacities")
+    gaps = []
+    for st in types:
+        break_even = st.break_even_slots()
+        gap = max_gap if not np.isfinite(break_even) else int(round(gap_factor * break_even))
+        gaps.append(int(np.clip(gap, 1, max_gap)))
+    demand: List[float] = []
+    for _ in range(int(n_cycles)):
+        for level, gap in zip(levels, gaps):
+            demand.append(float(level))
+            demand.extend([0.0] * gap)
+    return ProblemInstance(
+        types, np.array(demand), name=name or f"interleaved-ski-d{len(types)}"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# 2b. Adaptive adversary: greedy worst-prefix extension
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True, eq=False)
+class AdaptiveAdversaryResult:
+    """Outcome of :func:`adaptive_adversary` (the worst prefix found)."""
+
+    instance: ProblemInstance
+    online_cost: float
+    offline_cost: float
+    #: Best empirical ratio after each prefix extension (length ``T``).
+    ratio_history: tuple
+
+    @property
+    def ratio(self) -> float:
+        if self.offline_cost > 0:
+            return self.online_cost / self.offline_cost
+        return float("inf") if self.online_cost > 0 else 1.0
+
+
+def adaptive_adversary(
+    server_types: Sequence[ServerType],
+    T: int = 12,
+    candidates: int = 4,
+    seed: int = 0,
+    algorithm_factory: Optional[Callable[[], "object"]] = None,
+    name: Optional[str] = None,
+) -> AdaptiveAdversaryResult:
+    """Grow a demand prefix greedily against a deterministic online algorithm.
+
+    At each of the ``T`` steps the adversary proposes ``candidates`` demand
+    levels (always including idle and full capacity, plus seeded uniform
+    draws), replays the online algorithm from scratch on *every candidate
+    extension of the worst prefix found so far*, computes the exact offline
+    optimum of each extended prefix, and keeps the extension maximising the
+    empirical competitive ratio.  Because the algorithm is deterministic the
+    replay-from-scratch loop is exactly the adaptive-adversary game: the
+    adversary reacts to everything the algorithm has revealed.  The returned
+    instance is feasible by construction (demands never exceed capacity) and
+    the whole procedure is deterministic in ``seed``.
+
+    Cost: ``O(candidates * T)`` full prefix replays (each an ``run_online`` +
+    ``solve_optimal`` pass), so keep ``T`` modest — this is a lower-bound
+    probe, not a workload generator.
+    """
+    from ..offline import solve_optimal
+    from .algorithm_a import AlgorithmA
+    from .base import run_online
+
+    types = tuple(server_types)
+    if T < 1:
+        raise ValueError("T must be at least 1")
+    if candidates < 2:
+        raise ValueError("need at least 2 candidate demand levels per step")
+    factory = algorithm_factory if algorithm_factory is not None else AlgorithmA
+    capacity = float(np.sum([st.count * st.capacity for st in types]))
+    if not np.isfinite(capacity) or capacity <= 0:
+        raise ValueError("the adversary needs a fleet with finite positive capacity")
+
+    rng = np.random.default_rng(seed)
+    prefix: List[float] = []
+    history: List[float] = []
+    label = name or f"adaptive-adversary-d{len(types)}"
+    best_instance: Optional[ProblemInstance] = None
+    best_online = 0.0
+    best_offline = 0.0
+
+    for _ in range(int(T)):
+        extras = sorted(
+            round(float(v), 6) for v in rng.uniform(0.0, capacity, size=max(0, candidates - 2))
+        )
+        values = [0.0, *extras, capacity]
+        best_ratio = -1.0
+        chosen = None
+        for value in values:
+            trial = ProblemInstance(types, np.array(prefix + [value]), name=label)
+            online = run_online(trial, factory())
+            offline = solve_optimal(trial, return_schedule=False).cost
+            if offline > 0:
+                ratio = online.cost / offline
+            else:
+                ratio = float("inf") if online.cost > 0 else 1.0
+            # Ties on ratio are broken towards the higher online cost: a first
+            # burst has ratio 1.0 just like staying idle, but only the burst
+            # creates the stranded capacity whose idle/switching dilemma later
+            # zero slots exploit.
+            better = ratio > best_ratio + 1e-12 or (
+                ratio > best_ratio - 1e-12 and chosen is not None and online.cost > chosen[2] + 1e-12
+            )
+            if better:
+                best_ratio = ratio
+                chosen = (value, trial, online.cost, offline)
+        value, best_instance, best_online, best_offline = chosen
+        prefix.append(value)
+        history.append(best_ratio)
+
+    return AdaptiveAdversaryResult(
+        instance=best_instance,
+        online_cost=float(best_online),
+        offline_cost=float(best_offline),
+        ratio_history=tuple(history),
+    )
 
 
 def ski_rental_instance(

@@ -71,10 +71,12 @@ def scenario_specs(
         if params:
             merged = dict(params)
             merged.update(spec.params)
-            spec = ScenarioSpec(spec.name, merged, spec.seed)
+            spec = ScenarioSpec(spec.name, merged, spec.seed, spec.events)
         if seeds and spec.seed is None:
             for seed in seeds:
-                specs.append(validate(ScenarioSpec(spec.name, spec.params, int(seed))))
+                specs.append(
+                    validate(ScenarioSpec(spec.name, spec.params, int(seed), spec.events))
+                )
         else:
             specs.append(validate(spec))
     return tuple(specs)

@@ -1,0 +1,343 @@
+"""Chaos event plans: seeded, JSON-serialisable fault schedules.
+
+A :class:`ChaosEvent` is one timed fault — a machine-count drop (recovering
+when its window closes), an operating-cost price shock, or a flash crowd
+multiplying demand.  An :class:`EventPlan` is an ordered, seed-stamped tuple
+of events with a canonical JSON form, so a chaos experiment is addressable
+the same way a scenario is: same seed + same event plan ⇒ the same faults at
+the same ticks, which is what the ``repro serve chaos`` determinism gate
+checks (bit-identical schedules across replays).
+
+Plans act in two places:
+
+* **baked** into a batch :class:`~repro.core.instance.ProblemInstance` via
+  :func:`apply_event_plan` (the ``chaos-*`` scenario families): price shocks
+  become :class:`~repro.core.cost_functions.ScaledCost` rows, flash crowds
+  multiply the demand trace, outages shrink the ``counts`` table, and demand
+  is re-clipped against the post-event capacity so the batch instance stays
+  feasible for the strict batch/serve equivalence gates;
+* **injected mid-stream** by :class:`repro.serve.chaos.FaultInjector`, which
+  perturbs live ticks *without* re-clipping — an unplanned fault may make a
+  tick infeasible, and the serve layer's graceful degradation (load shedding,
+  forced power-downs, SLA accounting) is what absorbs it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..workloads.traces import as_rng
+
+__all__ = [
+    "EVENT_KINDS",
+    "ChaosEvent",
+    "EventPlan",
+    "apply_event_plan",
+]
+
+
+#: The fault kinds an event plan can schedule.
+EVENT_KINDS = ("capacity_drop", "price_shock", "flash_crowd")
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One timed fault.
+
+    ``magnitude`` is interpreted per kind:
+
+    * ``capacity_drop`` — fraction of the affected type's machines removed
+      (in ``(0, 1]``; at least one machine goes whenever the type has any),
+      restored when the window closes,
+    * ``price_shock`` — multiplier applied to every operating-cost function
+      while active (``ScaledCost`` wrapping),
+    * ``flash_crowd`` — multiplier applied to the demand while active.
+
+    ``type_index`` restricts a ``capacity_drop`` to one server type
+    (``None`` hits the whole fleet); it is ignored by the other kinds.
+    """
+
+    kind: str
+    t: int
+    duration: int = 1
+    magnitude: float = 2.0
+    type_index: Optional[int] = None
+
+    def __post_init__(self):
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown chaos event kind {self.kind!r} (known: {EVENT_KINDS})")
+        if not isinstance(self.t, (int, np.integer)) or isinstance(self.t, bool) or self.t < 0:
+            raise ValueError(f"event start t must be a non-negative int, got {self.t!r}")
+        object.__setattr__(self, "t", int(self.t))
+        if int(self.duration) != self.duration or self.duration < 1:
+            raise ValueError(f"event duration must be a positive int, got {self.duration!r}")
+        object.__setattr__(self, "duration", int(self.duration))
+        magnitude = float(self.magnitude)
+        if not np.isfinite(magnitude) or magnitude <= 0:
+            raise ValueError(f"event magnitude must be finite and positive, got {self.magnitude!r}")
+        if self.kind == "capacity_drop" and magnitude > 1.0:
+            raise ValueError(
+                f"capacity_drop magnitude is the removed machine fraction and must be <= 1, "
+                f"got {magnitude!r}"
+            )
+        object.__setattr__(self, "magnitude", magnitude)
+        if self.type_index is not None:
+            if int(self.type_index) != self.type_index or self.type_index < 0:
+                raise ValueError(f"type_index must be a non-negative int or None, got {self.type_index!r}")
+            object.__setattr__(self, "type_index", int(self.type_index))
+
+    def active_at(self, t: int) -> bool:
+        """Whether this event's window ``[t, t + duration)`` covers tick ``t``."""
+        return self.t <= t < self.t + self.duration
+
+    # ---------------------------------------------------------- (de)serialise
+    def to_dict(self) -> dict:
+        payload = {
+            "kind": self.kind,
+            "t": self.t,
+            "duration": self.duration,
+            "magnitude": self.magnitude,
+        }
+        if self.type_index is not None:
+            payload["type_index"] = self.type_index
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ChaosEvent":
+        payload = dict(payload)
+        kind = payload.pop("kind", None)
+        if kind is None:
+            raise ValueError(f"chaos event dict needs a 'kind' key, got {sorted(payload)}")
+        known = {"t", "duration", "magnitude", "type_index"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown chaos event keys {unknown} (expected: kind, {sorted(known)})")
+        return cls(kind=kind, **payload)
+
+
+@dataclass(frozen=True)
+class EventPlan:
+    """A seed-stamped, ordered fault schedule (see module docstring).
+
+    ``seed`` is provenance only — it records what :meth:`generate` was fed so
+    a plan printed in a report can be regenerated; replaying a plan never
+    draws randomness.
+    """
+
+    events: tuple = ()
+    seed: Optional[int] = None
+
+    def __post_init__(self):
+        events = tuple(self.events)
+        for event in events:
+            if not isinstance(event, ChaosEvent):
+                raise TypeError(f"EventPlan events must be ChaosEvent instances, got {event!r}")
+        object.__setattr__(self, "events", events)
+        if self.seed is not None and (not isinstance(self.seed, (int, np.integer)) or isinstance(self.seed, bool)):
+            raise TypeError(f"EventPlan seed must be an int or None, got {self.seed!r}")
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------------- generation
+    @classmethod
+    def generate(
+        cls,
+        T: int,
+        d: int,
+        seed=0,
+        n_events: int = 4,
+        kinds: Sequence[str] = EVENT_KINDS,
+    ) -> "EventPlan":
+        """Draw a seeded plan of ``n_events`` faults over horizon ``T``.
+
+        Event windows stay inside ``[1, T)`` (tick 0 is never faulted, so every
+        replay starts from a clean slot), durations span up to a quarter of the
+        horizon, and capacity drops target a single random type half the time.
+        Deterministic: the same ``(T, d, seed, n_events, kinds)`` always yields
+        the same plan.
+        """
+        if T < 2:
+            raise ValueError(f"event plans need a horizon T >= 2, got {T}")
+        kinds = tuple(kinds)
+        unknown = sorted(set(kinds) - set(EVENT_KINDS))
+        if unknown:
+            raise ValueError(f"unknown chaos event kinds {unknown} (known: {EVENT_KINDS})")
+        rng = as_rng(seed)
+        events = []
+        for _ in range(int(n_events)):
+            kind = str(kinds[int(rng.integers(0, len(kinds)))])
+            t = int(rng.integers(1, T))
+            duration = int(rng.integers(1, max(2, T // 4) + 1))
+            type_index = None
+            if kind == "capacity_drop":
+                magnitude = round(float(rng.uniform(0.3, 0.8)), 6)
+                if d > 1 and rng.random() < 0.5:
+                    type_index = int(rng.integers(0, d))
+            elif kind == "price_shock":
+                magnitude = round(float(rng.uniform(1.5, 4.0)), 6)
+            else:  # flash_crowd
+                magnitude = round(float(rng.uniform(1.5, 3.5)), 6)
+            events.append(
+                ChaosEvent(kind=kind, t=t, duration=duration, magnitude=magnitude, type_index=type_index)
+            )
+        events.sort(key=lambda e: (e.t, e.kind, e.duration))
+        recorded = seed if isinstance(seed, (int, np.integer)) and not isinstance(seed, bool) else None
+        return cls(events=tuple(events), seed=None if recorded is None else int(recorded))
+
+    # ------------------------------------------------------------ application
+    def events_at(self, t: int, kind: Optional[str] = None) -> tuple:
+        """The events whose windows cover tick ``t`` (optionally one kind)."""
+        return tuple(
+            e for e in self.events if e.active_at(t) and (kind is None or e.kind == kind)
+        )
+
+    def counts_at(self, t: int, base_counts) -> np.ndarray:
+        """Available machine counts at tick ``t`` given the fleet's base counts.
+
+        Overlapping drops compound sequentially; a drop always removes at
+        least one machine from a non-empty type and never goes below zero.
+        """
+        counts = np.asarray(base_counts, dtype=int).copy()
+        for event in self.events_at(t, "capacity_drop"):
+            targets = range(len(counts)) if event.type_index is None else (event.type_index,)
+            for j in targets:
+                if j >= len(counts) or counts[j] <= 0:
+                    continue
+                removed = int(np.floor(event.magnitude * counts[j]))
+                removed = max(removed, 1)
+                counts[j] = max(int(counts[j]) - removed, 0)
+        return counts
+
+    def price_factor_at(self, t: int) -> float:
+        """Product of the price-shock multipliers active at tick ``t``."""
+        factor = 1.0
+        for event in self.events_at(t, "price_shock"):
+            factor *= event.magnitude
+        return factor
+
+    def demand_factor_at(self, t: int) -> float:
+        """Product of the flash-crowd multipliers active at tick ``t``."""
+        factor = 1.0
+        for event in self.events_at(t, "flash_crowd"):
+            factor *= event.magnitude
+        return factor
+
+    def max_t(self) -> int:
+        """Last tick any event window still covers (``-1`` for an empty plan)."""
+        return max((e.t + e.duration - 1 for e in self.events), default=-1)
+
+    def restrict(self, kinds: Sequence[str]) -> "EventPlan":
+        """A copy keeping only the given event kinds (seed stamp preserved)."""
+        kinds = set(kinds)
+        return EventPlan(tuple(e for e in self.events if e.kind in kinds), seed=self.seed)
+
+    # ---------------------------------------------------------- (de)serialise
+    def to_dict(self) -> dict:
+        payload: dict = {"events": [e.to_dict() for e in self.events]}
+        if self.seed is not None:
+            payload["seed"] = int(self.seed)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "EventPlan":
+        payload = dict(payload)
+        events = payload.pop("events", ())
+        seed = payload.pop("seed", None)
+        if payload:
+            raise ValueError(f"unknown event-plan keys {sorted(payload)} (expected: events, seed)")
+        return cls(tuple(ChaosEvent.from_dict(e) for e in events), seed=seed)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "EventPlan":
+        return cls.parse(json.loads(text))
+
+    @classmethod
+    def parse(cls, entry: Union["EventPlan", Mapping, Sequence, str, None]) -> "EventPlan":
+        """Normalise a plan / dict / event list / JSON text into an :class:`EventPlan`."""
+        if entry is None:
+            return cls()
+        if isinstance(entry, EventPlan):
+            return entry
+        if isinstance(entry, str):
+            return cls.parse(json.loads(entry))
+        if isinstance(entry, Mapping):
+            return cls.from_dict(entry)
+        if isinstance(entry, Sequence):
+            return cls(tuple(
+                e if isinstance(e, ChaosEvent) else ChaosEvent.from_dict(e) for e in entry
+            ))
+        raise TypeError(f"cannot parse an event plan from {entry!r}")
+
+    def key(self) -> str:
+        """Compact human-readable identity (used in reports and telemetry)."""
+        if not self.events:
+            return "[no events]"
+        parts = [
+            f"{e.kind}@{e.t}+{e.duration}x{e.magnitude:g}"
+            + ("" if e.type_index is None else f"/j{e.type_index}")
+            for e in self.events
+        ]
+        prefix = "" if self.seed is None else f"seed={self.seed} "
+        return "[" + prefix + " ".join(parts) + "]"
+
+
+def apply_event_plan(
+    instance: ProblemInstance,
+    plan,
+    kinds: Optional[Sequence[str]] = None,
+    cap_fraction: float = 0.95,
+    name: Optional[str] = None,
+) -> ProblemInstance:
+    """Bake an event plan into a batch instance (feasible by construction).
+
+    Flash crowds multiply the demand trace, capacity drops shrink the
+    ``counts`` table (recovering after their windows), and price shocks wrap
+    the cost rows in :class:`~repro.core.cost_functions.ScaledCost` — composing
+    with any tariff the base instance already carries.  The perturbed demand
+    is clipped to ``cap_fraction`` of the post-event capacity so the baked
+    instance is demand-feasible; the *unclipped* serve-time counterpart is
+    :class:`repro.serve.chaos.FaultInjector`.  ``kinds`` restricts which event
+    kinds are baked (default: all).
+
+    Caveat on baked capacity drops: demand-feasibility does not guarantee
+    every online algorithm survives strict batch validation — an algorithm's
+    already-powered machines can exceed a suddenly shrunken counts table
+    (Algorithms A/B power down on their own schedule).  Families that bake
+    drops (``chaos-outage``) tune their windows to stay replayable; unplanned
+    drops belong to serve-time injection, where shed-mode sessions absorb
+    them.
+    """
+    plan = EventPlan.parse(plan)
+    if kinds is not None:
+        plan = plan.restrict(kinds)
+    if not 0 < cap_fraction <= 1:
+        raise ValueError(f"cap_fraction must lie in (0, 1], got {cap_fraction!r}")
+    T = instance.T
+    target = name or f"{instance.name}+chaos"
+
+    counts = np.stack([plan.counts_at(t, instance.counts_at(t)) for t in range(T)])
+    demand = np.array(
+        [float(instance.demand[t]) * plan.demand_factor_at(t) for t in range(T)]
+    )
+    zmax = np.asarray(instance.zmax, dtype=float)
+    finite = np.isfinite(zmax)
+    if np.all(finite):
+        capacity = counts @ zmax
+        demand = np.minimum(demand, cap_fraction * capacity)
+
+    out = instance.with_demand(demand, name=target)
+    if not np.array_equal(counts, np.stack([instance.counts_at(t) for t in range(T)])):
+        out = out.with_counts(counts, name=target)
+    prices = np.array([plan.price_factor_at(t) for t in range(T)])
+    if np.any(prices != 1.0):
+        out = out.with_price_profile(prices, name=target)
+    return out

@@ -33,8 +33,14 @@ from ..workloads.fleets import (
     single_type_fleet,
     three_tier_fleet,
 )
+from ..online.adversary import (
+    adaptive_adversary,
+    interleaved_ski_rental_instance,
+    ski_rental_instance,
+)
 from ..workloads.scale import big_fleet_instance, long_horizon_instance
 from ..workloads.traces import bursty_trace, diurnal_trace, spawn_streams, spike_trace
+from .events import ChaosEvent, EventPlan, apply_event_plan
 from .registry import register
 
 __all__ = ["price_profile"]
@@ -262,3 +268,193 @@ register(
     smoke_params={"T": 48, "d": 2, "m_max": 10, "levels": 8},
     tags=("scale", "geometric-grid"),
 )
+
+
+# --------------------------------------------------------------------------- #
+# Chaos families: event plans and the paper's adversarial constructions
+# --------------------------------------------------------------------------- #
+#
+# The event-plan families bake the *batch-safe* fault kinds into the instance
+# (price shocks, flash crowds, and chaos-outage's planned drop/recovery
+# window, with demand re-clipped so the strict batch/serve gates stay
+# feasible).  Unplanned faults — capacity that vanishes mid-stream under live
+# sessions — are the serve layer's job: the same EventPlan objects are
+# injected tick by tick through repro.serve.chaos.FaultInjector, where
+# shed-mode sessions absorb the resulting infeasibility (`repro serve chaos`).
+
+
+def _diurnal_base(T, base, peak, noise, cpu_count, gpu_count, rng, name):
+    demand = diurnal_trace(T, period=_period(T, None), base=base, peak=peak, noise=noise, rng=rng)
+    return fleet_instance(cpu_gpu_fleet(cpu_count=cpu_count, gpu_count=gpu_count), demand, name=name)
+
+
+def _chaos_plan(T, d, chaos_rng, n_events, kinds, events):
+    """Resolve a family's event plan: explicit spec events win over generation."""
+    if events is not None:
+        return EventPlan.parse(events)
+    return EventPlan.generate(T, d, seed=chaos_rng, n_events=n_events, kinds=kinds)
+
+
+@register("chaos-outage", smoke_params={"T": 12, "drop_start": 5, "drop_duration": 3}, tags=("chaos", "thm22"))
+def _chaos_outage(
+    T: int = 32,
+    drop_start: int = 12,
+    drop_duration: int = 6,
+    drop_fraction: float = 0.5,
+    type_index: int = 0,
+    base: float = 1.0,
+    peak: float = 8.0,
+    noise: float = 0.05,
+    cpu_count: int = 5,
+    gpu_count: int = 2,
+    cap_fraction: float = 0.85,
+    seed: int = 3,
+    events=None,
+    name: Optional[str] = None,
+) -> ProblemInstance:
+    """A planned capacity outage with recovery: ``drop_fraction`` of one
+    type's machines leave for ``drop_duration`` slots and come back, expressed
+    as a ``capacity_drop`` event baked into the counts table (demand is
+    re-clipped against the post-outage capacity).  An explicit spec-level
+    event plan replaces the built-in window."""
+    target = name or f"chaos-outage-T{T}"
+    instance = _diurnal_base(T, base, peak, noise, cpu_count, gpu_count, seed, target)
+    if events is None:
+        events = [
+            ChaosEvent(
+                kind="capacity_drop",
+                t=drop_start,
+                duration=drop_duration,
+                magnitude=drop_fraction,
+                type_index=type_index,
+            )
+        ]
+    return apply_event_plan(instance, EventPlan.parse(events), cap_fraction=cap_fraction, name=target)
+
+
+@register("chaos-price-shock", smoke_params={"T": 10, "n_events": 2}, tags=("chaos", "priced"))
+def _chaos_price_shock(
+    T: int = 30,
+    n_events: int = 3,
+    base: float = 1.0,
+    peak: float = 10.0,
+    noise: float = 0.05,
+    cpu_count: int = 5,
+    gpu_count: int = 2,
+    seed: int = 13,
+    events=None,
+    name: Optional[str] = None,
+) -> ProblemInstance:
+    """Seeded price-shock windows on the diurnal CPU+GPU workload: every
+    operating-cost function is ``ScaledCost``-multiplied while a shock is
+    active (Section 3's time-dependent-cost regime, adversarially timed)."""
+    trace_rng, chaos_rng = spawn_streams(seed, 2)
+    target = name or f"chaos-price-shock-T{T}"
+    instance = _diurnal_base(T, base, peak, noise, cpu_count, gpu_count, trace_rng, target)
+    plan = _chaos_plan(T, 2, chaos_rng, n_events, ("price_shock",), events)
+    return apply_event_plan(instance, plan, name=target)
+
+
+@register("chaos-flash-crowd", smoke_params={"T": 10, "n_events": 2}, tags=("chaos",))
+def _chaos_flash_crowd(
+    T: int = 30,
+    n_events: int = 3,
+    base: float = 1.0,
+    peak: float = 6.0,
+    noise: float = 0.05,
+    cpu_count: int = 5,
+    gpu_count: int = 2,
+    cap_fraction: float = 0.95,
+    seed: int = 17,
+    events=None,
+    name: Optional[str] = None,
+) -> ProblemInstance:
+    """Seeded flash crowds: demand multiplied in adversarially timed windows,
+    clipped to ``cap_fraction`` of capacity so the batch instance stays
+    feasible (the *unclipped* variant is what serve-time injection sheds)."""
+    trace_rng, chaos_rng = spawn_streams(seed, 2)
+    target = name or f"chaos-flash-crowd-T{T}"
+    instance = _diurnal_base(T, base, peak, noise, cpu_count, gpu_count, trace_rng, target)
+    plan = _chaos_plan(T, 2, chaos_rng, n_events, ("flash_crowd",), events)
+    return apply_event_plan(instance, plan, cap_fraction=cap_fraction, name=target)
+
+
+@register("chaos-mixed", smoke_params={"T": 12, "n_events": 3}, tags=("chaos", "priced"))
+def _chaos_mixed(
+    T: int = 36,
+    n_events: int = 5,
+    base: float = 1.0,
+    peak: float = 7.0,
+    noise: float = 0.05,
+    cpu_count: int = 5,
+    gpu_count: int = 2,
+    cap_fraction: float = 0.95,
+    seed: int = 23,
+    events=None,
+    name: Optional[str] = None,
+) -> ProblemInstance:
+    """Price shocks and flash crowds drawn from one seeded plan (capacity
+    drops are deliberately not generated here — unplanned capacity loss is a
+    serve-time fault, exercised by ``repro serve chaos`` / ``--chaos``; an
+    explicit spec-level event plan may still bake drops, chaos-outage
+    style)."""
+    trace_rng, chaos_rng = spawn_streams(seed, 2)
+    target = name or f"chaos-mixed-T{T}"
+    instance = _diurnal_base(T, base, peak, noise, cpu_count, gpu_count, trace_rng, target)
+    plan = _chaos_plan(T, 2, chaos_rng, n_events, ("price_shock", "flash_crowd"), events)
+    return apply_event_plan(instance, plan, cap_fraction=cap_fraction, name=target)
+
+
+@register("chaos-ski-rental", smoke_params={"n_cycles": 3}, tags=("chaos", "lower-bound"))
+def _chaos_ski_rental(
+    count: int = 4,
+    switching_cost: float = 6.0,
+    n_cycles: int = 12,
+    gap_factor: float = 1.0,
+    name: Optional[str] = None,
+) -> ProblemInstance:
+    """The classical ski-rental adversarial trace as a registry family:
+    demand bursts separated by idle gaps tuned to the break-even horizon
+    ``\\bar t_j`` (deterministic — no seed)."""
+    server_type = single_type_fleet(count=count, switching_cost=switching_cost)[0]
+    instance = ski_rental_instance(server_type, n_cycles=n_cycles, gap_factor=gap_factor)
+    return instance.with_demand(instance.demand, name=name or f"chaos-ski-rental-c{n_cycles}")
+
+
+@register("chaos-interleaved-ski", smoke_params={"n_cycles": 1, "max_gap": 6}, tags=("chaos", "lower-bound"))
+def _chaos_interleaved_ski(
+    n_cycles: int = 6,
+    gap_factor: float = 1.0,
+    max_gap: int = 12,
+    cpu_count: int = 4,
+    gpu_count: int = 2,
+    name: Optional[str] = None,
+) -> ProblemInstance:
+    """Per-type ski-rental pressure interleaved across the CPU+GPU fleet — a
+    burst staircase with gaps tuned to each type's break-even horizon (the
+    spiritual equivalent of the companion paper's ``2d`` lower-bound
+    interleaving; deterministic — no seed)."""
+    fleet = cpu_gpu_fleet(cpu_count=cpu_count, gpu_count=gpu_count)
+    return interleaved_ski_rental_instance(
+        fleet, n_cycles=n_cycles, gap_factor=gap_factor, max_gap=max_gap, name=name
+    )
+
+
+@register("chaos-adaptive", smoke_params={"T": 5, "candidates": 2}, tags=("chaos", "lower-bound", "adaptive"))
+def _chaos_adaptive(
+    T: int = 10,
+    candidates: int = 3,
+    count: int = 3,
+    switching_cost: float = 6.0,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> ProblemInstance:
+    """The adaptive adversary's worst prefix as a family: the demand trace is
+    grown one slot at a time, replaying Algorithm A from scratch against every
+    candidate extension and keeping the one that maximises the empirical
+    ratio.  Building this family *runs* the adversary (O(candidates * T)
+    prefix replays) — keep T modest."""
+    fleet = single_type_fleet(count=count, switching_cost=switching_cost)
+    result = adaptive_adversary(fleet, T=T, candidates=candidates, seed=seed)
+    instance = result.instance
+    return instance.with_demand(instance.demand, name=name or f"chaos-adaptive-T{T}-s{seed}")

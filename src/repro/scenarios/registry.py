@@ -76,12 +76,18 @@ class ScenarioFamily:
             )
 
     def validate_spec(self, spec: ScenarioSpec) -> None:
-        """Check a spec's params and seed against this family (raises)."""
+        """Check a spec's params, seed and event plan against this family (raises)."""
         self.validate_params(spec.params)
         if spec.seed is not None and "seed" not in self.defaults:
             raise ScenarioParamError(
                 f"scenario family {self.name!r} is deterministic (no 'seed' parameter) "
                 f"but the spec carries seed={spec.seed}"
+            )
+        if spec.events is not None and "events" not in self.defaults:
+            raise ScenarioParamError(
+                f"scenario family {self.name!r} is not event-aware (no 'events' parameter) "
+                f"but the spec carries an event plan of {len(spec.events)} event(s); "
+                "use a chaos-* family or inject the plan at serve time (--chaos)"
             )
 
     # ---------------------------------------------------------------- realise
@@ -90,6 +96,8 @@ class ScenarioFamily:
         kwargs = dict(spec.params)
         if spec.seed is not None:
             kwargs["seed"] = spec.seed
+        if spec.events is not None:
+            kwargs["events"] = spec.events
         instance = self.builder(**kwargs)
         if not isinstance(instance, ProblemInstance):
             raise TypeError(

@@ -15,6 +15,12 @@ and plan files::
     "diurnal-cpu-gpu"                                  # family, all defaults
     {"scenario": "homogeneous", "params": {"T": 24}, "seed": 3}
     ScenarioSpec("big-fleet", {"m_max": 500}, seed=1)  # passed through
+
+A spec may additionally carry a chaos **event plan** (``events``): a
+JSON-safe fault schedule (see :mod:`repro.scenarios.events`) that
+event-aware families (the ``chaos-*`` set) bake into the instance they
+build.  Like params, the plan is canonicalised at construction and
+round-trips losslessly through JSON.
 """
 
 from __future__ import annotations
@@ -66,6 +72,8 @@ class ScenarioSpec:
     name: str
     params: Dict = field(default_factory=dict)
     seed: Optional[int] = None
+    #: Optional chaos event plan (canonical JSON form; ``None`` = no events).
+    events: Optional[list] = None
 
     def __post_init__(self):
         if not isinstance(self.name, str) or not self.name:
@@ -75,6 +83,22 @@ class ScenarioSpec:
         if self.seed is not None:
             if not isinstance(self.seed, int) or isinstance(self.seed, bool):
                 raise TypeError(f"scenario seed must be an int or None, got {self.seed!r}")
+        if self.events is not None:
+            # canonicalise through the event-plan layer so malformed plans
+            # fail here (spec construction), not at materialisation time
+            from .events import EventPlan
+
+            plan = EventPlan.parse(self.events)
+            object.__setattr__(self, "events", plan.to_dict()["events"])
+
+    def event_plan(self):
+        """The spec's events as an :class:`~repro.scenarios.events.EventPlan`
+        (``None`` when the spec carries no events)."""
+        if self.events is None:
+            return None
+        from .events import EventPlan
+
+        return EventPlan.parse(self.events)
 
     # ---------------------------------------------------------- (de)serialise
     def to_dict(self) -> dict:
@@ -84,6 +108,8 @@ class ScenarioSpec:
             payload["params"] = dict(self.params)
         if self.seed is not None:
             payload["seed"] = self.seed
+        if self.events is not None:
+            payload["events"] = [dict(e) for e in self.events]
         return payload
 
     @classmethod
@@ -94,12 +120,13 @@ class ScenarioSpec:
             raise ValueError(f"scenario dict needs a 'scenario' (or 'name') key, got {sorted(payload)}")
         params = payload.pop("params", {}) or {}
         seed = payload.pop("seed", None)
+        events = payload.pop("events", None)
         if payload:
             raise ValueError(
                 f"unknown scenario-spec keys {sorted(payload)} "
-                "(expected: scenario/name, params, seed)"
+                "(expected: scenario/name, params, seed, events)"
             )
-        return cls(name=name, params=params, seed=seed)
+        return cls(name=name, params=params, seed=seed, events=events)
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), sort_keys=True)
@@ -120,11 +147,16 @@ class ScenarioSpec:
         raise TypeError(f"cannot parse scenario spec from {entry!r}")
 
     # -------------------------------------------------------------- utilities
-    def with_overrides(self, seed: Optional[int] = None, **params) -> "ScenarioSpec":
-        """A copy with ``params`` merged in (and optionally a new seed)."""
+    def with_overrides(self, seed: Optional[int] = None, events=None, **params) -> "ScenarioSpec":
+        """A copy with ``params`` merged in (and optionally a new seed / event plan)."""
         merged = dict(self.params)
         merged.update(params)
-        return ScenarioSpec(self.name, merged, self.seed if seed is None else seed)
+        return ScenarioSpec(
+            self.name,
+            merged,
+            self.seed if seed is None else seed,
+            self.events if events is None else events,
+        )
 
     def key(self) -> str:
         """A stable human-readable identity string (used in reports and logs)."""
@@ -133,12 +165,19 @@ class ScenarioSpec:
             parts.append(",".join(f"{k}={self.params[k]}" for k in sorted(self.params)))
         if self.seed is not None:
             parts.append(f"seed={self.seed}")
+        if self.events is not None:
+            parts.append(f"events={len(self.events)}")
         return "[" + " ".join(parts) + "]"
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, ScenarioSpec):
             return NotImplemented
-        return (self.name, self.params, self.seed) == (other.name, other.params, other.seed)
+        return (self.name, self.params, self.seed, self.events) == (
+            other.name,
+            other.params,
+            other.seed,
+            other.events,
+        )
 
     def __hash__(self) -> int:
         # coarse on purpose: params is a dict and numerically equal specs

@@ -22,21 +22,39 @@ including across a mid-stream checkpoint/restore round-trip (``repro serve
 smoke`` / ``make serve-smoke`` gate this for every registered family).
 """
 
+from .chaos import ChaosFeed, FaultInjector, verify_chaos_replay
 from .engine import ServeEngine, verify_replay
-from .feed import ArrayFeed, InstanceFeed, JsonlFeed, ScenarioFeed, SyntheticFeed, Tick, TraceFeed
+from .feed import (
+    ArrayFeed,
+    FeedError,
+    InstanceFeed,
+    JsonlFeed,
+    ScenarioFeed,
+    SyntheticFeed,
+    Tick,
+    TraceFeed,
+    payload_checksum,
+    write_jsonl_trace,
+)
 from .session import (
+    CheckpointCorruptError,
     ControllerSession,
     FleetState,
     SERVE_ALGORITHMS,
     ServeCache,
     build_serve_algorithm,
     fleet_signature,
+    load_checkpoint,
 )
 from .telemetry import TelemetryWriter, latency_percentiles, summarise_sessions
 
 __all__ = [
     "ArrayFeed",
+    "ChaosFeed",
+    "CheckpointCorruptError",
     "ControllerSession",
+    "FaultInjector",
+    "FeedError",
     "FleetState",
     "InstanceFeed",
     "JsonlFeed",
@@ -51,6 +69,9 @@ __all__ = [
     "build_serve_algorithm",
     "fleet_signature",
     "latency_percentiles",
+    "load_checkpoint",
+    "payload_checksum",
     "summarise_sessions",
+    "verify_chaos_replay",
     "verify_replay",
 ]

@@ -1,0 +1,253 @@
+"""Mid-stream fault injection and the chaos determinism gate.
+
+The scenarios layer *bakes* event plans into instances
+(:func:`repro.scenarios.events.apply_event_plan` clips demand so batch gates
+stay feasible).  This module is the other half of the chaos story: the same
+:class:`~repro.scenarios.events.EventPlan` objects applied *unclipped*, tick
+by tick, to a live stream — capacity drops that take machines away under the
+algorithm's feet, price shocks that rescale this tick's cost row, flash
+crowds that push demand past capacity.  Nothing downstream is warned:
+sessions run in ``degradation="shed"`` mode and absorb the infeasibility as
+SLA accounting instead of raising.
+
+* :class:`FaultInjector` — the seam: ``inject(tick) -> tick`` perturbs one
+  :class:`~repro.serve.feed.Tick` according to the plan.  Scaled cost rows
+  are memoised per ``(base row, factor)`` so repeated shock ticks carry the
+  *same* row objects — the serve cache's virtual-slot ledger and the solver's
+  signature-level caches keep deduplicating under chaos.
+* :class:`ChaosFeed` — wraps any feed with an injector; sharing one plan
+  across tenants of an engine yields correlated cross-tenant bursts (every
+  tenant's flash crowd lands on the same ticks).
+* :func:`verify_chaos_replay` — the gate behind ``make chaos-smoke``: same
+  seed + same event plan ⇒ bit-identical schedules and SLA counters, with and
+  without a mid-stream checkpoint/restore round-trip, and the per-tick SLA
+  accounting must match an independent recomputation from the injected feed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..core.cost_functions import ScaledCost
+from ..core.instance import ProblemInstance
+from ..scenarios.events import EventPlan
+from .feed import InstanceFeed, Tick, TraceFeed
+from .session import ControllerSession
+
+__all__ = ["ChaosFeed", "FaultInjector", "verify_chaos_replay"]
+
+
+class FaultInjector:
+    """Applies an :class:`EventPlan` to live ticks (the fault-injection seam).
+
+    Per tick ``t`` the injector perturbs, in order:
+
+    * **demand** — multiplied by the product of active flash-crowd factors
+      (*not* clipped to capacity: overload is the point; shed-mode sessions
+      account for it),
+    * **counts** — active capacity drops remove machines from the tick's
+      available counts (base fleet counts when the tick carries none),
+    * **cost row** — active price shocks wrap every cost function of the
+      tick's row in a :class:`~repro.core.cost_functions.ScaledCost`.
+
+    Injection is pure bookkeeping on the plan — deterministic, stateless
+    across ticks — so replaying the same (feed, plan) pair twice produces
+    identical perturbed streams.
+    """
+
+    def __init__(self, plan, server_types=None):
+        self.plan = EventPlan.parse(plan)
+        if self.plan is None:
+            self.plan = EventPlan()
+        self.server_types = None if server_types is None else tuple(server_types)
+        self._base_counts = (
+            None
+            if self.server_types is None
+            else np.array([st.count for st in self.server_types], dtype=int)
+        )
+        self._base_row = (
+            None
+            if self.server_types is None
+            else tuple(st.cost_function for st in self.server_types)
+        )
+        # one ScaledCost per (base function, factor): identical shock ticks
+        # must carry identical row objects or every cache downstream of
+        # fleet_signature / the virtual-slot ledger would miss
+        self._scaled: dict = {}
+
+    def _scaled_row(self, row: tuple, factor: float) -> tuple:
+        key = (tuple(id(fn) for fn in row), round(float(factor), 12))
+        scaled = self._scaled.get(key)
+        if scaled is None:
+            scaled = tuple(ScaledCost(fn, float(factor)) for fn in row)
+            self._scaled[key] = scaled
+        return scaled
+
+    def inject(self, tick: Tick) -> Tick:
+        """Return the perturbed version of one tick (the tick itself if quiet)."""
+        t = int(tick.t)
+        demand = float(tick.demand) * self.plan.demand_factor_at(t)
+
+        counts = tick.counts
+        if self.plan.events_at(t, "capacity_drop"):
+            base = counts if counts is not None else self._base_counts
+            if base is None:
+                raise ValueError(
+                    "a capacity_drop plan needs the fleet: give FaultInjector/ChaosFeed "
+                    "server_types (or use a feed that carries them)"
+                )
+            counts = self.plan.counts_at(t, base)
+
+        row = tick.cost_row
+        factor = self.plan.price_factor_at(t)
+        if factor != 1.0:
+            base_row = row if row is not None else self._base_row
+            if base_row is None:
+                raise ValueError(
+                    "a price_shock plan needs the fleet's cost row: give "
+                    "FaultInjector/ChaosFeed server_types (or use a feed that carries them)"
+                )
+            row = self._scaled_row(tuple(base_row), factor)
+
+        if demand == tick.demand and counts is tick.counts and row is tick.cost_row:
+            return tick
+        return Tick(t=t, demand=demand, cost_row=row, counts=counts)
+
+
+class ChaosFeed(TraceFeed):
+    """Any feed, perturbed by a :class:`FaultInjector` on the way through.
+
+    ``server_types`` defaults to the wrapped feed's fleet; demand-only feeds
+    need it explicitly when the plan carries capacity drops or price shocks.
+    Registering several tenants with feeds wrapped around *one shared plan*
+    gives correlated cross-tenant bursts — the chaos analogue of the engine's
+    shared-cache grouping.
+    """
+
+    def __init__(self, feed: TraceFeed, plan, server_types=None):
+        self.feed = feed
+        self.tick_seconds = feed.tick_seconds
+        self.server_types = (
+            tuple(server_types) if server_types is not None else feed.server_types
+        )
+        self.injector = FaultInjector(plan, server_types=self.server_types)
+
+    @property
+    def plan(self) -> EventPlan:
+        return self.injector.plan
+
+    def __len__(self) -> int:
+        return len(self.feed)
+
+    def ticks(self) -> Iterator[Tick]:
+        for tick in self.feed.ticks():
+            yield self.injector.inject(tick)
+
+
+def _chaos_run(
+    instance: ProblemInstance,
+    plan,
+    algorithm,
+    checkpoint_at: Optional[int],
+) -> ControllerSession:
+    feed = ChaosFeed(InstanceFeed(instance), plan)
+    session = ControllerSession(algorithm, instance.server_types, degradation="shed")
+    for tick in feed:
+        if checkpoint_at is not None and tick.t == checkpoint_at:
+            session = session.checkpoint_roundtrip()
+        session.observe(tick.demand, cost_row=tick.cost_row, counts=tick.counts)
+    session.finish()
+    return session
+
+
+def verify_chaos_replay(
+    instance: ProblemInstance,
+    plan,
+    algorithm="A",
+    checkpoint_at: Optional[int] = None,
+    tolerance: float = 1e-9,
+) -> dict:
+    """Check chaos determinism: same seed + same plan ⇒ bit-identical replay.
+
+    Streams ``instance`` through a shed-mode session twice under the same
+    injected event plan — the second pass crossing a JSON checkpoint/restore
+    round-trip after ``checkpoint_at`` ticks (defaults to mid-stream) — and
+    asserts that
+
+    * neither replay raises (graceful degradation: injected faults shed, they
+      don't crash),
+    * the two schedules are equal configuration for configuration,
+    * the cumulative costs agree within ``tolerance`` and every SLA counter
+      (violations, shed demand, forced power-downs) agrees exactly,
+    * the session's SLA-violation count matches an independent recomputation
+      from the injected feed (every tick whose demand exceeds its capacity
+      must have been accounted).
+
+    Returns a JSON-safe report row; raises :class:`AssertionError` on any
+    deviation — this function *is* the ``make chaos-smoke`` gate.
+    """
+    plan = EventPlan.parse(plan)
+    if plan is None:
+        plan = EventPlan()
+    if checkpoint_at is None and instance.T > 1:
+        checkpoint_at = max(1, instance.T // 2)
+
+    first = _chaos_run(instance, plan, algorithm, checkpoint_at=None)
+    second = _chaos_run(instance, plan, algorithm, checkpoint_at=checkpoint_at)
+
+    a, b = first.schedule.x, second.schedule.x
+    if a.shape != b.shape or not np.array_equal(a, b):
+        mismatches = int(np.sum(np.any(a != b, axis=1))) if a.shape == b.shape else -1
+        raise AssertionError(
+            f"{instance.name}: chaos replay is not deterministic across a "
+            f"checkpoint round-trip ({mismatches} mismatching slots)"
+        )
+    cost_deviation = abs(first.cumulative_cost - second.cumulative_cost)
+    if not cost_deviation <= tolerance:
+        raise AssertionError(
+            f"{instance.name}: chaos replay costs deviate by {cost_deviation:.3e} "
+            f"across a checkpoint round-trip (tolerance {tolerance:g})"
+        )
+    counters = {
+        "sla_violations": (first.sla_violations, second.sla_violations),
+        "shed_demand": (first.shed_demand_total, second.shed_demand_total),
+        "forced_downs": (first.forced_downs, second.forced_downs),
+    }
+    for key, (x, y) in counters.items():
+        if x != y:
+            raise AssertionError(
+                f"{instance.name}: SLA counter {key!r} differs across a checkpoint "
+                f"round-trip ({x} vs {y})"
+            )
+
+    # independent recomputation: every overloaded injected tick must have shed
+    zmax = np.array([st.capacity for st in instance.server_types], dtype=float)
+    expected_shed_ticks = 0
+    for tick in ChaosFeed(InstanceFeed(instance), plan):
+        counts = tick.counts
+        if counts is None:
+            counts = np.array([st.count for st in instance.server_types], dtype=int)
+        if tick.demand > float(np.sum(counts * zmax)) + 1e-9:
+            expected_shed_ticks += 1
+    if expected_shed_ticks > first.sla_violations:
+        raise AssertionError(
+            f"{instance.name}: {expected_shed_ticks} injected ticks exceed capacity but "
+            f"only {first.sla_violations} SLA violations were accounted"
+        )
+
+    return {
+        "instance": instance.name,
+        "algorithm": first.algorithm.name,
+        "ticks": first.ticks,
+        "events": len(plan.events),
+        "checkpoint_at": checkpoint_at,
+        "cost": first.cumulative_cost,
+        "cost_deviation": cost_deviation,
+        "sla_violations": first.sla_violations,
+        "shed_demand": round(first.shed_demand_total, 9),
+        "forced_downs": first.forced_downs,
+        "expected_shed_ticks": expected_shed_ticks,
+        "ok": True,
+    }

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..core.instance import ProblemInstance
 from ..online.base import run_online
+from .chaos import ChaosFeed
 from .feed import InstanceFeed, TraceFeed
 from .session import ControllerSession, ServeCache, build_serve_algorithm, fleet_signature
 from .telemetry import TelemetryWriter, summarise_sessions
@@ -81,11 +82,19 @@ class ServeEngine:
         *,
         track_regret: bool = False,
         speed: Optional[float] = None,
+        chaos=None,
+        degradation: Optional[str] = None,
     ) -> ControllerSession:
         """Register a tenant: one session driven by one feed.
 
         ``server_types`` defaults to the feed's fleet (instance/scenario
-        feeds carry one); demand-only feeds need it explicitly.
+        feeds carry one); demand-only feeds need it explicitly.  ``chaos``
+        takes an event plan (anything :meth:`EventPlan.parse` accepts) and
+        wraps the feed in a :class:`~repro.serve.chaos.ChaosFeed` — passing
+        the *same plan object* to several tenants injects correlated
+        cross-tenant bursts.  ``degradation`` defaults to ``"shed"`` for
+        chaos tenants (faults must account, not crash) and ``"strict"``
+        otherwise.
         """
         if name in self._tenants:
             raise ValueError(f"tenant {name!r} is already registered")
@@ -95,10 +104,15 @@ class ServeEngine:
             raise ValueError(
                 f"tenant {name!r}: the feed carries no fleet; pass server_types explicitly"
             )
+        if chaos is not None:
+            feed = ChaosFeed(feed, chaos, server_types=server_types)
+        if degradation is None:
+            degradation = "shed" if chaos is not None else "strict"
         session = ControllerSession(
             algorithm,
             cache=self.cache_for(server_types),
             track_regret=track_regret,
+            degradation=degradation,
             name=name,
         )
         self._tenants[name] = _Tenant(session, feed, speed)

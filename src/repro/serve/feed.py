@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import time
+import zlib
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Optional, Union
 
@@ -38,11 +39,53 @@ __all__ = [
     "Tick",
     "TraceFeed",
     "ArrayFeed",
+    "FeedError",
     "InstanceFeed",
     "JsonlFeed",
     "ScenarioFeed",
     "SyntheticFeed",
+    "payload_checksum",
+    "write_jsonl_trace",
 ]
+
+
+class FeedError(RuntimeError):
+    """A trace feed could not produce a valid tick (malformed line, bad checksum).
+
+    The message always carries the source location (``path:line``) so a
+    corrupt multi-gigabyte trace points at the offending line, not at a bare
+    ``json.JSONDecodeError`` somewhere inside the replay loop.
+    """
+
+
+def payload_checksum(payload: dict) -> str:
+    """Order-independent CRC-32 of a JSON-safe payload (format ``crc32:xxxxxxxx``).
+
+    Computed over the canonical (sorted-keys) JSON encoding, so semantically
+    equal payloads agree regardless of key order.  Used by JSONL trace lines
+    and session checkpoints alike — cheap enough to run per line, strong
+    enough to catch the truncation/bit-rot class of corruption (this is an
+    integrity check, not an authenticity one).
+    """
+    canonical = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return f"crc32:{zlib.crc32(canonical) & 0xFFFFFFFF:08x}"
+
+
+def write_jsonl_trace(path, demands, checksum: bool = False) -> int:
+    """Write a demand array as a :class:`JsonlFeed`-readable JSONL file.
+
+    With ``checksum=True`` every line is ``{"demand": x, "checksum": ...}``
+    so the feed (or any other consumer) can verify line integrity; returns
+    the number of lines written.
+    """
+    demands = np.asarray(demands, dtype=float).reshape(-1)
+    with open(path, "w", encoding="utf-8") as handle:
+        for demand in demands:
+            payload = {"demand": float(demand)}
+            if checksum:
+                payload["checksum"] = payload_checksum({"demand": payload["demand"]})
+            handle.write(json.dumps(payload) + "\n")
+    return int(demands.size)
 
 
 @dataclass(frozen=True, eq=False)
@@ -154,24 +197,98 @@ class ScenarioFeed(InstanceFeed):
 
 
 class JsonlFeed(TraceFeed):
-    """Replay a JSONL demand stream: one number or ``{"demand": x}`` per line."""
+    """Replay a JSONL demand stream: one number or ``{"demand": x}`` per line.
 
-    def __init__(self, path, tick_seconds: float = 1.0):
+    Input hardening (a live trace file is the least trustworthy input in the
+    serve stack):
+
+    * malformed lines raise :class:`FeedError` naming ``path:line`` — or are
+      counted and skipped under ``on_error="skip"`` (degrade-per-policy),
+    * ``verify_checksum=True`` requires every line to carry the ``checksum``
+      field written by :func:`write_jsonl_trace` and rejects mismatches;
+      by default checksums are verified only when present,
+    * transient open failures are retried ``retries`` times with exponential
+      backoff starting at ``retry_delay`` seconds.
+    """
+
+    def __init__(
+        self,
+        path,
+        tick_seconds: float = 1.0,
+        on_error: str = "raise",
+        retries: int = 0,
+        retry_delay: float = 0.05,
+        verify_checksum: bool = False,
+    ):
+        if on_error not in ("raise", "skip"):
+            raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
         self.path = path
         self.tick_seconds = float(tick_seconds)
+        self.on_error = on_error
+        self.retries = int(retries)
+        self.retry_delay = float(retry_delay)
+        self.verify_checksum = bool(verify_checksum)
+        #: Malformed lines dropped by the last ``ticks()`` pass (``on_error="skip"``).
+        self.skipped = 0
+
+    def _open(self):
+        delay = self.retry_delay
+        for attempt in range(self.retries + 1):
+            try:
+                return open(self.path, "r", encoding="utf-8")
+            except OSError:
+                if attempt == self.retries:
+                    raise
+                time.sleep(delay)
+                delay *= 2
+
+    def _parse_line(self, line: str, line_no: int) -> float:
+        where = f"{self.path}:{line_no}"
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise FeedError(f"{where}: malformed JSONL line ({exc.msg})") from exc
+        if isinstance(payload, dict):
+            if "demand" not in payload:
+                raise FeedError(f"{where}: object line has no 'demand' key (got {sorted(payload)})")
+            claimed = payload.get("checksum")
+            if claimed is not None or self.verify_checksum:
+                body = {k: v for k, v in payload.items() if k != "checksum"}
+                if claimed is None:
+                    raise FeedError(f"{where}: checksum required but line carries none")
+                actual = payload_checksum(body)
+                if claimed != actual:
+                    raise FeedError(
+                        f"{where}: checksum mismatch (line says {claimed}, content is {actual})"
+                    )
+            raw = payload["demand"]
+        else:
+            if self.verify_checksum:
+                raise FeedError(f"{where}: checksum required but line is a bare number")
+            raw = payload
+        try:
+            demand = float(raw)
+        except (TypeError, ValueError) as exc:
+            raise FeedError(f"{where}: demand {raw!r} is not a number") from exc
+        if not np.isfinite(demand) or demand < 0:
+            raise FeedError(f"{where}: demand must be finite and non-negative, got {demand!r}")
+        return demand
 
     def ticks(self) -> Iterator[Tick]:
         t = 0
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
+        self.skipped = 0
+        with self._open() as handle:
+            for line_no, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
                     continue
-                payload = json.loads(line)
-                if isinstance(payload, dict):
-                    demand = float(payload["demand"])
-                else:
-                    demand = float(payload)
+                try:
+                    demand = self._parse_line(line, line_no)
+                except FeedError:
+                    if self.on_error == "skip":
+                        self.skipped += 1
+                        continue
+                    raise
                 yield Tick(t=t, demand=demand)
                 t += 1
 

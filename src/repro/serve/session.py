@@ -60,19 +60,64 @@ from ..online.baselines import AllOn, FollowDemand, Reactive
 from ..online.base import OnlineAlgorithm, OnlineContext, SlotInfo
 from ..online.lcp import LazyCapacityProvisioning
 from ..online.tracker import DPPrefixTracker
+from .feed import payload_checksum
 
 __all__ = [
     "CHECKPOINT_VERSION",
+    "CheckpointCorruptError",
     "ControllerSession",
     "FleetState",
     "ServeCache",
     "SERVE_ALGORITHMS",
     "build_serve_algorithm",
     "fleet_signature",
+    "load_checkpoint",
 ]
 
 
 CHECKPOINT_VERSION = 1
+
+DEGRADATION_MODES = ("strict", "shed")
+
+
+class CheckpointCorruptError(ValueError):
+    """A checkpoint payload failed integrity validation (checksum mismatch).
+
+    Distinct from the plain :class:`ValueError` raised for version/algorithm
+    mismatches: a corrupt checkpoint means the bytes rotted, not that the
+    caller rebuilt the wrong session around them.
+    """
+
+
+def load_checkpoint(path, retries: int = 0, retry_delay: float = 0.05) -> dict:
+    """Read a checkpoint file, retrying transient I/O errors with backoff.
+
+    Undecodable JSON raises :class:`CheckpointCorruptError` naming the file
+    (truncated checkpoints fail loudly here, before a half-restored session
+    exists); the integrity checksum itself is verified by
+    :meth:`ControllerSession.restore`.
+    """
+    delay = float(retry_delay)
+    text = None
+    for attempt in range(int(retries) + 1):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+            break
+        except OSError:
+            if attempt == retries:
+                raise
+            time.sleep(delay)
+            delay *= 2
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckpointCorruptError(f"checkpoint {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise CheckpointCorruptError(
+            f"checkpoint {path} must contain a JSON object, got {type(payload).__name__}"
+        )
+    return payload
 
 
 # --------------------------------------------------------------------------- #
@@ -296,6 +341,14 @@ class FleetState:
     latency_seconds: float
     #: Optimal cost of the observed prefix (``nan`` unless regret tracking is on).
     prefix_optimum_cost: float = float("nan")
+    #: Demand actually dispatched this tick (== ``demand`` unless load was shed).
+    served_demand: float = float("nan")
+    #: Offered demand that could not be served this tick (shed mode only).
+    shed_demand: float = 0.0
+    #: Whether this tick violated the SLA (shed load or clamped configuration).
+    sla_violation: bool = False
+    #: Machines the environment forced down below the algorithm's choice.
+    forced_down: int = 0
 
     @property
     def tick_cost(self) -> float:
@@ -318,8 +371,14 @@ class FleetState:
             "cumulative_cost": float(self.cumulative_cost),
             "loads": [float(v) for v in self.loads],
             "feasible": bool(self.feasible),
+            "sla_violation": bool(self.sla_violation),
             "latency_ms": round(self.latency_seconds * 1e3, 6),
         }
+        if self.shed_demand > 0:
+            row["served_demand"] = float(self.served_demand)
+            row["shed_demand"] = float(self.shed_demand)
+        if self.forced_down > 0:
+            row["forced_down"] = int(self.forced_down)
         if np.isfinite(self.prefix_optimum_cost):
             row["prefix_optimum_cost"] = float(self.prefix_optimum_cost)
             row["regret"] = float(self.regret)
@@ -347,6 +406,17 @@ class ControllerSession:
         :class:`FleetState` (regret telemetry).  Costs one extra DP transition
         per tick; the grid tensors are shared with the algorithm's tracker
         through the cache.
+    degradation:
+        ``"strict"`` (default) raises on infeasible ticks — demand above the
+        tick's fleet capacity, or an algorithm configuration exceeding the
+        available machine counts — which is the right behaviour for replay
+        gates, where infeasibility means a bug.  ``"shed"`` degrades
+        gracefully instead: excess demand is shed deterministically (the
+        fleet serves exactly its capacity), configurations are clamped to the
+        available counts, and each such tick is accounted as an SLA violation
+        in :class:`FleetState` and the session counters.  This is the mode
+        chaos injection runs under — a mid-stream fault must cost SLA
+        accounting, not a crashed serving process.
     name:
         Tenant identifier stamped into telemetry rows.
     """
@@ -359,8 +429,13 @@ class ControllerSession:
         cache: Optional[ServeCache] = None,
         track_regret: bool = False,
         regret_gamma: Optional[float] = None,
+        degradation: str = "strict",
         name: str = "tenant",
     ):
+        if degradation not in DEGRADATION_MODES:
+            raise ValueError(
+                f"degradation must be one of {DEGRADATION_MODES}, got {degradation!r}"
+            )
         if cache is None:
             if server_types is None:
                 raise ValueError("give server_types, a cache, or both")
@@ -388,6 +463,7 @@ class ControllerSession:
         self._regret_tracker = (
             DPPrefixTracker(gamma=regret_gamma) if track_regret else None
         )
+        self.degradation = degradation
         self._t = 0
         self._previous = np.zeros(stream.d, dtype=int)
         self._configs: List[np.ndarray] = []
@@ -395,6 +471,9 @@ class ControllerSession:
         self._cum_operating = 0.0
         self._cum_switching = 0.0
         self._feasible = True
+        self._sla_violations = 0
+        self._shed_total = 0.0
+        self._forced_downs = 0
 
     # ------------------------------------------------------------- properties
     @property
@@ -409,6 +488,21 @@ class ControllerSession:
     @property
     def cumulative_cost(self) -> float:
         return self._cum_operating + self._cum_switching
+
+    @property
+    def sla_violations(self) -> int:
+        """Ticks that shed load or were forced below the chosen configuration."""
+        return self._sla_violations
+
+    @property
+    def shed_demand_total(self) -> float:
+        """Total offered demand shed so far (shed mode only; 0.0 under strict)."""
+        return self._shed_total
+
+    @property
+    def forced_downs(self) -> int:
+        """Total machine-slots the environment forced below the algorithm's choice."""
+        return self._forced_downs
 
     @property
     def schedule(self) -> Schedule:
@@ -431,6 +525,10 @@ class ControllerSession:
         tick's available fleet (maintenance windows — Section 4.3); both
         default to the static fleet description.  Only *current*-tick
         information ever reaches the algorithm.
+
+        Infeasible ticks — demand above capacity, or a configuration above
+        the available counts — raise under ``degradation="strict"`` and shed
+        deterministically under ``"shed"`` (see the class docstring).
         """
         started = time.perf_counter()
         stream = self.cache.stream
@@ -450,13 +548,21 @@ class ControllerSession:
             if counts_t.shape != (stream.d,):
                 raise ValueError(f"counts must have shape ({stream.d},), got {counts_t.shape}")
         capacity = float(np.sum(counts_t * stream.zmax))
+        served = demand
+        shed = 0.0
         if demand > capacity + 1e-9:
-            raise ValueError(
-                f"tick {self._t}: demand {demand:g} exceeds the fleet capacity {capacity:g}"
-            )
+            if self.degradation == "strict":
+                raise ValueError(
+                    f"tick {self._t}: demand {demand:g} exceeds the fleet capacity {capacity:g}"
+                )
+            # deterministic load shedding: serve exactly the capacity, account
+            # for the remainder — the stream keeps flowing, telemetry records
+            # the violation
+            served = capacity
+            shed = demand - capacity
 
         cache = self.cache
-        vt = cache.virtual_slot(demand, row)
+        vt = cache.virtual_slot(served, row)
 
         def evaluator(batch: np.ndarray, _vt: int = vt) -> np.ndarray:
             costs, _ = cache.dispatcher.solve_grid(_vt, batch)
@@ -467,7 +573,7 @@ class ControllerSession:
 
         slot = SlotInfo(
             t=self._t,
-            demand=demand,
+            demand=served,
             cost_functions=row,
             counts=counts_t,
             beta=stream.beta,
@@ -487,11 +593,24 @@ class ControllerSession:
             raise ValueError(
                 f"{self.algorithm.name}: returned a non-integral configuration {choice}"
             )
-        if np.any(rounded < 0) or np.any(rounded > counts_t):
+        if np.any(rounded < 0):
             raise ValueError(
-                f"{self.algorithm.name}: configuration {rounded} violates fleet limits "
-                f"{counts_t} at tick {self._t}"
+                f"{self.algorithm.name}: configuration {rounded} has negative entries "
+                f"at tick {self._t}"
             )
+        forced = 0
+        if np.any(rounded > counts_t):
+            if self.degradation == "strict":
+                raise ValueError(
+                    f"{self.algorithm.name}: configuration {rounded} violates fleet limits "
+                    f"{counts_t} at tick {self._t}"
+                )
+            # the environment took machines away under the algorithm's feet
+            # (unplanned shrink): force the extra ones down now — the
+            # algorithm's internal state keeps wanting them and will power
+            # them straight back up when capacity recovers
+            forced = int(np.sum(np.maximum(rounded - counts_t, 0)))
+            rounded = np.minimum(rounded, counts_t)
 
         result = cache.dispatcher.solve(vt, rounded)
         operating = float(result.cost)
@@ -504,6 +623,11 @@ class ControllerSession:
             self._regret_tracker.observe(slot)
             prefix_opt = self._regret_tracker.prefix_optimum_cost()
 
+        violation = shed > 0 or forced > 0
+        if violation:
+            self._sla_violations += 1
+        self._shed_total += shed
+        self._forced_downs += forced
         self._cum_operating += operating
         self._cum_switching += switching
         self._configs.append(rounded)
@@ -522,6 +646,10 @@ class ControllerSession:
             feasible=self._feasible,
             latency_seconds=latency,
             prefix_optimum_cost=prefix_opt,
+            served_demand=served,
+            shed_demand=shed,
+            sla_violation=violation,
+            forced_down=forced,
         )
 
     def finish(self) -> None:
@@ -545,6 +673,10 @@ class ControllerSession:
             "operating_cost": round(self._cum_operating, 9),
             "switching_cost": round(self._cum_switching, 9),
             "feasible": self._feasible,
+            "degradation": self.degradation,
+            "sla_violations": self._sla_violations,
+            "shed_demand": round(self._shed_total, 9),
+            "forced_downs": self._forced_downs,
             "latency": self.latency_summary(),
         }
 
@@ -558,8 +690,13 @@ class ControllerSession:
         *not* serialised — cost functions are code, not data — so restoring
         means: rebuild the session from the same configuration (scenario
         name, algorithm kind), then :meth:`restore` the payload.
+
+        The payload carries an integrity ``checksum`` (CRC-32 over the
+        canonical JSON of everything else); :meth:`restore` rejects payloads
+        whose content no longer matches it with
+        :class:`CheckpointCorruptError`.
         """
-        return {
+        payload = {
             "version": CHECKPOINT_VERSION,
             "tenant": self.name,
             "algorithm": self.algorithm.name,
@@ -569,6 +706,10 @@ class ControllerSession:
             "cum_operating": self._cum_operating,
             "cum_switching": self._cum_switching,
             "feasible": self._feasible,
+            "degradation": self.degradation,
+            "sla_violations": self._sla_violations,
+            "shed_total": self._shed_total,
+            "forced_downs": self._forced_downs,
             "latencies_s": [float(v) for v in self._latencies],
             "algorithm_state": self.algorithm.state_dict(),
             "regret_state": (
@@ -576,14 +717,32 @@ class ControllerSession:
             ),
             "regret_gamma": None if self._regret_tracker is None else self._regret_gamma,
         }
+        payload["checksum"] = payload_checksum(payload)
+        return payload
 
     def restore(self, payload: dict) -> "ControllerSession":
-        """Load a :meth:`checkpoint` payload into this (freshly built) session."""
+        """Load a :meth:`checkpoint` payload into this (freshly built) session.
+
+        Version is checked first (an old payload fails with a version message,
+        not a checksum one), then the integrity checksum — a payload whose
+        bytes changed since :meth:`checkpoint` raises
+        :class:`CheckpointCorruptError`.  Checksum-less payloads from before
+        the field existed still load.
+        """
         if payload.get("version") != CHECKPOINT_VERSION:
             raise ValueError(
                 f"unsupported checkpoint version {payload.get('version')!r} "
                 f"(expected {CHECKPOINT_VERSION})"
             )
+        claimed = payload.get("checksum")
+        if claimed is not None:
+            body = {k: v for k, v in payload.items() if k != "checksum"}
+            actual = payload_checksum(body)
+            if claimed != actual:
+                raise CheckpointCorruptError(
+                    f"checkpoint failed integrity validation: payload says {claimed}, "
+                    f"content is {actual}"
+                )
         if payload.get("algorithm") != self.algorithm.name:
             raise ValueError(
                 f"checkpoint was taken from algorithm {payload.get('algorithm')!r} "
@@ -595,6 +754,12 @@ class ControllerSession:
         self._cum_operating = float(payload["cum_operating"])
         self._cum_switching = float(payload["cum_switching"])
         self._feasible = bool(payload["feasible"])
+        # pre-chaos checkpoints carry none of these: default to this
+        # session's construction-time mode and zeroed counters
+        self.degradation = payload.get("degradation", self.degradation)
+        self._sla_violations = int(payload.get("sla_violations", 0))
+        self._shed_total = float(payload.get("shed_total", 0.0))
+        self._forced_downs = int(payload.get("forced_downs", 0))
         self._latencies = [float(v) for v in payload["latencies_s"]]
         self.algorithm.load_state_dict(payload["algorithm_state"])
         regret_state = payload.get("regret_state")
@@ -624,6 +789,7 @@ class ControllerSession:
         kwargs = dict(
             track_regret=self._regret_tracker is not None,
             regret_gamma=self._regret_gamma,
+            degradation=self.degradation,
             name=self.name,
         )
         if reuse_cache:

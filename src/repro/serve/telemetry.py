@@ -93,6 +93,11 @@ def summarise_sessions(sessions, wall_seconds: Optional[float] = None) -> dict:
         "tenants": len(sessions),
         "total_ticks": total_ticks,
         "total_cost": round(float(sum(s.cumulative_cost for s in sessions)), 9),
+        "sla_violations": int(sum(getattr(s, "sla_violations", 0) for s in sessions)),
+        "shed_demand": round(
+            float(sum(getattr(s, "shed_demand_total", 0.0) for s in sessions)), 9
+        ),
+        "forced_downs": int(sum(getattr(s, "forced_downs", 0) for s in sessions)),
         "latency": latency_percentiles(pooled),
     }
     if wall_seconds is not None:
