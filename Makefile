@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-sweep bench-scale bench-serve perf-regress scenarios-smoke serve-smoke chaos-smoke
+.PHONY: test bench bench-smoke bench-sweep bench-scale bench-serve bench-fabric perf-regress scenarios-smoke serve-smoke chaos-smoke fabric-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -53,11 +53,25 @@ serve-smoke:
 chaos-smoke:
 	$(PYTHON) -m repro serve chaos
 
+# Fabric gate: a small sharded fabric (supervised worker processes) with one
+# injected worker SIGKILL mid-stream — including a case where the kill lands
+# inside an open chaos capacity-drop window with Algorithm B power-up records
+# live — must recover every tenant from its rotated checkpoints with
+# bit-identical schedules, costs within 1e-9, and exact SLA counters.
+fabric-smoke:
+	$(PYTHON) -m repro serve fabric --smoke
+
 # Multi-tenant serving benchmark: latency percentiles + tenants/sec for
 # 1/8/64 concurrent sessions, shared vs isolated caches; gates cost equality
 # and real work deduplication, writes benchmarks/output/BENCH_serve.json.
 bench-serve:
 	$(PYTHON) -m repro serve bench --json benchmarks/output/BENCH_serve.json
+
+# Fabric benchmark: healthy-path p99 tick latency across worker processes +
+# crash-to-recovered latency under an injected SIGKILL (gated on bit-identical
+# recovery); merges a "fabric" section into benchmarks/output/BENCH_serve.json.
+bench-fabric:
+	$(PYTHON) -m repro serve fabric --bench --json benchmarks/output/BENCH_serve.json
 
 # full benchmark harness (regenerates the paper artifacts + BENCH_*.json)
 bench:

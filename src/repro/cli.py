@@ -728,12 +728,183 @@ def _serve_chaos_smoke(json_path: Optional[str] = None, tolerance: float = 1e-9)
     return 0
 
 
+def _serve_fabric_smoke(json_path: Optional[str] = None, tolerance: float = 1e-9) -> int:
+    """The crash-recovery gate (``make fabric-smoke``): a small sharded fabric
+    with one injected worker SIGKILL must recover every tenant from its
+    rotated checkpoints bit-identically — schedules exact, costs within 1e-9,
+    SLA counters exact — in both clean and chaos-under-fire conditions."""
+    from .serve import verify_crash_recovery
+
+    cases = [
+        ("kill+recover", dict(n_tenants=3, workers=2, kill_worker=0,
+                              checkpoint_every=4, algorithm="A")),
+        # the hard case: the kill lands while a capacity drop is open and
+        # Algorithm B holds live power-up records, in shed mode
+        ("kill+recover:chaos", dict(
+            n_tenants=2, workers=2, kill_worker=0, kill_round=24,
+            checkpoint_every=4, algorithm="B", degradation="shed",
+            chaos={"events": [
+                {"kind": "capacity_drop", "t": 18, "duration": 14, "magnitude": 0.5},
+                {"kind": "flash_crowd", "t": 20, "duration": 10, "magnitude": 2.5},
+            ]},
+        )),
+    ]
+    rows = []
+    failures = []
+    for label, kwargs in cases:
+        start = time.perf_counter()
+        try:
+            row = verify_crash_recovery(tolerance=tolerance, **kwargs)
+            rows.append(
+                {
+                    "case": label,
+                    "tenants": row["tenants"],
+                    "workers": row["workers"],
+                    "kill": f"w{row['kill']['worker']}@r{row['kill']['round']}",
+                    "restarts": row["restarts"],
+                    "recovery_ms": round(1e3 * max(row["recovery_latency_s"] or [0.0]), 1),
+                    "ticks": row["ticks"],
+                    "cost_delta": f"{row['max_cost_delta']:.2e}",
+                    "sla_violations": row["sla_violations"],
+                    "seconds": round(time.perf_counter() - start, 4),
+                    "ok": True,
+                }
+            )
+        except Exception as exc:  # a broken case must fail the gate, not crash it
+            failures.append(f"{label}: {exc}")
+            rows.append({"case": label, "tenants": "-", "workers": "-", "kill": "-",
+                         "restarts": "-", "recovery_ms": "-", "ticks": "-",
+                         "cost_delta": "-", "sla_violations": "-",
+                         "seconds": round(time.perf_counter() - start, 4), "ok": False})
+    print(format_table(
+        rows,
+        title="fabric smoke — SIGKILL a worker mid-stream, recover bit-identically "
+              "from rotated checkpoints",
+    ))
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump({"fabric_smoke": rows}, handle, indent=2, default=str)
+        print(f"\nwrote {json_path}")
+    if failures:
+        print("\nFAIL:\n  " + "\n  ".join(failures), file=sys.stderr)
+        return 1
+    print(f"\nall {len(rows)} crash-recovery cases verified (schedules bit-identical, "
+          "costs <= 1e-9, SLA counters exact)")
+    return 0
+
+
+def _serve_fabric(args: argparse.Namespace) -> int:
+    """``repro serve fabric``: run a sharded fabric (or its CI smoke gate)."""
+    if args.smoke:
+        return _serve_fabric_smoke(json_path=args.json)
+
+    if args.bench:
+        from .bench import run_fabric_bench
+
+        try:
+            payload = run_fabric_bench(
+                n_tenants=args.n_tenants,
+                workers=args.workers,
+                scenario=args.scenario or "diurnal-cpu-gpu",
+                algorithm=args.algorithm,
+                checkpoint_every=args.checkpoint_every,
+                json_path=args.json,
+            )
+        except AssertionError as exc:
+            print(f"FAIL: {exc}", file=sys.stderr)
+            return 1
+        latency = payload["tick_latency"]
+        recovery = payload["crash_recovery"]
+        print(format_table(
+            [{
+                "tenants": payload["tenants"],
+                "workers": payload["workers"],
+                "ticks": payload["ticks"],
+                "p99_ms_worst": latency["p99_ms_worst_tenant"],
+                "p99_ms_mean": latency["p99_ms_mean"],
+                "recovery_ms": round(1e3 * max(recovery["recovery_latency_s"] or [0.0]), 1),
+                "restarts": recovery["restarts"],
+                "verified": recovery["verified"],
+            }],
+            title="fabric bench — healthy-path tick latency + crash recovery",
+        ))
+        if args.json:
+            print(f"\nmerged fabric section into {args.json}")
+        return 0
+
+    from .serve import FabricError, ServeFabric
+
+    fabric = ServeFabric(
+        workers=args.workers,
+        checkpoint_every=args.checkpoint_every,
+    )
+    scenario = args.scenario or "diurnal-cpu-gpu"
+    overrides = _parse_param_overrides(args.param)
+    base_seed = 0 if args.seed is None else args.seed
+    algorithm = _serve_algorithm(args)
+    for i in range(args.n_tenants):
+        feed = {"kind": "scenario", "scenario": scenario, "seed": base_seed + i}
+        if overrides:
+            feed["params"] = dict(overrides)
+        fabric.add_tenant(f"tenant-{i}", algorithm=algorithm, feed=feed,
+                          degradation=args.degradation or "strict")
+    for entry in args.migrate:
+        try:
+            tenant, _, worker = entry.partition(":")
+            fabric.migrate(tenant, int(worker))
+        except (KeyError, ValueError) as exc:
+            raise SystemExit(f"--migrate {entry!r}: {exc}")
+    kill = None
+    if args.kill_worker is not None:
+        kill = {args.kill_worker: args.kill_round if args.kill_round is not None else 8}
+    print(f"fabric: {args.n_tenants} tenant(s) of {scenario} across "
+          f"{args.workers} worker process(es), algorithm {args.algorithm}, "
+          f"checkpoint every {args.checkpoint_every} ticks"
+          + (f", SIGKILL worker {args.kill_worker} at round {kill[args.kill_worker]}"
+             if kill else ""))
+    try:
+        report = fabric.run(kill=kill, telemetry=args.telemetry)
+    except FabricError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    table_rows = [
+        {
+            "tenant": name,
+            "worker": row["worker"],
+            "status": row["status"],
+            "ticks": row.get("ticks", "-"),
+            "cost": round(row["cost"], 3) if "cost" in row else "-",
+            "sla_violations": row.get("sla_violations", "-"),
+            "p99_ms": row.get("latency", {}).get("p99_ms", "-"),
+        }
+        for name, row in report["tenants"].items()
+    ]
+    print()
+    print(format_table(table_rows, title="serve fabric — sharded supervised replay"))
+    totals = report["totals"]
+    print(f"\n{totals['ticks']} ticks, cost {totals['cost']:.3f}, "
+          f"{totals['restarts']} restart(s), "
+          f"{totals['migrations_completed']} migration(s) completed, "
+          f"wall {report['wall_seconds']:.2f}s")
+    if report["recovery_latency_s"]:
+        print("recovery latency: "
+              + ", ".join(f"{v * 1e3:.1f}ms" for v in report["recovery_latency_s"]))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, default=str)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     if args.action == "smoke":
         return _serve_smoke(json_path=args.json)
 
     if args.action == "chaos":
         return _serve_chaos_smoke(json_path=args.json)
+
+    if args.action == "fabric":
+        return _serve_fabric(args)
 
     if args.action == "bench":
         from .bench import run_serve_bench
@@ -1127,11 +1298,17 @@ def build_parser() -> argparse.ArgumentParser:
                "CI gate (every registered family must replay equivalently); "
                "`chaos` is the `make chaos-smoke` gate (chaos-* families and "
                "targeted fault injections must replay deterministically and "
-               "degrade gracefully — see also `replay --chaos`).",
+               "degrade gracefully — see also `replay --chaos`); `fabric` "
+               "shards tenants across supervised worker processes with crash "
+               "recovery and live migration (`--smoke` is the `make "
+               "fabric-smoke` gate: one injected worker SIGKILL, bit-identical "
+               "recovery).",
     )
-    p_serve.add_argument("action", choices=["replay", "bench", "smoke", "chaos"],
+    p_serve.add_argument("action", choices=["replay", "bench", "smoke", "chaos", "fabric"],
                          help="stream one scenario / run the multi-tenant benchmark / "
-                              "run the CI gates (smoke: batch equivalence, chaos: fault injection)")
+                              "run the CI gates (smoke: batch equivalence, chaos: fault "
+                              "injection, fabric --smoke: crash recovery) / run a "
+                              "sharded multi-process fabric")
     p_serve.add_argument("--scenario", default=None,
                          help="registered scenario family to replay (default: diurnal-cpu-gpu)")
     p_serve.add_argument("--param", action="append", default=[], metavar="K=V",
@@ -1169,8 +1346,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated concurrent-session counts for bench (default: 1,8,64)")
     p_serve.add_argument("--ticks", type=_positive_int, default=None,
                          help="ticks per tenant for bench (default: 64)")
+    p_serve.add_argument("--smoke", action="store_true",
+                         help="with fabric: run the `make fabric-smoke` crash-recovery gate "
+                              "(injected worker SIGKILL, verify_crash_recovery must pass)")
+    p_serve.add_argument("--bench", action="store_true",
+                         help="with fabric: measure healthy-path tick latency and crash-recovery "
+                              "latency, merging a 'fabric' section into --json (BENCH_serve.json)")
+    p_serve.add_argument("--workers", type=_positive_int, default=2,
+                         help="fabric worker processes (default: 2)")
+    p_serve.add_argument("--n-tenants", type=_positive_int, default=4, metavar="N",
+                         help="fabric tenants to register over --scenario with consecutive "
+                              "seeds (default: 4)")
+    p_serve.add_argument("--checkpoint-every", type=_positive_int, default=8, metavar="K",
+                         help="fabric checkpoint cadence in ticks (default: 8)")
+    p_serve.add_argument("--kill-worker", type=int, default=None, metavar="W",
+                         help="fabric: SIGKILL worker W's first incarnation (crash-recovery demo)")
+    p_serve.add_argument("--kill-round", type=_positive_int, default=None, metavar="R",
+                         help="fabric: round at which --kill-worker fires (default: 8)")
+    p_serve.add_argument("--migrate", action="append", default=[], metavar="TENANT:WORKER",
+                         help="fabric: live-migrate a tenant to a worker mid-run (repeatable)")
     p_serve.add_argument("--json", default=None,
-                         help="write the bench/smoke measurements to this JSON file")
+                         help="write the bench/smoke/fabric measurements to this JSON file")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_bench = sub.add_parser("bench", help="run the benchmark regression harness")

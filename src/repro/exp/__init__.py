@@ -14,6 +14,7 @@ every :class:`RunRecord`.  See ``docs/PERFORMANCE.md`` and
 from .engine import AlgorithmSpec, OfflineSpec, SweepPlan, run_instance, run_plan, spec
 from .records import RunRecord, SweepReport
 from .shared import SharedInstanceContext
+from .sharding import assign_shards, chunked
 
 __all__ = [
     "AlgorithmSpec",
@@ -22,6 +23,8 @@ __all__ = [
     "SharedInstanceContext",
     "SweepPlan",
     "SweepReport",
+    "assign_shards",
+    "chunked",
     "run_instance",
     "run_plan",
     "spec",

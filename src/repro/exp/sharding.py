@@ -1,0 +1,68 @@
+"""Shared sharding helpers: deterministic assignment of keyed work to shards.
+
+The sweep engine distributes instance payloads across worker processes
+(:func:`~repro.exp.engine.run_plan`) and the serve fabric distributes tenants
+across supervised worker processes (:class:`~repro.serve.fabric.ServeFabric`).
+Both need the same two properties:
+
+* **determinism** — the same inputs must map to the same shards on every run
+  (recovery re-derives the assignment after a crash; record order must be
+  reproducible), and
+* **affinity** — items carrying the same key must land on the same shard
+  (tenants over one fleet geometry share a
+  :class:`~repro.serve.session.ServeCache` only when they live in the same
+  process, exactly as the sweep engine keeps one
+  :class:`~repro.exp.shared.SharedInstanceContext` per instance within a
+  shard).
+
+:func:`assign_shards` groups items by key in first-appearance order and
+assigns whole groups to the currently least-loaded shard (ties broken by
+shard index), so co-keyed items stay together while the load stays balanced.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+__all__ = ["assign_shards", "chunked"]
+
+
+def assign_shards(keys: Sequence, n_shards: int) -> List[int]:
+    """Shard index for every item of ``keys`` (affinity-preserving, balanced).
+
+    Items with equal keys always receive the same shard index.  Groups are
+    placed greedily: in first-appearance order, each group goes to the shard
+    with the fewest items so far (lowest index on ties) — deterministic, and
+    within a factor of two of a perfectly balanced assignment.
+
+    >>> assign_shards(["a", "b", "a", "c"], 2)
+    [0, 1, 0, 1]
+    """
+    n_shards = int(n_shards)
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    groups: dict = {}
+    order: list = []
+    for i, key in enumerate(keys):
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(i)
+    loads = [0] * n_shards
+    assignment = [0] * len(keys)
+    for key in order:
+        members = groups[key]
+        shard = min(range(n_shards), key=lambda s: (loads[s], s))
+        loads[shard] += len(members)
+        for i in members:
+            assignment[i] = shard
+    return assignment
+
+
+def chunked(items: Sequence, size: int) -> Iterator[list]:
+    """Yield consecutive chunks of at most ``size`` items (order preserved)."""
+    size = int(size)
+    if size < 1:
+        raise ValueError(f"chunk size must be >= 1, got {size}")
+    for lo in range(0, len(items), size):
+        yield list(items[lo : lo + size])

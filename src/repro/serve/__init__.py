@@ -13,17 +13,23 @@ the paper's online algorithms were designed for:
 * :class:`ServeEngine` — multi-tenant multiplexing over shared dispatch/grid
   caches (N tenants over one fleet geometry cost far less than N isolated
   sessions),
+* :class:`ServeFabric` — tenants sharded across *supervised worker processes*
+  with heartbeats, restart budgets, crash recovery from rotated atomic
+  checkpoints, checkpoint-based live migration and per-tenant feed circuit
+  breakers (:mod:`~repro.serve.fabric` / :mod:`~repro.serve.supervisor`),
 * :mod:`~repro.serve.telemetry` — per-tick JSONL telemetry, latency
   percentiles and prefix-optimum regret.
 
-The correctness anchor is :func:`verify_replay`: streaming a scenario must
+The correctness anchors are :func:`verify_replay` (streaming a scenario must
 reproduce the batch ``run_online`` schedule exactly and its cost to 1e-9,
-including across a mid-stream checkpoint/restore round-trip (``repro serve
-smoke`` / ``make serve-smoke`` gate this for every registered family).
+including across a mid-stream checkpoint/restore round-trip; ``make
+serve-smoke``) and :func:`verify_crash_recovery` (SIGKILLing a fabric worker
+mid-stream must recover schedules bit-identically; ``make fabric-smoke``).
 """
 
 from .chaos import ChaosFeed, FaultInjector, verify_chaos_replay
 from .engine import ServeEngine, verify_replay
+from .fabric import FabricError, ServeFabric, TenantSpec, verify_crash_recovery
 from .feed import (
     ArrayFeed,
     FeedError,
@@ -33,6 +39,7 @@ from .feed import (
     SyntheticFeed,
     Tick,
     TraceFeed,
+    build_feed,
     payload_checksum,
     write_jsonl_trace,
 )
@@ -45,33 +52,47 @@ from .session import (
     build_serve_algorithm,
     fleet_signature,
     load_checkpoint,
+    previous_checkpoint_path,
+    save_checkpoint,
 )
+from .supervisor import BreakerConfig, CircuitBreaker, RestartPolicy, Supervisor
 from .telemetry import TelemetryWriter, latency_percentiles, summarise_sessions
 
 __all__ = [
     "ArrayFeed",
+    "BreakerConfig",
     "ChaosFeed",
     "CheckpointCorruptError",
+    "CircuitBreaker",
     "ControllerSession",
+    "FabricError",
     "FaultInjector",
     "FeedError",
     "FleetState",
     "InstanceFeed",
     "JsonlFeed",
+    "RestartPolicy",
     "SERVE_ALGORITHMS",
     "ScenarioFeed",
     "ServeCache",
     "ServeEngine",
+    "ServeFabric",
+    "Supervisor",
     "SyntheticFeed",
     "TelemetryWriter",
+    "TenantSpec",
     "Tick",
     "TraceFeed",
+    "build_feed",
     "build_serve_algorithm",
     "fleet_signature",
     "latency_percentiles",
     "load_checkpoint",
     "payload_checksum",
+    "previous_checkpoint_path",
+    "save_checkpoint",
     "summarise_sessions",
     "verify_chaos_replay",
+    "verify_crash_recovery",
     "verify_replay",
 ]

@@ -21,6 +21,7 @@ CI gate) runs it over every registered scenario family.
 from __future__ import annotations
 
 import time
+from pathlib import Path
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -29,7 +30,13 @@ from ..core.instance import ProblemInstance
 from ..online.base import run_online
 from .chaos import ChaosFeed
 from .feed import InstanceFeed, TraceFeed
-from .session import ControllerSession, ServeCache, build_serve_algorithm, fleet_signature
+from .session import (
+    ControllerSession,
+    ServeCache,
+    build_serve_algorithm,
+    fleet_signature,
+    save_checkpoint,
+)
 from .telemetry import TelemetryWriter, summarise_sessions
 
 __all__ = ["ServeEngine", "verify_replay"]
@@ -138,6 +145,8 @@ class ServeEngine:
         self,
         max_ticks: Optional[int] = None,
         telemetry: Optional[TelemetryWriter] = None,
+        checkpoint_dir=None,
+        checkpoint_every: int = 0,
     ) -> dict:
         """Drain all feeds, interleaving tenants tick by tick (round-robin).
 
@@ -147,8 +156,24 @@ class ServeEngine:
         demand level pays its solve, every later tenant's tick hits the memo.
         Returns the engine report (per-tenant summaries, pooled latency
         percentiles, sharing counters).
+
+        ``checkpoint_dir`` + ``checkpoint_every`` enable the periodic
+        checkpoint cadence the fabric's crash recovery restores from: every
+        ``checkpoint_every`` ticks (and once at completion) each tenant's
+        session is written to ``<dir>/<tenant>.ckpt.json`` atomically, with
+        the previous intact checkpoint rotated to ``.prev`` (see
+        :func:`~repro.serve.session.save_checkpoint`).
         """
         writer = telemetry or TelemetryWriter(None)
+        cadence = int(checkpoint_every) if checkpoint_dir is not None else 0
+        checkpoint_dir = None if checkpoint_dir is None else Path(checkpoint_dir)
+
+        def checkpoint(name: str, tenant: _Tenant) -> None:
+            if checkpoint_dir is not None:
+                save_checkpoint(
+                    checkpoint_dir / f"{name}.ckpt.json", tenant.session.checkpoint()
+                )
+
         active = list(self._tenants.items())
         started = time.perf_counter()
         round_index = 0
@@ -160,18 +185,22 @@ class ServeEngine:
                     if not tenant.done:
                         tenant.done = True
                         tenant.session.finish()
+                        checkpoint(name, tenant)
                     continue
                 state = tenant.session.observe(
                     tick.demand, cost_row=tick.cost_row, counts=tick.counts
                 )
                 writer.write(state.as_row(), tenant=name)
+                if cadence and tenant.session.ticks % cadence == 0:
+                    checkpoint(name, tenant)
                 still_active.append((name, tenant))
             active = still_active
             round_index += 1
-        for tenant in self._tenants.values():
+        for name, tenant in self._tenants.items():
             if not tenant.done:
                 tenant.done = True
                 tenant.session.finish()
+                checkpoint(name, tenant)
         wall = time.perf_counter() - started
         return self.report(wall_seconds=wall)
 

@@ -44,6 +44,7 @@ __all__ = [
     "JsonlFeed",
     "ScenarioFeed",
     "SyntheticFeed",
+    "build_feed",
     "payload_checksum",
     "write_jsonl_trace",
 ]
@@ -291,6 +292,60 @@ class JsonlFeed(TraceFeed):
                     raise
                 yield Tick(t=t, demand=demand)
                 t += 1
+
+
+def build_feed(spec) -> TraceFeed:
+    """Materialise a *declarative* feed description into a :class:`TraceFeed`.
+
+    Feeds themselves hold live objects (file handles, instances, cost
+    functions); the serve fabric ships tenants across process boundaries and
+    rebuilds feeds after a crash, so it addresses them by plain JSON-safe
+    dicts instead — the feed analogue of the scenario registry's
+    :class:`~repro.scenarios.spec.ScenarioSpec`.  A ready
+    :class:`TraceFeed` passes through unchanged.  Spec shapes (``kind`` keys):
+
+    * ``{"kind": "scenario", "scenario": name, "params": {...}, "seed": s}``
+      — registry address, the common fabric case (carries a fleet),
+    * ``{"kind": "jsonl", "path": ..., "on_error": ..., "retries": ...,
+      "verify_checksum": ...}`` — a JSONL demand stream,
+    * ``{"kind": "synthetic", "source": name, "slots": n, "seed": s}``
+      — a named trace preset,
+    * ``{"kind": "array", "demands": [...]}`` — an inline demand array.
+
+    Every kind accepts ``tick_seconds``.  Rebuilding the same spec twice
+    yields the same tick stream — the determinism crash recovery replays
+    missed ticks from.
+    """
+    if isinstance(spec, TraceFeed):
+        return spec
+    if not isinstance(spec, dict):
+        raise TypeError(f"feed spec must be a TraceFeed or a dict, got {type(spec).__name__}")
+    spec = dict(spec)
+    kind = spec.pop("kind", "scenario" if "scenario" in spec else None)
+    tick_seconds = float(spec.pop("tick_seconds", 1.0))
+    if kind == "scenario":
+        params = dict(spec.pop("params", {}))
+        return ScenarioFeed(
+            spec.pop("scenario"),
+            tick_seconds=tick_seconds,
+            seed=spec.pop("seed", None),
+            **params,
+            **spec,
+        )
+    if kind == "jsonl":
+        return JsonlFeed(spec.pop("path"), tick_seconds=tick_seconds, **spec)
+    if kind == "synthetic":
+        return SyntheticFeed(
+            spec.pop("source"),
+            slots=int(spec.pop("slots", 48)),
+            seed=spec.pop("seed", None),
+            tick_seconds=tick_seconds,
+        )
+    if kind == "array":
+        return ArrayFeed(spec.pop("demands"), tick_seconds=tick_seconds)
+    raise ValueError(
+        f"unknown feed kind {kind!r} (known: scenario, jsonl, synthetic, array)"
+    )
 
 
 class SyntheticFeed(ArrayFeed):

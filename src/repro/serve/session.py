@@ -44,8 +44,11 @@ dictionary hit (see ``repro serve bench`` / ``BENCH_serve.json``).
 from __future__ import annotations
 
 import json
+import os
 import time
+from collections import OrderedDict, deque
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 import numpy as np
@@ -72,12 +75,17 @@ __all__ = [
     "build_serve_algorithm",
     "fleet_signature",
     "load_checkpoint",
+    "previous_checkpoint_path",
+    "save_checkpoint",
 ]
 
 
 CHECKPOINT_VERSION = 1
 
 DEGRADATION_MODES = ("strict", "shed")
+
+#: Latency samples a ``history=False`` session keeps for its percentiles.
+COMPACT_LATENCY_WINDOW = 512
 
 
 class CheckpointCorruptError(ValueError):
@@ -89,14 +97,38 @@ class CheckpointCorruptError(ValueError):
     """
 
 
-def load_checkpoint(path, retries: int = 0, retry_delay: float = 0.05) -> dict:
-    """Read a checkpoint file, retrying transient I/O errors with backoff.
+def previous_checkpoint_path(path) -> Path:
+    """Where :func:`save_checkpoint` rotates the previous intact checkpoint."""
+    path = Path(path)
+    return path.with_name(path.name + ".prev")
 
-    Undecodable JSON raises :class:`CheckpointCorruptError` naming the file
-    (truncated checkpoints fail loudly here, before a half-restored session
-    exists); the integrity checksum itself is verified by
-    :meth:`ControllerSession.restore`.
+
+def save_checkpoint(path, payload: dict, keep_previous: bool = True) -> Path:
+    """Atomically write a checkpoint payload to disk (crash-safe).
+
+    The payload is serialised to a ``.tmp`` sibling, fsynced, and moved into
+    place with :func:`os.replace` — a crash (or SIGKILL) at any instant leaves
+    either the old intact file or the new intact file, never a torn one.  With
+    ``keep_previous`` (default) the existing checkpoint is first rotated to
+    ``<name>.prev``, also atomically, so even a payload that was *corrupt
+    before it was written* (a bug upstream of the write) leaves a good
+    fallback for :func:`load_checkpoint`.
     """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload))
+        handle.flush()
+        os.fsync(handle.fileno())
+    if keep_previous and path.exists():
+        os.replace(path, previous_checkpoint_path(path))
+    os.replace(tmp, path)
+    return path
+
+
+def _read_checkpoint(path, retries: int, retry_delay: float) -> dict:
+    """One checkpoint file → validated payload (no fallback)."""
     delay = float(retry_delay)
     text = None
     for attempt in range(int(retries) + 1):
@@ -117,7 +149,41 @@ def load_checkpoint(path, retries: int = 0, retry_delay: float = 0.05) -> dict:
         raise CheckpointCorruptError(
             f"checkpoint {path} must contain a JSON object, got {type(payload).__name__}"
         )
+    claimed = payload.get("checksum")
+    if claimed is not None:
+        body = {k: v for k, v in payload.items() if k != "checksum"}
+        actual = payload_checksum(body)
+        if claimed != actual:
+            raise CheckpointCorruptError(
+                f"checkpoint {path} failed integrity validation: payload says "
+                f"{claimed}, content is {actual}"
+            )
     return payload
+
+
+def load_checkpoint(
+    path, retries: int = 0, retry_delay: float = 0.05, fallback: bool = True
+) -> dict:
+    """Read a checkpoint file, retrying transient I/O errors with backoff.
+
+    Undecodable JSON and integrity-checksum mismatches raise
+    :class:`CheckpointCorruptError` naming the file (truncated or bit-rotted
+    checkpoints fail loudly here, before a half-restored session exists).
+    With ``fallback`` (default), a corrupt or missing primary file falls back
+    to the previous intact checkpoint rotated aside by :func:`save_checkpoint`
+    — the recovery path after a crash that outran the checkpoint cadence; the
+    original error propagates only when the fallback is also unusable.
+    """
+    try:
+        return _read_checkpoint(path, retries, retry_delay)
+    except (CheckpointCorruptError, OSError) as exc:
+        previous = previous_checkpoint_path(path)
+        if not fallback or not previous.exists():
+            raise
+        try:
+            return _read_checkpoint(previous, retries, retry_delay)
+        except (CheckpointCorruptError, OSError):
+            raise exc from None
 
 
 # --------------------------------------------------------------------------- #
@@ -242,6 +308,17 @@ class _StreamInstance:
         self._rows.append(row)
         return len(self.demand) - 1
 
+    def replace(self, vt: int, demand: float, row: tuple) -> int:
+        """Reuse ledger slot ``vt`` for a new observation (LRU eviction path).
+
+        The caller must invalidate any per-*index* caches downstream (the
+        dispatch solver's slot-signature memo); content-keyed caches stay
+        valid because the old content's entries simply stop being queried.
+        """
+        self.demand[vt] = float(demand)
+        self._rows[vt] = row
+        return vt
+
 
 class ServeCache:
     """Shared dispatch solver + grid-tensor memo for one fleet geometry.
@@ -253,16 +330,51 @@ class ServeCache:
     onto their base row), and whole-grid operating-cost tensors are memoised
     per ``(signature, scale, grid)`` so N tenants asking for the tensor of one
     demand level trigger exactly one dual bisection.
+
+    Unbounded-stream hardening (the :class:`SlotContext
+    <repro.online.base.SlotContext>` ``tensor_budget_bytes`` pattern, applied
+    serve-side): a month-scale stream of *continuous* demands would otherwise
+    grow the ledger and the tensor memo without bound.
+
+    * ``tensor_budget_bytes`` caps the grid-tensor memo with LRU eviction
+      (and routes the underlying solves around the dispatcher's own unbounded
+      block cache), and
+    * ``ledger_budget`` caps the demand ledger at that many virtual slots:
+      the least-recently-observed ``(demand, cost row)`` entry is evicted and
+      its ledger index *reused* for the new observation, so the ledger —
+      and the per-index slot-signature memo behind it — stays flat.
+
+    Eviction changes nothing numerically: a re-observed evicted level is
+    simply re-solved (single-slot queries are bit-identical by construction),
+    which is what the eviction counters in :meth:`counters` price out.
     """
 
-    def __init__(self, server_types):
+    def __init__(
+        self,
+        server_types,
+        tensor_budget_bytes: Optional[int] = None,
+        ledger_budget: Optional[int] = None,
+    ):
+        if ledger_budget is not None and int(ledger_budget) < 1:
+            raise ValueError(f"ledger_budget must be >= 1, got {ledger_budget}")
+        if tensor_budget_bytes is not None and int(tensor_budget_bytes) < 0:
+            raise ValueError(
+                f"tensor_budget_bytes must be >= 0, got {tensor_budget_bytes}"
+            )
         self.stream = _StreamInstance(server_types)
         self.dispatcher = DispatchSolver(self.stream)
         self.signature = fleet_signature(self.stream.server_types)
-        self._virtual: dict = {}
-        self._tensors: dict = {}
+        self.tensor_budget_bytes = (
+            None if tensor_budget_bytes is None else int(tensor_budget_bytes)
+        )
+        self.ledger_budget = None if ledger_budget is None else int(ledger_budget)
+        self._virtual: OrderedDict = OrderedDict()
+        self._tensors: OrderedDict = OrderedDict()
+        self._tensor_bytes = 0
         self.tensor_hits = 0
         self.tensor_misses = 0
+        self.tensor_evictions = 0
+        self.ledger_evictions = 0
 
     @property
     def server_types(self) -> tuple:
@@ -270,7 +382,7 @@ class ServeCache:
 
     @property
     def virtual_slots(self) -> int:
-        """Distinct ``(demand, cost row)`` observations ledgered so far."""
+        """Resident ledger slots (distinct observations, net of slot reuse)."""
         return self.stream.T
 
     def virtual_slot(self, demand: float, row: tuple) -> int:
@@ -281,10 +393,26 @@ class ServeCache:
         except TypeError:  # unhashable exotic cost row: ledger it per occurrence
             key = None
             vt = None
-        if vt is None:
+        if vt is not None:
+            self._virtual.move_to_end(key)
+            return vt
+        if (
+            key is not None
+            and self.ledger_budget is not None
+            and len(self._virtual) >= self.ledger_budget
+        ):
+            # evict the least-recently-observed level and reuse its slot; the
+            # solver's per-index signature memo must forget the old content
+            # (unhashable-row slots bypass the map and stay append-only:
+            # their ("slot", index) signatures pin the index's identity)
+            _, vt = self._virtual.popitem(last=False)
+            self.stream.replace(vt, demand, row)
+            self.dispatcher._sig_cache.pop(vt, None)
+            self.ledger_evictions += 1
+        else:
             vt = self.stream.append(demand, row)
-            if key is not None:
-                self._virtual[key] = vt
+        if key is not None:
+            self._virtual[key] = vt
         return vt
 
     def grid_tensor(self, vt: int, grid) -> np.ndarray:
@@ -300,20 +428,42 @@ class ServeCache:
         tensor = self._tensors.get(key)
         if tensor is None:
             self.tensor_misses += 1
-            costs, _ = self.dispatcher.solve_grid(vt, grid.configs())
+            if self.tensor_budget_bytes is None:
+                costs, _ = self.dispatcher.solve_grid(vt, grid.configs())
+            else:
+                # a budgeted memo must not mirror whole-grid blocks into the
+                # dispatcher's unbounded block cache
+                block_costs, _ = self.dispatcher.solve_block(
+                    [vt], grid.configs(), memoise=False
+                )
+                costs = block_costs[0]
             tensor = costs.reshape(grid.shape)
             self._tensors[key] = tensor
+            self._tensor_bytes += tensor.nbytes
+            self._evict_tensors()
         else:
             self.tensor_hits += 1
+            self._tensors.move_to_end(key)
         return tensor
 
+    def _evict_tensors(self) -> None:
+        if self.tensor_budget_bytes is None:
+            return
+        while self._tensor_bytes > self.tensor_budget_bytes and len(self._tensors) > 1:
+            _, evicted = self._tensors.popitem(last=False)
+            self._tensor_bytes -= evicted.nbytes
+            self.tensor_evictions += 1
+
     def counters(self) -> dict:
-        """JSON-safe sharing counters (dispatch stats + tensor memo hits)."""
+        """JSON-safe sharing counters (dispatch stats + memo hits + evictions)."""
         stats = self.dispatcher.stats
         return {
             "virtual_slots": self.virtual_slots,
             "tensor_hits": self.tensor_hits,
             "tensor_misses": self.tensor_misses,
+            "tensor_evictions": self.tensor_evictions,
+            "tensor_bytes": self._tensor_bytes,
+            "ledger_evictions": self.ledger_evictions,
             "block_calls": stats.block_calls,
             "slot_queries": stats.slot_queries,
             "unique_solves": stats.unique_solves,
@@ -417,6 +567,16 @@ class ControllerSession:
         in :class:`FleetState` and the session counters.  This is the mode
         chaos injection runs under — a mid-stream fault must cost SLA
         accounting, not a crashed serving process.
+    history:
+        ``True`` (default) keeps the full per-tick record — every chosen
+        configuration and every tick latency — which is what the replay
+        gates compare and what :attr:`schedule` serves.  ``history=False``
+        is the *compact* mode for month-scale controllers: only
+        restore-critical state is kept (tick cursor, previous configuration,
+        cumulative costs, SLA counters, algorithm/tracker state) plus a
+        bounded window of recent latencies for the percentiles, so both the
+        resident session and its :meth:`checkpoint` payload stay O(1) in the
+        stream length instead of O(T).
     name:
         Tenant identifier stamped into telemetry rows.
     """
@@ -430,6 +590,7 @@ class ControllerSession:
         track_regret: bool = False,
         regret_gamma: Optional[float] = None,
         degradation: str = "strict",
+        history: bool = True,
         name: str = "tenant",
     ):
         if degradation not in DEGRADATION_MODES:
@@ -464,10 +625,11 @@ class ControllerSession:
             DPPrefixTracker(gamma=regret_gamma) if track_regret else None
         )
         self.degradation = degradation
+        self.history = bool(history)
         self._t = 0
         self._previous = np.zeros(stream.d, dtype=int)
         self._configs: List[np.ndarray] = []
-        self._latencies: List[float] = []
+        self._latencies = [] if self.history else deque(maxlen=COMPACT_LATENCY_WINDOW)
         self._cum_operating = 0.0
         self._cum_switching = 0.0
         self._feasible = True
@@ -507,14 +669,20 @@ class ControllerSession:
     @property
     def schedule(self) -> Schedule:
         """The configurations chosen so far, as a batch-layer :class:`Schedule`."""
+        if not self.history and self._t > 0:
+            raise ValueError(
+                "this session runs history=False (compact mode): per-tick "
+                "configurations are not retained, only the restore-critical state"
+            )
         if not self._configs:
             return Schedule.empty(0, self.d)
         return Schedule(np.stack(self._configs))
 
     @property
     def latencies_seconds(self) -> np.ndarray:
-        """Per-tick wall latency of every ``observe`` call."""
-        return np.asarray(self._latencies, dtype=float)
+        """Per-tick wall latency of every ``observe`` call (a bounded recent
+        window under ``history=False``)."""
+        return np.asarray(list(self._latencies), dtype=float)
 
     # ------------------------------------------------------------------ ticks
     def observe(self, demand: float, cost_row=None, counts=None) -> FleetState:
@@ -630,7 +798,8 @@ class ControllerSession:
         self._forced_downs += forced
         self._cum_operating += operating
         self._cum_switching += switching
-        self._configs.append(rounded)
+        if self.history:
+            self._configs.append(rounded)
         self._previous = rounded
         self._t += 1
         latency = time.perf_counter() - started
@@ -695,14 +864,21 @@ class ControllerSession:
         canonical JSON of everything else); :meth:`restore` rejects payloads
         whose content no longer matches it with
         :class:`CheckpointCorruptError`.
+
+        ``history=False`` sessions write *compact* checkpoints: the per-tick
+        ``configs`` and ``latencies_s`` arrays — the only O(T) fields — are
+        dropped, leaving a payload whose size is constant in the stream
+        length while still restoring to a bit-identical continuation (the
+        algorithm state and the previous configuration are what the next
+        decision reads; the history is telemetry).
         """
         payload = {
             "version": CHECKPOINT_VERSION,
             "tenant": self.name,
             "algorithm": self.algorithm.name,
+            "history": self.history,
             "tick": self._t,
             "previous_config": [int(v) for v in self._previous],
-            "configs": [[int(v) for v in c] for c in self._configs],
             "cum_operating": self._cum_operating,
             "cum_switching": self._cum_switching,
             "feasible": self._feasible,
@@ -710,13 +886,15 @@ class ControllerSession:
             "sla_violations": self._sla_violations,
             "shed_total": self._shed_total,
             "forced_downs": self._forced_downs,
-            "latencies_s": [float(v) for v in self._latencies],
             "algorithm_state": self.algorithm.state_dict(),
             "regret_state": (
                 None if self._regret_tracker is None else self._regret_tracker.state_dict()
             ),
             "regret_gamma": None if self._regret_tracker is None else self._regret_gamma,
         }
+        if self.history:
+            payload["configs"] = [[int(v) for v in c] for c in self._configs]
+            payload["latencies_s"] = [float(v) for v in self._latencies]
         payload["checksum"] = payload_checksum(payload)
         return payload
 
@@ -750,7 +928,9 @@ class ControllerSession:
             )
         self._t = int(payload["tick"])
         self._previous = np.asarray(payload["previous_config"], dtype=int)
-        self._configs = [np.asarray(c, dtype=int) for c in payload["configs"]]
+        # a compact payload restored into any session leaves it compact:
+        # the history it would serve was never captured
+        self.history = bool(payload.get("history", True))
         self._cum_operating = float(payload["cum_operating"])
         self._cum_switching = float(payload["cum_switching"])
         self._feasible = bool(payload["feasible"])
@@ -760,7 +940,15 @@ class ControllerSession:
         self._sla_violations = int(payload.get("sla_violations", 0))
         self._shed_total = float(payload.get("shed_total", 0.0))
         self._forced_downs = int(payload.get("forced_downs", 0))
-        self._latencies = [float(v) for v in payload["latencies_s"]]
+        if self.history:
+            self._configs = [np.asarray(c, dtype=int) for c in payload["configs"]]
+            self._latencies = [float(v) for v in payload["latencies_s"]]
+        else:
+            self._configs = []
+            self._latencies = deque(
+                (float(v) for v in payload.get("latencies_s", [])),
+                maxlen=COMPACT_LATENCY_WINDOW,
+            )
         self.algorithm.load_state_dict(payload["algorithm_state"])
         regret_state = payload.get("regret_state")
         if regret_state is not None:
@@ -790,6 +978,7 @@ class ControllerSession:
             track_regret=self._regret_tracker is not None,
             regret_gamma=self._regret_gamma,
             degradation=self.degradation,
+            history=self.history,
             name=self.name,
         )
         if reuse_cache:
