@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-sweep bench-scale bench-serve bench-fabric perf-regress scenarios-smoke serve-smoke chaos-smoke fabric-smoke
+.PHONY: test bench bench-smoke bench-sweep bench-scale bench-serve bench-fabric bench-latency-smoke perf-regress scenarios-smoke serve-smoke chaos-smoke fabric-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -27,11 +27,26 @@ bench-scale:
 	$(PYTHON) -m repro bench --scale --full --json benchmarks/output/BENCH_scale.json
 
 # Performance-regression gate: re-runs the combined workload and compares
-# every cost field against the pinned PR-1 reference (exact to 1e-6).  Wall
-# times are advisory-only — machines differ — and the gate does not rewrite
-# the committed BENCH_sweep.json (use `make bench-sweep` to refresh it).
+# every cost field against the pinned PR-1 reference (exact to 1e-6), then
+# re-runs the pinned serve workload cold / warm-started / prewarmed and
+# compares every hot-path work counter (unique solves, tensor hits, warm
+# hits, table gathers, ...) against its pinned value exactly.  Wall times are
+# advisory-only — machines differ — and the gate does not rewrite the
+# committed BENCH_sweep.json (use `make bench-sweep` to refresh it).
 perf-regress:
 	$(PYTHON) -m repro bench --sweep
+	$(PYTHON) -m repro bench --counters
+
+# Microsecond-tick latency gate: repeated fresh sessions over one prewarmed
+# shared cache; the p99 of the per-tick floor (elementwise minimum across
+# repeats — cancels additive OS scheduler noise, see PERFORMANCE.md) must
+# beat 50us x BUDGET_SCALE, with every repeat's schedule bit-identical to the
+# cold path and the stream cost pinned.  CI runs this with a generous
+# BUDGET_SCALE because shared runners are noisy; the committed
+# BENCH_serve.json "latency" section records a scale-1.0 local run.
+BUDGET_SCALE ?= 1.0
+bench-latency-smoke:
+	$(PYTHON) -m repro serve latency --budget-us 50 --budget-scale $(BUDGET_SCALE)
 
 # Scenario-registry gate: build every registered scenario family at a tiny
 # size and run one online algorithm through each (validates the declarative

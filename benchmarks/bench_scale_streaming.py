@@ -55,18 +55,33 @@ def _report(payload: dict) -> str:
         }
         for row in payload["comparisons"]
     ]
-    return "\n\n".join(
-        [
-            "Experiment SCALE — streaming DP core (checkpointed backtracking) on "
-            "long-horizon / big-fleet workloads",
-            result_section("per-run wall time and peak memory", rows),
-            result_section("streaming vs all-tables (gated: equality at 1e-9)", comparisons),
-            "keep-tables-projected rows document the all-tables footprint that is "
-            "*not* paid: value-table history alone at T*|M|*8 bytes, OOM-or-worse "
-            "on typical 4-8 GB runners (the seed code additionally materialised "
-            "O(T*|M|*d) dispatch load blocks).",
-        ]
-    )
+    sections = [
+        "Experiment SCALE — streaming DP core (checkpointed backtracking) on "
+        "long-horizon / big-fleet workloads",
+        result_section("per-run wall time and peak memory", rows),
+        result_section("streaming vs all-tables (gated: equality at 1e-9)", comparisons),
+        "keep-tables-projected rows document the all-tables footprint that is "
+        "*not* paid: value-table history alone at T*|M|*8 bytes, OOM-or-worse "
+        "on typical 4-8 GB runners (the seed code additionally materialised "
+        "O(T*|M|*d) dispatch load blocks).",
+    ]
+    runs = payload.get("runs") or []
+    if len(runs) >= 2:
+        from repro.bench import trend_deltas
+
+        deltas = trend_deltas(runs)
+        delta_text = (
+            ", ".join(f"{key} {value:+g}" for key, value in deltas.items())
+            if deltas
+            else "no shared numeric fields"
+        )
+        sections.append(
+            "trend vs previous recorded run "
+            f"({runs[-2]['recorded_at']} -> {runs[-1]['recorded_at']}, "
+            f"{len(runs)} run(s) in the BENCH_scale.json series; wall-time "
+            f"deltas are advisory, machines differ): {delta_text}"
+        )
+    return "\n\n".join(sections)
 
 
 def test_scale_streaming(benchmark):

@@ -36,15 +36,19 @@ without writing Python:
     materialise instances lazily inside worker shards and stamp the spec
     (name + params + seed) into every record.
 
-``python -m repro serve replay|bench|smoke``
+``python -m repro serve replay|bench|latency|smoke``
     The live replay & serving subsystem: stream a scenario tick by tick
     through a :class:`~repro.serve.ControllerSession` (``replay`` — with
     optional time-warp pacing, per-tick JSONL telemetry, a mid-stream
     checkpoint/restore round-trip and batch-equivalence verification), run
     the multi-tenant serving benchmark (``bench`` — latency percentiles and
-    shared-vs-isolated cache counters for 1/8/64 concurrent sessions), or run
-    the streaming-equivalence gate over every registered scenario family
-    (``smoke`` — the ``make serve-smoke`` CI gate).
+    shared-vs-isolated cache counters for 1/8/64 concurrent sessions), gate
+    the microsecond tick hot path (``latency`` — p99 of the per-tick floor
+    over repeated prewarmed replays against ``--budget-us``, the ``make
+    bench-latency-smoke`` CI gate), or run the streaming-equivalence gate
+    over every registered scenario family (``smoke`` — the ``make
+    serve-smoke`` CI gate).  ``--backend numpy|numba`` selects the compiled
+    kernel backend for any serve action.
 
 ``python -m repro bench --smoke``
     Run the <30s benchmark regression harness: solve three pinned instances
@@ -63,6 +67,18 @@ without writing Python:
     schedule equality (1e-9) against the classic all-tables pass, with
     wall-time and peak-memory columns (``--full`` for the headline T=5*10^4 /
     d=4 sizes, written to ``BENCH_scale.json``).
+
+``python -m repro bench --counters``
+    Re-run the pinned multi-tenant serve workload three ways (cold,
+    warm-started bisection, prewarmed solution tables) and assert every
+    hot-path work counter — unique solves, slot queries, tensor hits/misses,
+    grid hit rate, warm hits, table gathers — matches its pinned value
+    exactly (part of ``make perf-regress``).
+
+``python -m repro bench --latest``
+    Print the newest entry of every ``BENCH_*.json`` trend series (the
+    rolling env-stamped ``"runs"`` history the gated benches append to) plus
+    its numeric deltas against the previous run.
 
 Scenarios are described by a fleet preset (``--fleet``) and a trace generator
 (``--trace``) with ``--slots`` and ``--seed``; a custom demand trace can be
@@ -896,7 +912,25 @@ def _serve_fabric(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_backend(args: argparse.Namespace) -> Optional[int]:
+    """Activate ``--backend`` before any solve runs; returns an exit code on error."""
+    name = getattr(args, "backend", None)
+    if name:
+        from .core.backend import BackendUnavailableError, set_backend
+
+        try:
+            set_backend(name)
+        except BackendUnavailableError as exc:
+            print(f"backend error: {exc}", file=sys.stderr)
+            return 2
+    return None
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    failed = _apply_backend(args)
+    if failed is not None:
+        return failed
+
     if args.action == "smoke":
         return _serve_smoke(json_path=args.json)
 
@@ -905,6 +939,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if args.action == "fabric":
         return _serve_fabric(args)
+
+    if args.action == "latency":
+        from .bench import run_latency_smoke
+
+        try:
+            payload = run_latency_smoke(
+                budget_us=args.budget_us,
+                budget_scale=args.budget_scale,
+                repeats=args.repeats,
+                ticks=args.ticks or 256,
+                scenario=args.scenario or "diurnal-cpu-gpu",
+                algorithm=args.algorithm,
+                json_path=args.json,
+            )
+        except AssertionError as exc:
+            print(f"FAIL: {exc}", file=sys.stderr)
+            return 1
+        print(format_table(
+            payload["per_repeat_us"],
+            title="serve latency — raw per-repeat percentiles (advisory, OS noise included)",
+        ))
+        floor = payload["floor_us"]
+        budget = payload["budget_us"] * payload["budget_scale"]
+        print(f"\nsteady-state floor (per-tick min across {payload['repeats']} repeats): "
+              f"p50 {floor['p50_us']}us, p90 {floor['p90_us']}us, "
+              f"p99 {floor['p99_us']}us < {budget:g}us budget "
+              f"[backend={payload['backend']}]")
+        print(f"schedules bit-identical to the cold path on every repeat; "
+              f"stream cost {payload['cost']:.6f} reproduced to 1e-9")
+        if args.json:
+            print(f"wrote {args.json}")
+        return 0
 
     if args.action == "bench":
         from .bench import run_serve_bench
@@ -919,6 +985,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 scenario=args.scenario or "diurnal-cpu-gpu",
                 algorithm=_serve_algorithm(args),
                 json_path=args.json,
+                warm_start=args.warm,
             )
         except AssertionError as exc:
             print(f"FAIL: {exc}", file=sys.stderr)
@@ -1043,15 +1110,78 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import PINNED_SWEEP_COSTS, run_scale_bench, run_smoke_bench, run_sweep_bench
 
-    selected = [flag for flag in ("smoke", "sweep", "scale") if getattr(args, flag)]
+    failed = _apply_backend(args)
+    if failed is not None:
+        return failed
+
+    selected = [flag for flag in ("smoke", "sweep", "scale", "counters", "latest")
+                if getattr(args, flag)]
     if len(selected) > 1:
-        print(f"choose one of --smoke/--sweep/--scale per invocation (got {', '.join('--' + f for f in selected)}); "
-              "run them as separate commands — `make bench-smoke` chains all three gates",
+        print(f"choose one of --smoke/--sweep/--scale/--counters/--latest per invocation "
+              f"(got {', '.join('--' + f for f in selected)}); "
+              "run them as separate commands — `make bench-smoke` chains the gates",
               file=sys.stderr)
         return 2
     if args.full and not args.scale:
         print("--full only applies to --scale", file=sys.stderr)
         return 2
+
+    if args.latest:
+        import glob
+        import os as _os
+
+        from .bench import trend_report
+
+        paths = [args.json] if args.json else sorted(
+            glob.glob(_os.path.join("benchmarks", "output", "BENCH_*.json"))
+        )
+        shown = 0
+        for path in paths:
+            report = trend_report(path)
+            if report is None:
+                continue
+            shown += 1
+            latest = report["latest"]
+            deltas = report["deltas_vs_previous"]
+            print(f"{path}: {report['entries']} recorded run(s)")
+            print("  latest: " + ", ".join(
+                f"{key}={value}" for key, value in latest.items()
+                if key != "environment"
+            ))
+            if deltas:
+                print("  vs previous: " + ", ".join(
+                    f"{key} {value:+g}" for key, value in deltas.items()
+                ))
+            else:
+                print("  no previous run to compare")
+        if not shown:
+            print("no BENCH_*.json with a recorded trend series found "
+                  "(gated benches append one entry per run)", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.counters:
+        from .bench import PINNED_SERVE_COUNTERS, run_counter_regress
+
+        try:
+            payload = run_counter_regress(json_path=args.json)
+        except AssertionError as exc:
+            print(f"FAIL: {exc}", file=sys.stderr)
+            return 1
+        table_rows = [
+            {
+                "counter": key,
+                "pinned": PINNED_SERVE_COUNTERS[key],
+                "measured": payload["measured"][key],
+            }
+            for key in sorted(PINNED_SERVE_COUNTERS)
+        ]
+        print(format_table(table_rows, title="bench counters — hot-path work-counter pins"))
+        print(f"\nall {len(table_rows)} pinned counters reproduced exactly "
+              "(cold / warm-start / prewarmed replays, per-tenant costs equal to 1e-9)")
+        if args.json:
+            print(f"wrote {args.json}")
+        return 0
 
     tolerance = args.tolerance
 
@@ -1302,10 +1432,14 @@ def build_parser() -> argparse.ArgumentParser:
                "shards tenants across supervised worker processes with crash "
                "recovery and live migration (`--smoke` is the `make "
                "fabric-smoke` gate: one injected worker SIGKILL, bit-identical "
-               "recovery).",
+               "recovery); `latency` is the `make bench-latency-smoke` gate "
+               "(p99 of the per-tick floor over repeated prewarmed replays "
+               "must beat --budget-us, schedules bit-identical to the cold "
+               "path).",
     )
-    p_serve.add_argument("action", choices=["replay", "bench", "smoke", "chaos", "fabric"],
+    p_serve.add_argument("action", choices=["replay", "bench", "latency", "smoke", "chaos", "fabric"],
                          help="stream one scenario / run the multi-tenant benchmark / "
+                              "gate the microsecond tick hot path / "
                               "run the CI gates (smoke: batch equivalence, chaos: fault "
                               "injection, fabric --smoke: crash recovery) / run a "
                               "sharded multi-process fabric")
@@ -1345,7 +1479,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--tenants", default="1,8,64",
                          help="comma-separated concurrent-session counts for bench (default: 1,8,64)")
     p_serve.add_argument("--ticks", type=_positive_int, default=None,
-                         help="ticks per tenant for bench (default: 64)")
+                         help="ticks per tenant for bench (default: 64) / stream length for "
+                              "latency (default: 256)")
+    p_serve.add_argument("--warm", action="store_true",
+                         help="with bench: warm-start the dual bisection (previous solve's "
+                              "multiplier seeds the next bracket); the cost-equality gate "
+                              "then doubles as a warm-vs-cold consistency check")
+    p_serve.add_argument("--budget-us", type=float, default=50.0, metavar="US",
+                         help="latency: steady-state p99 tick budget in microseconds (default: 50)")
+    p_serve.add_argument("--budget-scale", type=float, default=1.0, metavar="X",
+                         help="latency: budget multiplier for noisy shared runners "
+                              "(CI uses a generous factor; default: 1.0)")
+    p_serve.add_argument("--repeats", type=_positive_int, default=6, metavar="R",
+                         help="latency: fresh sessions to replay over one prewarmed cache; "
+                              "the gate takes the per-tick minimum across them (default: 6)")
+    p_serve.add_argument("--backend", default=None, metavar="NAME",
+                         help="kernel backend for the hot path (numpy, or numba when the "
+                              "wheel is importable; default: numpy / $REPRO_BACKEND)")
     p_serve.add_argument("--smoke", action="store_true",
                          help="with fabric: run the `make fabric-smoke` crash-recovery gate "
                               "(injected worker SIGKILL, verify_crash_recovery must pass)")
@@ -1386,8 +1536,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--tolerance", type=float, default=None,
                          help="maximum allowed cost deviation (default: 1e-6 for --smoke/--sweep "
                               "against the pinned seed costs, 1e-9 for --scale streaming equality)")
+    p_bench.add_argument("--counters", action="store_true",
+                         help="run the hot-path work-counter regression: the pinned serve "
+                              "workload replayed cold / warm-started / prewarmed, every "
+                              "counter gated by exact equality (part of `make perf-regress`)")
+    p_bench.add_argument("--latest", action="store_true",
+                         help="print the newest BENCH_*.json trend entries with deltas vs "
+                              "the previous recorded run (no solves; reads benchmarks/output/ "
+                              "or the file given via --json)")
     p_bench.add_argument("--jobs", type=int, default=1,
                          help="process sharding for --sweep (default: 1)")
+    p_bench.add_argument("--backend", default=None, metavar="NAME",
+                         help="kernel backend for the hot path (numpy, or numba when the "
+                              "wheel is importable; default: numpy / $REPRO_BACKEND)")
     p_bench.add_argument("--json", default=None, help="also write the measurements to this JSON file")
     p_bench.set_defaults(func=_cmd_bench)
 

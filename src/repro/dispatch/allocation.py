@@ -54,6 +54,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..core.backend import get_backend
 from ..core.cost_functions import CostFunction, ScaledCost
 from ..core.instance import ProblemInstance
 
@@ -99,6 +100,12 @@ class DispatchStats:
     actually ran a fresh dual bisection.  The difference is served from the
     signature dedup / memo cache, so
     ``cache_hit_rate = 1 - unique_solves / slot_queries``.
+
+    ``warm_hits`` / ``cold_solves`` split the unique demand rows that reached
+    the dual bisection by whether a previous solve of the same
+    ``(cost-row, configuration-set)`` pair seeded their bracket
+    (``warm_start=True`` solvers only; the ``d == 1`` closed form and
+    warm-start-off solvers count everything as cold).
     """
 
     block_calls: int = 0
@@ -106,6 +113,8 @@ class DispatchStats:
     unique_solves: int = 0
     bisection_iterations: int = 0
     bracket_expansions: int = 0
+    warm_hits: int = 0
+    cold_solves: int = 0
 
     @property
     def cache_hits(self) -> int:
@@ -123,6 +132,8 @@ class DispatchStats:
         self.unique_solves = 0
         self.bisection_iterations = 0
         self.bracket_expansions = 0
+        self.warm_hits = 0
+        self.cold_solves = 0
 
     def snapshot(self) -> dict:
         """Plain-dict summary for benchmark harnesses and reports."""
@@ -134,6 +145,8 @@ class DispatchStats:
             "cache_hit_rate": round(self.cache_hit_rate, 4),
             "bisection_iterations": self.bisection_iterations,
             "bracket_expansions": self.bracket_expansions,
+            "warm_hits": self.warm_hits,
+            "cold_solves": self.cold_solves,
         }
 
     def delta_since(self, before: dict) -> dict:
@@ -158,6 +171,8 @@ class DispatchStats:
             "cache_hit_rate": round(rate, 4),
             "bisection_iterations": self.bisection_iterations - int(before.get("bisection_iterations", 0)),
             "bracket_expansions": self.bracket_expansions - int(before.get("bracket_expansions", 0)),
+            "warm_hits": self.warm_hits - int(before.get("warm_hits", 0)),
+            "cold_solves": self.cold_solves - int(before.get("cold_solves", 0)),
         }
 
 
@@ -179,18 +194,56 @@ class DispatchSolver:
     max_bisection_steps:
         Hard cap on bisection iterations (60 gives ~1e-18 interval width, far
         below float precision of the cost).
+    warm_start:
+        When ``True``, the solver keeps the final dual brackets of every
+        ``(cost-row, configuration-set)`` solve, keyed by demand, and seeds the
+        next solve's bracket from the nearest stored demand neighbours (the
+        cross-demand propagation *inside* :meth:`solve_block` is the template:
+        the optimal multiplier is non-decreasing in the demand, so a lower
+        neighbour's lower bracket and an upper neighbour's upper bracket stay
+        valid).  Seeds are validated before use — a lower seed whose allocation
+        already covers the demand is dropped, and the bracket-expansion safety
+        net repairs an upper seed — so results match the cold path to solver
+        tolerance, but converged brackets differ at the ~1e-12 level, which can
+        flip exact argmin ties downstream.  The serve layer therefore keeps
+        this **off by default** (its replay gates demand bit-identical
+        schedules across checkpoint/restore into a cold cache) and treats it as
+        an opt-in for long sweeps.
     """
 
-    def __init__(self, instance: ProblemInstance, tol: float = 1e-10, max_bisection_steps: int = 60):
+    #: Warm-state growth bounds: per-key demand rows and total keys.  Binned
+    #: demand streams stay far below both; the caps only guard pathological
+    #: continuous-demand workloads from pinning memory.
+    _WARM_MAX_ROWS = 4096
+    _WARM_MAX_KEYS = 64
+
+    def __init__(
+        self,
+        instance: ProblemInstance,
+        tol: float = 1e-10,
+        max_bisection_steps: int = 60,
+        warm_start: bool = False,
+    ):
         self.instance = instance
         self.tol = float(tol)
         self.max_bisection_steps = int(max_bisection_steps)
+        self.warm_start = bool(warm_start)
         self.stats = DispatchStats()
+        #: Dual multipliers of the most recent `_solve_rows` call, shaped
+        #: ``(demand levels, n configs)`` with NaN for zero-demand rows,
+        #: inactive columns and the ``d == 1`` closed form — test hook for the
+        #: warm vs cold equivalence suite.
+        self.last_duals: Optional[np.ndarray] = None
         self._cache: dict = {}
         self._block_cache: dict = {}
         self._sig_cache: dict = {}
         self._sig_functions: dict = {}
         self._configs_id_cache: dict = {}
+        #: ``(row_key, configs_key) -> (sorted demands, mu_lo, mu_hi)`` with the
+        #: bracket arrays full-width over all n columns (sentinels ``-1`` /
+        #: ``+inf`` in columns inactive at store time, neutral under the
+        #: max/min seeding).
+        self._warm: dict = {}
 
     # ------------------------------------------------------------------ API
     def solve(self, t: int, x: Sequence[int]) -> DispatchResult:
@@ -218,6 +271,7 @@ class DispatchSolver:
         self._sig_cache.clear()
         self._sig_functions.clear()
         self._configs_id_cache.clear()
+        self._warm.clear()
 
     # ----------------------------------------------------------- vectorised
     def solve_grid(self, t: int, configs: np.ndarray) -> tuple:
@@ -314,7 +368,8 @@ class DispatchSolver:
             functions = self._sig_functions[row_key]
             if float_configs is None:
                 float_configs = np.ascontiguousarray(configs, dtype=float)
-            costs_u, loads_u = self._solve_rows(lams, float_configs, functions)
+            warm_key = (row_key, configs_key) if self.warm_start else None
+            costs_u, loads_u = self._solve_rows(lams, float_configs, functions, warm_key)
             costs_u.setflags(write=False)
             loads_u.setflags(write=False)
             self.stats.unique_solves += len(entries)
@@ -393,12 +448,20 @@ class DispatchSolver:
             self._sig_cache[t] = cached
         return cached
 
-    def _solve_rows(self, lams: np.ndarray, configs: np.ndarray, functions: Sequence[CostFunction]) -> tuple:
+    def _solve_rows(
+        self,
+        lams: np.ndarray,
+        configs: np.ndarray,
+        functions: Sequence[CostFunction],
+        warm_key=None,
+    ) -> tuple:
         """Solve the dispatch problem for ``u`` demand levels x ``n`` configurations.
 
         ``lams`` must be sorted ascending (the caller guarantees it); the sort
         order is what makes the cross-row bracket propagation of
-        :meth:`_allocate_rows` valid.
+        :meth:`_allocate_rows` valid.  ``warm_key`` (warm-start solvers only)
+        names the ``(cost-row, configuration-set)`` bracket store this solve
+        seeds from and contributes back to.
         """
         u = len(lams)
         n, d = configs.shape
@@ -411,6 +474,7 @@ class DispatchSolver:
         idle = np.array([f.idle_cost() for f in functions], dtype=float)
         costs = np.full((u, n), np.inf, dtype=float)
         loads = np.zeros((u, n, d), dtype=float)
+        self.last_duals = np.full((u, n), np.nan)
 
         zero = lams <= 0.0
         if np.any(zero):
@@ -429,7 +493,27 @@ class DispatchSolver:
         sub_caps = caps[active_cols]
         feas_sub = feasible[:, active_cols]
 
-        w = self._allocate_rows(lam_p, sub_configs, sub_caps, zmax, functions, feas_sub)
+        warm_state = None
+        if warm_key is not None and d > 1:
+            store = self._warm.get(warm_key)
+            if store is not None:
+                w_lams, w_lo, w_hi = store
+                warm_state = (w_lams, w_lo[:, active_cols], w_hi[:, active_cols])
+
+        w, mu_lo, mu_hi = self._allocate_rows(
+            lam_p, sub_configs, sub_caps, zmax, functions, feas_sub, warm_state
+        )
+        p = len(lam_p)
+        if warm_state is not None:
+            self.stats.warm_hits += p
+        else:
+            self.stats.cold_solves += p
+        if mu_lo is not None:
+            duals = np.full((p, n), np.nan)
+            duals[:, active_cols] = 0.5 * (mu_lo + mu_hi)
+            self.last_duals[pos] = duals
+            if warm_key is not None:
+                self._store_warm(warm_key, lam_p, active_cols, mu_lo, mu_hi, n)
 
         # cost = sum_j x_j f_j(w_j / x_j); idle servers of a type still pay f_j(0)
         cost_sub = np.zeros((len(lam_p), sub_configs.shape[0]), dtype=float)
@@ -456,7 +540,8 @@ class DispatchSolver:
         zmax: np.ndarray,
         functions: Sequence[CostFunction],
         feasible: np.ndarray,
-    ) -> np.ndarray:
+        warm_state=None,
+    ) -> tuple:
         """Water-filling by a 2-D dual bisection over (demand levels x configs).
 
         ``lams`` is sorted ascending.  Bracket initialisation uses the
@@ -469,11 +554,22 @@ class DispatchSolver:
         (``np.maximum.accumulate`` / reversed ``np.minimum.accumulate``) — the
         vectorised analogue of warm-starting each demand level's bracket from
         its neighbour's solution.
+
+        ``warm_state`` extends that propagation *across* solves: it holds the
+        stored ``(demands, mu_lo, mu_hi)`` of earlier solves over the same cost
+        row and configuration set (already sliced to this solve's active
+        columns), and each row seeds its bracket from its nearest stored
+        neighbours before the expansion/bisection loops run.  The bisection and
+        midpoint/propagation steps are routed through the active
+        :mod:`repro.core.backend` kernels into preallocated buffers.
+
+        Returns ``(w, mu_lo, mu_hi)`` — the final dual brackets, or ``None``s
+        for the ``d == 1`` closed form.
         """
         p = len(lams)
         n, d = configs.shape
         if d == 1:
-            return np.minimum(lams[:, None, None], caps[None, :, :])
+            return np.minimum(lams[:, None, None], caps[None, :, :]), None, None
 
         eff_caps = np.minimum(caps[None, :, :], lams[:, None, None])  # (p, n, d)
         lam_col = lams[:, None]
@@ -506,9 +602,31 @@ class DispatchSolver:
         mu_lo = np.full((p, n), -1.0)
         mu_hi = np.tile(hi0[:, None], (1, n))
 
+        if warm_state is not None:
+            w_lams, w_lo_s, w_hi_s = warm_state
+            if len(w_lams):
+                # lower neighbour (largest stored demand <= this row's demand):
+                # its lower bracket still under-allocates here, so max() in
+                pos_lo = np.searchsorted(w_lams, lams, side="right") - 1
+                seed_lo = w_lo_s[np.maximum(pos_lo, 0)].copy()
+                seed_lo[pos_lo < 0] = -1.0
+                np.maximum(mu_lo, seed_lo, out=mu_lo)
+                # upper neighbour (smallest stored demand >= this row's demand)
+                pos_hi = np.searchsorted(w_lams, lams, side="left")
+                seed_hi = w_hi_s[np.minimum(pos_hi, len(w_lams) - 1)].copy()
+                seed_hi[pos_hi >= len(w_lams)] = np.inf
+                np.minimum(mu_hi, seed_hi, out=mu_hi)
+                # validate lower seeds: a seed whose allocation already covers
+                # the demand would trap the bisection above mu*; drop it (the
+                # upper seeds are repaired by the expansion loop below)
+                if np.any(mu_lo > -1.0):
+                    tot_lo = alloc(mu_lo, want_loads=False)
+                    np.copyto(mu_lo, -1.0, where=tot_lo >= lam_col)
+
         # safety net for cost functions whose reported derivative is inexact
         # (finite-difference CallableCost): expand until every feasible row is
-        # covered, breaking out immediately in the regular case.
+        # covered, breaking out immediately in the regular case.  Also repairs
+        # any warm-seeded upper bracket that no longer covers its demand.
         for _ in range(64):
             tot = alloc(mu_hi, want_loads=False)
             need = (tot < lam_col - 1e-12) & feasible
@@ -517,21 +635,21 @@ class DispatchSolver:
             self.stats.bracket_expansions += 1
             mu_hi = np.where(need, np.maximum(mu_hi, 0.5) * 2.0, mu_hi)
 
+        backend = get_backend()
+        mid = np.empty_like(mu_lo)
+        mask = np.empty(mu_lo.shape, dtype=bool)
         width_tol = self.tol * max(1.0, float(hi0[-1]) if p else 1.0)
         propagate = p > 1
         for _ in range(self.max_bisection_steps):
             if propagate:
                 # cross-row warm start: valid because mu^* is monotone in lambda
-                np.maximum.accumulate(mu_lo, axis=0, out=mu_lo)
-                mu_hi = np.minimum.accumulate(mu_hi[::-1], axis=0)[::-1]
+                backend.propagate_brackets(mu_lo, mu_hi)
             if float(np.max(mu_hi - mu_lo)) <= width_tol:
                 break
             self.stats.bisection_iterations += 1
-            mid = 0.5 * (mu_lo + mu_hi)
+            backend.midpoint(mu_lo, mu_hi, mid)
             tot = alloc(mid, want_loads=False)
-            too_low = tot < lam_col
-            mu_lo = np.where(too_low, mid, mu_lo)
-            mu_hi = np.where(too_low, mu_hi, mid)
+            backend.bisect_step(mu_lo, mu_hi, mid, tot, lam_col, mask)
 
         sum_lo, w_lo = alloc(mu_lo, want_loads=True)
         sum_hi, w_hi = alloc(mu_hi, want_loads=True)
@@ -554,7 +672,46 @@ class DispatchSolver:
         if np.any(overshoot):
             scale = lam_col / np.maximum(w.sum(axis=2), _EPS)
             w = np.where(overshoot[:, :, None], w * scale[:, :, None], w)
-        return w
+        return w, mu_lo, mu_hi
+
+    def _store_warm(
+        self,
+        warm_key,
+        lams: np.ndarray,
+        active_cols: np.ndarray,
+        mu_lo: np.ndarray,
+        mu_hi: np.ndarray,
+        n: int,
+    ) -> None:
+        """Merge a solve's final brackets into the per-key warm store.
+
+        Rows are widened back to all ``n`` columns with neutral sentinels so a
+        later solve with a different active-column set can still slice and
+        seed.  New rows win over stored rows at equal demand (they carry the
+        freshest propagated brackets); the store is kept demand-sorted for the
+        ``searchsorted`` neighbour lookup.
+        """
+        full_lo = np.full((len(lams), n), -1.0)
+        full_hi = np.full((len(lams), n), np.inf)
+        full_lo[:, active_cols] = mu_lo
+        full_hi[:, active_cols] = mu_hi
+        store = self._warm.get(warm_key)
+        if store is not None:
+            w_lams, w_lo, w_hi = store
+            keep = ~np.isin(w_lams, lams)
+            merged = np.concatenate([w_lams[keep], lams])
+            if len(merged) <= self._WARM_MAX_ROWS:
+                order = np.argsort(merged, kind="stable")
+                self._warm[warm_key] = (
+                    merged[order],
+                    np.concatenate([w_lo[keep], full_lo], axis=0)[order],
+                    np.concatenate([w_hi[keep], full_hi], axis=0)[order],
+                )
+                return
+            # overflow: restart the store from this solve's rows alone
+        elif len(self._warm) >= self._WARM_MAX_KEYS:
+            self._warm.clear()
+        self._warm[warm_key] = (lams.copy(), full_lo, full_hi)
 
 
 def reference_dispatch(instance: ProblemInstance, t: int, x: Sequence[int]) -> DispatchResult:

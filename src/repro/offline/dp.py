@@ -57,7 +57,12 @@ from ..core.instance import ProblemInstance
 from ..core.schedule import Schedule
 from ..dispatch.allocation import DispatchSolver
 from .state_grid import StateGrid, grid_for_slot
-from .transitions import startup_cost_tensor, switching_cost_tensor, transition
+from .transitions import (
+    make_transition_plan,
+    startup_cost_tensor,
+    switching_cost_tensor,
+    transition,
+)
 
 __all__ = [
     "OfflineResult",
@@ -489,6 +494,15 @@ def solve_dp(
     checkpoints: dict = {}
     value: Optional[np.ndarray] = None
 
+    # Streaming passes may run repeated same-grid slots through one
+    # preallocated TransitionPlan (bit-identical kernels, no per-slot buffer
+    # churn).  The full-history pass must not: the plan reuses its output
+    # buffers, and `tables` needs every slot's tensor to stay distinct.
+    use_plan = not keep_history and dtype == np.dtype(np.float64)
+    plan = None
+    plan_grid_key = None
+    from_plan = False
+
     for t in range(T):
         grid = grids[t]
         g_tensor = provider.tensor(t)
@@ -497,14 +511,28 @@ def solve_dp(
             arrival = startup_cost_tensor(grid.values, beta)
             if arrival.dtype != dtype:
                 arrival = arrival.astype(dtype)
+            from_plan = False
         else:
-            arrival = transition(value, grids[t - 1].values, grid.values, beta)
-        # arrival is a fresh tensor every slot, so accumulate in place
+            arrival = None
+            if use_plan and value.dtype == np.float64 and grid.key == grids[t - 1].key:
+                if plan_grid_key != grid.key:
+                    plan_grid_key = grid.key
+                    plan = make_transition_plan(grid.values, grid.values, beta)
+                if plan is not None:
+                    arrival = plan.apply(value)
+                    from_plan = True
+            if arrival is None:
+                arrival = transition(value, grids[t - 1].values, grid.values, beta)
+                from_plan = False
+        # arrival is a fresh tensor every slot (or a plan-owned buffer), so
+        # accumulate in place
         value = np.add(arrival, g_tensor, out=arrival)
         if keep_history:
             tables.append(value)
         elif track_checkpoints and t % window == 0:
-            checkpoints[t] = value
+            # a plan-owned buffer is overwritten two slots later (ping-pong):
+            # checkpoints must own their bytes
+            checkpoints[t] = value.copy() if from_plan else value
 
     assert value is not None
     best_flat = int(np.argmin(value))

@@ -82,6 +82,7 @@ class StateGrid:
         self._values = tuple(vals)
         self._configs: Optional[np.ndarray] = None
         self._key = None
+        self._shape = tuple(len(v) for v in self._values)
 
     # ------------------------------------------------------------- factories
     @classmethod
@@ -113,7 +114,7 @@ class StateGrid:
 
     @property
     def shape(self) -> tuple:
-        return tuple(len(v) for v in self._values)
+        return self._shape
 
     @property
     def size(self) -> int:

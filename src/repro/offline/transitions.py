@@ -23,13 +23,17 @@ indexed by the admissible values of server type ``j`` (see
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from ..core.backend import get_backend
 
 __all__ = [
     "relax_dimension",
     "transition",
+    "TransitionPlan",
+    "make_transition_plan",
     "switching_cost_between",
     "switching_cost_tensor",
     "startup_cost_tensor",
@@ -189,6 +193,124 @@ def transition(
     for j in range(d):
         out = relax_dimension(out, src_values[j], dst_values[j], float(beta[j]), axis=j)
     return out
+
+
+class TransitionPlan:
+    """Preallocated form of :func:`transition` for one ``(src, dst, beta)`` triple.
+
+    The generic path allocates two scratch tensors per axis per slot and
+    recomputes the broadcastable ``beta * values`` vectors every call.  A plan
+    hoists all of that: per-axis gather indices, shift vectors and scratch
+    buffers are built once, and :meth:`apply` routes each axis through the
+    active backend's ``min_plus_axis`` kernel with zero allocations.  The
+    kernel's operation sequence matches :func:`relax_dimension` exactly, so a
+    plan-produced value tensor is bit-identical to the generic one — callers
+    may mix the two paths freely (the streaming DP's checkpointed backtracking
+    relies on this).
+
+    Restrictions (``make_transition_plan`` returns ``None`` when violated, and
+    callers fall back to :func:`transition`): every destination value must have
+    both a power-up predecessor and a power-down successor in the source grid
+    (``all_up and all_down`` in plan terms), and :meth:`apply` only accepts
+    ``float64`` tensors of the planned source shape.
+
+    The returned tensor aliases an internal buffer: it stays valid until the
+    next :meth:`apply` call, and writing into it is safe.  Feeding the previous
+    output back in as the next input is also safe — the input is fully consumed
+    by the first axis before any buffer it may alias is written (the final-axis
+    output ping-pongs between two buffers for the single-axis case) — but the
+    input array's contents are undefined after such a call.
+    """
+
+    __slots__ = ("_steps", "_final_alt", "src_shape", "dst_shape")
+
+    def __init__(self, steps: List[Tuple], src_shape: Tuple[int, ...], dst_shape: Tuple[int, ...]):
+        self._steps = steps
+        self._final_alt = np.empty_like(steps[-1][-1])
+        self.src_shape = src_shape
+        self.dst_shape = dst_shape
+
+    def apply(self, values_tensor: np.ndarray) -> np.ndarray:
+        V = values_tensor
+        if V.dtype != np.float64 or V.shape != self.src_shape:
+            raise ValueError(
+                f"plan expects float64 tensor of shape {self.src_shape}, "
+                f"got {V.dtype} {V.shape}"
+            )
+        backend = get_backend()
+        steps = self._steps
+        cur = V
+        last = len(steps) - 1
+        for i, step in enumerate(steps):
+            (axis, moved, same, bsrc, bdst, up_idx, down_idx,
+             shifted, shifted_rev, gather, out) = step
+            if i == last and cur is out:
+                # the previous output fed back as input: swap in the alternate
+                # final buffer (ping-pong); the next call alternates back.
+                # Identity is the only aliasing the contract admits — the final
+                # step's input is otherwise an internal mid-step buffer.
+                out = self._final_alt
+                steps[i] = step[:-1] + (out,)
+                self._final_alt = step[-1]
+            work = cur.swapaxes(axis, -1) if moved else cur
+            if same:
+                backend.min_plus_axis_same(work, bsrc, bdst, shifted, shifted_rev, out)
+            else:
+                backend.min_plus_axis(
+                    work, bsrc, bdst, up_idx, down_idx, shifted, shifted_rev, gather, out
+                )
+            cur = out.swapaxes(axis, -1) if moved else out
+        return cur
+
+
+def make_transition_plan(
+    src_values: Sequence[np.ndarray],
+    dst_values: Sequence[np.ndarray],
+    beta: Sequence[float],
+) -> Optional[TransitionPlan]:
+    """Build a :class:`TransitionPlan`, or ``None`` when the pair is unsupported."""
+    beta_arr = np.asarray(beta, dtype=float)
+    d = len(beta_arr)
+    if d == 0 or len(src_values) != d or len(dst_values) != d:
+        return None
+    steps: List[Tuple] = []
+    in_shape = [len(np.asarray(v)) for v in src_values]
+    src_shape = tuple(in_shape)
+    for j in range(d):
+        src_f, dst_f, up_idx, all_up, _vu, down_idx, all_down, _vd = _relax_plan(
+            src_values[j], dst_values[j]
+        )
+        if not (all_up and all_down):
+            return None
+        swapped = list(in_shape)
+        swapped[j], swapped[-1] = swapped[-1], swapped[j]
+        out_shape = tuple(swapped[:-1]) + (len(dst_f),)
+        up_c = np.ascontiguousarray(up_idx, dtype=np.intp)
+        down_c = np.ascontiguousarray(down_idx, dtype=np.intp)
+        # identity gather maps (src and dst value lists equal) route through
+        # the backend's elided same-grid kernel — same values, fewer ops
+        identity = np.arange(len(dst_f), dtype=np.intp)
+        same = len(dst_f) == len(src_f) and np.array_equal(up_c, identity) and np.array_equal(
+            down_c, identity
+        )
+        shifted = np.empty(tuple(swapped))
+        steps.append(
+            (
+                j,
+                j != d - 1,
+                same,
+                np.asarray(beta_arr[j] * src_f, dtype=np.float64),
+                np.asarray(beta_arr[j] * dst_f, dtype=np.float64),
+                up_c,
+                down_c,
+                shifted,
+                shifted[..., ::-1],
+                np.empty(out_shape),
+                np.empty(out_shape),
+            )
+        )
+        in_shape[j] = len(dst_f)
+    return TransitionPlan(steps, src_shape, tuple(in_shape))
 
 
 def switching_cost_between(x_prev: np.ndarray, x_next: np.ndarray, beta: np.ndarray) -> float:

@@ -65,6 +65,7 @@ class AlgorithmA(OnlineAlgorithm):
             raise ValueError("give either an explicit tracker or gamma, not both")
         self._tracker = tracker if tracker is not None else DPPrefixTracker(gamma=gamma)
         self._runtimes: Optional[np.ndarray] = None
+        self._runtime_ticks: Optional[List[int]] = None
         self._current: Optional[np.ndarray] = None
         self._power_ups: List[np.ndarray] = []
         self._xhat_history: List[np.ndarray] = []
@@ -76,6 +77,7 @@ class AlgorithmA(OnlineAlgorithm):
         self._d = context.d
         self._tracker.reset()
         self._runtimes = None
+        self._runtime_ticks = None
         self._current = np.zeros(self._d, dtype=int)
         self._power_ups = []
         self._xhat_history = []
@@ -87,6 +89,12 @@ class AlgorithmA(OnlineAlgorithm):
         t = slot.t
         if self._runtimes is None:
             self._runtimes = self._compute_runtimes(slot)
+        if self._runtime_ticks is None:
+            # integer ski-rental runtimes as plain ints (-1 = infinite): the
+            # per-type expiry bookkeeping below stays off numpy scalars
+            self._runtime_ticks = [
+                int(r) if math.isfinite(r) else -1 for r in self._runtimes
+            ]
 
         xhat = np.asarray(self._tracker.observe(slot), dtype=int)
         self._xhat_history.append(xhat.copy())
@@ -99,17 +107,20 @@ class AlgorithmA(OnlineAlgorithm):
             self._current -= expired
 
         # Power-up rule: match the prefix optimum.
-        w_t = np.maximum(xhat - self._current, 0).astype(int)
+        w_t = xhat - self._current
+        np.maximum(w_t, 0, out=w_t)
         self._current = np.maximum(self._current, xhat)
         self._power_ups.append(w_t)
-        for j in range(self._d):
-            if w_t[j] > 0 and math.isfinite(self._runtimes[j]):
-                due = t + int(self._runtimes[j])
-                bucket = self._expiry.get(due)
-                if bucket is None:
-                    bucket = np.zeros(self._d, dtype=int)
-                    self._expiry[due] = bucket
-                bucket[j] += int(w_t[j])
+        for j, w in enumerate(w_t.tolist()):
+            if w > 0:
+                runtime = self._runtime_ticks[j]
+                if runtime >= 0:
+                    due = t + runtime
+                    bucket = self._expiry.get(due)
+                    if bucket is None:
+                        bucket = np.zeros(self._d, dtype=int)
+                        self._expiry[due] = bucket
+                    bucket[j] += w
         return self._current.copy()
 
     # -------------------------------------------------------- checkpointing
@@ -138,6 +149,7 @@ class AlgorithmA(OnlineAlgorithm):
         self._runtimes = None if runtimes is None else np.array(
             [math.inf if r is None else float(r) for r in runtimes]
         )
+        self._runtime_ticks = None
         current = state["current"]
         self._current = None if current is None else np.asarray(current, dtype=int)
         self._expiry = {

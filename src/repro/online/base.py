@@ -26,6 +26,7 @@ from ..core.costs import CostBreakdown, breakdown_from_parts, evaluate_schedule
 from ..core.instance import ProblemInstance
 from ..core.schedule import Schedule
 from ..dispatch.allocation import DispatchSolver
+from ..dispatch.tables import SolutionTable
 from ..offline.state_grid import grid_for_slot
 
 __all__ = [
@@ -353,6 +354,46 @@ class SlotContext:
             )
             for i, key in enumerate(pending_keys[lo : lo + chunk]):
                 self._cache_tensors(key, costs[i].reshape(grid.shape), loads[i])
+
+    def solution_table(self, grid, reference_slot: int = 0) -> SolutionTable:
+        """Quantised :class:`~repro.dispatch.SolutionTable` of ``g_t`` over ``grid``.
+
+        Collects one row per *unique demand level* among the slots that share
+        the reference slot's base cost row and scale (and whose fleet matches
+        the grid) — on a ``quantise_trace``-binned stream that is the whole
+        demand alphabet.  Every row is pulled through :meth:`_grid_tensors`,
+        i.e. the exact memoised tensors a cold online run reads, so a table
+        gather is bit-identical to the cold path by construction.
+        """
+        ref_sig, ref_scale = self.dispatcher._slot_signature(reference_slot)
+        ref_row = ref_sig[1]
+        counts_key = tuple(int(v) for v in grid.max_values())
+        levels: list = []
+        cost_rows: list = []
+        load_rows: list = []
+        seen: set = set()
+        for t in range(self.instance.T):
+            sig, scale = self.dispatcher._slot_signature(t)
+            if sig[1] != ref_row or scale != ref_scale:
+                continue
+            if tuple(int(c) for c in self.instance.counts_at(t)) != counts_key:
+                continue
+            lam = float(sig[0])
+            if lam in seen:
+                continue
+            seen.add(lam)
+            costs, loads = self._grid_tensors(t, grid)
+            levels.append(lam)
+            cost_rows.append(costs.reshape(-1))
+            load_rows.append(loads)
+        if not levels:
+            raise ValueError(
+                f"no slot shares the cost row and fleet of slot {reference_slot} "
+                "on this grid; cannot build a solution table"
+            )
+        return SolutionTable(
+            levels, grid.configs(), np.stack(cost_rows), np.stack(load_rows)
+        )
 
     def evaluate_schedule(self, schedule: Schedule) -> CostBreakdown:
         """Exact cost breakdown of a schedule, gathered from the grid tensors.

@@ -32,7 +32,7 @@ import numpy as np
 
 from ..offline.dp import _backtrack_windowed, backtrack_schedule
 from ..offline.state_grid import StateGrid
-from ..offline.transitions import startup_cost_tensor, transition
+from ..offline.transitions import make_transition_plan, startup_cost_tensor, transition
 from .base import SlotInfo
 
 __all__ = [
@@ -61,15 +61,16 @@ def argmin_config(
     """
     flat = value.reshape(-1)
     if tie_break == "smallest":
-        idx = int(np.argmin(flat))
+        idx = int(flat.argmin())
     else:
         # last occurrence of the minimum = lexicographically largest config
         if scratch is None or scratch.shape != flat.shape:
             scratch = np.empty_like(flat)
         np.copyto(scratch, flat[::-1])
-        idx = flat.size - 1 - int(np.argmin(scratch))
-    multi = np.unravel_index(idx, grid.shape)
-    return grid.config_at(multi), scratch
+        idx = flat.size - 1 - int(scratch.argmin())
+    # grid.configs() row i corresponds to flat index i of the value tensor
+    # (C order), so the config is a single row gather — no unravel needed.
+    return grid.configs()[idx].copy(), scratch
 
 
 class SharedValueStream:
@@ -355,6 +356,17 @@ class DPPrefixTracker(PrefixOptimumTracker):
         # cached grid also carries its configs() enumeration, so the per-slot
         # work reduces to one batched dispatch query plus one transition.
         self._grid_cache: dict = {}
+        # Steady-state fast paths (all correctness-neutral memos; see observe):
+        # the last counts *object* -> its grid, so repeat ticks skip the tuple
+        # key build; ids of cost tensors already past the finiteness check
+        # (value holds the tensor so the id cannot be recycled while mapped);
+        # and a preplanned in-place transition for the unchanged-grid case.
+        self._counts_obj: Optional[np.ndarray] = None
+        self._counts_grid: Optional[StateGrid] = None
+        self._counts_tuple: Optional[tuple] = None
+        self._finite_seen: dict = {}
+        self._plan = None
+        self._plan_key: Optional[tuple] = None
 
     # -------------------------------------------------------------- interface
     def reset(self) -> None:
@@ -368,22 +380,62 @@ class DPPrefixTracker(PrefixOptimumTracker):
             self._grid, self._value = self._stream.at(self._steps, slot)
             self._steps += 1
             return self._argmin_config()
-        grid = self._build_grid(slot.counts)
+        counts = slot.counts
+        if counts is self._counts_obj:
+            grid = self._counts_grid
+        else:
+            grid = self._build_grid(counts)
+            self._counts_obj = counts
+            self._counts_grid = grid
+            self._counts_tuple = tuple(int(c) for c in counts)
         g_tensor = slot.grid_operating_cost(grid)
-        if not np.any(np.isfinite(g_tensor)):
-            raise ValueError(
-                f"slot {slot.t}: no grid configuration can serve demand {slot.demand:g}"
-            )
+        # Memoised tensors (the serve cache and SlotContext both hand back one
+        # shared read-only object per slot signature) only need the finiteness
+        # scan once; fresh tensors always miss and are checked.
+        if id(g_tensor) not in self._finite_seen:
+            if not np.any(np.isfinite(g_tensor)):
+                raise ValueError(
+                    f"slot {slot.t}: no grid configuration can serve demand {slot.demand:g}"
+                )
+            if len(self._finite_seen) >= 512:
+                self._finite_seen.clear()
+            self._finite_seen[id(g_tensor)] = g_tensor
         if self._value is None:
             arrival = startup_cost_tensor(grid.values, slot.beta)
         else:
-            arrival = transition(self._value, self._grid.values, grid.values, slot.beta)
-        # arrival is freshly allocated each step — accumulate in place
+            arrival = None
+            if self._grid is grid:
+                arrival = self._planned_transition(grid, slot.beta)
+            if arrival is None:
+                arrival = transition(self._value, self._grid.values, grid.values, slot.beta)
+        # arrival is freshly allocated each step (or a plan-owned buffer that
+        # becomes this step's value) — accumulate in place
         self._value = np.add(arrival, g_tensor, out=arrival)
         self._grid = grid
-        self._grid_counts = tuple(int(c) for c in slot.counts)
+        self._grid_counts = self._counts_tuple
         self._steps += 1
         return self._argmin_config()
+
+    def _planned_transition(self, grid: StateGrid, beta: np.ndarray) -> Optional[np.ndarray]:
+        """Apply the cached same-grid :class:`TransitionPlan`, or ``None``.
+
+        The plan's preallocated kernels are bit-identical to
+        :func:`~repro.offline.transitions.transition`; feeding the plan's own
+        previous output back as input is explicitly supported (see the plan's
+        aliasing contract), which is exactly the tracker's steady-state loop.
+        Any mismatch — non-float64 value, unexpected shape, a grid whose relax
+        steps cannot be planned — falls back to the generic path.
+        """
+        value = self._value
+        if value.dtype != np.float64 or value.shape != grid.shape:
+            return None
+        key = (id(grid), beta.tobytes())
+        if key != self._plan_key:
+            self._plan_key = key
+            self._plan = make_transition_plan(grid.values, grid.values, beta)
+        if self._plan is None:
+            return None
+        return self._plan.apply(value)
 
     def prefix_optimum_cost(self) -> float:
         if self._value is None:

@@ -63,8 +63,9 @@ class ServeEngine:
     against.
     """
 
-    def __init__(self, share_caches: bool = True):
+    def __init__(self, share_caches: bool = True, warm_start: bool = False):
         self.share_caches = bool(share_caches)
+        self.warm_start = bool(warm_start)
         self._caches: Dict[tuple, ServeCache] = {}
         self._tenants: Dict[str, _Tenant] = {}
 
@@ -72,13 +73,29 @@ class ServeEngine:
     def cache_for(self, server_types) -> ServeCache:
         """The shared cache of a fleet geometry (created on first use)."""
         if not self.share_caches:
-            return ServeCache(server_types)
+            return ServeCache(server_types, warm_start=self.warm_start)
         key = fleet_signature(server_types)
         cache = self._caches.get(key)
         if cache is None:
-            cache = ServeCache(server_types)
+            cache = ServeCache(server_types, warm_start=self.warm_start)
             self._caches[key] = cache
         return cache
+
+    def prewarm(self, levels) -> int:
+        """Precompute quantised solution tables on every registered cache.
+
+        ``levels`` is the expected demand alphabet (e.g. the bin values of a
+        ``quantise_trace``-binned stream).  Each tenant cache runs
+        :meth:`ServeCache.prewarm`, which installs the whole-grid tensor and
+        every per-configuration dispatch solution for each level through the
+        exact cold code path — steady-state ticks then reduce to table
+        gathers.  Returns the number of caches prewarmed.  Call after
+        registering tenants (an engine with no tenants has no caches yet).
+        """
+        caches = self.caches
+        for cache in caches:
+            cache.prewarm(levels)
+        return len(caches)
 
     def add_tenant(
         self,

@@ -44,6 +44,7 @@ dictionary hit (see ``repro serve bench`` / ``BENCH_serve.json``).
 from __future__ import annotations
 
 import json
+import math
 import os
 import time
 from collections import OrderedDict, deque
@@ -347,6 +348,25 @@ class ServeCache:
     Eviction changes nothing numerically: a re-observed evicted level is
     simply re-solved (single-slot queries are bit-identical by construction),
     which is what the eviction counters in :meth:`counters` price out.
+
+    Hot-path fast maps
+    ------------------
+    On quantised streams the steady-state tick never needs a dual bisection:
+    every quantity is a pure function of ``(virtual slot, grid or config)``.
+    Three flat dictionaries shortcut the per-tick bookkeeping of the general
+    machinery — ``_vt_base`` (demand → ledger slot for base-cost-row ticks,
+    skipping the LRU OrderedDict), ``_fast_tensors`` (ledger slot → grid
+    tensors, skipping signature/key assembly), and ``_fast_solves`` (ledger
+    slot → per-configuration :class:`DispatchResult`, skipping the solver's
+    array/tuple key construction).  Every fast entry is *installed from the
+    slow path's own result*, so a fast hit is bit-identical to a miss by
+    construction; hits are counted in ``table_gathers``.  The demand and
+    tensor fast maps are disabled under ``ledger_budget`` /
+    ``tensor_budget_bytes`` respectively, where eviction recency matters and a
+    flat mirror would leak evicted entries.  :meth:`prewarm` fills all three
+    for a known demand alphabet up front (and returns the resulting
+    :class:`~repro.dispatch.tables.SolutionTable`), moving even the
+    *first-seen* bisections off the tick path.
     """
 
     def __init__(
@@ -354,6 +374,7 @@ class ServeCache:
         server_types,
         tensor_budget_bytes: Optional[int] = None,
         ledger_budget: Optional[int] = None,
+        warm_start: bool = False,
     ):
         if ledger_budget is not None and int(ledger_budget) < 1:
             raise ValueError(f"ledger_budget must be >= 1, got {ledger_budget}")
@@ -362,7 +383,7 @@ class ServeCache:
                 f"tensor_budget_bytes must be >= 0, got {tensor_budget_bytes}"
             )
         self.stream = _StreamInstance(server_types)
-        self.dispatcher = DispatchSolver(self.stream)
+        self.dispatcher = DispatchSolver(self.stream, warm_start=warm_start)
         self.signature = fleet_signature(self.stream.server_types)
         self.tensor_budget_bytes = (
             None if tensor_budget_bytes is None else int(tensor_budget_bytes)
@@ -375,6 +396,11 @@ class ServeCache:
         self.tensor_misses = 0
         self.tensor_evictions = 0
         self.ledger_evictions = 0
+        self.table_gathers = 0
+        self.prewarmed_levels = 0
+        self._vt_base: dict = {}
+        self._fast_tensors: dict = {}
+        self._fast_solves: dict = {}
 
     @property
     def server_types(self) -> tuple:
@@ -408,11 +434,29 @@ class ServeCache:
             _, vt = self._virtual.popitem(last=False)
             self.stream.replace(vt, demand, row)
             self.dispatcher._sig_cache.pop(vt, None)
+            self._fast_tensors.pop(vt, None)
+            self._fast_solves.pop(vt, None)
             self.ledger_evictions += 1
         else:
             vt = self.stream.append(demand, row)
         if key is not None:
             self._virtual[key] = vt
+        return vt
+
+    def virtual_slot_base(self, demand: float) -> int:
+        """Ledger slot of a base-cost-row observation — the tick fast path.
+
+        One flat float-keyed dict instead of the ``(demand, row)`` tuple hash
+        and LRU bookkeeping of :meth:`virtual_slot`.  Only active on unbounded
+        ledgers (no eviction ⇒ slot indices are stable and recency is
+        irrelevant); budgeted caches always take the slow path.
+        """
+        vt = self._vt_base.get(demand)
+        if vt is not None:
+            return vt
+        vt = self.virtual_slot(demand, self.stream.base_cost_row)
+        if self.ledger_budget is None:
+            self._vt_base[demand] = vt
         return vt
 
     def grid_tensor(self, vt: int, grid) -> np.ndarray:
@@ -421,8 +465,17 @@ class ServeCache:
         Computed by the same single-slot query the batch ``run_online`` path
         issues, so the tensor is bit-identical to the batch one; keyed by
         dispatch signature, so sessions (and tenants) sharing a demand level
-        share one tensor.
+        share one tensor.  Repeat ``(slot, grid)`` pairs are served from a
+        flat per-slot fast map (installed from this method's own result, so
+        fast hits return the identical array object).
         """
+        fast = self._fast_tensors.get(vt)
+        if fast is not None:
+            hit = fast.get(id(grid))
+            if hit is not None and hit[0] is grid:
+                self.tensor_hits += 1
+                self.table_gathers += 1
+                return hit[1]
         sig, scale = self.dispatcher._slot_signature(vt)
         key = (sig, scale, grid.key)
         tensor = self._tensors.get(key)
@@ -444,7 +497,76 @@ class ServeCache:
         else:
             self.tensor_hits += 1
             self._tensors.move_to_end(key)
+        if self.tensor_budget_bytes is None:
+            # the entry holds a strong ref to the grid, pinning its id
+            if fast is None:
+                fast = self._fast_tensors.setdefault(vt, {})
+            fast[id(grid)] = (grid, tensor)
         return tensor
+
+    def solve_config(self, vt: int, rounded: np.ndarray) -> "DispatchResult":
+        """Per-configuration dispatch at a virtual slot — the tick fast path.
+
+        Misses delegate to ``dispatcher.solve`` (the exact call the slow tick
+        path makes) and install its :class:`DispatchResult`, so a fast hit
+        returns the identical object the cold path would.
+        """
+        sub = self._fast_solves.get(vt)
+        if sub is None:
+            sub = {}
+            self._fast_solves[vt] = sub
+        key = rounded.tobytes()
+        hit = sub.get(key)
+        if hit is None:
+            hit = self.dispatcher.solve(vt, rounded)
+            sub[key] = hit
+        else:
+            self.table_gathers += 1
+        return hit
+
+    def prewarm(self, levels, cost_row=None, grid=None) -> "SolutionTable":
+        """Precompute the full demand-level × configuration solution table.
+
+        For every level of a known demand alphabet (``quantise_trace`` bins),
+        runs the *exact* queries a cold tick would — the whole-grid tensor
+        build (when ``grid`` is given) and the per-configuration single-slot
+        solves — and installs their results into the fast maps, so first-seen
+        demand levels stop paying dual bisections on the tick path.  Returns
+        the resulting :class:`~repro.dispatch.tables.SolutionTable` (built
+        from the per-config solves; configurations come from ``grid`` when
+        given, else from the full fleet grid implied by the server counts).
+
+        Because every row is produced by the cold path itself, serving ticks
+        from a prewarmed cache is bit-identical to a cold replay — which the
+        table-vs-solver equality sweep (``tests/test_hotpath.py``) gates for
+        every registered scenario family.
+        """
+        from ..dispatch.tables import SolutionTable
+        from ..offline.state_grid import StateGrid
+
+        if grid is None:
+            grid = StateGrid.full(self.stream.m)
+        row = self.stream.base_cost_row if cost_row is None else tuple(cost_row)
+        configs = grid.configs()
+        levels = [float(v) for v in levels]
+        costs = np.empty((len(levels), len(configs)), dtype=float)
+        loads = np.empty((len(levels), len(configs), self.stream.d), dtype=float)
+        for i, level in enumerate(levels):
+            vt = self.virtual_slot(level, row)
+            if cost_row is None and self.ledger_budget is None:
+                self._vt_base.setdefault(level, vt)
+            self.grid_tensor(vt, grid)
+            sub = self._fast_solves.setdefault(vt, {})
+            for c, config in enumerate(configs):
+                rounded = np.asarray(config, dtype=int)
+                result = sub.get(rounded.tobytes())
+                if result is None:
+                    result = self.dispatcher.solve(vt, rounded)
+                    sub[rounded.tobytes()] = result
+                costs[i, c] = result.cost
+                loads[i, c] = result.loads
+        self.prewarmed_levels = max(self.prewarmed_levels, len(levels))
+        return SolutionTable(levels, configs, costs, loads)
 
     def _evict_tensors(self) -> None:
         if self.tensor_budget_bytes is None:
@@ -464,10 +586,14 @@ class ServeCache:
             "tensor_evictions": self.tensor_evictions,
             "tensor_bytes": self._tensor_bytes,
             "ledger_evictions": self.ledger_evictions,
+            "table_gathers": self.table_gathers,
+            "prewarmed_levels": self.prewarmed_levels,
             "block_calls": stats.block_calls,
             "slot_queries": stats.slot_queries,
             "unique_solves": stats.unique_solves,
             "cache_hit_rate": round(stats.cache_hit_rate, 6),
+            "warm_hits": stats.warm_hits,
+            "cold_solves": stats.cold_solves,
         }
 
 
@@ -488,7 +614,10 @@ class FleetState:
     cumulative_cost: float
     loads: np.ndarray
     feasible: bool
-    latency_seconds: float
+    #: End-to-end ``observe`` wall time in integer nanoseconds
+    #: (``time.perf_counter_ns``): sub-50µs ticks would be quantisation noise
+    #: in float-seconds arithmetic accumulated over long windows.
+    latency_ns: int
     #: Optimal cost of the observed prefix (``nan`` unless regret tracking is on).
     prefix_optimum_cost: float = float("nan")
     #: Demand actually dispatched this tick (== ``demand`` unless load was shed).
@@ -503,6 +632,11 @@ class FleetState:
     @property
     def tick_cost(self) -> float:
         return self.operating_cost + self.switching_cost
+
+    @property
+    def latency_seconds(self) -> float:
+        """Tick latency converted to seconds at read time."""
+        return self.latency_ns * 1e-9
 
     @property
     def regret(self) -> float:
@@ -522,7 +656,7 @@ class FleetState:
             "loads": [float(v) for v in self.loads],
             "feasible": bool(self.feasible),
             "sla_violation": bool(self.sla_violation),
-            "latency_ms": round(self.latency_seconds * 1e3, 6),
+            "latency_ms": round(self.latency_ns * 1e-6, 6),
         }
         if self.shed_demand > 0:
             row["served_demand"] = float(self.served_demand)
@@ -629,6 +763,16 @@ class ControllerSession:
         self._t = 0
         self._previous = np.zeros(stream.d, dtype=int)
         self._configs: List[np.ndarray] = []
+        self._base_capacity = float(np.sum(stream.m * stream.zmax))
+        self._beta_list = [float(b) for b in stream.beta]
+        # Hot-path SlotInfo reuse: registry-built algorithms (str/dict source)
+        # are known not to retain slot references between steps, so the
+        # session keeps one frozen SlotInfo per virtual slot and only advances
+        # its ``t`` field each tick.  Custom algorithm *objects* get a fresh
+        # SlotInfo per tick (they may legally stash the slot).
+        self._slot_templates: dict = {}
+        self._reuse_slots = isinstance(algorithm, (str, dict))
+        # integer perf_counter_ns samples; converted to seconds at report time
         self._latencies = [] if self.history else deque(maxlen=COMPACT_LATENCY_WINDOW)
         self._cum_operating = 0.0
         self._cum_switching = 0.0
@@ -679,10 +823,17 @@ class ControllerSession:
         return Schedule(np.stack(self._configs))
 
     @property
+    def latencies_ns(self) -> np.ndarray:
+        """Per-tick wall latency in integer nanoseconds, as metered
+        (a bounded recent window under ``history=False``)."""
+        return np.asarray(list(self._latencies), dtype=np.int64)
+
+    @property
     def latencies_seconds(self) -> np.ndarray:
-        """Per-tick wall latency of every ``observe`` call (a bounded recent
-        window under ``history=False``)."""
-        return np.asarray(list(self._latencies), dtype=float)
+        """Per-tick wall latency of every ``observe`` call in seconds,
+        converted from the stored nanosecond samples at read time (a bounded
+        recent window under ``history=False``)."""
+        return np.asarray(list(self._latencies), dtype=float) * 1e-9
 
     # ------------------------------------------------------------------ ticks
     def observe(self, demand: float, cost_row=None, counts=None) -> FleetState:
@@ -698,10 +849,10 @@ class ControllerSession:
         the available counts — raise under ``degradation="strict"`` and shed
         deterministically under ``"shed"`` (see the class docstring).
         """
-        started = time.perf_counter()
+        started = time.perf_counter_ns()
         stream = self.cache.stream
         demand = float(demand)
-        if not np.isfinite(demand) or demand < 0:
+        if not math.isfinite(demand) or demand < 0:
             raise ValueError(f"demand must be finite and non-negative, got {demand!r}")
         if cost_row is None:
             row = stream.base_cost_row
@@ -711,11 +862,12 @@ class ControllerSession:
                 raise ValueError(f"cost_row must have {stream.d} entries, got {len(row)}")
         if counts is None:
             counts_t = stream.m
+            capacity = self._base_capacity
         else:
             counts_t = np.asarray(counts, dtype=int)
             if counts_t.shape != (stream.d,):
                 raise ValueError(f"counts must have shape ({stream.d},), got {counts_t.shape}")
-        capacity = float(np.sum(counts_t * stream.zmax))
+            capacity = float(np.sum(counts_t * stream.zmax))
         served = demand
         shed = 0.0
         if demand > capacity + 1e-9:
@@ -730,25 +882,40 @@ class ControllerSession:
             shed = demand - capacity
 
         cache = self.cache
-        vt = cache.virtual_slot(served, row)
+        if cost_row is None:
+            vt = cache.virtual_slot_base(served)
+        else:
+            vt = cache.virtual_slot(served, row)
 
-        def evaluator(batch: np.ndarray, _vt: int = vt) -> np.ndarray:
-            costs, _ = cache.dispatcher.solve_grid(_vt, batch)
-            return costs
-
-        def grid_evaluator(grid, _vt: int = vt) -> np.ndarray:
-            return cache.grid_tensor(_vt, grid)
-
-        slot = SlotInfo(
-            t=self._t,
-            demand=served,
-            cost_functions=row,
-            counts=counts_t,
-            beta=stream.beta,
-            zmax=stream.zmax,
-            _evaluator=evaluator,
-            _grid_evaluator=grid_evaluator,
+        # a virtual slot pins (served, row), so its SlotInfo is reusable tick
+        # to tick — only ``t`` advances (bounded-ledger caches recycle vt ids,
+        # which would leave templates stale, hence the unbounded-only gate)
+        reusable = (
+            self._reuse_slots and counts is None and cache.ledger_budget is None
         )
+        slot = self._slot_templates.get(vt) if reusable else None
+        if slot is not None:
+            object.__setattr__(slot, "t", self._t)
+        else:
+            def evaluator(batch: np.ndarray, _vt: int = vt) -> np.ndarray:
+                costs, _ = cache.dispatcher.solve_grid(_vt, batch)
+                return costs
+
+            def grid_evaluator(grid, _vt: int = vt) -> np.ndarray:
+                return cache.grid_tensor(_vt, grid)
+
+            slot = SlotInfo(
+                t=self._t,
+                demand=served,
+                cost_functions=row,
+                counts=counts_t,
+                beta=stream.beta,
+                zmax=stream.zmax,
+                _evaluator=evaluator,
+                _grid_evaluator=grid_evaluator,
+            )
+            if reusable:
+                self._slot_templates[vt] = slot
 
         choice = np.asarray(self.algorithm.step(slot))
         if choice.shape != (stream.d,):
@@ -756,18 +923,25 @@ class ControllerSession:
                 f"{self.algorithm.name}: step() must return a configuration of shape "
                 f"({stream.d},), got {choice.shape}"
             )
-        rounded = np.rint(choice).astype(int)
-        if not np.allclose(choice, rounded, atol=1e-9):
-            raise ValueError(
-                f"{self.algorithm.name}: returned a non-integral configuration {choice}"
-            )
-        if np.any(rounded < 0):
+        if choice.dtype.kind in "iu":
+            # integer-dtype choices (every registry algorithm) skip the
+            # rint/allclose integrality round-trip on the hot path
+            rounded = choice.astype(int)
+        else:
+            rounded = np.rint(choice).astype(int)
+            if not np.allclose(choice, rounded, atol=1e-9):
+                raise ValueError(
+                    f"{self.algorithm.name}: returned a non-integral configuration {choice}"
+                )
+        r_list = rounded.tolist()
+        if min(r_list) < 0:
             raise ValueError(
                 f"{self.algorithm.name}: configuration {rounded} has negative entries "
                 f"at tick {self._t}"
             )
         forced = 0
-        if np.any(rounded > counts_t):
+        c_list = counts_t.tolist()
+        if any(r > c for r, c in zip(r_list, c_list)):
             if self.degradation == "strict":
                 raise ValueError(
                     f"{self.algorithm.name}: configuration {rounded} violates fleet limits "
@@ -779,12 +953,16 @@ class ControllerSession:
             # them straight back up when capacity recovers
             forced = int(np.sum(np.maximum(rounded - counts_t, 0)))
             rounded = np.minimum(rounded, counts_t)
+            r_list = rounded.tolist()
 
-        result = cache.dispatcher.solve(vt, rounded)
+        result = cache.solve_config(vt, rounded)
         operating = float(result.cost)
-        if not np.isfinite(operating):
+        if not math.isfinite(operating):
             self._feasible = False
-        switching = float(np.sum(stream.beta * np.maximum(rounded - self._previous, 0)))
+        switching = 0.0
+        for b, r, p in zip(self._beta_list, r_list, self._previous.tolist()):
+            if r > p:
+                switching += b * (r - p)
 
         prefix_opt = float("nan")
         if self._regret_tracker is not None:
@@ -802,8 +980,8 @@ class ControllerSession:
             self._configs.append(rounded)
         self._previous = rounded
         self._t += 1
-        latency = time.perf_counter() - started
-        self._latencies.append(latency)
+        latency_ns = time.perf_counter_ns() - started
+        self._latencies.append(latency_ns)
         return FleetState(
             t=self._t - 1,
             demand=demand,
@@ -813,7 +991,7 @@ class ControllerSession:
             cumulative_cost=self.cumulative_cost,
             loads=result.loads,
             feasible=self._feasible,
-            latency_seconds=latency,
+            latency_ns=latency_ns,
             prefix_optimum_cost=prefix_opt,
             served_demand=served,
             shed_demand=shed,
@@ -830,7 +1008,7 @@ class ControllerSession:
         """p50/p95/p99/mean/max tick latency in milliseconds."""
         from .telemetry import latency_percentiles
 
-        return latency_percentiles(self._latencies)
+        return latency_percentiles(self.latencies_seconds)
 
     def summary(self) -> dict:
         """JSON-safe session summary (telemetry footer / bench row)."""
@@ -866,7 +1044,7 @@ class ControllerSession:
         :class:`CheckpointCorruptError`.
 
         ``history=False`` sessions write *compact* checkpoints: the per-tick
-        ``configs`` and ``latencies_s`` arrays — the only O(T) fields — are
+        ``configs`` and ``latencies_ns`` arrays — the only O(T) fields — are
         dropped, leaving a payload whose size is constant in the stream
         length while still restoring to a bit-identical continuation (the
         algorithm state and the previous configuration are what the next
@@ -894,7 +1072,7 @@ class ControllerSession:
         }
         if self.history:
             payload["configs"] = [[int(v) for v in c] for c in self._configs]
-            payload["latencies_s"] = [float(v) for v in self._latencies]
+            payload["latencies_ns"] = [int(v) for v in self._latencies]
         payload["checksum"] = payload_checksum(payload)
         return payload
 
@@ -942,12 +1120,11 @@ class ControllerSession:
         self._forced_downs = int(payload.get("forced_downs", 0))
         if self.history:
             self._configs = [np.asarray(c, dtype=int) for c in payload["configs"]]
-            self._latencies = [float(v) for v in payload["latencies_s"]]
+            self._latencies = self._restore_latencies(payload)
         else:
             self._configs = []
             self._latencies = deque(
-                (float(v) for v in payload.get("latencies_s", [])),
-                maxlen=COMPACT_LATENCY_WINDOW,
+                self._restore_latencies(payload), maxlen=COMPACT_LATENCY_WINDOW
             )
         self.algorithm.load_state_dict(payload["algorithm_state"])
         regret_state = payload.get("regret_state")
@@ -961,6 +1138,14 @@ class ControllerSession:
                 self._regret_tracker = DPPrefixTracker(gamma=regret_gamma)
             self._regret_tracker.load_state_dict(regret_state)
         return self
+
+    @staticmethod
+    def _restore_latencies(payload: dict) -> list:
+        """Latency samples of a payload as ns ints (legacy float-second
+        payloads from before the ns metering are converted on load)."""
+        if "latencies_ns" in payload:
+            return [int(v) for v in payload["latencies_ns"]]
+        return [int(round(float(v) * 1e9)) for v in payload.get("latencies_s", [])]
 
     def checkpoint_roundtrip(self, reuse_cache: bool = False) -> "ControllerSession":
         """Serialise through actual JSON text and restore into a fresh session.

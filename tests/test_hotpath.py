@@ -1,0 +1,490 @@
+"""Tests for the microsecond-tick hot path (quantised tables, warm duals, backend seam).
+
+Three properties anchor everything here, mirroring the serve replay gates:
+
+* **bit-identity** — the table-gather fast path, the warm-started dual
+  bisection and the preallocated transition-plan kernels may only be *fast*,
+  never *different*: schedules compare with ``np.array_equal`` and costs with
+  1e-9, across every registered scenario family;
+* **the seam is real** — the numpy and numba kernel registrations are
+  selectable (and the numba one fails loudly, not deep inside a solve, when
+  the wheel is absent); and
+* **the counters tell the truth** — warm hits, table gathers and prewarmed
+  levels move exactly when the corresponding fast path runs, so the pinned
+  counter regression (``repro bench --counters``) can gate on them.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import scenarios
+from repro.bench import (
+    PINNED_SERVE_COUNTERS,
+    run_counter_regress,
+    run_latency_smoke,
+    run_serve_bench,
+    trend_deltas,
+    trend_report,
+)
+from repro.core.backend import (
+    BackendUnavailableError,
+    available_backends,
+    get_backend,
+    set_backend,
+    use_backend,
+)
+from repro.dispatch.allocation import DispatchSolver
+from repro.dispatch.tables import SolutionTable
+from repro.offline.state_grid import StateGrid, grid_for_slot
+from repro.offline.transitions import make_transition_plan, transition
+from repro.online import AlgorithmA, AlgorithmB, run_online
+from repro.online.base import SlotContext
+from repro.scenarios import build
+from repro.serve import ControllerSession, InstanceFeed, ServeCache, ServeEngine
+from repro.serve.feed import payload_checksum
+from repro.workloads.scale import quantise_trace
+
+
+def _smoke_instance(name):
+    fam = scenarios.family(name)
+    return build(scenarios.ScenarioSpec(name, dict(fam.smoke_params)))
+
+
+def _random_grid(rng, d, full):
+    values = []
+    for _ in range(d):
+        m = int(rng.integers(2, 7))
+        if full:
+            values.append(np.arange(m + 1))
+        else:
+            picks = rng.choice(np.arange(1, m + 1), size=min(m, 3), replace=False)
+            values.append(np.unique(np.concatenate(([0], picks))))
+    return StateGrid(values)
+
+
+# --------------------------------------------------------------------------- #
+# Transition plan == reference transition, bit for bit
+# --------------------------------------------------------------------------- #
+
+
+class TestTransitionPlanExactness:
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    @pytest.mark.parametrize("full", [True, False])
+    def test_plan_matches_transition_bitwise(self, d, full):
+        rng = np.random.default_rng(17 * d + int(full))
+        for trial in range(20):
+            grid = _random_grid(rng, d, full)
+            beta = rng.uniform(0.1, 5.0, size=d)
+            plan = make_transition_plan(grid.values, grid.values, beta)
+            assert plan is not None
+            V = rng.uniform(0.0, 50.0, size=grid.shape)
+            if trial % 3 == 0:
+                V.reshape(-1)[:: max(1, V.size // 4)] = np.inf
+            expected = transition(V, grid.values, grid.values, beta)
+            got = plan.apply(V.copy())
+            assert np.array_equal(got, expected)
+
+    def test_plan_output_fed_back_chain(self):
+        # the DP forward loop feeds plan output straight back in; the internal
+        # ping-pong buffer swap must keep every step bit-identical
+        rng = np.random.default_rng(5)
+        for d in (1, 2, 3):
+            grid = _random_grid(rng, d, full=True)
+            beta = rng.uniform(0.1, 3.0, size=d)
+            plan = make_transition_plan(grid.values, grid.values, beta)
+            cur_plan = rng.uniform(0.0, 20.0, size=grid.shape)
+            cur_ref = cur_plan.copy()
+            for _ in range(5):
+                cur_plan = plan.apply(cur_plan)
+                cur_ref = transition(cur_ref, grid.values, grid.values, beta)
+                assert np.array_equal(cur_plan, cur_ref)
+
+    def test_cross_grid_plan(self):
+        # full -> geometric (different source and destination value sets)
+        rng = np.random.default_rng(11)
+        src = StateGrid.full([6, 4])
+        dst = StateGrid.geometric([6, 4], gamma=2.0)
+        beta = np.array([1.5, 0.7])
+        plan = make_transition_plan(src.values, dst.values, beta)
+        assert plan is not None
+        V = rng.uniform(0.0, 30.0, size=src.shape)
+        assert np.array_equal(
+            plan.apply(V.copy()), transition(V, src.values, dst.values, beta)
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Backend seam
+# --------------------------------------------------------------------------- #
+
+
+class TestBackendSeam:
+    def test_registry_lists_both_backends(self):
+        assert "numpy" in available_backends()
+        assert "numba" in available_backends()
+
+    def test_default_backend_is_numpy(self):
+        assert get_backend().name == "numpy"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(BackendUnavailableError, match="unknown backend"):
+            set_backend("cuda")
+        assert get_backend().name == "numpy"
+
+    def test_numba_unavailable_raises_loudly(self):
+        try:
+            import numba  # noqa: F401
+        except ImportError:
+            with pytest.raises(BackendUnavailableError, match="numba"):
+                set_backend("numba")
+            assert get_backend().name == "numpy"
+        else:
+            backend = set_backend("numba")
+            assert backend.name == "numba"
+            set_backend("numpy")
+
+    def test_use_backend_restores_previous(self):
+        before = get_backend().name
+        with use_backend("numpy") as backend:
+            assert backend.name == "numpy"
+        assert get_backend().name == before
+
+    def test_same_grid_kernel_matches_general_kernel(self):
+        # the identity-gather specialisation must equal the general kernel
+        # with identity up/down index vectors, bit for bit
+        backend = get_backend()
+        rng = np.random.default_rng(3)
+        for shape in ((7,), (4, 6), (3, 4, 5)):
+            V = rng.uniform(0.0, 40.0, size=shape)
+            n = shape[-1]
+            bsrc = rng.uniform(0.0, 5.0, size=n)
+            bdst = rng.uniform(0.0, 5.0, size=n)
+            identity = np.arange(n, dtype=np.intp)
+            shifted = np.empty(shape)
+            out_general = np.empty(shape)
+            out_same = np.empty(shape)
+            gather = np.empty(shape)
+            backend.min_plus_axis(
+                V, bsrc, bdst, identity, identity,
+                shifted, shifted[..., ::-1], gather, out_general,
+            )
+            shifted2 = np.empty(shape)
+            backend.min_plus_axis_same(
+                V, bsrc, bdst, shifted2, shifted2[..., ::-1], out_same
+            )
+            assert np.array_equal(out_same, out_general)
+
+
+# --------------------------------------------------------------------------- #
+# Warm-started dual bisection == cold, on randomized instances
+# --------------------------------------------------------------------------- #
+
+
+WARM_FAMILIES = [
+    ("priced-cpu-gpu", AlgorithmB),      # time-dependent prices
+    ("time-varying-m", AlgorithmA),      # per-slot fleet counts
+    ("chaos-price-shock", AlgorithmB),   # price shock mid-stream
+    ("diurnal-cpu-gpu", AlgorithmA),
+]
+
+
+class TestWarmStartEquivalence:
+    @pytest.mark.parametrize("family,algorithm_cls", WARM_FAMILIES)
+    def test_warm_equals_cold_online_run(self, family, algorithm_cls):
+        instance = _smoke_instance(family)
+        cold = run_online(instance, algorithm_cls(), dispatcher=DispatchSolver(instance))
+        warm_solver = DispatchSolver(instance, warm_start=True)
+        warm = run_online(instance, algorithm_cls(), dispatcher=warm_solver)
+        assert np.array_equal(warm.schedule.x, cold.schedule.x)
+        assert abs(warm.cost - cold.cost) <= 1e-9
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_warm_equals_cold_randomized_grid_solves(self, seed):
+        rng = np.random.default_rng(seed)
+        instance = build("diurnal-cpu-gpu", T=16, seed=seed)
+        grid = grid_for_slot(instance, 0)
+        configs = grid.configs()
+        cold = DispatchSolver(instance)
+        warm = DispatchSolver(instance, warm_start=True)
+        order = rng.permutation(instance.T)
+        for t in order:
+            c_costs, c_loads = cold.solve_grid(int(t), configs)
+            w_costs, w_loads = warm.solve_grid(int(t), configs)
+            # a warm-seeded bracket may land the bisection a few last bits
+            # away from the cold one; the ISSUE-8 contract is <= 1e-9 on
+            # costs/loads (schedule bit-identity is gated at the replay level,
+            # where argmin decisions — not raw floats — are what matters)
+            c_finite = np.isfinite(c_costs)
+            assert np.array_equal(np.isfinite(w_costs), c_finite)
+            assert np.max(np.abs(w_costs[c_finite] - c_costs[c_finite]), initial=0.0) <= 1e-9
+            assert np.max(np.abs(w_loads[c_finite] - c_loads[c_finite]), initial=0.0) <= 1e-9
+        assert warm.stats.warm_hits + warm.stats.cold_solves > 0
+        assert cold.stats.warm_hits == 0
+
+    def test_warm_hits_counted_and_duals_recorded(self):
+        instance = build("diurnal-cpu-gpu", T=24)
+        demand = quantise_trace(instance.demand, levels=6)
+        instance = instance.with_demand(demand, name="warm-counter")
+        grid = grid_for_slot(instance, 0)
+        solver = DispatchSolver(instance, warm_start=True)
+        solver.solve_grid(0, grid.configs())
+        first_cold = solver.stats.cold_solves
+        assert first_cold > 0 and solver.stats.warm_hits == 0
+        solver2 = DispatchSolver(instance, warm_start=True)
+        for t in range(instance.T):
+            solver2.solve_grid(t, grid.configs())
+        assert solver2.stats.warm_hits > 0
+        assert solver2.last_duals is not None
+
+
+# --------------------------------------------------------------------------- #
+# Table path == solver path, for every registered scenario family
+# --------------------------------------------------------------------------- #
+
+
+class TestTablePathEquality:
+    @pytest.mark.parametrize("family", scenarios.names())
+    def test_prewarmed_replay_is_bit_identical(self, family):
+        """ISSUE-8 acceptance: serving from a prewarmed solution-table cache
+        must reproduce the plain cold-path schedule exactly (np.array_equal)
+        and its cost to 1e-9, for every registered scenario family."""
+        instance = _smoke_instance(family)
+        demand = quantise_trace(instance.demand, levels=6)
+        instance = instance.with_demand(demand, name=f"{family}-quantised")
+        plain = ControllerSession("A", instance.server_types, name="plain")
+        warm = ControllerSession(
+            "A", cache=ServeCache(instance.server_types), name="warm"
+        )
+        warm.cache.prewarm(sorted({float(v) for v in demand}))
+        for tick in InstanceFeed(instance).play():
+            plain.observe(tick.demand, cost_row=tick.cost_row, counts=tick.counts)
+            warm.observe(tick.demand, cost_row=tick.cost_row, counts=tick.counts)
+        assert np.array_equal(warm.schedule.x, plain.schedule.x)
+        assert abs(warm.cumulative_cost - plain.cumulative_cost) <= 1e-9
+
+    def test_prewarm_returns_exact_solution_table(self):
+        instance = build("diurnal-cpu-gpu", T=16)
+        demand = quantise_trace(instance.demand, levels=5)
+        levels = sorted({float(v) for v in demand})
+        cache = ServeCache(instance.server_types)
+        table = cache.prewarm(levels)
+        assert isinstance(table, SolutionTable)
+        assert len(table) == len(levels)
+        assert cache.prewarmed_levels == len(levels)
+        # every table entry equals a fresh single-slot solve
+        fresh = ServeCache(instance.server_types)
+        for level in levels:
+            vt = fresh.virtual_slot(level, fresh.stream.base_cost_row)
+            for c, config in enumerate(table.configs):
+                result = fresh.dispatcher.solve(vt, np.asarray(config, dtype=int))
+                cost, loads = table.entry(level, c)
+                assert cost == result.cost
+                assert np.array_equal(loads, result.loads)
+        assert table.costs_for(max(levels) + 123.0) is None
+
+    def test_table_gathers_count_fast_hits(self):
+        instance = build("diurnal-cpu-gpu", T=24)
+        demand = quantise_trace(instance.demand, levels=4)
+        cache = ServeCache(instance.server_types)
+        cache.prewarm(sorted({float(v) for v in demand}))
+        session = ControllerSession("A", cache=cache)
+        for value in demand:
+            session.observe(float(value))
+        assert cache.table_gathers > 0
+        counters = cache.counters()
+        for key in ("table_gathers", "prewarmed_levels", "warm_hits", "cold_solves"):
+            assert key in counters
+
+    def test_engine_prewarm_and_warm_start(self):
+        instance = build("diurnal-cpu-gpu", T=12)
+        demand = quantise_trace(instance.demand, levels=4)
+        instance = instance.with_demand(demand, name="engine-prewarm")
+        results = {}
+        for warm in (False, True):
+            engine = ServeEngine(share_caches=True, warm_start=warm)
+            for k in range(3):
+                engine.add_tenant(f"t{k}", "A", InstanceFeed(instance))
+            assert engine.prewarm(sorted({float(v) for v in demand})) == 1
+            engine.run()
+            results[warm] = [s.cumulative_cost for s in engine.sessions]
+            assert all(c.prewarmed_levels > 0 for c in engine.caches)
+        assert results[False] == pytest.approx(results[True], abs=1e-9)
+
+
+# --------------------------------------------------------------------------- #
+# SlotContext.solution_table
+# --------------------------------------------------------------------------- #
+
+
+class TestSlotContextSolutionTable:
+    def test_table_matches_grid_tensors_exactly(self):
+        instance = build("diurnal-cpu-gpu", T=24)
+        demand = quantise_trace(instance.demand, levels=6)
+        instance = instance.with_demand(demand, name="ctx-table")
+        ctx = SlotContext(instance)
+        grid = grid_for_slot(instance, 0)
+        table = ctx.solution_table(grid)
+        assert len(table) == len({float(v) for v in demand})
+        for t in range(instance.T):
+            level = float(instance.demand[t])
+            assert level in table
+            costs = table.costs_for(level)
+            expected = ctx.slot(t).grid_operating_cost(grid).reshape(-1)
+            assert np.array_equal(costs, expected)
+
+    def test_argmin_over_table_matches_tracker_enumeration(self):
+        instance = build("diurnal-cpu-gpu", T=16)
+        demand = quantise_trace(instance.demand, levels=5)
+        instance = instance.with_demand(demand, name="ctx-argmin")
+        ctx = SlotContext(instance)
+        grid = grid_for_slot(instance, 0)
+        table = ctx.solution_table(grid)
+        for t in range(instance.T):
+            row = table.costs_for(float(instance.demand[t]))
+            # configs() row i corresponds to flat index i of the value tensor
+            best = table.configs[int(row.argmin())]
+            tensor = ctx.slot(t).grid_operating_cost(grid)
+            assert row[int(row.argmin())] == tensor.reshape(-1).min()
+            assert np.array_equal(best, grid.configs()[int(tensor.reshape(-1).argmin())])
+
+    def test_mismatched_grid_raises(self):
+        instance = build("diurnal-cpu-gpu", T=8)
+        ctx = SlotContext(instance)
+        off_fleet = StateGrid.full(np.asarray(instance.m) + 3)
+        with pytest.raises(ValueError, match="solution table"):
+            ctx.solution_table(off_fleet)
+
+
+# --------------------------------------------------------------------------- #
+# Nanosecond latency metering
+# --------------------------------------------------------------------------- #
+
+
+class TestLatencyMetering:
+    def test_latencies_are_integer_nanoseconds(self):
+        instance = build("diurnal-cpu-gpu", T=8)
+        session = ControllerSession("A", instance.server_types)
+        for t in range(8):
+            state = session.observe(float(instance.demand[t]))
+            assert isinstance(state.latency_ns, int)
+            assert state.latency_ns > 0
+            assert state.latency_seconds == state.latency_ns * 1e-9
+        lat = session.latencies_ns
+        assert lat.dtype == np.int64 and len(lat) == 8
+        assert np.array_equal(session.latencies_seconds, lat * 1e-9)
+
+    def test_checkpoint_roundtrips_ns_samples(self):
+        instance = build("diurnal-cpu-gpu", T=8)
+        session = ControllerSession("A", instance.server_types)
+        for t in range(8):
+            session.observe(float(instance.demand[t]))
+        payload = json.loads(json.dumps(session.checkpoint()))
+        assert all(isinstance(v, int) for v in payload["latencies_ns"])
+        fresh = ControllerSession("A", instance.server_types)
+        fresh.restore(payload)
+        assert np.array_equal(fresh.latencies_ns, session.latencies_ns)
+
+    def test_legacy_float_seconds_payload_restores(self):
+        instance = build("diurnal-cpu-gpu", T=6)
+        session = ControllerSession("A", instance.server_types)
+        for t in range(6):
+            session.observe(float(instance.demand[t]))
+        payload = session.checkpoint()
+        del payload["checksum"]
+        seconds = [v * 1e-9 for v in payload.pop("latencies_ns")]
+        payload["latencies_s"] = seconds
+        payload["checksum"] = payload_checksum(payload)
+        fresh = ControllerSession("A", instance.server_types)
+        fresh.restore(payload)
+        assert fresh.latencies_ns.dtype == np.int64
+        assert np.array_equal(
+            fresh.latencies_ns, [int(round(v * 1e9)) for v in seconds]
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Bench gates: counter pins, latency smoke, trend series
+# --------------------------------------------------------------------------- #
+
+
+class TestBenchGates:
+    def test_counter_regress_reproduces_pins(self):
+        payload = run_counter_regress()
+        assert payload["measured"] == PINNED_SERVE_COUNTERS
+        assert payload["modes"]["warm"]["warm_hits"] > 0
+        assert payload["modes"]["prewarmed"]["table_gathers"] > 0
+
+    def test_latency_smoke_gates_equality_and_budget(self, tmp_path):
+        json_path = str(tmp_path / "BENCH_serve.json")
+        # tiny stream, huge budget: exercises the machinery (schedule
+        # equality, floor percentiles, JSON merge), not this machine's speed
+        payload = run_latency_smoke(
+            budget_us=50.0, budget_scale=1e6, repeats=2, ticks=32,
+            json_path=json_path,
+        )
+        assert payload["backend"] == "numpy"
+        assert payload["floor_us"]["p99_us"] > 0
+        assert len(payload["per_repeat_us"]) == 2
+        written = json.loads(open(json_path).read())
+        assert written["latency"]["cost"] == payload["cost"]
+        assert len(written["latency"]["runs"]) == 1
+        run_latency_smoke(
+            budget_us=50.0, budget_scale=1e6, repeats=2, ticks=32,
+            json_path=json_path,
+        )
+        written = json.loads(open(json_path).read())
+        assert len(written["latency"]["runs"]) == 2
+
+    def test_latency_smoke_budget_violation_raises(self):
+        with pytest.raises(AssertionError, match="budget"):
+            run_latency_smoke(budget_us=1e-9, repeats=2, ticks=16)
+
+    def test_serve_bench_appends_trend_series(self, tmp_path):
+        json_path = str(tmp_path / "BENCH_serve.json")
+        for _ in range(2):
+            run_serve_bench(
+                tenant_counts=(1, 2), ticks=8, json_path=json_path,
+            )
+        written = json.loads(open(json_path).read())
+        assert len(written["runs"]) == 2
+        for entry in written["runs"]:
+            assert entry["environment"]["numpy"] == np.__version__
+            assert entry["benchmark"] == "serve"
+        report = trend_report(json_path)
+        assert report["entries"] == 2
+        assert "max_cost_deviation" in report["deltas_vs_previous"]
+
+    def test_trend_preserves_latency_and_fabric_sections(self, tmp_path):
+        json_path = str(tmp_path / "BENCH_serve.json")
+        run_latency_smoke(
+            budget_us=50.0, budget_scale=1e6, repeats=2, ticks=16,
+            json_path=json_path,
+        )
+        with open(json_path) as handle:
+            merged = json.load(handle)
+        merged["fabric"] = {"sentinel": True}
+        with open(json_path, "w") as handle:
+            json.dump(merged, handle)
+        run_serve_bench(tenant_counts=(1,), ticks=8, json_path=json_path)
+        written = json.loads(open(json_path).read())
+        assert written["fabric"] == {"sentinel": True}
+        assert "latency" in written and written["latency"]["benchmark"] == "latency_smoke"
+
+    def test_trend_deltas_numeric_only(self):
+        runs = [
+            {"recorded_at": "a", "p99": 40.0, "label": "x", "count": 3},
+            {"recorded_at": "b", "p99": 35.5, "label": "y", "count": 5},
+        ]
+        deltas = trend_deltas(runs)
+        assert deltas == {"p99": -4.5, "count": 2}
+        assert trend_deltas(runs[:1]) == {}
+
+    def test_serve_bench_warm_start_mode(self, tmp_path):
+        payload = run_serve_bench(
+            tenant_counts=(2,), ticks=8, warm_start=True,
+        )
+        assert payload["warm_start"] is True
+        shared = next(r for r in payload["rows"] if r["mode"] == "shared")
+        assert shared["warm_hits"] + shared["cold_solves"] > 0
