@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-sweep bench-scale bench-serve bench-fabric bench-latency-smoke perf-regress scenarios-smoke serve-smoke chaos-smoke fabric-smoke
+.PHONY: test bench bench-smoke bench-sweep bench-scale bench-serve bench-fabric bench-latency-smoke bench-batch-smoke perf-regress scenarios-smoke serve-smoke chaos-smoke fabric-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -47,6 +47,16 @@ perf-regress:
 BUDGET_SCALE ?= 1.0
 bench-latency-smoke:
 	$(PYTHON) -m repro serve latency --budget-us 50 --budget-scale $(BUDGET_SCALE)
+
+# Fleet-batched tick gate: a 64-tenant mixed-family, mixed-algorithm fleet
+# (with chaos tenants and a mid-stream checkpoint/restore) run through the
+# BatchedServeEngine must reproduce the sequential engine's schedules
+# bit-identically, exercise both the vectorised and fallback paths, and keep
+# the batched per-tenant p99 within budget (cold cohort-table installs
+# included, hence the millisecond default — the scale sweep gates the
+# microsecond steady state).
+bench-batch-smoke:
+	$(PYTHON) -m repro serve batch --budget-scale $(BUDGET_SCALE)
 
 # Scenario-registry gate: build every registered scenario family at a tiny
 # size and run one online algorithm through each (validates the declarative

@@ -319,6 +319,40 @@ def sweep_suite() -> List[tuple]:
 # --------------------------------------------------------------------------- #
 
 
+def _rss_mb() -> float:
+    """Current resident-set size in MB (``VmRSS``; peak ``ru_maxrss`` fallback)."""
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return float(line.split()[1]) / 1024.0
+    except (OSError, ValueError, IndexError):
+        pass
+    import resource
+
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _memory_metered(fn):
+    """``(result, tracemalloc_peak_mb, rss_delta_mb)`` of one ``fn()`` call.
+
+    The RSS delta is measured around the call from ``/proc/self/status``
+    (current residency, not the monotonic peak), so back-to-back metered runs
+    each report their own growth — the number the flat-memory gates record.
+    """
+    import tracemalloc
+
+    rss_before = _rss_mb()
+    tracemalloc.start()
+    try:
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    rss_delta = max(0.0, _rss_mb() - rss_before)
+    return result, round(peak / 1e6, 3), round(rss_delta, 2)
+
+
 def _measured(fn):
     """``(result, wall_seconds, tracemalloc_peak_bytes, rss_peak_mb)`` of ``fn``.
 
@@ -734,14 +768,23 @@ def run_serve_bench(
         n = int(n)
         mode_costs: Dict[str, list] = {}
         for mode in ("shared", "isolated"):
-            engine = ServeEngine(share_caches=(mode == "shared"), warm_start=warm_start)
-            for k in range(n):
-                tenant_demand = np.roll(demand, k % max(ticks, 1))
-                feed = InstanceFeed(
-                    instance.with_demand(tenant_demand, name=f"tenant-{k}")
+            def build_engine(mode=mode):
+                engine = ServeEngine(
+                    share_caches=(mode == "shared"), warm_start=warm_start
                 )
-                engine.add_tenant(f"tenant-{k}", algorithm, feed)
+                for k in range(n):
+                    tenant_demand = np.roll(demand, k % max(ticks, 1))
+                    feed = InstanceFeed(
+                        instance.with_demand(tenant_demand, name=f"tenant-{k}")
+                    )
+                    engine.add_tenant(f"tenant-{k}", algorithm, feed)
+                return engine
+
+            engine = build_engine()
             report = engine.run()
+            # the memory columns ride a second, fresh, tracemalloc-instrumented
+            # replay so instrumentation never distorts the recorded wall times
+            _, peak_mb, rss_delta_mb = _memory_metered(lambda: build_engine().run())
             mode_costs[mode] = [s.cumulative_cost for s in engine.sessions]
             sharing = report["sharing"]
             rows.append(
@@ -773,6 +816,8 @@ def run_serve_bench(
                     "table_gathers": sum(c["table_gathers"] for c in sharing),
                     "warm_hits": sum(c["warm_hits"] for c in sharing),
                     "cold_solves": sum(c["cold_solves"] for c in sharing),
+                    "tracemalloc_peak_mb": peak_mb,
+                    "rss_delta_mb": rss_delta_mb,
                 }
             )
         deviations = [
@@ -836,8 +881,9 @@ def run_serve_bench(
         existing = _read_bench_json(json_path)
         if existing is not None:
             # keep the sections recorded by run_fabric_bench / run_latency_smoke
-            # alive across serve-bench regenerations of the same file
-            for section in ("fabric", "latency"):
+            # / run_batch_scale_bench / run_batch_smoke alive across
+            # serve-bench regenerations of the same file
+            for section in ("fabric", "latency", "batch_scale", "batch_smoke"):
                 if section in existing:
                     payload[section] = existing[section]
         shared_last = next(
@@ -862,11 +908,381 @@ def run_serve_bench(
                 "p99_ms_shared": None
                 if shared_last is None
                 else shared_last["latency"].get("p99_ms"),
+                "tracemalloc_peak_mb_shared": None
+                if shared_last is None
+                else shared_last["tracemalloc_peak_mb"],
+                "rss_delta_mb_shared": None
+                if shared_last is None
+                else shared_last["rss_delta_mb"],
             },
         )
         with open(json_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
     return payload
+
+
+def run_batch_scale_bench(
+    tenant_counts=(64, 1000, 10000),
+    ticks: Optional[int] = None,
+    scenario: str = "diurnal-cpu-gpu",
+    algorithm: str = "reactive",
+    demand_levels: int = 12,
+    seq_limit: int = 2000,
+    sample_check: int = 8,
+    min_speedup: float = 5.0,
+    assert_speedup: bool = True,
+    budget_us: float = 50.0,
+    budget_scale: float = 1.0,
+    p99_gate_tenants: int = 256,
+    overlap: bool = False,
+    json_path: Optional[str] = None,
+) -> dict:
+    """The 10k-tenant scale gate: batched rounds vs the sequential engine.
+
+    One fleet geometry, ``n`` tenants replaying rotated copies of a quantised
+    demand trace, for each ``n`` in ``tenant_counts``.  Every count runs
+    through :class:`~repro.serve.batch.BatchedServeEngine`; counts up to
+    ``seq_limit`` also run the sequential :class:`~repro.serve.ServeEngine`
+    as the reference.  Gates:
+
+    * **bit-identity** — sequential and batched schedules are
+      ``np.array_equal`` per tenant and costs agree to 1e-9 (full comparison
+      up to ``seq_limit``; above it, ``sample_check`` tenants are replayed
+      sequentially as a spot check and the batch hit-rate must be 1.0),
+    * **throughput** — at 1000+ tenants the batched engine must be at least
+      ``min_speedup``× the sequential engine (``assert_speedup=False`` to
+      record without gating on shared noisy runners),
+    * **p99 per-tenant tick** — pooled batched p99 must beat
+      ``budget_us * budget_scale`` at ``p99_gate_tenants``+ tenants (below
+      that the one-time cohort-table installs amortise over too few members
+      to gate on; smaller rows record p99 without enforcing it),
+    * **flat memory** — the shared cache footprint (resident ledger slots and
+      grid-tensor bytes) must be *identical* across tenant counts: cache
+      state scales with the demand alphabet, never with the tenant count.
+      Peak tracemalloc and the RSS delta of each batched run are recorded
+      (measured on a second instrumented replay so the throughput gate stays
+      undistorted).
+
+    Above ``seq_limit`` tenants run ``history=False`` (compact sessions)
+    except the spot-check sample — the 10k-tenant row measures the serving
+    footprint, not telemetry retention.  Merges a ``"batch_scale"`` section
+    and a trend entry into ``BENCH_serve.json``.
+    """
+    from .serve import BatchedServeEngine, InstanceFeed, ServeEngine
+    from .workloads.scale import quantise_trace
+
+    ticks = 32 if ticks is None else int(ticks)
+    base = build_scenario(scenario, T=ticks)
+    demand = quantise_trace(base.demand, levels=demand_levels)
+    instance = base.with_demand(demand, name=f"batch-{scenario}-T{ticks}")
+
+    def tenant_feed(k: int) -> "InstanceFeed":
+        rolled = np.roll(demand, k % max(ticks, 1))
+        return InstanceFeed(instance.with_demand(rolled, name=f"tenant-{k}"))
+
+    rows: List[dict] = []
+    footprints: List[tuple] = []
+    for n in tenant_counts:
+        n = int(n)
+        full_compare = n <= seq_limit
+        sample = (
+            set(range(n))
+            if full_compare
+            else set(range(0, n, max(1, n // max(sample_check, 1)))[:sample_check])
+        )
+
+        seq_report = None
+        seq_engine = None
+        if full_compare:
+            seq_engine = ServeEngine(share_caches=True)
+            for k in range(n):
+                seq_engine.add_tenant(f"tenant-{k}", algorithm, tenant_feed(k))
+            seq_report = seq_engine.run()
+
+        def make_batched(n=n, sample=sample, full_compare=full_compare):
+            engine = BatchedServeEngine(share_caches=True, overlap=overlap)
+            for k in range(n):
+                engine.add_tenant(
+                    f"tenant-{k}",
+                    algorithm,
+                    tenant_feed(k),
+                    history=full_compare or k in sample,
+                )
+            return engine
+
+        batched = make_batched()
+        batch_report = batched.run()
+        _, peak_mb, rss_delta_mb = _memory_metered(lambda: make_batched().run())
+
+        # --- bit-identity gate
+        if full_compare:
+            reference = seq_engine
+        else:
+            reference = ServeEngine(share_caches=True)
+            for k in sorted(sample):
+                reference.add_tenant(f"tenant-{k}", algorithm, tenant_feed(k))
+            reference.run()
+        max_dev = 0.0
+        for k in sorted(sample):
+            name = f"tenant-{k}"
+            seq_session = reference.session(name)
+            bat_session = batched.session(name)
+            if not np.array_equal(seq_session.schedule.x, bat_session.schedule.x):
+                raise AssertionError(
+                    f"{n} tenants: batched schedule of {name} diverges from sequential"
+                )
+            max_dev = max(
+                max_dev, abs(seq_session.cumulative_cost - bat_session.cumulative_cost)
+            )
+        if not max_dev <= 1e-9:
+            raise AssertionError(
+                f"{n} tenants: batched cost deviates by {max_dev:.3e} (> 1e-9)"
+            )
+        hit_rate = batch_report["batch"]["batch_hit_rate"]
+        if not full_compare and hit_rate < 0.999:
+            raise AssertionError(
+                f"{n} tenants: only sampled equality was checked but the batch hit "
+                f"rate is {hit_rate} — unsampled tenants took an unverified path"
+            )
+
+        # --- p99 per-tenant tick gate (amortisation only holds at scale)
+        p99_us = batch_report["latency"]["p99_ms"] * 1000.0
+        budget = budget_us * budget_scale
+        if n >= p99_gate_tenants and not p99_us <= budget:
+            raise AssertionError(
+                f"{n} tenants: batched per-tenant tick p99 {p99_us:.1f}us exceeds "
+                f"the {budget:g}us budget (budget_us={budget_us:g} x scale={budget_scale:g})"
+            )
+
+        # --- throughput gate
+        speedup = None
+        if seq_report is not None and batch_report["wall_seconds"]:
+            speedup = seq_report["wall_seconds"] / batch_report["wall_seconds"]
+            if assert_speedup and n >= 1000 and not speedup >= min_speedup:
+                raise AssertionError(
+                    f"{n} tenants: batched engine is only {speedup:.2f}x the "
+                    f"sequential engine (gate: >= {min_speedup:g}x)"
+                )
+
+        totals = batch_report["cache_totals"]
+        footprints.append((n, totals["virtual_slots"], totals["tensor_bytes"]))
+        rows.append(
+            {
+                "tenants": n,
+                "total_ticks": batch_report["total_ticks"],
+                "wall_seconds": batch_report["wall_seconds"],
+                "ticks_per_second": batch_report.get("ticks_per_second"),
+                "sequential_wall_seconds": (
+                    None if seq_report is None else seq_report["wall_seconds"]
+                ),
+                "speedup_vs_sequential": (
+                    None if speedup is None else round(speedup, 2)
+                ),
+                "p99_us": round(p99_us, 2),
+                "batch_hit_rate": hit_rate,
+                "avg_cohort_size": batch_report["batch"]["avg_cohort_size"],
+                "equality": "full" if full_compare else f"sampled-{len(sample)}",
+                "max_cost_deviation": max_dev,
+                "virtual_slots": totals["virtual_slots"],
+                "tensor_bytes": totals["tensor_bytes"],
+                "ledger_evictions": totals["ledger_evictions"],
+                "tensor_evictions": totals["tensor_evictions"],
+                "tracemalloc_peak_mb": peak_mb,
+                "rss_delta_mb": rss_delta_mb,
+            }
+        )
+
+    # --- flat-memory gate: cache state is a function of the demand alphabet
+    slots = {fp[1] for fp in footprints}
+    tensor_bytes = {fp[2] for fp in footprints}
+    if len(slots) > 1 or len(tensor_bytes) > 1:
+        raise AssertionError(
+            f"cache footprint varies with tenant count: virtual_slots={sorted(slots)}, "
+            f"tensor_bytes={sorted(tensor_bytes)} — memory is not flat"
+        )
+
+    section = {
+        "scenario": scenario,
+        "instance": instance.name,
+        "algorithm": algorithm,
+        "ticks_per_tenant": ticks,
+        "demand_levels": demand_levels,
+        "tenant_counts": [int(n) for n in tenant_counts],
+        "seq_limit": seq_limit,
+        "min_speedup": min_speedup,
+        "budget_us": budget_us,
+        "budget_scale": budget_scale,
+        "overlap": bool(overlap),
+        "rows": rows,
+        "note": (
+            "schedule bit-identity, p99 budget, >=min_speedup at 1k+ tenants and "
+            "flat cache footprint gate; wall times advisory"
+        ),
+    }
+    payload = {"recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S")}
+    if json_path:
+        directory = os.path.dirname(json_path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        existing = _read_bench_json(json_path)
+        if isinstance(existing, dict):
+            payload = existing
+        payload["batch_scale"] = section
+        payload["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+        payload["environment"] = {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        }
+        last = rows[-1]
+        _with_trend(
+            payload,
+            json_path,
+            {
+                "benchmark": "serve-batch-scale",
+                "tenants": last["tenants"],
+                "speedup_vs_sequential": next(
+                    (
+                        r["speedup_vs_sequential"]
+                        for r in reversed(rows)
+                        if r["speedup_vs_sequential"] is not None
+                    ),
+                    None,
+                ),
+                "p99_us": last["p99_us"],
+                "max_cost_deviation": max(r["max_cost_deviation"] for r in rows),
+                "tracemalloc_peak_mb": last["tracemalloc_peak_mb"],
+                "rss_delta_mb": last["rss_delta_mb"],
+            },
+        )
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+    section["json_path"] = json_path
+    return section
+
+
+def run_batch_smoke(
+    tenants: int = 64,
+    ticks: int = 48,
+    budget_us: float = 5000.0,
+    budget_scale: float = 1.0,
+    demand_levels: int = 12,
+    json_path: Optional[str] = None,
+) -> dict:
+    """The ``make bench-batch-smoke`` gate: mixed-family batched bit-identity.
+
+    64 tenants spread over four scenario families and five algorithms —
+    table-driven baselines that batch (``reactive``, ``follow-demand``,
+    ``all-on``) interleaved with DP algorithms that take the per-tenant
+    fallback (``A``, ``lcp``) and every eighth tenant under correlated chaos
+    injection — run through :func:`~repro.serve.batch.verify_batched` with a
+    mid-stream checkpoint/restore round-trip.  Gates:
+
+    * batched schedules/SLA counters bit-identical to the sequential engine
+      and costs within 1e-9 for **every** tenant (``verify_batched`` raises),
+    * both the vectorised and the fallback path actually executed (a smoke
+      that silently batches nothing proves nothing),
+    * p99 per-tenant tick latency of the *batched* tenants beats
+      ``budget_us * budget_scale`` (the amortised cohort share; fallback
+      tenants pay the sequential path and are exempt — the latency smoke
+      budgets those).  With only ~3 members per (family, algorithm) cohort
+      the one-time table installs barely amortise, so the default budget is
+      milliseconds, not the microsecond steady-state the scale bench gates;
+      this gate catches order-of-magnitude regressions, the 1k/10k scale
+      rows gate the steady state.
+
+    Merges a ``"batch_smoke"`` section into ``--json`` (``BENCH_serve.json``).
+    """
+    from . import scenarios
+    from .scenarios.events import EventPlan
+    from .serve import InstanceFeed, verify_batched
+    from .workloads.scale import quantise_trace
+
+    families = (
+        "diurnal-cpu-gpu",
+        "priced-cpu-gpu",
+        "time-varying-m",
+        "spiky-three-tier",
+    )
+    algorithms = ("reactive", "follow-demand", "A", "all-on", "lcp")
+    instances = []
+    for name in families:
+        try:
+            inst = build_scenario(name, T=ticks)
+        except TypeError:
+            fam = scenarios.family(name)
+            inst = scenarios.build(scenarios.ScenarioSpec(name, dict(fam.smoke_params)))
+        quantised = quantise_trace(inst.demand, levels=demand_levels)
+        instances.append(inst.with_demand(quantised, name=f"batch-smoke-{name}"))
+    plans = [
+        EventPlan.generate(inst.T, inst.d, seed=101 + i, n_events=3)
+        for i, inst in enumerate(instances)
+    ]
+
+    def build(engine):
+        for k in range(int(tenants)):
+            inst = instances[k % len(instances)]
+            rolled = np.roll(inst.demand, k % max(inst.T, 1))
+            feed = InstanceFeed(inst.with_demand(rolled, name=f"tenant-{k}"))
+            engine.add_tenant(
+                f"tenant-{k}",
+                algorithms[k % len(algorithms)],
+                feed,
+                chaos=plans[k % len(instances)] if k % 8 == 7 else None,
+                # rolled demands on time-varying fleets can legitimately
+                # exceed a shrunk tick's capacity: shed + account, don't raise
+                degradation="shed",
+            )
+
+    checkpoint_at = max(1, min(inst.T for inst in instances) // 2)
+    report = verify_batched(build, checkpoint_at=checkpoint_at)
+
+    batch = report["batch"]
+    if not batch["batched_ticks"] > 0:
+        raise AssertionError("batch smoke ran zero vectorised ticks — nothing was gated")
+    if not batch["fallback_ticks"] > 0:
+        raise AssertionError(
+            "batch smoke ran zero fallback ticks — the mixed workload lost its DP tenants"
+        )
+    batched_p99s = [
+        row["p99_ms"] * 1000.0
+        for row in report["tenants"]
+        if row["batched"] and row["p99_ms"] is not None
+    ]
+    p99_us = max(batched_p99s) if batched_p99s else 0.0
+    budget = budget_us * budget_scale
+    if not p99_us <= budget:
+        raise AssertionError(
+            f"batched per-tenant tick p99 {p99_us:.1f}us exceeds the {budget:g}us "
+            f"budget (budget_us={budget_us:g} x scale={budget_scale:g})"
+        )
+
+    section = {
+        "tenants": int(tenants),
+        "families": list(families),
+        "algorithms": list(algorithms),
+        "ticks_total": report["ticks_total"],
+        "checkpoint_at": checkpoint_at,
+        "max_cost_deviation": report["max_cost_deviation"],
+        "schedules_identical": report["schedules_identical"],
+        "batched_ticks": batch["batched_ticks"],
+        "fallback_ticks": batch["fallback_ticks"],
+        "batch_hit_rate": batch["batch_hit_rate"],
+        "p99_us_batched": round(p99_us, 2),
+        "budget_us": budget_us,
+        "budget_scale": budget_scale,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    if json_path:
+        directory = os.path.dirname(json_path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        payload = _read_bench_json(json_path)
+        payload = payload if isinstance(payload, dict) else {}
+        payload["batch_smoke"] = section
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+    return section
 
 
 def _read_bench_json(json_path) -> Optional[dict]:

@@ -811,6 +811,8 @@ def _serve_fabric_smoke(json_path: Optional[str] = None, tolerance: float = 1e-9
 
 def _serve_fabric(args: argparse.Namespace) -> int:
     """``repro serve fabric``: run a sharded fabric (or its CI smoke gate)."""
+    if args.n_tenants is None:
+        args.n_tenants = 4
     if args.smoke:
         return _serve_fabric_smoke(json_path=args.json)
 
@@ -940,12 +942,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.action == "fabric":
         return _serve_fabric(args)
 
+    if args.action == "batch":
+        from .bench import run_batch_smoke
+
+        try:
+            payload = run_batch_smoke(
+                budget_us=args.budget_us if args.budget_us is not None else 5000.0,
+                budget_scale=args.budget_scale,
+                tenants=args.n_tenants or 64,
+                ticks=args.ticks or 48,
+                json_path=args.json,
+            )
+        except AssertionError as exc:
+            print(f"FAIL: {exc}", file=sys.stderr)
+            return 1
+        print(format_table(
+            [payload],
+            title="serve batch smoke — batched == sequential on a mixed-family fleet",
+        ))
+        print(f"\n{payload['tenants']} tenants over {payload['families']}: "
+              f"{payload['batched_ticks']} vectorised + {payload['fallback_ticks']} fallback "
+              f"ticks, schedules bit-identical (max cost deviation "
+              f"{payload['max_cost_deviation']:.1e}), batched p99 "
+              f"{payload['p99_us_batched']:g}us < "
+              f"{payload['budget_us'] * payload['budget_scale']:g}us budget")
+        if args.json:
+            print(f"wrote {args.json}")
+        return 0
+
     if args.action == "latency":
         from .bench import run_latency_smoke
 
         try:
             payload = run_latency_smoke(
-                budget_us=args.budget_us,
+                budget_us=args.budget_us if args.budget_us is not None else 50.0,
                 budget_scale=args.budget_scale,
                 repeats=args.repeats,
                 ticks=args.ticks or 256,
@@ -968,6 +998,57 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"[backend={payload['backend']}]")
         print(f"schedules bit-identical to the cold path on every repeat; "
               f"stream cost {payload['cost']:.6f} reproduced to 1e-9")
+        if args.json:
+            print(f"wrote {args.json}")
+        return 0
+
+    if args.action == "bench" and args.batched:
+        from .bench import run_batch_scale_bench
+
+        tenants_arg = "64,1000,10000" if args.tenants == "1,8,64" else str(args.tenants)
+        tenant_counts = tuple(int(v) for v in tenants_arg.split(",") if v.strip())
+        algorithm = (
+            args.algorithm
+            if args.algorithm in ("reactive", "follow-demand", "all-on")
+            else "reactive"
+        )
+        try:
+            payload = run_batch_scale_bench(
+                tenant_counts=tenant_counts,
+                ticks=args.ticks,
+                scenario=args.scenario or "diurnal-cpu-gpu",
+                algorithm=algorithm,
+                budget_us=args.budget_us if args.budget_us is not None else 50.0,
+                budget_scale=args.budget_scale,
+                overlap=args.overlap,
+                json_path=args.json,
+            )
+        except AssertionError as exc:
+            print(f"FAIL: {exc}", file=sys.stderr)
+            return 1
+        table_rows = [
+            {
+                "tenants": row["tenants"],
+                "ticks": row["total_ticks"],
+                "wall_s": row["wall_seconds"],
+                "speedup": row["speedup_vs_sequential"] or "-",
+                "p99_us": row["p99_us"],
+                "equality": row["equality"],
+                "hit_rate": row["batch_hit_rate"],
+                "tracemalloc_mb": row["tracemalloc_peak_mb"],
+                "rss_delta_mb": row["rss_delta_mb"],
+            }
+            for row in payload["rows"]
+        ]
+        print(format_table(
+            table_rows,
+            title=f"serve bench --batched — fleet-batched ticks, {algorithm} on "
+                  f"{payload['scenario']}",
+        ))
+        print("\nschedules bit-identical to the sequential engine at every count; "
+              "cache footprint flat across tenant counts "
+              f"(virtual_slots={payload['rows'][-1]['virtual_slots']}, "
+              f"tensor_bytes={payload['rows'][-1]['tensor_bytes']})")
         if args.json:
             print(f"wrote {args.json}")
         return 0
@@ -1435,12 +1516,21 @@ def build_parser() -> argparse.ArgumentParser:
                "recovery); `latency` is the `make bench-latency-smoke` gate "
                "(p99 of the per-tick floor over repeated prewarmed replays "
                "must beat --budget-us, schedules bit-identical to the cold "
-               "path).",
+               "path); `batch` is the `make bench-batch-smoke` gate "
+               "(64-tenant mixed-family fleet: fleet-batched rounds must "
+               "reproduce the sequential engine bit-identically across a "
+               "mid-stream checkpoint, batched p99 within budget); `bench "
+               "--batched` runs the 1k/10k-tenant fleet-batched scale sweep "
+               "(>=5x vs sequential at 1k+, flat cache footprint, "
+               "RSS+tracemalloc columns).",
     )
-    p_serve.add_argument("action", choices=["replay", "bench", "latency", "smoke", "chaos", "fabric"],
-                         help="stream one scenario / run the multi-tenant benchmark / "
+    p_serve.add_argument("action", choices=["replay", "bench", "latency", "batch",
+                                            "smoke", "chaos", "fabric"],
+                         help="stream one scenario / run the multi-tenant benchmark "
+                              "(--batched: the fleet-batched 1k/10k scale gate) / "
                               "gate the microsecond tick hot path / "
-                              "run the CI gates (smoke: batch equivalence, chaos: fault "
+                              "run the CI gates (smoke: batch equivalence, batch: "
+                              "the `make bench-batch-smoke` bit-identity gate, chaos: fault "
                               "injection, fabric --smoke: crash recovery) / run a "
                               "sharded multi-process fabric")
     p_serve.add_argument("--scenario", default=None,
@@ -1481,12 +1571,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--ticks", type=_positive_int, default=None,
                          help="ticks per tenant for bench (default: 64) / stream length for "
                               "latency (default: 256)")
+    p_serve.add_argument("--batched", action=argparse.BooleanOptionalAction, default=False,
+                         help="with bench: run the fleet-batched scale sweep instead "
+                              "(BatchedServeEngine vs sequential; gates schedule "
+                              "bit-identity, >=5x throughput at 1k+ tenants, p99 tick "
+                              "budget and a flat cache footprint; default tenant "
+                              "counts 64,1000,10000)")
+    p_serve.add_argument("--overlap", action="store_true",
+                         help="with bench --batched: pump feeds through the overlapped "
+                              "thread-pool front end instead of inline iteration")
     p_serve.add_argument("--warm", action="store_true",
                          help="with bench: warm-start the dual bisection (previous solve's "
                               "multiplier seeds the next bracket); the cost-equality gate "
                               "then doubles as a warm-vs-cold consistency check")
-    p_serve.add_argument("--budget-us", type=float, default=50.0, metavar="US",
-                         help="latency: steady-state p99 tick budget in microseconds (default: 50)")
+    p_serve.add_argument("--budget-us", type=float, default=None, metavar="US",
+                         help="latency: steady-state p99 tick budget in microseconds "
+                              "(default: 50) / batch: batched-tenant p99 budget including "
+                              "cold cohort-table installs (default: 5000)")
     p_serve.add_argument("--budget-scale", type=float, default=1.0, metavar="X",
                          help="latency: budget multiplier for noisy shared runners "
                               "(CI uses a generous factor; default: 1.0)")
@@ -1504,9 +1605,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "latency, merging a 'fabric' section into --json (BENCH_serve.json)")
     p_serve.add_argument("--workers", type=_positive_int, default=2,
                          help="fabric worker processes (default: 2)")
-    p_serve.add_argument("--n-tenants", type=_positive_int, default=4, metavar="N",
+    p_serve.add_argument("--n-tenants", type=_positive_int, default=None, metavar="N",
                          help="fabric tenants to register over --scenario with consecutive "
-                              "seeds (default: 4)")
+                              "seeds (default: 4) / batch smoke fleet size (default: 64)")
     p_serve.add_argument("--checkpoint-every", type=_positive_int, default=8, metavar="K",
                          help="fabric checkpoint cadence in ticks (default: 8)")
     p_serve.add_argument("--kill-worker", type=int, default=None, metavar="W",

@@ -104,3 +104,30 @@ class SolutionTable:
         if i is None:
             return None
         return float(self.costs[i, config_idx]), self.loads[i, config_idx]
+
+    def gather(self, demands: Sequence[float]) -> tuple:
+        """Vectorised multi-demand lookup: one gather for a whole cohort.
+
+        Maps a ``(k,)`` demand vector onto table rows in one pass and returns
+        ``(rows, miss_mask)`` — ``rows`` is the ``(k,)`` int row-index array
+        (entries for missing levels are 0 and must be ignored under the mask),
+        ``miss_mask`` the ``(k,)`` boolean mask of demands absent from the
+        table.  The caller fans the hits into ``self.costs[rows]`` /
+        ``self.loads[rows]`` fancy-indexing (one NumPy gather for the cohort)
+        and routes the misses down the per-tenant solver path.  Exact float
+        matching, like every other lookup here — binned streams reproduce the
+        same float64 level values bit for bit.
+        """
+        demands = np.asarray(demands, dtype=float)
+        index = self._index
+        rows = np.zeros(demands.shape, dtype=np.intp)
+        miss = np.zeros(demands.shape, dtype=bool)
+        flat_rows = rows.ravel()
+        flat_miss = miss.ravel()
+        for j, value in enumerate(demands.ravel().tolist()):
+            i = index.get(value)
+            if i is None:
+                flat_miss[j] = True
+            else:
+                flat_rows[j] = i
+        return rows, miss

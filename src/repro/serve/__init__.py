@@ -27,6 +27,7 @@ serve-smoke``) and :func:`verify_crash_recovery` (SIGKILLing a fabric worker
 mid-stream must recover schedules bit-identically; ``make fabric-smoke``).
 """
 
+from .batch import BatchedServeEngine, FeedPump, verify_batched
 from .chaos import ChaosFeed, FaultInjector, verify_chaos_replay
 from .engine import ServeEngine, verify_replay
 from .fabric import FabricError, ServeFabric, TenantSpec, verify_crash_recovery
@@ -60,6 +61,7 @@ from .telemetry import TelemetryWriter, latency_percentiles, summarise_sessions
 
 __all__ = [
     "ArrayFeed",
+    "BatchedServeEngine",
     "BreakerConfig",
     "ChaosFeed",
     "CheckpointCorruptError",
@@ -68,6 +70,7 @@ __all__ = [
     "FabricError",
     "FaultInjector",
     "FeedError",
+    "FeedPump",
     "FleetState",
     "InstanceFeed",
     "JsonlFeed",
@@ -92,6 +95,7 @@ __all__ = [
     "previous_checkpoint_path",
     "save_checkpoint",
     "summarise_sessions",
+    "verify_batched",
     "verify_chaos_replay",
     "verify_crash_recovery",
     "verify_replay",

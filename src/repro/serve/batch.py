@@ -1,0 +1,719 @@
+"""Fleet-batched multi-tenant ticks: vectorised cross-tenant dispatch.
+
+:class:`ServeEngine.run` advances tenants one ``session.observe`` at a time —
+10k tenants pay 10k interpreter round-trips per round even when every one of
+them resolves to the same quantised solution table.  This module applies the
+PR-1 ``solve_block`` idea one level up, **across tenants**:
+
+* Each round, active tenants are grouped into **cohorts** keyed by
+  ``(cache identity, decider kind, cost-row signature, counts signature)`` —
+  the same keys :class:`~repro.serve.session.ServeCache` and
+  :class:`~repro.dispatch.tables.SolutionTable` already dedup on.
+* A cohort's demands become one vector.  Decisions for table-driven
+  algorithms (``reactive``, ``follow-demand``, ``all-on``) are resolved with a
+  single gather from a per-cohort decision table plus one vectorised
+  argmin/switching-cost computation, then committed per tenant through
+  :meth:`ControllerSession.observe_batch` — the pure-state-update half of the
+  tick, so session state is *bit-identical* to a sequential replay.
+* Everything else — stateful DP algorithms (A/B/C/LCP), regret-tracked
+  sessions, custom algorithm objects, invalid or strict-infeasible ticks, and
+  cohort members whose demand level misses a saturated table — falls back to
+  the existing per-tenant ``observe`` slow path, which is the sequential
+  engine verbatim.
+
+Bit-identity is by construction, not by tolerance: decision-cost rows are
+fetched through ``dispatcher.solve_grid(vt, float_configs)`` — the exact
+memoised call sequential ``Reactive.step``/``FollowDemand.step`` make via
+``slot.operating_cost`` — and committed operating costs/loads come from the
+same memoised :meth:`ServeCache.solve_config` results, so a batched run
+returns the *identical float objects* a sequential run would.  The vectorised
+switching computation ``max(x - prev, 0) · beta`` reduces over the same axis
+in the same order as the sequential per-tenant expression.
+
+An optional **feed pump** overlaps feed I/O with the batched solve: a small
+thread pool prefetches upcoming ticks from slow feeds (``JsonlFeed``, paced
+time-warp replays) into bounded per-tenant queues with backpressure, so the
+engine's round loop consumes from memory while producers block on I/O or
+pacing sleeps.  Feeds stay single-owner (one worker per tenant iterator);
+determinism is untouched because the pump reorders *time*, never ticks.
+
+``verify_batched`` is the correctness gate: batched vs sequential engines over
+every registered scenario family — including chaos injection and a mid-stream
+checkpoint/restore round-trip — must produce ``np.array_equal`` schedules,
+equal SLA counters and ≤1e-9 cumulative-cost deviation.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..offline.state_grid import StateGrid
+from ..online.baselines import AllOn, FollowDemand, Reactive
+from .engine import ServeEngine, _Tenant
+from .session import ControllerSession, ServeCache, save_checkpoint
+from .telemetry import TelemetryWriter
+
+__all__ = ["BatchedServeEngine", "FeedPump", "verify_batched"]
+
+#: Decision-table growth bound per cohort: beyond this many distinct demand
+#: levels the table stops installing rows (continuous-demand streams would
+#: otherwise grow it without bound) and unseen levels take the per-tenant
+#: fallback path instead.
+DEFAULT_TABLE_BUDGET = 4096
+
+
+def _decider_kind(session: ControllerSession) -> Optional[str]:
+    """Which vectorised decider (if any) can replace ``algorithm.step``.
+
+    Exact-type checks on purpose: a subclass may override ``step`` and must
+    fall back.  Regret-tracked sessions always fall back — the tracker needs
+    the per-tick :class:`SlotInfo`.  ``gamma``-reduced baselines fall back
+    too (the vectorised tables enumerate the full grid, matching the
+    registry-built ``Reactive()``/``FollowDemand()`` exactly).
+    """
+    if session._regret_tracker is not None:
+        return None
+    algorithm = session.algorithm
+    cls = type(algorithm)
+    if cls is Reactive:
+        return "reactive" if algorithm.gamma is None else None
+    if cls is FollowDemand:
+        return "follow-demand" if algorithm.gamma is None else None
+    if cls is AllOn:
+        return "all-on"
+    return None
+
+
+class _CohortTable:
+    """Per-(cache, cost row, counts) decision table for vectorised argmins.
+
+    Rows are keyed by exact demand value (like :class:`SolutionTable`) and
+    hold the ``(n,)`` operating-cost row over the cohort's configuration set,
+    fetched through the same memoised ``solve_grid`` call the sequential
+    baselines issue — a gathered row is the identical array content a
+    sequential ``slot.operating_cost(configs)`` returns.  Ledger slots are
+    *not* cached here: under ``ledger_budget`` the cache recycles slot
+    indices, so the engine re-resolves ``vt`` per round through
+    ``virtual_slot`` (which transparently re-appends evicted levels).
+    """
+
+    __slots__ = (
+        "cache", "row", "counts_t", "capacity", "configs", "fconfigs",
+        "level_index", "cost_rows", "_cost_matrix", "best_idx", "budget",
+        "installs",
+    )
+
+    def __init__(self, cache: ServeCache, row, counts_t, budget: int):
+        self.cache = cache
+        self.row = row  # None for the base cost row
+        self.counts_t = counts_t
+        stream = cache.stream
+        self.capacity = float(np.sum(counts_t * stream.zmax))
+        grid = StateGrid.full(counts_t)
+        self.configs = grid.configs()
+        # sequential ``SlotInfo.operating_cost`` converts configs to float64
+        # before evaluating; the same content must reach ``solve_grid`` so the
+        # block-cache key (shape, dtype, bytes) lands on the same memo entry
+        self.fconfigs = np.ascontiguousarray(self.configs, dtype=float)
+        self.fconfigs.setflags(write=False)
+        self.level_index: Dict[float, int] = {}
+        self.cost_rows: List[np.ndarray] = []
+        self._cost_matrix: Optional[np.ndarray] = None
+        self.best_idx: Dict[int, int] = {}  # level row -> argmin (follow-demand)
+        self.budget = int(budget)
+        self.installs = 0
+
+    def level_row(self, served: float, vt: int) -> Optional[int]:
+        """Table row index of a demand level, installing it on first sight.
+
+        Returns ``None`` once the table is saturated (``budget`` levels) and
+        the level is unseen — the caller routes those members to the
+        per-tenant fallback.
+        """
+        idx = self.level_index.get(served)
+        if idx is not None:
+            return idx
+        if len(self.cost_rows) >= self.budget:
+            return None
+        # the exact call sequential Reactive/FollowDemand make per tick
+        costs, _ = self.cache.dispatcher.solve_grid(vt, self.fconfigs)
+        idx = len(self.cost_rows)
+        self.level_index[served] = idx
+        self.cost_rows.append(costs)
+        self._cost_matrix = None
+        self.installs += 1
+        return idx
+
+    def cost_matrix(self) -> np.ndarray:
+        """The stacked ``(L, n)`` cost rows (rebuilt only when levels grew)."""
+        if self._cost_matrix is None or len(self._cost_matrix) != len(self.cost_rows):
+            self._cost_matrix = np.vstack(self.cost_rows)
+        return self._cost_matrix
+
+
+class FeedPump:
+    """Thread-pool feed prefetcher with bounded per-tenant backpressure.
+
+    Each worker owns a disjoint subset of tenant iterators (feed iterators
+    are not thread-safe, so ownership is static) and keeps every owned
+    tenant's queue topped up to ``prefetch`` ticks; a full queue simply skips
+    to the next owned tenant — that bound *is* the backpressure, keeping
+    prefetch memory flat at ``O(tenants × prefetch)`` ticks.  Pacing sleeps
+    (``feed.play(speed)``) and JSONL parsing thus happen on pump threads while
+    the engine's round loop runs the batched solve.
+
+    The consumer side is :meth:`next_tick`: blocking, in tick order, one
+    sentinel ``None`` at stream end — exactly the contract of
+    ``next(iterator, None)`` in the engine loop, which is why pumping changes
+    scheduling latency but never schedules.
+    """
+
+    _DONE = object()
+
+    def __init__(self, tenants, prefetch: int = 8, workers: int = 4):
+        if int(prefetch) < 1:
+            raise ValueError(f"prefetch must be >= 1, got {prefetch}")
+        self.prefetch = int(prefetch)
+        self._queues: Dict[str, queue.Queue] = {}
+        self._stop = threading.Event()
+        self._wakeups: List[threading.Event] = []
+        self._threads: List[threading.Thread] = []
+        self.prefetched = 0
+        self.max_buffered = 0
+        names = list(tenants)
+        workers = max(1, min(int(workers), len(names))) if names else 0
+        shards: List[list] = [[] for _ in range(workers)]
+        for i, name in enumerate(names):
+            self._queues[name] = queue.Queue(maxsize=self.prefetch)
+            shards[i % workers].append((name, tenants[name]))
+        self._lock = threading.Lock()
+        for shard in shards:
+            wakeup = threading.Event()
+            thread = threading.Thread(
+                target=self._produce, args=(shard, wakeup), daemon=True
+            )
+            self._wakeups.append(wakeup)
+            self._threads.append(thread)
+
+    def start(self) -> "FeedPump":
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def _produce(self, shard, wakeup: threading.Event) -> None:
+        pending = {name: tenant.iterator for name, tenant in shard}
+        while pending and not self._stop.is_set():
+            progressed = False
+            for name in list(pending):
+                if self._stop.is_set():
+                    return
+                q = self._queues[name]
+                if q.full():
+                    continue
+                tick = next(pending[name], self._DONE)
+                if tick is self._DONE:
+                    q.put(self._DONE)
+                    del pending[name]
+                else:
+                    q.put(tick)
+                    with self._lock:
+                        self.prefetched += 1
+                        depth = q.qsize()
+                        if depth > self.max_buffered:
+                            self.max_buffered = depth
+                progressed = True
+            if not progressed:
+                # every owned queue is full: sleep until a consumer drains one
+                wakeup.wait(timeout=0.05)
+                wakeup.clear()
+
+    def next_tick(self, name: str):
+        """The tenant's next tick (blocking), or ``None`` at stream end."""
+        item = self._queues[name].get()
+        for wakeup in self._wakeups:
+            wakeup.set()
+        return None if item is self._DONE else item
+
+    def stop(self) -> Dict[str, list]:
+        """Stop producers and hand back the still-buffered (unconsumed) ticks.
+
+        Buffered ticks were already pulled off their iterators, so an engine
+        stopping early (``max_ticks`` with ``finalize=False``) must requeue
+        them ahead of the iterator or they would vanish on resume.  Returns
+        ``{tenant: [ticks...]}`` in arrival order; stream-end sentinels are
+        dropped (the iterator re-yields exhaustion for free).  Producers mid-
+        pacing-sleep are abandoned after a join timeout — with paced feeds an
+        early stop may therefore lose the tick in flight; unpaced feeds (every
+        equivalence gate) join promptly and lose nothing.
+        """
+        self._stop.set()
+        for wakeup in self._wakeups:
+            wakeup.set()
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        leftovers: Dict[str, list] = {}
+        for name, q in self._queues.items():
+            items = []
+            while True:
+                try:
+                    item = q.get_nowait()
+                except queue.Empty:
+                    break
+                if item is not self._DONE:
+                    items.append(item)
+            if items:
+                leftovers[name] = items
+        return leftovers
+
+    def counters(self) -> dict:
+        return {
+            "prefetched": self.prefetched,
+            "max_buffered": self.max_buffered,
+            "workers": len(self._threads),
+            "prefetch_bound": self.prefetch,
+        }
+
+
+class BatchedServeEngine(ServeEngine):
+    """A :class:`ServeEngine` whose round loop resolves cohorts vectorised.
+
+    Same registration API and same results — schedules, costs and SLA
+    counters are bit-identical to the sequential engine (``verify_batched``
+    gates this across every registered scenario family) — but each round
+    groups tenants into cohorts and replaces their per-tenant
+    ``algorithm.step`` + solve with one table gather + vectorised argmin +
+    per-tenant :meth:`ControllerSession.observe_batch` commit.
+
+    Parameters beyond :class:`ServeEngine`:
+
+    overlap:
+        Run a :class:`FeedPump` so feed I/O and pacing sleeps overlap the
+        batched solve (``prefetch`` ticks per tenant buffered, ``pump_workers``
+        threads).
+    table_budget:
+        Max distinct demand levels per cohort decision table; unseen levels
+        beyond it fall back per-tenant (bounded memory on continuous streams).
+    """
+
+    def __init__(
+        self,
+        share_caches: bool = True,
+        warm_start: bool = False,
+        *,
+        ledger_budget: Optional[int] = None,
+        tensor_budget_bytes: Optional[int] = None,
+        overlap: bool = False,
+        prefetch: int = 8,
+        pump_workers: int = 4,
+        table_budget: int = DEFAULT_TABLE_BUDGET,
+    ):
+        super().__init__(
+            share_caches,
+            warm_start,
+            ledger_budget=ledger_budget,
+            tensor_budget_bytes=tensor_budget_bytes,
+        )
+        self.overlap = bool(overlap)
+        self.prefetch = int(prefetch)
+        self.pump_workers = int(pump_workers)
+        self.table_budget = int(table_budget)
+        self._tables: Dict[tuple, _CohortTable] = {}
+        # ticks prefetched by a pump but unconsumed when an early-stopped run
+        # ended — replayed first on the next run() so no tick is ever dropped
+        self._pending_ticks: Dict[str, list] = {}
+        self.batched_ticks = 0
+        self.fallback_ticks = 0
+        self.table_fallbacks = 0
+        self.cohort_rounds = 0
+        self.rounds = 0
+        self._pump_counters: Optional[dict] = None
+
+    # --------------------------------------------------------------- execution
+    def run(
+        self,
+        max_ticks: Optional[int] = None,
+        telemetry: Optional[TelemetryWriter] = None,
+        checkpoint_dir=None,
+        checkpoint_every: int = 0,
+        finalize: bool = True,
+    ) -> dict:
+        """Drain all feeds with cohort-batched rounds (see the class docstring).
+
+        Semantics match :meth:`ServeEngine.run`: round-robin rounds, per-tenant
+        ``finish`` + final checkpoint at stream end, periodic checkpoints every
+        ``checkpoint_every`` ticks, ``finalize=False`` to leave streams
+        resumable.  Telemetry rows are grouped by cohort within a round rather
+        than strict registration order.
+        """
+        writer = telemetry or TelemetryWriter(None)
+        emit = writer.active
+        cadence = int(checkpoint_every) if checkpoint_dir is not None else 0
+        checkpoint_dir = None if checkpoint_dir is None else Path(checkpoint_dir)
+
+        def checkpoint(name: str, tenant: _Tenant) -> None:
+            if checkpoint_dir is not None:
+                save_checkpoint(
+                    checkpoint_dir / f"{name}.ckpt.json", tenant.session.checkpoint()
+                )
+
+        pump: Optional[FeedPump] = None
+        if self.overlap:
+            pump = FeedPump(
+                self._tenants, prefetch=self.prefetch, workers=self.pump_workers
+            ).start()
+
+        active = list(self._tenants.items())
+        started = time.perf_counter()
+        round_index = 0
+        try:
+            while active and (max_ticks is None or round_index < max_ticks):
+                arrivals = []
+                still_active = []
+                for name, tenant in active:
+                    buffered = self._pending_ticks.get(name)
+                    if buffered:
+                        tick = buffered.pop(0)
+                        if not buffered:
+                            del self._pending_ticks[name]
+                    elif pump is not None:
+                        tick = pump.next_tick(name)
+                    else:
+                        tick = next(tenant.iterator, None)
+                    if tick is None:
+                        if not tenant.done:
+                            tenant.done = True
+                            tenant.session.finish()
+                            checkpoint(name, tenant)
+                        continue
+                    arrivals.append((name, tenant, tick))
+                    still_active.append((name, tenant))
+                if arrivals:
+                    self._run_round(arrivals, writer, emit, cadence, checkpoint)
+                    self.rounds += 1
+                active = still_active
+                round_index += 1
+        finally:
+            if pump is not None:
+                leftovers = pump.stop()
+                for name, items in leftovers.items():
+                    self._pending_ticks.setdefault(name, []).extend(items)
+                self._pump_counters = pump.counters()
+        if finalize:
+            for name, tenant in self._tenants.items():
+                if not tenant.done:
+                    tenant.done = True
+                    tenant.session.finish()
+                    checkpoint(name, tenant)
+        wall = time.perf_counter() - started
+        return self.report(wall_seconds=wall)
+
+    # ------------------------------------------------------------------ rounds
+    def _run_round(self, arrivals, writer, emit, cadence, checkpoint) -> None:
+        """Partition one round's arrivals into cohorts and resolve each."""
+        cohorts: Dict[tuple, list] = {}
+        fallback: list = []
+        for name, tenant, tick in arrivals:
+            session = tenant.session
+            kind = _decider_kind(session)
+            if kind is None:
+                fallback.append((name, tenant, tick))
+                continue
+            row = tick.cost_row
+            row_key = None if row is None else tuple(row)
+            counts = tick.counts
+            counts_key = (
+                None if counts is None else tuple(int(v) for v in np.asarray(counts))
+            )
+            key = (id(session.cache), kind, row_key, counts_key)
+            try:
+                members = cohorts.get(key)
+            except TypeError:  # unhashable exotic cost row: per-tenant path
+                fallback.append((name, tenant, tick))
+                continue
+            if members is None:
+                cohorts[key] = [(name, tenant, tick)]
+            else:
+                members.append((name, tenant, tick))
+
+        for key, members in cohorts.items():
+            self._run_cohort(key, members, fallback, writer, emit, cadence, checkpoint)
+
+        for name, tenant, tick in fallback:
+            # the sequential engine verbatim — errors (strict infeasibility,
+            # invalid demands) surface exactly as they would un-batched
+            state = tenant.session.observe(
+                tick.demand, cost_row=tick.cost_row, counts=tick.counts
+            )
+            writer.write(state.as_row(), tenant=name)
+            self.fallback_ticks += 1
+            if cadence and tenant.session.ticks % cadence == 0:
+                checkpoint(name, tenant)
+
+    def _run_cohort(
+        self, key, members, fallback, writer, emit, cadence, checkpoint
+    ) -> None:
+        cohort_started = time.perf_counter_ns()
+        _, kind, row_key, counts_key = key
+        session0 = members[0][1].session
+        cache = session0.cache
+        stream = cache.stream
+
+        table = self._tables.get(key)
+        if table is None:
+            counts_t = (
+                stream.m if counts_key is None else np.asarray(counts_key, dtype=int)
+            )
+            table = _CohortTable(cache, row_key, counts_t, self.table_budget)
+            self._tables[key] = table
+        counts_t = table.counts_t
+        capacity = table.capacity
+
+        demands = np.array([tick.demand for _, _, tick in members], dtype=float)
+        invalid = ~np.isfinite(demands) | (demands < 0)
+        over = demands > capacity + 1e-9
+        served = np.where(over, capacity, demands)
+        shed = np.where(over, demands - capacity, 0.0)
+
+        # resolve ledger slots + table rows once per distinct level; members
+        # that cannot be batched (invalid demand, strict over-capacity,
+        # saturated table) re-route to the per-tenant slow path
+        level_vt: Dict[float, int] = {}
+        level_row: Dict[float, Optional[int]] = {}
+        keep: List[int] = []
+        for i, (name, tenant, tick) in enumerate(members):
+            if invalid[i] or (over[i] and tenant.session.degradation == "strict"):
+                fallback.append((name, tenant, tick))
+                continue
+            level = float(served[i])
+            vt = level_vt.get(level)
+            if vt is None:
+                if row_key is None:
+                    vt = cache.virtual_slot_base(level)
+                else:
+                    vt = cache.virtual_slot(level, row_key)
+                level_vt[level] = vt
+                if kind != "all-on":
+                    level_row[level] = table.level_row(level, vt)
+            if kind != "all-on" and level_row[level] is None:
+                fallback.append((name, tenant, tick))
+                self.table_fallbacks += 1
+                continue
+            keep.append(i)
+        if not keep:
+            return
+
+        k = len(keep)
+        batch = [members[i] for i in keep]
+        sessions = [tenant.session for _, tenant, _ in batch]
+
+        if kind == "all-on":
+            # sequential AllOn returns asarray(slot.counts).astype(int) — one
+            # fresh row per tenant; a tiled matrix gives identical content
+            rounded_matrix = np.tile(counts_t.astype(int), (k, 1))
+        else:
+            rows = np.fromiter(
+                (level_row[float(served[i])] for i in keep), dtype=np.intp, count=k
+            )
+            costs = table.cost_matrix()[rows]  # (k, n) gather
+            if kind == "reactive":
+                prev = np.stack([s.algorithm._current for s in sessions])
+                # same expression as Reactive.step, one tenant per leading axis:
+                # int subtraction, clamp, * beta, reduce over the config axis
+                switch = np.sum(
+                    np.maximum(table.configs[None, :, :] - prev[:, None, :], 0)
+                    * stream.beta[None, None, :],
+                    axis=2,
+                )
+                choice = np.argmin(costs + switch, axis=1)
+            else:  # follow-demand: switching-blind argmin, memoised per level
+                best = table.best_idx
+                for i in keep:
+                    r = level_row[float(served[i])]
+                    if r not in best:
+                        best[r] = int(np.argmin(table.cost_rows[r]))
+                choice = np.fromiter((best[int(r)] for r in rows), dtype=np.intp, count=k)
+            rounded_matrix = table.configs[choice].astype(int)
+            if kind == "reactive":
+                for i, session in enumerate(sessions):
+                    # what ``self._current = configs[best].astype(int)`` leaves
+                    # behind sequentially; rows are never mutated in place
+                    session.algorithm._current = rounded_matrix[i]
+
+        # amortised per-tenant decision latency; commit cost is metered by the
+        # sequential path per tick, here it rides inside the same share
+        latency_share = (time.perf_counter_ns() - cohort_started) // k
+        r_lists = rounded_matrix.tolist()
+        self.batched_ticks += k
+        self.cohort_rounds += 1
+        for i, (name, tenant, tick) in enumerate(batch):
+            j = keep[i]
+            level = float(served[j])
+            # under ledger_budget resolving one level can evict another, so a
+            # slot pinned in the pre-resolve loop may be recycled by now;
+            # re-resolving at the point of use restores the sequential
+            # resolve→commit interleaving (an O(1) dict hit when unbudgeted)
+            if row_key is None:
+                vt = cache.virtual_slot_base(level)
+            else:
+                vt = cache.virtual_slot(level, row_key)
+            state = tenant.session.observe_batch(
+                float(demands[j]),
+                level,
+                float(shed[j]),
+                vt,
+                rounded_matrix[i],
+                r_lists[i],
+                latency_ns=int(latency_share),
+                emit=emit,
+            )
+            if emit:
+                writer.write(state.as_row(), tenant=name)
+            if cadence and tenant.session.ticks % cadence == 0:
+                checkpoint(name, tenant)
+
+    # ------------------------------------------------------------------ report
+    def batch_counters(self) -> dict:
+        """Cohort/batch hit-rate stats (how much of the load was vectorised)."""
+        total = self.batched_ticks + self.fallback_ticks
+        counters = {
+            "batched_ticks": self.batched_ticks,
+            "fallback_ticks": self.fallback_ticks,
+            "table_fallbacks": self.table_fallbacks,
+            "batch_hit_rate": round(self.batched_ticks / total, 6) if total else 0.0,
+            "rounds": self.rounds,
+            "cohort_rounds": self.cohort_rounds,
+            "avg_cohort_size": (
+                round(self.batched_ticks / self.cohort_rounds, 3)
+                if self.cohort_rounds
+                else 0.0
+            ),
+            "decision_tables": len(self._tables),
+            "table_levels": sum(len(t.cost_rows) for t in self._tables.values()),
+            "table_installs": sum(t.installs for t in self._tables.values()),
+        }
+        if self._pump_counters is not None:
+            counters["feed_pump"] = self._pump_counters
+        return counters
+
+    def report(self, wall_seconds: Optional[float] = None) -> dict:
+        report = super().report(wall_seconds=wall_seconds)
+        report["batch"] = self.batch_counters()
+        return report
+
+
+# --------------------------------------------------------------------------- #
+# Batched-vs-sequential equivalence verification
+# --------------------------------------------------------------------------- #
+
+
+def verify_batched(
+    build_tenants,
+    tolerance: float = 1e-9,
+    checkpoint_at: Optional[int] = None,
+    overlap: bool = False,
+    max_ticks: Optional[int] = None,
+    engine_kwargs: Optional[dict] = None,
+) -> dict:
+    """Gate: a batched run must be bit-identical to the sequential engine.
+
+    ``build_tenants(engine)`` registers the same tenants on whichever engine
+    it is handed (call it twice with fresh feeds — it must not share iterator
+    state).  Runs a sequential :class:`ServeEngine` and a
+    :class:`BatchedServeEngine` over the same workload and asserts, per
+    tenant: ``np.array_equal`` schedules, cumulative cost within
+    ``tolerance``, and exactly equal SLA counters (violations, shed totals,
+    forced-downs, tick counts).
+
+    ``checkpoint_at`` additionally exercises the mid-stream restart: both
+    engines run ``checkpoint_at`` rounds, every tenant is checkpoint/restored
+    in place through JSON (:meth:`ServeEngine.roundtrip_tenant`), and the
+    streams then resume to completion — restart must not perturb either
+    engine.  Raises :class:`AssertionError` on any mismatch; returns a
+    JSON-safe report row.
+    """
+    engine_kwargs = dict(engine_kwargs or {})
+    share_caches = engine_kwargs.pop("share_caches", True)
+    sequential = ServeEngine(
+        share_caches=share_caches,
+        warm_start=engine_kwargs.get("warm_start", False),
+        ledger_budget=engine_kwargs.get("ledger_budget"),
+        tensor_budget_bytes=engine_kwargs.get("tensor_budget_bytes"),
+    )
+    build_tenants(sequential)
+    batched = BatchedServeEngine(
+        share_caches=share_caches, overlap=overlap, **engine_kwargs
+    )
+    build_tenants(batched)
+    if sorted(batched._tenants) != sorted(sequential._tenants):
+        raise AssertionError("build_tenants registered different tenant sets")
+
+    def drive(engine):
+        if checkpoint_at is not None:
+            engine.run(max_ticks=checkpoint_at, finalize=False)
+            for name in list(engine._tenants):
+                engine.roundtrip_tenant(name)
+            remaining = None if max_ticks is None else max_ticks - checkpoint_at
+            return engine.run(max_ticks=remaining)
+        return engine.run(max_ticks=max_ticks)
+
+    drive(sequential)
+    report = drive(batched)
+
+    tenants = []
+    for name in sequential._tenants:
+        seq = sequential.session(name)
+        bat = batched.session(name)
+        if seq.ticks != bat.ticks:
+            raise AssertionError(
+                f"{name}: tick counts diverge (sequential {seq.ticks}, batched {bat.ticks})"
+            )
+        seq_schedule = seq.schedule.x
+        bat_schedule = bat.schedule.x
+        if not np.array_equal(seq_schedule, bat_schedule):
+            first = int(np.argmax(np.any(seq_schedule != bat_schedule, axis=1)))
+            raise AssertionError(
+                f"{name}: batched schedule diverges from sequential at tick {first}: "
+                f"{bat_schedule[first]} vs {seq_schedule[first]}"
+            )
+        deviation = abs(seq.cumulative_cost - bat.cumulative_cost)
+        if deviation > tolerance:
+            raise AssertionError(
+                f"{name}: batched cost deviates by {deviation:g} (> {tolerance:g})"
+            )
+        for attr in ("sla_violations", "forced_downs"):
+            if getattr(seq, attr) != getattr(bat, attr):
+                raise AssertionError(
+                    f"{name}: {attr} diverge (sequential {getattr(seq, attr)}, "
+                    f"batched {getattr(bat, attr)})"
+                )
+        if abs(seq.shed_demand_total - bat.shed_demand_total) > tolerance:
+            raise AssertionError(f"{name}: shed totals diverge")
+        tenants.append(
+            {
+                "tenant": name,
+                "ticks": int(seq.ticks),
+                "cost_deviation": deviation,
+                "algorithm": seq.algorithm.name,
+                "batched": _decider_kind(bat) is not None,
+                "p99_ms": bat.latency_summary().get("p99_ms"),
+            }
+        )
+
+    batch = report["batch"]
+    return {
+        "tenants": tenants,
+        "ticks_total": int(sum(row["ticks"] for row in tenants)),
+        "max_cost_deviation": max((row["cost_deviation"] for row in tenants), default=0.0),
+        "schedules_identical": True,
+        "checkpoint_at": checkpoint_at,
+        "overlap": bool(overlap),
+        "latency": report["latency"],
+        "wall_seconds": report.get("wall_seconds"),
+        "batch": batch,
+    }

@@ -63,9 +63,23 @@ class ServeEngine:
     against.
     """
 
-    def __init__(self, share_caches: bool = True, warm_start: bool = False):
+    def __init__(
+        self,
+        share_caches: bool = True,
+        warm_start: bool = False,
+        *,
+        ledger_budget: Optional[int] = None,
+        tensor_budget_bytes: Optional[int] = None,
+    ):
         self.share_caches = bool(share_caches)
         self.warm_start = bool(warm_start)
+        #: LRU bounds forwarded to every cache the engine creates — the knobs
+        #: that keep a month-scale multi-tenant process flat in memory (see
+        #: :class:`ServeCache`); ``None`` leaves the memos unbounded.
+        self.ledger_budget = None if ledger_budget is None else int(ledger_budget)
+        self.tensor_budget_bytes = (
+            None if tensor_budget_bytes is None else int(tensor_budget_bytes)
+        )
         self._caches: Dict[tuple, ServeCache] = {}
         self._tenants: Dict[str, _Tenant] = {}
 
@@ -73,11 +87,21 @@ class ServeEngine:
     def cache_for(self, server_types) -> ServeCache:
         """The shared cache of a fleet geometry (created on first use)."""
         if not self.share_caches:
-            return ServeCache(server_types, warm_start=self.warm_start)
+            return ServeCache(
+                server_types,
+                warm_start=self.warm_start,
+                ledger_budget=self.ledger_budget,
+                tensor_budget_bytes=self.tensor_budget_bytes,
+            )
         key = fleet_signature(server_types)
         cache = self._caches.get(key)
         if cache is None:
-            cache = ServeCache(server_types, warm_start=self.warm_start)
+            cache = ServeCache(
+                server_types,
+                warm_start=self.warm_start,
+                ledger_budget=self.ledger_budget,
+                tensor_budget_bytes=self.tensor_budget_bytes,
+            )
             self._caches[key] = cache
         return cache
 
@@ -108,6 +132,7 @@ class ServeEngine:
         speed: Optional[float] = None,
         chaos=None,
         degradation: Optional[str] = None,
+        history: bool = True,
     ) -> ControllerSession:
         """Register a tenant: one session driven by one feed.
 
@@ -137,10 +162,24 @@ class ServeEngine:
             cache=self.cache_for(server_types),
             track_regret=track_regret,
             degradation=degradation,
+            history=history,
             name=name,
         )
         self._tenants[name] = _Tenant(session, feed, speed)
         return session
+
+    def roundtrip_tenant(self, name: str) -> ControllerSession:
+        """Checkpoint/restore a live tenant in place (mid-stream round-trip).
+
+        Serialises the tenant's session through actual JSON text and swaps in
+        the restored session (warm shared cache kept); the tenant's feed
+        iterator is untouched, so a subsequent :meth:`run` continues exactly
+        where the stream left off.  This is the restart the batched-vs-
+        sequential equivalence gates exercise mid-stream.
+        """
+        tenant = self._tenants[name]
+        tenant.session = tenant.session.checkpoint_roundtrip(reuse_cache=True)
+        return tenant.session
 
     def session(self, name: str) -> ControllerSession:
         return self._tenants[name].session
@@ -164,6 +203,7 @@ class ServeEngine:
         telemetry: Optional[TelemetryWriter] = None,
         checkpoint_dir=None,
         checkpoint_every: int = 0,
+        finalize: bool = True,
     ) -> dict:
         """Drain all feeds, interleaving tenants tick by tick (round-robin).
 
@@ -213,21 +253,42 @@ class ServeEngine:
                 still_active.append((name, tenant))
             active = still_active
             round_index += 1
-        for name, tenant in self._tenants.items():
-            if not tenant.done:
-                tenant.done = True
-                tenant.session.finish()
-                checkpoint(name, tenant)
+        if finalize:
+            # ``finalize=False`` leaves undrained tenants un-finished so a
+            # later run() call (e.g. after a mid-stream roundtrip_tenant)
+            # resumes the stream instead of double-finishing the algorithms
+            for name, tenant in self._tenants.items():
+                if not tenant.done:
+                    tenant.done = True
+                    tenant.session.finish()
+                    checkpoint(name, tenant)
         wall = time.perf_counter() - started
         return self.report(wall_seconds=wall)
 
     def report(self, wall_seconds: Optional[float] = None) -> dict:
-        """Engine-level summary: totals, pooled latencies, sharing counters."""
+        """Engine-level summary: totals, pooled latencies, sharing counters.
+
+        ``sharing`` carries every cache's full counter dict (including the
+        ``tensor_evictions`` / ``ledger_evictions`` LRU pressure gauges);
+        ``cache_totals`` sums the numeric counters across caches so eviction
+        behaviour and memo residency are observable at a glance without
+        iterating per-cache rows.
+        """
         report = summarise_sessions(self.sessions, wall_seconds=wall_seconds)
         report["tenant_summaries"] = [s.summary() for s in self.sessions]
         caches = self.caches
         report["caches"] = len(caches)
-        report["sharing"] = [cache.counters() for cache in caches]
+        per_cache = [cache.counters() for cache in caches]
+        report["sharing"] = per_cache
+        totals: Dict[str, float] = {}
+        for counters in per_cache:
+            for key, value in counters.items():
+                if key == "cache_hit_rate":  # a ratio — summing it is noise
+                    continue
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                totals[key] = totals.get(key, 0) + value
+        report["cache_totals"] = totals
         return report
 
 

@@ -848,8 +848,34 @@ class ControllerSession:
         Infeasible ticks — demand above capacity, or a configuration above
         the available counts — raise under ``degradation="strict"`` and shed
         deterministically under ``"shed"`` (see the class docstring).
+
+        The tick is three phases — :meth:`prepare_tick` (validation, shed
+        accounting, ledger slot, SlotInfo), :meth:`decide_tick`
+        (``algorithm.step`` plus integrality/fleet-limit enforcement) and
+        :meth:`commit_tick` (dispatch solve, switching cost, counters) — run
+        back to back here.  The batched engine (:mod:`repro.serve.batch`)
+        replaces the first two with vectorised cohort equivalents and enters
+        at :meth:`observe_batch`; the phase boundaries are state-free, so
+        this composed path is bit-identical to the pre-split ``observe``.
         """
         started = time.perf_counter_ns()
+        demand, served, shed, counts_t, vt, slot = self.prepare_tick(
+            demand, cost_row, counts
+        )
+        rounded, r_list, forced = self.decide_tick(slot, counts_t)
+        return self.commit_tick(
+            demand, served, shed, vt, rounded, r_list, forced,
+            slot=slot, started_ns=started,
+        )
+
+    def prepare_tick(self, demand: float, cost_row=None, counts=None, build_slot=True):
+        """Phase 1 of a tick: validate, resolve shed/capacity, pin the ledger slot.
+
+        Returns ``(demand, served, shed, counts_t, vt, slot)``.  ``slot`` is
+        the :class:`SlotInfo` the algorithm will step on (``None`` when
+        ``build_slot=False`` — the batched engine resolves decisions from
+        cohort tables and never materialises per-tenant slots).
+        """
         stream = self.cache.stream
         demand = float(demand)
         if not math.isfinite(demand) or demand < 0:
@@ -887,6 +913,9 @@ class ControllerSession:
         else:
             vt = cache.virtual_slot(served, row)
 
+        if not build_slot:
+            return demand, served, shed, counts_t, vt, None
+
         # a virtual slot pins (served, row), so its SlotInfo is reusable tick
         # to tick — only ``t`` advances (bounded-ledger caches recycle vt ids,
         # which would leave templates stale, hence the unbounded-only gate)
@@ -916,7 +945,16 @@ class ControllerSession:
             )
             if reusable:
                 self._slot_templates[vt] = slot
+        return demand, served, shed, counts_t, vt, slot
 
+    def decide_tick(self, slot, counts_t):
+        """Phase 2 of a tick: step the algorithm and enforce the decision contract.
+
+        Returns ``(rounded, r_list, forced)`` — the integral configuration
+        actually committed, its plain-list mirror, and how many machine-slots
+        the environment forced below the algorithm's choice (shed mode).
+        """
+        stream = self.cache.stream
         choice = np.asarray(self.algorithm.step(slot))
         if choice.shape != (stream.d,):
             raise ValueError(
@@ -954,8 +992,35 @@ class ControllerSession:
             forced = int(np.sum(np.maximum(rounded - counts_t, 0)))
             rounded = np.minimum(rounded, counts_t)
             r_list = rounded.tolist()
+        return rounded, r_list, forced
 
-        result = cache.solve_config(vt, rounded)
+    def commit_tick(
+        self,
+        demand: float,
+        served: float,
+        shed: float,
+        vt: int,
+        rounded: np.ndarray,
+        r_list,
+        forced: int = 0,
+        *,
+        slot=None,
+        started_ns=None,
+        latency_ns: int = 0,
+        emit: bool = True,
+    ) -> Optional[FleetState]:
+        """Phase 3 of a tick: solve, account, advance — the pure-state-update half.
+
+        Runs the per-configuration dispatch solve (:meth:`ServeCache.solve_config`
+        — memoised, so a batched commit returns the identical
+        ``DispatchResult`` object a sequential tick would), the switching-cost
+        update, SLA/cumulative counters and the history/previous/tick-cursor
+        advance.  ``started_ns`` meters the latency here (single-tenant path);
+        the batched engine passes its amortised per-tenant ``latency_ns``
+        instead.  ``emit=False`` skips building the :class:`FleetState`
+        (telemetry off) and returns ``None``.
+        """
+        result = self.cache.solve_config(vt, rounded)
         operating = float(result.cost)
         if not math.isfinite(operating):
             self._feasible = False
@@ -966,6 +1031,11 @@ class ControllerSession:
 
         prefix_opt = float("nan")
         if self._regret_tracker is not None:
+            if slot is None:
+                raise ValueError(
+                    "regret-tracked sessions need the tick's SlotInfo; the batched "
+                    "engine must route them through the per-tenant slow path"
+                )
             self._regret_tracker.observe(slot)
             prefix_opt = self._regret_tracker.prefix_optimum_cost()
 
@@ -980,8 +1050,11 @@ class ControllerSession:
             self._configs.append(rounded)
         self._previous = rounded
         self._t += 1
-        latency_ns = time.perf_counter_ns() - started
+        if started_ns is not None:
+            latency_ns = time.perf_counter_ns() - started_ns
         self._latencies.append(latency_ns)
+        if not emit:
+            return None
         return FleetState(
             t=self._t - 1,
             demand=demand,
@@ -997,6 +1070,35 @@ class ControllerSession:
             shed_demand=shed,
             sla_violation=violation,
             forced_down=forced,
+        )
+
+    def observe_batch(
+        self,
+        demand: float,
+        served: float,
+        shed: float,
+        vt: int,
+        rounded: np.ndarray,
+        r_list=None,
+        *,
+        forced: int = 0,
+        latency_ns: int = 0,
+        emit: bool = True,
+    ) -> Optional[FleetState]:
+        """Commit one externally decided tick (the batched engine's entry point).
+
+        The caller — a cohort in :class:`~repro.serve.batch.BatchedServeEngine`
+        — has already validated the demand, resolved shed/capacity, pinned the
+        ledger slot ``vt`` and chosen ``rounded`` via the vectorised table
+        argmin; this method is exactly :meth:`commit_tick`, so the session
+        state after it is bit-identical to a sequential :meth:`observe` of the
+        same tick.
+        """
+        if r_list is None:
+            r_list = rounded.tolist()
+        return self.commit_tick(
+            demand, served, shed, vt, rounded, r_list, forced,
+            latency_ns=latency_ns, emit=emit,
         )
 
     def finish(self) -> None:

@@ -36,6 +36,16 @@ class TelemetryWriter:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._handle = open(self.path, "a", encoding="utf-8")
 
+    @property
+    def active(self) -> bool:
+        """Whether rows actually land anywhere (``False`` for the null sink).
+
+        The batched engine checks this before materialising per-tick
+        :class:`~repro.serve.session.FleetState` rows — building 10k telemetry
+        rows per round for a sink that discards them would be pure overhead.
+        """
+        return self._handle is not None
+
     def write(self, row: dict, tenant: Optional[str] = None) -> None:
         """Append one telemetry row (stamping ``tenant`` when given)."""
         if self._handle is None:

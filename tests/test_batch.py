@@ -1,0 +1,456 @@
+"""Tests for the fleet-batched tick engine (:mod:`repro.serve.batch`).
+
+The anchor is the *batched equivalence gate*: a
+:class:`~repro.serve.BatchedServeEngine` run — cohort tables, vectorised
+argmins, overlapped feeds, chaos tenants, a mid-stream checkpoint/restore
+round-trip — must be **bit-identical** to the sequential
+:class:`~repro.serve.ServeEngine` (``np.array_equal`` schedules, exact SLA
+counters, cost within 1e-9) for every registered scenario family.  On top of
+that: the ``observe`` → ``prepare_tick``/``decide_tick``/``commit_tick``
+split, table saturation fallback, the feed pump, the new report counters, and
+budgeted-cache eviction under tenant churn.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import scenarios
+from repro.scenarios import build
+from repro.scenarios.events import EventPlan
+from repro.serve import (
+    BatchedServeEngine,
+    ControllerSession,
+    FeedPump,
+    InstanceFeed,
+    ServeCache,
+    ServeEngine,
+    verify_batched,
+)
+from repro.serve.batch import DEFAULT_TABLE_BUDGET, _decider_kind
+from repro.workloads.scale import quantise_trace
+
+BATCHED_ALGORITHMS = ["reactive", "follow-demand", "all-on"]
+FALLBACK_ALGORITHMS = ["A", "lcp"]
+
+
+def _smoke_instance(name):
+    fam = scenarios.family(name)
+    return build(scenarios.ScenarioSpec(name, dict(fam.smoke_params)))
+
+
+def _quantised(name="diurnal-cpu-gpu", T=32, levels=8):
+    inst = build(name, T=T)
+    return inst.with_demand(quantise_trace(inst.demand, levels=levels))
+
+
+def _register_fleet(instance, n, algorithms, chaos_every=None, **tenant_kwargs):
+    """A build_tenants callback: n tenants over rotated copies of one trace."""
+
+    def build_tenants(engine):
+        for k in range(n):
+            rolled = np.roll(instance.demand, k % max(instance.T, 1))
+            feed = InstanceFeed(instance.with_demand(rolled, name=f"t{k}"))
+            chaos = None
+            if chaos_every and k % chaos_every == chaos_every - 1:
+                chaos = EventPlan.generate(
+                    instance.T, instance.d, seed=11 + k, n_events=3
+                )
+            engine.add_tenant(
+                f"tenant-{k}",
+                algorithms[k % len(algorithms)],
+                feed,
+                chaos=chaos,
+                **tenant_kwargs,
+            )
+
+    return build_tenants
+
+
+# --------------------------------------------------------------------------- #
+# The batched equivalence gate
+# --------------------------------------------------------------------------- #
+
+
+class TestBatchedEquivalence:
+    def test_pure_cohort_is_fully_batched_and_identical(self):
+        """A homogeneous reactive fleet takes the vectorised path for every
+        tick and still reproduces the sequential engine bit-identically."""
+        instance = _quantised()
+        report = verify_batched(_register_fleet(instance, 12, ["reactive"]))
+        assert report["schedules_identical"]
+        assert report["max_cost_deviation"] <= 1e-9
+        assert report["batch"]["fallback_ticks"] == 0
+        assert report["batch"]["batched_ticks"] == report["ticks_total"] > 0
+        assert report["batch"]["batch_hit_rate"] == 1.0
+
+    @pytest.mark.parametrize("algorithm", BATCHED_ALGORITHMS)
+    def test_each_vectorised_decider_is_identical(self, algorithm):
+        instance = _quantised(T=24)
+        report = verify_batched(_register_fleet(instance, 6, [algorithm]))
+        assert report["schedules_identical"]
+        assert report["batch"]["batched_ticks"] == report["ticks_total"]
+
+    @pytest.mark.parametrize("family", scenarios.names())
+    def test_every_family_batches_identically(self, family):
+        """The tentpole acceptance gate: for every registered scenario family
+        (chaos families included), a batched run with a mid-stream
+        checkpoint/restore matches the sequential engine exactly."""
+        instance = _smoke_instance(family)
+        # full-grid table deciders are intractable on huge fleets either way;
+        # all-on exercises the batched commit path there instead
+        grid_size = int(np.prod(np.asarray(instance.m) + 1))
+        algorithms = ["all-on"] if grid_size > 50_000 else ["reactive", "all-on"]
+        report = verify_batched(
+            _register_fleet(instance, 4, algorithms, chaos_every=4,
+                            degradation="shed"),
+            checkpoint_at=max(1, instance.T // 2),
+        )
+        assert report["schedules_identical"]
+        assert report["max_cost_deviation"] <= 1e-9
+        assert report["batch"]["batched_ticks"] > 0
+
+    def test_mixed_fleet_with_chaos_and_checkpoint(self):
+        """DP tenants (fallback) interleaved with table tenants (vectorised),
+        chaos on every fourth tenant, checkpoint mid-stream: both paths run
+        and the whole fleet stays identical."""
+        instance = _quantised(T=24)
+        report = verify_batched(
+            _register_fleet(
+                instance, 10, BATCHED_ALGORITHMS + FALLBACK_ALGORITHMS,
+                chaos_every=4, degradation="shed",
+            ),
+            checkpoint_at=12,
+        )
+        assert report["schedules_identical"]
+        assert report["batch"]["batched_ticks"] > 0
+        assert report["batch"]["fallback_ticks"] > 0
+        batched_flags = {row["algorithm"]: row["batched"] for row in report["tenants"]}
+        assert batched_flags["reactive"] and batched_flags["all-on"]
+        assert not batched_flags["algorithm-A"] and not batched_flags["LCP"]
+
+    def test_overlapped_pump_is_identical(self):
+        instance = _quantised(T=24)
+        report = verify_batched(
+            _register_fleet(instance, 8, ["reactive", "follow-demand"]),
+            overlap=True,
+        )
+        assert report["schedules_identical"]
+        pump = report["batch"]["feed_pump"]
+        assert pump["prefetched"] == report["ticks_total"]
+        assert pump["max_buffered"] <= pump["prefetch_bound"]
+
+    def test_counts_varying_fleets_form_distinct_cohorts(self):
+        instance = _smoke_instance("time-varying-m")
+        report = verify_batched(
+            _register_fleet(instance, 6, ["reactive"], degradation="shed"),
+            checkpoint_at=max(1, instance.T // 2),
+        )
+        assert report["schedules_identical"]
+        assert report["batch"]["batched_ticks"] > 0
+
+    def test_regret_tracked_sessions_fall_back(self):
+        instance = _quantised(T=12)
+        report = verify_batched(
+            _register_fleet(instance, 3, ["reactive"], track_regret=True)
+        )
+        assert report["schedules_identical"]
+        assert report["batch"]["batched_ticks"] == 0
+        assert report["batch"]["fallback_ticks"] == report["ticks_total"]
+
+
+# --------------------------------------------------------------------------- #
+# The observe() split
+# --------------------------------------------------------------------------- #
+
+
+class TestObserveSplit:
+    def test_split_phases_compose_to_observe(self):
+        """prepare/decide/commit driven by hand must reproduce observe()
+        exactly — same schedule, same cost, same emitted rows."""
+        instance = _quantised(T=16)
+        cache = ServeCache(instance.server_types)
+        whole = ControllerSession("reactive", instance.server_types, cache=cache)
+        split = ControllerSession(
+            "reactive", instance.server_types, cache=ServeCache(instance.server_types)
+        )
+        for demand in instance.demand:
+            state = whole.observe(demand)
+            d, served, shed, counts_t, vt, slot = split.prepare_tick(demand)
+            rounded, r_list, forced = split.decide_tick(slot, counts_t)
+            split_state = split.commit_tick(d, served, shed, vt, rounded, r_list, forced)
+            a, b = state.as_row(), split_state.as_row()
+            a.pop("latency_ms"), b.pop("latency_ms")
+            assert a == b
+        assert np.array_equal(whole.schedule.x, split.schedule.x)
+        assert whole.cumulative_cost == split.cumulative_cost
+
+    def test_observe_batch_commits_external_decisions(self):
+        """observe_batch with the sequential engine's own decision is the
+        identity: state advances exactly as observe would."""
+        instance = _quantised(T=12)
+        reference = ControllerSession("all-on", instance.server_types)
+        replayed = ControllerSession("all-on", instance.server_types)
+        for demand in instance.demand:
+            state = reference.observe(demand)
+            d, served, shed, counts_t, vt, _ = replayed.prepare_tick(
+                demand, build_slot=False
+            )
+            rounded = np.asarray(state.config, dtype=int)
+            replayed.observe_batch(d, served, shed, vt, rounded, emit=False)
+        assert np.array_equal(reference.schedule.x, replayed.schedule.x)
+        assert reference.cumulative_cost == replayed.cumulative_cost
+        assert reference.ticks == replayed.ticks
+
+    def test_observe_batch_refuses_regret_tracking_without_slot(self):
+        instance = _quantised(T=4)
+        session = ControllerSession(
+            "reactive", instance.server_types, track_regret=True
+        )
+        d, served, shed, counts_t, vt, _ = session.prepare_tick(
+            float(instance.demand[0]), build_slot=False
+        )
+        with pytest.raises(ValueError, match="regret"):
+            session.observe_batch(d, served, shed, vt, np.zeros(instance.d, dtype=int))
+
+
+# --------------------------------------------------------------------------- #
+# Cohort tables: saturation fallback
+# --------------------------------------------------------------------------- #
+
+
+class TestTableSaturation:
+    def test_saturated_table_falls_back_per_tenant(self):
+        """With a tiny table budget most demand levels miss the table; those
+        ticks take the per-tenant path and results stay identical."""
+        instance = _quantised(T=24, levels=16)
+        report = verify_batched(
+            _register_fleet(instance, 6, ["reactive"]),
+            engine_kwargs={"table_budget": 2},
+        )
+        assert report["schedules_identical"]
+        assert report["batch"]["table_fallbacks"] > 0
+        assert report["batch"]["fallback_ticks"] > 0
+        assert report["batch"]["batched_ticks"] > 0
+        assert report["batch"]["table_levels"] <= 2 * report["batch"]["decision_tables"]
+
+    def test_default_budget_is_generous(self):
+        assert DEFAULT_TABLE_BUDGET >= 1024
+
+
+# --------------------------------------------------------------------------- #
+# Feed pump
+# --------------------------------------------------------------------------- #
+
+
+class _PumpTenant:
+    def __init__(self, feed):
+        self.iterator = iter(feed)
+
+
+class TestFeedPump:
+    def test_pump_preserves_tick_order_and_bounds_buffering(self):
+        instance = _quantised(T=20)
+        names = [f"t{k}" for k in range(5)]
+        direct = {
+            name: list(InstanceFeed(instance)) for name in names
+        }
+        pump = FeedPump(
+            {name: _PumpTenant(InstanceFeed(instance)) for name in names},
+            prefetch=3,
+            workers=2,
+        ).start()
+        try:
+            for name in names:
+                got = []
+                while True:
+                    tick = pump.next_tick(name)
+                    if tick is None:
+                        break
+                    got.append(tick)
+                assert [t.demand for t in got] == [t.demand for t in direct[name]]
+            counters = pump.counters()
+            assert counters["prefetched"] == 5 * instance.T
+            assert counters["max_buffered"] <= counters["prefetch_bound"]
+        finally:
+            pump.stop()
+
+    def test_stop_returns_unconsumed_ticks(self):
+        instance = _quantised(T=16)
+        pump = FeedPump(
+            {"a": _PumpTenant(InstanceFeed(instance))}, prefetch=4, workers=1
+        ).start()
+        first = pump.next_tick("a")
+        leftovers = pump.stop()
+        buffered = leftovers.get("a", [])
+        assert first.demand == float(instance.demand[0])
+        assert 1 <= len(buffered) <= 4
+        assert [t.demand for t in buffered] == [
+            float(v) for v in instance.demand[1 : 1 + len(buffered)]
+        ]
+
+
+# --------------------------------------------------------------------------- #
+# Report counters (satellite: eviction + cohort hit-rate observability)
+# --------------------------------------------------------------------------- #
+
+
+class TestReportCounters:
+    def test_engine_report_carries_cache_totals(self):
+        instance = _quantised(T=12)
+        engine = ServeEngine(share_caches=True, ledger_budget=4)
+        for k in range(3):
+            engine.add_tenant(f"t{k}", "reactive", InstanceFeed(instance))
+        engine.run()
+        totals = engine.report()["cache_totals"]
+        for key in ("virtual_slots", "ledger_evictions", "tensor_evictions",
+                    "tensor_bytes", "unique_solves"):
+            assert key in totals
+        assert totals["virtual_slots"] <= 4
+        assert "cache_hit_rate" not in totals  # a ratio; summing it is meaningless
+
+    def test_batched_report_carries_batch_section(self):
+        instance = _quantised(T=12)
+        engine = BatchedServeEngine(share_caches=True)
+        for k in range(4):
+            engine.add_tenant(f"t{k}", "reactive", InstanceFeed(instance))
+        engine.run()
+        batch = engine.report()["batch"]
+        assert batch["batched_ticks"] == 4 * instance.T
+        assert batch["fallback_ticks"] == 0
+        assert batch["batch_hit_rate"] == 1.0
+        assert batch["decision_tables"] >= 1
+        assert batch["table_installs"] == batch["table_levels"] > 0
+        assert batch["avg_cohort_size"] > 1
+
+    def test_decider_kind_classification(self):
+        instance = _quantised(T=4)
+        for algorithm, kind in [("reactive", "reactive"),
+                                ("follow-demand", "follow-demand"),
+                                ("all-on", "all-on"),
+                                ("A", None), ("lcp", None)]:
+            session = ControllerSession(algorithm, instance.server_types)
+            assert _decider_kind(session) == kind
+
+
+# --------------------------------------------------------------------------- #
+# Budgeted-cache churn (satellite: 1k+ short-lived tenants, flat memory)
+# --------------------------------------------------------------------------- #
+
+
+class TestBudgetedChurn:
+    def test_ledger_budget_keeps_memo_flat_over_1k_tenants(self):
+        """1k+ short-lived tenants over one budgeted shared cache: the ledger
+        stays at its budget (evictions, not growth) and every tenant's cost
+        is identical to an unbudgeted replay — eviction is numerically
+        neutral."""
+        instance = _quantised(T=32, levels=32)
+        budgeted = ServeCache(instance.server_types, ledger_budget=6)
+        unbudgeted = ServeCache(instance.server_types)
+        n_tenants, ticks = 1100, 3
+        slots_seen = []
+        for k in range(n_tenants):
+            demands = np.roll(instance.demand, k % instance.T)[:ticks]
+            costs = []
+            for cache in (budgeted, unbudgeted):
+                session = ControllerSession(
+                    "reactive", instance.server_types, cache=cache, history=False
+                )
+                for demand in demands:
+                    session.observe(float(demand))
+                costs.append(session.cumulative_cost)
+            assert costs[0] == costs[1]
+            slots_seen.append(budgeted.counters()["virtual_slots"])
+        counters = budgeted.counters()
+        assert counters["virtual_slots"] <= 6
+        assert max(slots_seen) <= 6  # flat throughout, not just at the end
+        assert counters["ledger_evictions"] > 0
+
+    def test_tensor_budget_evicts_and_stays_neutral(self):
+        """Grid tensors (the DP algorithms' per-slot memo) respect
+        tensor_budget_bytes under churn: bytes stay bounded, evictions fire,
+        schedules match an unbudgeted cache exactly."""
+        instance = _quantised(T=8, levels=24)
+        probe = ControllerSession("A", instance.server_types)
+        probe.observe(float(instance.demand[0]))
+        tensor_cache = probe.cache.counters()
+        if tensor_cache["tensor_bytes"] == 0:
+            pytest.skip("algorithm A does not populate the tensor memo here")
+        budget = tensor_cache["tensor_bytes"] * 3  # room for ~3 slots' tensors
+        budgeted = ServeCache(instance.server_types, tensor_budget_bytes=budget)
+        unbudgeted = ServeCache(instance.server_types)
+        for k in range(40):
+            demands = np.roll(instance.demand, k % instance.T)[:4]
+            schedules = []
+            for cache in (budgeted, unbudgeted):
+                session = ControllerSession(
+                    "A", instance.server_types, cache=cache, history=True
+                )
+                for demand in demands:
+                    session.observe(float(demand))
+                schedules.append(session.schedule.x)
+            assert np.array_equal(schedules[0], schedules[1])
+            assert budgeted.counters()["tensor_bytes"] <= budget
+        assert budgeted.counters()["tensor_evictions"] > 0
+
+    def test_batched_engine_forwards_budgets_and_stays_identical(self):
+        """ledger_budget on the engines: eviction churn underneath the cohort
+        tables must not perturb batched results."""
+        instance = _quantised(T=16, levels=16)
+        report = verify_batched(
+            _register_fleet(instance, 8, ["reactive", "follow-demand"]),
+            engine_kwargs={"ledger_budget": 3},
+        )
+        assert report["schedules_identical"]
+        assert report["max_cost_deviation"] <= 1e-9
+
+
+# --------------------------------------------------------------------------- #
+# Bench harness plumbing
+# --------------------------------------------------------------------------- #
+
+
+class TestBenchHarness:
+    def test_batch_smoke_merges_section_preserving_others(self, tmp_path):
+        from repro.bench import run_batch_smoke
+
+        path = tmp_path / "BENCH_serve.json"
+        path.write_text(json.dumps({"latency": {"keep": True}}))
+        section = run_batch_smoke(tenants=8, ticks=12, json_path=str(path))
+        assert section["schedules_identical"]
+        assert section["max_cost_deviation"] <= 1e-9
+        assert section["batched_ticks"] > 0 and section["fallback_ticks"] > 0
+        payload = json.loads(path.read_text())
+        assert payload["latency"] == {"keep": True}
+        assert payload["batch_smoke"]["ticks_total"] == section["ticks_total"]
+
+    def test_batch_scale_bench_gates_and_records_memory(self, tmp_path):
+        from repro.bench import run_batch_scale_bench
+
+        path = tmp_path / "BENCH_serve.json"
+        section = run_batch_scale_bench(
+            tenant_counts=(3, 9),
+            ticks=12,
+            seq_limit=4,
+            sample_check=2,
+            assert_speedup=False,
+            json_path=str(path),
+        )
+        assert [row["tenants"] for row in section["rows"]] == [3, 9]
+        full, sampled = section["rows"]
+        assert full["equality"] == "full"
+        assert sampled["equality"] == "sampled-2"
+        for row in section["rows"]:
+            assert row["max_cost_deviation"] <= 1e-9
+            assert row["tracemalloc_peak_mb"] >= 0
+            assert row["rss_delta_mb"] >= 0
+            assert row["batch_hit_rate"] == 1.0
+        # the flat-memory gate: identical cache footprint across counts
+        assert full["virtual_slots"] == sampled["virtual_slots"]
+        payload = json.loads(path.read_text())
+        assert payload["batch_scale"]["rows"] == section["rows"]
+        assert any(
+            entry.get("benchmark") == "serve-batch-scale"
+            for entry in payload.get("runs", [])
+        )
