@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-sweep bench-scale bench-serve bench-fabric bench-latency-smoke bench-batch-smoke perf-regress scenarios-smoke serve-smoke chaos-smoke fabric-smoke
+.PHONY: test bench bench-smoke bench-sweep bench-scale bench-serve bench-fabric bench-latency-smoke bench-batch-smoke perf-regress scenarios-smoke serve-smoke chaos-smoke fabric-smoke watch-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -57,6 +57,21 @@ bench-latency-smoke:
 # microsecond steady state).
 bench-batch-smoke:
 	$(PYTHON) -m repro serve batch --budget-scale $(BUDGET_SCALE)
+
+# Observability gate: a short traced replay writes per-tick telemetry, a
+# Chrome trace and the summarise_sessions payload; `repro serve watch` must
+# then reproduce that summary from the telemetry file alone, equality-exact
+# (--expect diffs key by key and exits non-zero on any deviation).  The
+# artifacts are removed first because telemetry appends.
+WATCH_DIR := benchmarks/output/watch-smoke
+watch-smoke:
+	rm -rf $(WATCH_DIR)
+	$(PYTHON) -m repro serve replay --scenario diurnal-cpu-gpu --param T=64 \
+		--telemetry $(WATCH_DIR)/telemetry.jsonl \
+		--trace $(WATCH_DIR)/trace.json \
+		--json $(WATCH_DIR)/replay.json
+	$(PYTHON) -m repro serve watch $(WATCH_DIR)/telemetry.jsonl --once \
+		--json - --expect $(WATCH_DIR)/replay.json
 
 # Scenario-registry gate: build every registered scenario family at a tiny
 # size and run one online algorithm through each (validates the declarative

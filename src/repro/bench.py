@@ -723,6 +723,23 @@ def run_sweep_bench(
 # --------------------------------------------------------------------------- #
 
 
+def _registry_totals(metrics) -> dict:
+    """Non-zero deterministic counter totals, summed across labelled series.
+
+    The compact registry column recorded in ``BENCH_serve.json`` rows:
+    equality-comparable across runs (wall-clock metrics are excluded by
+    :meth:`~repro.serve.metrics.MetricsRegistry.deterministic_snapshot`).
+    """
+    snap = metrics.deterministic_snapshot()
+    totals: Dict[str, float] = {}
+    for series, value in snap["values"].items():
+        name = series.split("{", 1)[0]
+        totals[name] = totals.get(name, 0) + value
+    return {
+        name: round(value, 9) for name, value in sorted(totals.items()) if value
+    }
+
+
 def run_serve_bench(
     tenant_counts=(1, 8, 64),
     ticks: Optional[int] = None,
@@ -816,6 +833,7 @@ def run_serve_bench(
                     "table_gathers": sum(c["table_gathers"] for c in sharing),
                     "warm_hits": sum(c["warm_hits"] for c in sharing),
                     "cold_solves": sum(c["cold_solves"] for c in sharing),
+                    "registry": _registry_totals(engine.metrics),
                     "tracemalloc_peak_mb": peak_mb,
                     "rss_delta_mb": rss_delta_mb,
                 }
@@ -1524,11 +1542,36 @@ def run_counter_regress(json_path: Optional[str] = None) -> dict:
             / max(sum(c["tensor_hits"] + c["tensor_misses"] for c in counters), 1),
             6,
         )
-        return summed, [s.cumulative_cost for s in engine.sessions]
+        # second path to the same numbers: the engine's metrics registry
+        # (deterministic_snapshot runs the collectors), summed across the
+        # per-cache labelled series — must agree with the dict path exactly
+        engine.metrics.deterministic_snapshot()
+        registry = {key: engine.metrics.sum_metric(key) for key in summed if key != "grid_hit_rate"}
+        registry["grid_hit_rate"] = round(
+            registry["tensor_hits"]
+            / max(registry["tensor_hits"] + registry["tensor_misses"], 1),
+            6,
+        )
+        return summed, [s.cumulative_cost for s in engine.sessions], registry
 
-    cold, cold_costs = replay(warm_start=False, prewarm=False)
-    warm, warm_costs = replay(warm_start=True, prewarm=False)
-    pre, pre_costs = replay(warm_start=False, prewarm=True)
+    cold, cold_costs, cold_reg = replay(warm_start=False, prewarm=False)
+    warm, warm_costs, warm_reg = replay(warm_start=True, prewarm=False)
+    pre, pre_costs, pre_reg = replay(warm_start=False, prewarm=True)
+
+    for label, counters_path, registry_path in (
+        ("cold", cold, cold_reg), ("warm", warm, warm_reg), ("prewarmed", pre, pre_reg)
+    ):
+        if counters_path != registry_path:
+            diff = {
+                k: (counters_path.get(k), registry_path.get(k))
+                for k in set(counters_path) | set(registry_path)
+                if counters_path.get(k) != registry_path.get(k)
+            }
+            raise AssertionError(
+                f"counter regress: {label} registry snapshot disagrees with the "
+                f"counters() dict path ({diff}) — the registry threading dropped "
+                "or double-counted an increment site"
+            )
 
     for label, costs in (("warm", warm_costs), ("prewarmed", pre_costs)):
         worst = max(abs(a - b) for a, b in zip(costs, cold_costs))
@@ -1550,12 +1593,26 @@ def run_counter_regress(json_path: Optional[str] = None) -> dict:
         "prewarmed_levels": pre["prewarmed_levels"],
         "unique_solves_prewarmed": pre["unique_solves"],
     }
+    measured_registry = {
+        "unique_solves": cold_reg["unique_solves"],
+        "slot_queries": cold_reg["slot_queries"],
+        "tensor_hits": cold_reg["tensor_hits"],
+        "tensor_misses": cold_reg["tensor_misses"],
+        "grid_hit_rate": cold_reg["grid_hit_rate"],
+        "warm_hits_warm": warm_reg["warm_hits"],
+        "cold_solves_warm": warm_reg["cold_solves"],
+        "table_gathers_prewarmed": pre_reg["table_gathers"],
+        "prewarmed_levels": pre_reg["prewarmed_levels"],
+        "unique_solves_prewarmed": pre_reg["unique_solves"],
+    }
     deviations = {}
     for key, pinned in PINNED_SERVE_COUNTERS.items():
         if key not in measured:
             raise AssertionError(f"counter regress measured no value for pin {key!r}")
         if measured[key] != pinned:
             deviations[key] = (pinned, measured[key])
+        if measured_registry[key] != pinned:
+            deviations[f"{key} (registry path)"] = (pinned, measured_registry[key])
     if deviations:
         drifted = ", ".join(
             f"{key}: pinned {pinned!r} vs measured {got!r}"
@@ -1593,9 +1650,12 @@ def run_counter_regress(json_path: Optional[str] = None) -> dict:
             "algorithm": "A",
         },
         "measured": measured,
+        "registry": measured_registry,
         "pinned": dict(PINNED_SERVE_COUNTERS),
         "modes": {"cold": cold, "warm": warm, "prewarmed": pre},
-        "note": "all counters gate by exact equality; costs gate at 1e-9",
+        "note": "all counters gate by exact equality — through both the "
+                "counters() dict path and the metrics-registry snapshot path; "
+                "costs gate at 1e-9",
     }
     if json_path:
         directory = os.path.dirname(json_path)
@@ -1738,6 +1798,51 @@ def run_latency_smoke(
             f"{budget:g}µs budget ({budget_us:g}µs x {budget_scale:g})"
         )
 
+    # tracing-overhead rider: the same workload fully traced (trace_every=1,
+    # the sampling knob's worst case — three perf_counter_ns pairs per tick)
+    # must keep its floor p99 under 2x the untraced budget, and must remain
+    # decision-neutral.  Same floor-of-repeats methodology as above.
+    from .serve.trace import TickTracer
+
+    tracer = TickTracer(trace_every=1)
+    traced_tick = np.empty((repeats, ticks), dtype=np.int64)
+    for rep in range(repeats):
+        session = ControllerSession(
+            algorithm, cache=cache, name=f"traced-{rep}", tracer=tracer
+        )
+        gc.disable()
+        try:
+            for value in demand_list:
+                session.observe(value)
+        finally:
+            gc.enable()
+        session.finish()
+        if not np.array_equal(session.schedule.x, reference_schedule):
+            raise AssertionError(
+                f"latency smoke: traced repeat {rep} produced a different "
+                "schedule — tracing must only read clocks, never decide"
+            )
+        deviation = abs(session.cumulative_cost - reference_cost)
+        if not deviation <= 1e-9:
+            raise AssertionError(
+                f"latency smoke: traced repeat {rep} cost deviates by "
+                f"{deviation:.3e} (> 1e-9)"
+            )
+        traced_tick[rep] = session.latencies_ns
+    traced_floor_us = traced_tick.min(axis=0) / 1000.0
+    traced_floor = {
+        "p50_us": round(float(np.percentile(traced_floor_us, 50)), 2),
+        "p90_us": round(float(np.percentile(traced_floor_us, 90)), 2),
+        "p99_us": round(float(np.percentile(traced_floor_us, 99)), 2),
+        "max_us": round(float(traced_floor_us.max()), 2),
+    }
+    if not traced_floor["p99_us"] < 2.0 * budget:
+        raise AssertionError(
+            f"latency smoke: fully-traced p99 tick latency {traced_floor['p99_us']}µs "
+            f"exceeds 2x the {budget:g}µs budget — the tracer is on the wrong "
+            "side of the hot path"
+        )
+
     payload = {
         "benchmark": "latency_smoke",
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -1758,6 +1863,12 @@ def run_latency_smoke(
         "prewarmed_levels": len(levels),
         "table_gathers": cache.table_gathers,
         "floor_us": floor,
+        "traced": {
+            "trace_every": 1,
+            "sampled_ticks": tracer.sampled_ticks,
+            "floor_us": traced_floor,
+            "budget_us": round(2.0 * budget, 6),
+        },
         "per_repeat_us": per_rep_rows,
         "note": (
             "floor_us = percentiles of the per-tick minimum across repeats "

@@ -929,6 +929,22 @@ def _apply_backend(args: argparse.Namespace) -> Optional[int]:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.action == "watch":
+        from .serve.watch import watch_command
+
+        if args.path is None:
+            print("serve watch needs a PATH: a telemetry JSONL file or a "
+                  "fabric run directory", file=sys.stderr)
+            return 2
+        return watch_command(
+            args.path,
+            once=args.once,
+            refresh=args.refresh,
+            json_out=args.json,
+            html_out=args.html,
+            expect=args.expect,
+        )
+
     failed = _apply_backend(args)
     if failed is not None:
         return failed
@@ -1135,19 +1151,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
              f"degradation={degradation}" if chaos_plan is not None else "")
           + (f" at {args.speed:g}x time-warp" if args.speed else " (unpaced)"))
 
+    tracer = None
+    if args.trace is not None or args.trace_every is not None:
+        from .serve.trace import TickTracer
+
+        tracer = TickTracer(trace_every=args.trace_every or 1)
     session = ControllerSession(
         algorithm, instance.server_types, track_regret=args.regret,
-        degradation=degradation, name="replay"
+        degradation=degradation, name="replay", tracer=tracer
     )
-    with TelemetryWriter(args.telemetry) as writer:
-        for tick in feed.play(args.speed):
+    perf_ns = time.perf_counter_ns
+    with TelemetryWriter(
+        args.telemetry, flush_every=args.flush_every, rotate_bytes=args.rotate_bytes
+    ) as writer:
+        ticks_iter = iter(feed.play(args.speed))
+        while True:
+            # peek (non-consuming): observe() itself consumes the sample slot
+            sampled = tracer is not None and tracer.peek()
+            t0 = perf_ns() if sampled else 0
+            try:
+                tick = next(ticks_iter)
+            except StopIteration:
+                break
+            if sampled:
+                tracer.record("feed_wait", session.name, session.ticks, t0, perf_ns())
             if args.checkpoint_at is not None and tick.t == args.checkpoint_at:
                 payload_bytes = len(json.dumps(session.checkpoint()))
                 session = session.checkpoint_roundtrip()
                 print(f"  checkpoint/restore round-trip at tick {tick.t} "
                       f"({payload_bytes} bytes)")
             state = session.observe(tick.demand, cost_row=tick.cost_row, counts=tick.counts)
+            t1 = perf_ns() if sampled else 0
             writer.write(state.as_row(), tenant=session.name)
+            if sampled:
+                tracer.record("telemetry", session.name, state.t, t1, perf_ns())
     session.finish()
 
     summary = session.summary()
@@ -1171,7 +1208,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"{summary['forced_downs']} forced power-down(s) "
               f"(degradation={degradation}, stream completed without raising)")
     if args.telemetry:
-        print(f"\nwrote {writer.rows_written} telemetry rows to {args.telemetry}")
+        rotated = f" ({writer.rotations} rotation(s))" if writer.rotations else ""
+        print(f"\nwrote {writer.rows_written} telemetry rows to {args.telemetry}{rotated}")
+    if tracer is not None:
+        phases = tracer.summary()["phases"]
+        traced_ns = sum(p["total_ns"] for p in phases.values())
+        print(f"\ntraced {tracer.sampled_ticks} tick(s) (every {tracer.trace_every}): "
+              + ", ".join(f"{name} {p['total_ns'] / 1e3:.1f}us"
+                          for name, p in sorted(phases.items()))
+              + f" — {traced_ns / 1e3:.1f}us total in spans")
+        if args.trace is not None:
+            tracer.dump(args.trace)
+            print(f"wrote Chrome trace_event JSON to {args.trace} "
+                  f"(open in chrome://tracing or Perfetto)")
+    if args.json:
+        from .serve import summarise_sessions
+
+        payload = {
+            "schema": 1,
+            "summary": summarise_sessions([session]),
+            "session": session.summary(),
+        }
+        if tracer is not None:
+            payload["trace"] = tracer.summary()
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
     if args.verify:
         # the live session (including any checkpoint round-trip above) already
         # holds the streamed schedule — one batch run is all the check needs
@@ -1522,17 +1584,23 @@ def build_parser() -> argparse.ArgumentParser:
                "mid-stream checkpoint, batched p99 within budget); `bench "
                "--batched` runs the 1k/10k-tenant fleet-batched scale sweep "
                "(>=5x vs sequential at 1k+, flat cache footprint, "
-               "RSS+tracemalloc columns).",
+               "RSS+tracemalloc columns); `watch` tails a telemetry JSONL "
+               "file or fabric run directory as a live dashboard (--once for "
+               "one frame, --html for a static page, --expect is the `make "
+               "watch-smoke` exactness gate).",
     )
     p_serve.add_argument("action", choices=["replay", "bench", "latency", "batch",
-                                            "smoke", "chaos", "fabric"],
+                                            "smoke", "chaos", "fabric", "watch"],
                          help="stream one scenario / run the multi-tenant benchmark "
                               "(--batched: the fleet-batched 1k/10k scale gate) / "
                               "gate the microsecond tick hot path / "
                               "run the CI gates (smoke: batch equivalence, batch: "
                               "the `make bench-batch-smoke` bit-identity gate, chaos: fault "
                               "injection, fabric --smoke: crash recovery) / run a "
-                              "sharded multi-process fabric")
+                              "sharded multi-process fabric / watch: live dashboard "
+                              "over a telemetry JSONL file or fabric run directory")
+    p_serve.add_argument("path", nargs="?", default=None,
+                         help="watch: telemetry JSONL file or fabric run directory to tail")
     p_serve.add_argument("--scenario", default=None,
                          help="registered scenario family to replay (default: diurnal-cpu-gpu)")
     p_serve.add_argument("--param", action="append", default=[], metavar="K=V",
@@ -1549,6 +1617,29 @@ def build_parser() -> argparse.ArgumentParser:
                          help="simulated duration of one tick, for pacing (default: 1.0)")
     p_serve.add_argument("--telemetry", default=None, metavar="FILE",
                          help="append per-tick telemetry rows to this JSONL file")
+    p_serve.add_argument("--flush-every", type=_positive_int, default=1, metavar="N",
+                         help="telemetry: flush the OS buffer every N rows (default: 1 — "
+                              "per-row durability; raise to amortise syscalls)")
+    p_serve.add_argument("--rotate-bytes", type=_positive_int, default=None, metavar="B",
+                         help="telemetry: rotate the JSONL file to .1/.2 when it reaches "
+                              "B bytes (default: unbounded)")
+    p_serve.add_argument("--trace", default=None, metavar="FILE",
+                         help="replay: dump a tick-phase span trace (feed wait / prepare / "
+                              "decide / commit / telemetry) as Chrome trace_event JSON")
+    p_serve.add_argument("--trace-every", type=_positive_int, default=None, metavar="N",
+                         help="replay: sample every Nth tick into the trace (default: 1 "
+                              "when --trace is given, tracing off otherwise)")
+    p_serve.add_argument("--once", action="store_true",
+                         help="watch: render a single frame and exit (CI-friendly)")
+    p_serve.add_argument("--refresh", type=float, default=1.0, metavar="S",
+                         help="watch: seconds between live-frame refreshes (default: 1.0)")
+    p_serve.add_argument("--html", default=None, metavar="FILE",
+                         help="watch: write a self-contained HTML snapshot instead of the "
+                              "ANSI frame ('-' for stdout)")
+    p_serve.add_argument("--expect", default=None, metavar="FILE",
+                         help="watch: compare the rendered summary against a recorded "
+                              "replay --json payload exactly; non-zero exit on mismatch "
+                              "(the `make watch-smoke` gate)")
     p_serve.add_argument("--checkpoint-at", type=_positive_int, default=None, metavar="K",
                          help="serialise the session to JSON after K ticks and restore it "
                               "into a fresh session (exercises checkpoint/restore mid-stream)")
@@ -1617,7 +1708,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--migrate", action="append", default=[], metavar="TENANT:WORKER",
                          help="fabric: live-migrate a tenant to a worker mid-run (repeatable)")
     p_serve.add_argument("--json", default=None,
-                         help="write the bench/smoke/fabric measurements to this JSON file")
+                         help="write the bench/smoke/fabric measurements (or the replay/"
+                              "watch summary; watch accepts '-' for stdout) to this JSON file")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_bench = sub.add_parser("bench", help="run the benchmark regression harness")

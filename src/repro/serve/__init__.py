@@ -18,7 +18,12 @@ the paper's online algorithms were designed for:
   checkpoints, checkpoint-based live migration and per-tenant feed circuit
   breakers (:mod:`~repro.serve.fabric` / :mod:`~repro.serve.supervisor`),
 * :mod:`~repro.serve.telemetry` — per-tick JSONL telemetry, latency
-  percentiles and prefix-optimum regret.
+  percentiles and prefix-optimum regret,
+* :mod:`~repro.serve.metrics` / :mod:`~repro.serve.trace` /
+  :mod:`~repro.serve.watch` — the observability layer: a dependency-free
+  labelled metrics registry behind every counter above, a sampling
+  tick-phase tracer emitting Chrome ``trace_event`` JSON, and the
+  ``repro serve watch`` live dashboard over telemetry/fabric files.
 
 The correctness anchors are :func:`verify_replay` (streaming a scenario must
 reproduce the batch ``run_online`` schedule exactly and its cost to 1e-9,
@@ -56,8 +61,17 @@ from .session import (
     previous_checkpoint_path,
     save_checkpoint,
 )
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS_NS,
+    MetricsRegistry,
+)
 from .supervisor import BreakerConfig, CircuitBreaker, RestartPolicy, Supervisor
 from .telemetry import TelemetryWriter, latency_percentiles, summarise_sessions
+from .trace import TickTracer, TraceSpan
+from .watch import FabricWatcher, TelemetryTail, WatchModel, watch_command
 
 __all__ = [
     "ArrayFeed",
@@ -67,13 +81,19 @@ __all__ = [
     "CheckpointCorruptError",
     "CircuitBreaker",
     "ControllerSession",
+    "Counter",
     "FabricError",
+    "FabricWatcher",
     "FaultInjector",
     "FeedError",
     "FeedPump",
     "FleetState",
+    "Gauge",
+    "Histogram",
     "InstanceFeed",
     "JsonlFeed",
+    "LATENCY_BUCKETS_NS",
+    "MetricsRegistry",
     "RestartPolicy",
     "SERVE_ALGORITHMS",
     "ScenarioFeed",
@@ -82,10 +102,14 @@ __all__ = [
     "ServeFabric",
     "Supervisor",
     "SyntheticFeed",
+    "TelemetryTail",
     "TelemetryWriter",
     "TenantSpec",
     "Tick",
+    "TickTracer",
     "TraceFeed",
+    "TraceSpan",
+    "WatchModel",
     "build_feed",
     "build_serve_algorithm",
     "fleet_signature",
@@ -99,4 +123,5 @@ __all__ = [
     "verify_chaos_replay",
     "verify_crash_recovery",
     "verify_replay",
+    "watch_command",
 ]

@@ -312,12 +312,14 @@ class BatchedServeEngine(ServeEngine):
         prefetch: int = 8,
         pump_workers: int = 4,
         table_budget: int = DEFAULT_TABLE_BUDGET,
+        metrics=None,
     ):
         super().__init__(
             share_caches,
             warm_start,
             ledger_budget=ledger_budget,
             tensor_budget_bytes=tensor_budget_bytes,
+            metrics=metrics,
         )
         self.overlap = bool(overlap)
         self.prefetch = int(prefetch)
@@ -327,12 +329,35 @@ class BatchedServeEngine(ServeEngine):
         # ticks prefetched by a pump but unconsumed when an early-stopped run
         # ended — replayed first on the next run() so no tick is ever dropped
         self._pending_ticks: Dict[str, list] = {}
-        self.batched_ticks = 0
-        self.fallback_ticks = 0
-        self.table_fallbacks = 0
-        self.cohort_rounds = 0
-        self.rounds = 0
+        # batching counters are engine-level registry series (unlabelled —
+        # one engine, one registry); the historical attribute names survive
+        # as read-only properties below
+        self._c_batched_ticks = self.metrics.counter("batched_ticks")
+        self._c_fallback_ticks = self.metrics.counter("fallback_ticks")
+        self._c_table_fallbacks = self.metrics.counter("table_fallbacks")
+        self._c_cohort_rounds = self.metrics.counter("cohort_rounds")
+        self._c_rounds = self.metrics.counter("rounds")
         self._pump_counters: Optional[dict] = None
+
+    @property
+    def batched_ticks(self) -> int:
+        return int(self._c_batched_ticks.value)
+
+    @property
+    def fallback_ticks(self) -> int:
+        return int(self._c_fallback_ticks.value)
+
+    @property
+    def table_fallbacks(self) -> int:
+        return int(self._c_table_fallbacks.value)
+
+    @property
+    def cohort_rounds(self) -> int:
+        return int(self._c_cohort_rounds.value)
+
+    @property
+    def rounds(self) -> int:
+        return int(self._c_rounds.value)
 
     # --------------------------------------------------------------- execution
     def run(
@@ -395,7 +420,7 @@ class BatchedServeEngine(ServeEngine):
                     still_active.append((name, tenant))
                 if arrivals:
                     self._run_round(arrivals, writer, emit, cadence, checkpoint)
-                    self.rounds += 1
+                    self._c_rounds.inc()
                 active = still_active
                 round_index += 1
         finally:
@@ -451,7 +476,7 @@ class BatchedServeEngine(ServeEngine):
                 tick.demand, cost_row=tick.cost_row, counts=tick.counts
             )
             writer.write(state.as_row(), tenant=name)
-            self.fallback_ticks += 1
+            self._c_fallback_ticks.inc()
             if cadence and tenant.session.ticks % cadence == 0:
                 checkpoint(name, tenant)
 
@@ -502,7 +527,7 @@ class BatchedServeEngine(ServeEngine):
                     level_row[level] = table.level_row(level, vt)
             if kind != "all-on" and level_row[level] is None:
                 fallback.append((name, tenant, tick))
-                self.table_fallbacks += 1
+                self._c_table_fallbacks.inc()
                 continue
             keep.append(i)
         if not keep:
@@ -549,8 +574,8 @@ class BatchedServeEngine(ServeEngine):
         # sequential path per tick, here it rides inside the same share
         latency_share = (time.perf_counter_ns() - cohort_started) // k
         r_lists = rounded_matrix.tolist()
-        self.batched_ticks += k
-        self.cohort_rounds += 1
+        self._c_batched_ticks.add(k)
+        self._c_cohort_rounds.inc()
         for i, (name, tenant, tick) in enumerate(batch):
             j = keep[i]
             level = float(served[j])

@@ -34,6 +34,7 @@ from ..core.cost_functions import ScaledCost
 from ..core.instance import ProblemInstance
 from ..scenarios.events import EventPlan
 from .feed import InstanceFeed, Tick, TraceFeed
+from .metrics import MetricsRegistry
 from .session import ControllerSession
 
 __all__ = ["ChaosFeed", "FaultInjector", "verify_chaos_replay"]
@@ -57,11 +58,20 @@ class FaultInjector:
     identical perturbed streams.
     """
 
-    def __init__(self, plan, server_types=None):
+    def __init__(self, plan, server_types=None, *, metrics=None, tenant=None):
         self.plan = EventPlan.parse(plan)
         if self.plan is None:
             self.plan = EventPlan()
         self.server_types = None if server_types is None else tuple(server_types)
+        # injection counters live in a metrics registry (the engine's when
+        # wired through add_tenant, a private one otherwise); labelled per
+        # tenant so correlated cross-tenant bursts stay attributable
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        label = {} if tenant is None else {"tenant": str(tenant)}
+        self._c_injected = self.metrics.counter("chaos_injected_ticks", **label)
+        self._c_demand = self.metrics.counter("chaos_demand_faults", **label)
+        self._c_capacity = self.metrics.counter("chaos_capacity_faults", **label)
+        self._c_price = self.metrics.counter("chaos_price_faults", **label)
         self._base_counts = (
             None
             if self.server_types is None
@@ -85,6 +95,15 @@ class FaultInjector:
             self._scaled[key] = scaled
         return scaled
 
+    def counters(self) -> dict:
+        """JSON-safe injection totals (read from the registry series)."""
+        return {
+            "injected_ticks": int(self._c_injected.value),
+            "demand_faults": int(self._c_demand.value),
+            "capacity_faults": int(self._c_capacity.value),
+            "price_faults": int(self._c_price.value),
+        }
+
     def inject(self, tick: Tick) -> Tick:
         """Return the perturbed version of one tick (the tick itself if quiet)."""
         t = int(tick.t)
@@ -99,6 +118,7 @@ class FaultInjector:
                     "server_types (or use a feed that carries them)"
                 )
             counts = self.plan.counts_at(t, base)
+            self._c_capacity.inc()
 
         row = tick.cost_row
         factor = self.plan.price_factor_at(t)
@@ -110,9 +130,13 @@ class FaultInjector:
                     "FaultInjector/ChaosFeed server_types (or use a feed that carries them)"
                 )
             row = self._scaled_row(tuple(base_row), factor)
+            self._c_price.inc()
 
+        if demand != tick.demand:
+            self._c_demand.inc()
         if demand == tick.demand and counts is tick.counts and row is tick.cost_row:
             return tick
+        self._c_injected.inc()
         return Tick(t=t, demand=demand, cost_row=row, counts=counts)
 
 
@@ -126,13 +150,15 @@ class ChaosFeed(TraceFeed):
     shared-cache grouping.
     """
 
-    def __init__(self, feed: TraceFeed, plan, server_types=None):
+    def __init__(self, feed: TraceFeed, plan, server_types=None, *, metrics=None, tenant=None):
         self.feed = feed
         self.tick_seconds = feed.tick_seconds
         self.server_types = (
             tuple(server_types) if server_types is not None else feed.server_types
         )
-        self.injector = FaultInjector(plan, server_types=self.server_types)
+        self.injector = FaultInjector(
+            plan, server_types=self.server_types, metrics=metrics, tenant=tenant
+        )
 
     @property
     def plan(self) -> EventPlan:

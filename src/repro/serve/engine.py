@@ -30,6 +30,7 @@ from ..core.instance import ProblemInstance
 from ..online.base import run_online
 from .chaos import ChaosFeed
 from .feed import InstanceFeed, TraceFeed
+from .metrics import MetricsRegistry
 from .session import (
     ControllerSession,
     ServeCache,
@@ -70,6 +71,7 @@ class ServeEngine:
         *,
         ledger_budget: Optional[int] = None,
         tensor_budget_bytes: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.share_caches = bool(share_caches)
         self.warm_start = bool(warm_start)
@@ -80,28 +82,35 @@ class ServeEngine:
         self.tensor_budget_bytes = (
             None if tensor_budget_bytes is None else int(tensor_budget_bytes)
         )
+        #: One registry for the whole engine: every cache and session it
+        #: creates lands its series here, so :meth:`report` exposes a single
+        #: labelled snapshot across tenants and caches.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._caches: Dict[tuple, ServeCache] = {}
+        self._cache_seq = 0
         self._tenants: Dict[str, _Tenant] = {}
 
     # ------------------------------------------------------------ registration
+    def _build_cache(self, server_types) -> ServeCache:
+        cache = ServeCache(
+            server_types,
+            warm_start=self.warm_start,
+            ledger_budget=self.ledger_budget,
+            tensor_budget_bytes=self.tensor_budget_bytes,
+            metrics=self.metrics,
+            metrics_label=f"cache{self._cache_seq}",
+        )
+        self._cache_seq += 1
+        return cache
+
     def cache_for(self, server_types) -> ServeCache:
         """The shared cache of a fleet geometry (created on first use)."""
         if not self.share_caches:
-            return ServeCache(
-                server_types,
-                warm_start=self.warm_start,
-                ledger_budget=self.ledger_budget,
-                tensor_budget_bytes=self.tensor_budget_bytes,
-            )
+            return self._build_cache(server_types)
         key = fleet_signature(server_types)
         cache = self._caches.get(key)
         if cache is None:
-            cache = ServeCache(
-                server_types,
-                warm_start=self.warm_start,
-                ledger_budget=self.ledger_budget,
-                tensor_budget_bytes=self.tensor_budget_bytes,
-            )
+            cache = self._build_cache(server_types)
             self._caches[key] = cache
         return cache
 
@@ -154,7 +163,10 @@ class ServeEngine:
                 f"tenant {name!r}: the feed carries no fleet; pass server_types explicitly"
             )
         if chaos is not None:
-            feed = ChaosFeed(feed, chaos, server_types=server_types)
+            feed = ChaosFeed(
+                feed, chaos, server_types=server_types,
+                metrics=self.metrics, tenant=name,
+            )
         if degradation is None:
             degradation = "shed" if chaos is not None else "strict"
         session = ControllerSession(
@@ -272,7 +284,9 @@ class ServeEngine:
         ``tensor_evictions`` / ``ledger_evictions`` LRU pressure gauges);
         ``cache_totals`` sums the numeric counters across caches so eviction
         behaviour and memo residency are observable at a glance without
-        iterating per-cache rows.
+        iterating per-cache rows.  ``metrics`` is the engine registry's full
+        labelled snapshot (schema-versioned; see
+        :meth:`~repro.serve.metrics.MetricsRegistry.snapshot`).
         """
         report = summarise_sessions(self.sessions, wall_seconds=wall_seconds)
         report["tenant_summaries"] = [s.summary() for s in self.sessions]
@@ -289,6 +303,7 @@ class ServeEngine:
                     continue
                 totals[key] = totals.get(key, 0) + value
         report["cache_totals"] = totals
+        report["metrics"] = self.metrics.snapshot()
         return report
 
 

@@ -60,6 +60,7 @@ from typing import Dict, List, Optional, Union
 from ..exp.sharding import assign_shards
 from .chaos import ChaosFeed
 from .feed import FeedError, TraceFeed, build_feed
+from .metrics import MetricsRegistry
 from .session import (
     ControllerSession,
     load_checkpoint,
@@ -215,6 +216,9 @@ class _WorkerRuntime:
         self.ledger_budget = config.get("ledger_budget")
         self.tenants: "OrderedDict[str, _WorkerTenant]" = OrderedDict()
         self._caches: Dict = {}
+        # one registry per worker incarnation; every cache/session lands its
+        # series here and the snapshot ships home in the result file
+        self.metrics = MetricsRegistry()
         self._epoch = None
         self._round = 0
         telemetry_path = config.get("telemetry")
@@ -306,6 +310,8 @@ class _WorkerRuntime:
                 server_types,
                 tensor_budget_bytes=self.tensor_budget_bytes,
                 ledger_budget=self.ledger_budget,
+                metrics=self.metrics,
+                metrics_label=f"cache{len(self._caches)}",
             )
             self._caches[key] = cache
         return cache
@@ -404,6 +410,7 @@ class _WorkerRuntime:
         write_json_atomic(
             self.dir / HEARTBEAT_FILE,
             {
+                "schema": 1,
                 "worker": self.worker_id,
                 "incarnation": self.incarnation,
                 "round": self._round,
@@ -435,11 +442,13 @@ class _WorkerRuntime:
         write_json_atomic(
             self.dir / RESULT_FILE,
             {
+                "schema": 1,
                 "worker": self.worker_id,
                 "incarnation": self.incarnation,
                 "rounds": self._round,
                 "tenants": rows,
                 "caches": [c.counters() for c in self._caches.values()],
+                "metrics": self.metrics.snapshot(),
             },
         )
         self.telemetry.close()
@@ -816,7 +825,14 @@ class ServeFabric:
         totals["restarts"] = sum(h.restarts for h in self._handles)
         totals["migrations_completed"] = sum(1 for m in migrations if m.get("state") == "done")
         recovery = [v for h in self._handles for v in h.recovery_latencies]
+        # fabric-wide counter rollup: sum every worker registry's counters
+        # series-by-series (labels keep worker-local cache/tenant attribution)
+        merged: Dict[str, float] = {}
+        for result in results.values():
+            for series, value in (result.get("metrics") or {}).get("counters", {}).items():
+                merged[series] = merged.get(series, 0) + value
         return {
+            "metrics": {"schema": 1, "counters": dict(sorted(merged.items()))},
             "workers": workers,
             "tenants": tenants,
             "migrations": migrations,

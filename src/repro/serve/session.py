@@ -65,6 +65,7 @@ from ..online.base import OnlineAlgorithm, OnlineContext, SlotInfo
 from ..online.lcp import LazyCapacityProvisioning
 from ..online.tracker import DPPrefixTracker
 from .feed import payload_checksum
+from .metrics import MetricsRegistry
 
 __all__ = [
     "CHECKPOINT_VERSION",
@@ -375,6 +376,9 @@ class ServeCache:
         tensor_budget_bytes: Optional[int] = None,
         ledger_budget: Optional[int] = None,
         warm_start: bool = False,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        metrics_label: Optional[str] = None,
     ):
         if ledger_budget is not None and int(ledger_budget) < 1:
             raise ValueError(f"ledger_budget must be >= 1, got {ledger_budget}")
@@ -392,15 +396,73 @@ class ServeCache:
         self._virtual: OrderedDict = OrderedDict()
         self._tensors: OrderedDict = OrderedDict()
         self._tensor_bytes = 0
-        self.tensor_hits = 0
-        self.tensor_misses = 0
-        self.tensor_evictions = 0
-        self.ledger_evictions = 0
-        self.table_gathers = 0
-        self.prewarmed_levels = 0
+        # cache counters live in the metrics registry (one series per cache
+        # label); engines label their caches "cache0", "cache1", ... in
+        # creation order so deterministic snapshots are stable across runs
+        if metrics is None:
+            metrics = MetricsRegistry()
+        if metrics_label is None:
+            metrics_label = f"cache{metrics.series_count('tensor_hits')}"
+        self.metrics = metrics
+        self.metrics_label = str(metrics_label)
+        label = {"cache": self.metrics_label}
+        self._c_tensor_hits = metrics.counter("tensor_hits", **label)
+        self._c_tensor_misses = metrics.counter("tensor_misses", **label)
+        self._c_tensor_evictions = metrics.counter("tensor_evictions", **label)
+        self._c_ledger_evictions = metrics.counter("ledger_evictions", **label)
+        self._c_table_gathers = metrics.counter("table_gathers", **label)
+        self._g_prewarmed = metrics.gauge(
+            "prewarmed_levels", deterministic=True, **label
+        )
+        metrics.register_collector(self._collect_metrics)
         self._vt_base: dict = {}
         self._fast_tensors: dict = {}
         self._fast_solves: dict = {}
+
+    def _collect_metrics(self) -> None:
+        """Scrape-time sync of the dispatch solver's stats into the registry."""
+        stats = self.dispatcher.stats
+        metrics = self.metrics
+        label = {"cache": self.metrics_label}
+        metrics.counter("block_calls", **label).set(stats.block_calls)
+        metrics.counter("slot_queries", **label).set(stats.slot_queries)
+        metrics.counter("unique_solves", **label).set(stats.unique_solves)
+        metrics.counter("warm_hits", **label).set(stats.warm_hits)
+        metrics.counter("cold_solves", **label).set(stats.cold_solves)
+        metrics.gauge("virtual_slots", deterministic=True, **label).set(
+            self.virtual_slots
+        )
+        metrics.gauge("tensor_bytes", deterministic=True, **label).set(
+            self._tensor_bytes
+        )
+        metrics.gauge("cache_hit_rate", **label).set(
+            round(stats.cache_hit_rate, 6)
+        )
+
+    # backwards-compatible counter attributes, now reading the registry series
+    @property
+    def tensor_hits(self) -> int:
+        return int(self._c_tensor_hits.value)
+
+    @property
+    def tensor_misses(self) -> int:
+        return int(self._c_tensor_misses.value)
+
+    @property
+    def tensor_evictions(self) -> int:
+        return int(self._c_tensor_evictions.value)
+
+    @property
+    def ledger_evictions(self) -> int:
+        return int(self._c_ledger_evictions.value)
+
+    @property
+    def table_gathers(self) -> int:
+        return int(self._c_table_gathers.value)
+
+    @property
+    def prewarmed_levels(self) -> int:
+        return int(self._g_prewarmed.value)
 
     @property
     def server_types(self) -> tuple:
@@ -436,7 +498,7 @@ class ServeCache:
             self.dispatcher._sig_cache.pop(vt, None)
             self._fast_tensors.pop(vt, None)
             self._fast_solves.pop(vt, None)
-            self.ledger_evictions += 1
+            self._c_ledger_evictions.inc()
         else:
             vt = self.stream.append(demand, row)
         if key is not None:
@@ -473,14 +535,14 @@ class ServeCache:
         if fast is not None:
             hit = fast.get(id(grid))
             if hit is not None and hit[0] is grid:
-                self.tensor_hits += 1
-                self.table_gathers += 1
+                self._c_tensor_hits.inc()
+                self._c_table_gathers.inc()
                 return hit[1]
         sig, scale = self.dispatcher._slot_signature(vt)
         key = (sig, scale, grid.key)
         tensor = self._tensors.get(key)
         if tensor is None:
-            self.tensor_misses += 1
+            self._c_tensor_misses.inc()
             if self.tensor_budget_bytes is None:
                 costs, _ = self.dispatcher.solve_grid(vt, grid.configs())
             else:
@@ -495,7 +557,7 @@ class ServeCache:
             self._tensor_bytes += tensor.nbytes
             self._evict_tensors()
         else:
-            self.tensor_hits += 1
+            self._c_tensor_hits.inc()
             self._tensors.move_to_end(key)
         if self.tensor_budget_bytes is None:
             # the entry holds a strong ref to the grid, pinning its id
@@ -521,7 +583,7 @@ class ServeCache:
             hit = self.dispatcher.solve(vt, rounded)
             sub[key] = hit
         else:
-            self.table_gathers += 1
+            self._c_table_gathers.inc()
         return hit
 
     def prewarm(self, levels, cost_row=None, grid=None) -> "SolutionTable":
@@ -565,7 +627,7 @@ class ServeCache:
                     sub[rounded.tobytes()] = result
                 costs[i, c] = result.cost
                 loads[i, c] = result.loads
-        self.prewarmed_levels = max(self.prewarmed_levels, len(levels))
+        self._g_prewarmed.set(max(self.prewarmed_levels, len(levels)))
         return SolutionTable(levels, configs, costs, loads)
 
     def _evict_tensors(self) -> None:
@@ -574,10 +636,16 @@ class ServeCache:
         while self._tensor_bytes > self.tensor_budget_bytes and len(self._tensors) > 1:
             _, evicted = self._tensors.popitem(last=False)
             self._tensor_bytes -= evicted.nbytes
-            self.tensor_evictions += 1
+            self._c_tensor_evictions.inc()
 
     def counters(self) -> dict:
-        """JSON-safe sharing counters (dispatch stats + memo hits + evictions)."""
+        """JSON-safe sharing counters (dispatch stats + memo hits + evictions).
+
+        The historical dict shape, now read from the metrics registry
+        series (plus the solver's live :class:`DispatchStats`) — the full
+        labelled view is :meth:`MetricsRegistry.snapshot` on
+        :attr:`metrics`.
+        """
         stats = self.dispatcher.stats
         return {
             "virtual_slots": self.virtual_slots,
@@ -726,6 +794,8 @@ class ControllerSession:
         degradation: str = "strict",
         history: bool = True,
         name: str = "tenant",
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
     ):
         if degradation not in DEGRADATION_MODES:
             raise ValueError(
@@ -780,6 +850,15 @@ class ControllerSession:
         self._sla_violations = 0
         self._shed_total = 0.0
         self._forced_downs = 0
+        # Observability: per-tick arithmetic stays on plain attributes (the
+        # microsecond hot path), and a weakly-held collector mirrors them
+        # into tenant-labelled registry series at snapshot/scrape time —
+        # including the tick-latency histogram over the retained window.
+        self.metrics = metrics if metrics is not None else cache.metrics
+        self.metrics.register_collector(self._collect_metrics)
+        #: Optional :class:`~repro.serve.trace.TickTracer`; ``None`` (the
+        #: default) costs one branch per ``observe``.
+        self._tracer = tracer
 
     # ------------------------------------------------------------- properties
     @property
@@ -857,7 +936,16 @@ class ControllerSession:
         replaces the first two with vectorised cohort equivalents and enters
         at :meth:`observe_batch`; the phase boundaries are state-free, so
         this composed path is bit-identical to the pre-split ``observe``.
+
+        With a :class:`~repro.serve.trace.TickTracer` attached, every
+        ``trace_every``-th tick runs the phase-stamped twin
+        :meth:`_observe_traced` instead (same calls, same state transitions —
+        tracing only reads clocks and counters, so traced replays stay
+        bit-identical); unsampled ticks pay a single branch.
         """
+        tracer = self._tracer
+        if tracer is not None and tracer.should_sample():
+            return self._observe_traced(demand, cost_row, counts, tracer)
         started = time.perf_counter_ns()
         demand, served, shed, counts_t, vt, slot = self.prepare_tick(
             demand, cost_row, counts
@@ -867,6 +955,68 @@ class ControllerSession:
             demand, served, shed, vt, rounded, r_list, forced,
             slot=slot, started_ns=started,
         )
+
+    def _observe_traced(self, demand, cost_row, counts, tracer) -> FleetState:
+        """The phase-stamped twin of :meth:`observe` (sampled ticks only).
+
+        Stamps ``perf_counter_ns`` at the prepare/decide/commit boundaries
+        and attributes the decide span to the dispatch tier that served it —
+        ``table`` / ``warm`` / ``cold`` — from the cache counter deltas
+        across the tick.
+        """
+        stats = self.cache.dispatcher.stats
+        tick = self._t
+        t0 = time.perf_counter_ns()
+        demand, served, shed, counts_t, vt, slot = self.prepare_tick(
+            demand, cost_row, counts
+        )
+        warm0 = stats.warm_hits
+        cold0 = stats.cold_solves
+        t1 = time.perf_counter_ns()
+        rounded, r_list, forced = self.decide_tick(slot, counts_t)
+        t2 = time.perf_counter_ns()
+        state = self.commit_tick(
+            demand, served, shed, vt, rounded, r_list, forced,
+            slot=slot, started_ns=t0,
+        )
+        t3 = time.perf_counter_ns()
+        if stats.cold_solves != cold0:
+            kind = "decide[cold]"
+        elif stats.warm_hits != warm0:
+            kind = "decide[warm]"
+        else:
+            kind = "decide[table]"
+        name = self.name
+        tracer.record("prepare", name, tick, t0, t1)
+        tracer.record(kind, name, tick, t1, t2)
+        tracer.record("commit", name, tick, t2, t3)
+        return state
+
+    def _collect_metrics(self) -> None:
+        """Scrape-time sync of the session's counters into the registry.
+
+        Registered weakly at construction: live sessions surface
+        tenant-labelled series (tick cursor, SLA counters, the tick-latency
+        histogram over the retained window) whenever the registry snapshots;
+        dead sessions cost nothing and their stale series age out of the
+        capped registry under churn.
+        """
+        metrics = self.metrics
+        label = {"tenant": self.name}
+        metrics.counter("ticks", **label).set(self._t)
+        metrics.counter("sla_violations", **label).set(self._sla_violations)
+        metrics.counter("shed_demand", **label).set(round(self._shed_total, 9))
+        metrics.counter("forced_downs", **label).set(self._forced_downs)
+        metrics.gauge("cumulative_cost", deterministic=True, **label).set(
+            round(self.cumulative_cost, 9)
+        )
+        hist = metrics.histogram("tick_latency_ns", **label)
+        ns = self.latencies_ns
+        idx = np.searchsorted(
+            np.asarray(hist.bounds, dtype=np.int64), ns, side="left"
+        )
+        counts = np.bincount(idx, minlength=len(hist.bounds) + 1)
+        hist.load(counts.tolist(), int(ns.sum()), int(ns.size))
 
     def prepare_tick(self, demand: float, cost_row=None, counts=None, build_slot=True):
         """Phase 1 of a tick: validate, resolve shed/capacity, pin the ledger slot.
@@ -1107,10 +1257,10 @@ class ControllerSession:
 
     # ---------------------------------------------------------------- summary
     def latency_summary(self) -> dict:
-        """p50/p95/p99/mean/max tick latency in milliseconds."""
+        """p50/p95/p99/mean/max tick latency in milliseconds (+ histogram)."""
         from .telemetry import latency_percentiles
 
-        return latency_percentiles(self.latencies_seconds)
+        return latency_percentiles(latencies_ns=self.latencies_ns)
 
     def summary(self) -> dict:
         """JSON-safe session summary (telemetry footer / bench row)."""
@@ -1267,6 +1417,7 @@ class ControllerSession:
             degradation=self.degradation,
             history=self.history,
             name=self.name,
+            tracer=self._tracer,
         )
         if reuse_cache:
             fresh = ControllerSession(self._algorithm_source, cache=self.cache, **kwargs)

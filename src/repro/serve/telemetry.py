@@ -4,37 +4,83 @@ Every tick of a :class:`~repro.serve.session.ControllerSession` yields a
 :class:`~repro.serve.session.FleetState`; a :class:`TelemetryWriter` appends
 its flat row — tenant, demand, chosen configuration, tick/cumulative cost,
 wall latency, optional prefix-optimum regret — as one JSON line, the format
-every log shipper understands.  :func:`latency_percentiles` and
-:func:`summarise_sessions` aggregate what ``repro serve replay`` prints and
-what ``BENCH_serve.json`` records.
+every log shipper understands.  Rows are stamped with ``"schema": 1``
+(readers accept versionless legacy rows).  :func:`latency_percentiles` and
+:func:`summarise_sessions` aggregate what ``repro serve replay`` prints,
+what ``BENCH_serve.json`` records and what ``repro serve watch`` reproduces
+from the files.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Optional, Sequence
 
 import numpy as np
 
-__all__ = ["TelemetryWriter", "latency_percentiles", "summarise_sessions"]
+from .metrics import LATENCY_BUCKETS_NS
+
+__all__ = [
+    "TELEMETRY_SCHEMA_VERSION",
+    "TelemetryWriter",
+    "latency_percentiles",
+    "summarise_sessions",
+]
+
+#: Stamped into every telemetry row as ``"schema"``; bump on incompatible
+#: row-shape changes.  Readers (``repro serve watch``, the fabric collector)
+#: accept rows without the field — pre-versioning streams stay loadable.
+TELEMETRY_SCHEMA_VERSION = 1
 
 
 class TelemetryWriter:
     """Append-only JSONL sink for per-tick telemetry rows.
 
     Usable as a context manager; ``path=None`` discards rows (a null sink, so
-    callers need no conditional plumbing).  Rows are flushed per write: a
-    long-lived serving process killed mid-stream keeps every completed tick.
+    callers need no conditional plumbing).
+
+    ``flush_every=N`` flushes the OS buffer every N rows — the default N=1
+    keeps the historical flush-per-write durability (a serving process killed
+    mid-stream keeps every completed tick), larger N amortises the syscall at
+    10k-tenant batch scale.  :meth:`flush` forces a flush at any point and
+    :meth:`close` always flushes the tail.
+
+    ``rotate_bytes=`` bounds the stream on disk: when the current file
+    reaches the threshold (checked at row boundaries) it is rotated to
+    ``<path>.1`` — the previous ``.1`` moving to ``.2``, two generations
+    kept — and a fresh file is started.
     """
 
-    def __init__(self, path=None):
+    def __init__(
+        self,
+        path=None,
+        *,
+        flush_every: int = 1,
+        rotate_bytes: Optional[int] = None,
+        schema: bool = True,
+    ):
+        if int(flush_every) < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        if rotate_bytes is not None and int(rotate_bytes) < 1:
+            raise ValueError(f"rotate_bytes must be >= 1, got {rotate_bytes}")
         self.path = None if path is None else Path(path)
+        self.flush_every = int(flush_every)
+        self.rotate_bytes = None if rotate_bytes is None else int(rotate_bytes)
+        self.schema = bool(schema)
         self._handle = None
+        self._pending = 0
+        self._bytes = 0
         self.rows_written = 0
+        self.rotations = 0
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._handle = open(self.path, "a", encoding="utf-8")
+            try:
+                self._bytes = os.fstat(self._handle.fileno()).st_size
+            except OSError:  # pragma: no cover — exotic filesystems
+                self._bytes = 0
 
     @property
     def active(self) -> bool:
@@ -47,17 +93,47 @@ class TelemetryWriter:
         return self._handle is not None
 
     def write(self, row: dict, tenant: Optional[str] = None) -> None:
-        """Append one telemetry row (stamping ``tenant`` when given)."""
+        """Append one telemetry row (stamping ``tenant`` and the schema version)."""
         if self._handle is None:
             return
-        if tenant is not None:
-            row = dict(row, tenant=tenant)
-        self._handle.write(json.dumps(row) + "\n")
-        self._handle.flush()
+        if tenant is not None or (self.schema and "schema" not in row):
+            row = dict(row)
+            if self.schema and "schema" not in row:
+                row["schema"] = TELEMETRY_SCHEMA_VERSION
+            if tenant is not None:
+                row["tenant"] = tenant
+        line = json.dumps(row) + "\n"
+        self._handle.write(line)
+        self._bytes += len(line)
+        self._pending += 1
         self.rows_written += 1
+        if self._pending >= self.flush_every:
+            self._handle.flush()
+            self._pending = 0
+        if self.rotate_bytes is not None and self._bytes >= self.rotate_bytes:
+            self._rotate()
+
+    def flush(self) -> None:
+        """Force any buffered rows to the OS now."""
+        if self._handle is not None:
+            self._handle.flush()
+            self._pending = 0
+
+    def _rotate(self) -> None:
+        self._handle.close()
+        first = self.path.with_name(self.path.name + ".1")
+        second = self.path.with_name(self.path.name + ".2")
+        if first.exists():
+            os.replace(first, second)
+        os.replace(self.path, first)
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self._bytes = 0
+        self._pending = 0
+        self.rotations += 1
 
     def close(self) -> None:
         if self._handle is not None:
+            self._handle.flush()
             self._handle.close()
             self._handle = None
 
@@ -68,35 +144,64 @@ class TelemetryWriter:
         self.close()
 
 
-def latency_percentiles(latencies_seconds: Sequence[float]) -> dict:
-    """p50/p95/p99/mean/max of a latency sample, in milliseconds."""
-    arr = np.asarray(latencies_seconds, dtype=float)
-    if arr.size == 0:
+def latency_percentiles(
+    latencies_seconds: Optional[Sequence[float]] = None,
+    *,
+    latencies_ns=None,
+    histogram: bool = True,
+) -> dict:
+    """p50/p95/p99/mean/max of a latency sample, in milliseconds.
+
+    Prefers the ns-resolution integer samples (``latencies_ns=``) the serve
+    layer meters natively — float-seconds input survives for legacy callers
+    and is converted through the same integer-ns domain, so both paths agree
+    bit for bit.  Non-empty summaries also carry a ``histogram`` field over
+    the fixed :data:`~repro.serve.metrics.LATENCY_BUCKETS_NS` bounds
+    (``counts[i]`` pairs with ``bucket_le_ns[i]``; the trailing count is the
+    overflow bucket).
+    """
+    if latencies_ns is not None:
+        ns = np.asarray(latencies_ns, dtype=np.int64)
+    else:
+        arr = np.asarray(
+            [] if latencies_seconds is None else latencies_seconds, dtype=float
+        )
+        ns = np.asarray(np.round(arr * 1e9), dtype=np.int64)
+    if ns.size == 0:
         return {"ticks": 0}
-    ms = arr * 1e3
-    return {
-        "ticks": int(arr.size),
+    ms = ns * 1e-6
+    out = {
+        "ticks": int(ns.size),
         "p50_ms": round(float(np.percentile(ms, 50)), 6),
         "p95_ms": round(float(np.percentile(ms, 95)), 6),
         "p99_ms": round(float(np.percentile(ms, 99)), 6),
         "mean_ms": round(float(np.mean(ms)), 6),
         "max_ms": round(float(np.max(ms)), 6),
     }
+    if histogram:
+        bounds = np.asarray(LATENCY_BUCKETS_NS, dtype=np.int64)
+        idx = np.searchsorted(bounds, ns, side="left")
+        counts = np.bincount(idx, minlength=bounds.size + 1)
+        out["histogram"] = {
+            "bucket_le_ns": [int(b) for b in bounds],
+            "counts": [int(c) for c in counts],
+        }
+    return out
 
 
 def summarise_sessions(sessions, wall_seconds: Optional[float] = None) -> dict:
     """Aggregate summary of a set of sessions (the engine-level report body).
 
-    Pools every session's tick latencies into one percentile summary and, when
-    the multiplexing wall time is known, reports aggregate throughput
-    (``ticks_per_second``) and tenant turnover (``tenants_per_second`` — full
-    replays completed per wall second).
+    Pools every session's tick latencies — at native ns resolution — into one
+    percentile summary and, when the multiplexing wall time is known, reports
+    aggregate throughput (``ticks_per_second``) and tenant turnover
+    (``tenants_per_second`` — full replays completed per wall second).
     """
     sessions = list(sessions)
     pooled = (
-        np.concatenate([s.latencies_seconds for s in sessions])
+        np.concatenate([_session_latencies_ns(s) for s in sessions])
         if sessions
-        else np.zeros(0)
+        else np.zeros(0, dtype=np.int64)
     )
     total_ticks = int(pooled.size)
     summary = {
@@ -108,7 +213,7 @@ def summarise_sessions(sessions, wall_seconds: Optional[float] = None) -> dict:
             float(sum(getattr(s, "shed_demand_total", 0.0) for s in sessions)), 9
         ),
         "forced_downs": int(sum(getattr(s, "forced_downs", 0) for s in sessions)),
-        "latency": latency_percentiles(pooled),
+        "latency": latency_percentiles(latencies_ns=pooled),
     }
     if wall_seconds is not None:
         summary["wall_seconds"] = round(float(wall_seconds), 6)
@@ -116,3 +221,11 @@ def summarise_sessions(sessions, wall_seconds: Optional[float] = None) -> dict:
             summary["ticks_per_second"] = round(total_ticks / wall_seconds, 3)
             summary["tenants_per_second"] = round(len(sessions) / wall_seconds, 3)
     return summary
+
+
+def _session_latencies_ns(session) -> np.ndarray:
+    ns = getattr(session, "latencies_ns", None)
+    if ns is not None:
+        return np.asarray(ns, dtype=np.int64)
+    seconds = np.asarray(session.latencies_seconds, dtype=float)
+    return np.asarray(np.round(seconds * 1e9), dtype=np.int64)
